@@ -1,0 +1,271 @@
+package bitgen
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, each driving the same code path `bitbench` uses at a
+// reduced scale (so `go test -bench=.` completes in minutes). Full-scale
+// regeneration: `go run ./cmd/bitbench -exp all`.
+//
+// The reported metric of interest for the experiment benchmarks is the
+// artifact itself (printed once with -v via b.Log); wall-clock ns/op here
+// measures the simulator, not the modeled GPU.
+
+import (
+	"strings"
+	"testing"
+
+	"bitgen/internal/bitstream"
+	"bitgen/internal/experiments"
+	"bitgen/internal/hybrid"
+	"bitgen/internal/ir"
+	"bitgen/internal/lower"
+	"bitgen/internal/nfa"
+	"bitgen/internal/rx"
+	"bitgen/internal/transpose"
+)
+
+// benchSuite returns a reduced-scale experiment suite.
+func benchSuite(apps ...string) *experiments.Suite {
+	return experiments.NewSuite(experiments.Options{
+		RegexScale: 0.01,
+		InputBytes: 50_000,
+		HSThreads:  2,
+		Apps:       apps,
+	})
+}
+
+// BenchmarkTable1Stats regenerates Table 1 (workload statistics).
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkOverallThroughput regenerates Table 2 / Figure 11 on a subset.
+func BenchmarkOverallThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("ExactMatch", "Dotstar", "Snort")
+		res, err := s.Table2Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkAblation regenerates Table 3 / Figure 12 on a subset.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("Yara", "Snort")
+		res, err := s.Figure12Breakdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkMemoryTraffic regenerates Table 4 on a subset.
+func BenchmarkMemoryTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("Snort")
+		res, err := s.Table4Memory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkRecomputeOverhead regenerates Table 5 on a subset.
+func BenchmarkRecomputeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("Dotstar", "Brill")
+		res, err := s.Table5Recompute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkMergeSizeSweep regenerates Table 6 / Figure 13 on a subset.
+func BenchmarkMergeSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("ExactMatch")
+		res, err := s.Figure13MergeSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkIntervalSweep regenerates Figure 14 on a subset.
+func BenchmarkIntervalSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("Dotstar")
+		res, err := s.Figure14Interval()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkPortability regenerates Figure 15 on a subset.
+func BenchmarkPortability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("ExactMatch", "Snort")
+		res, err := s.Figure15Portability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkAblationExtras runs the design-choice decomposition of Shift
+// Rebalancing (rewriting vs merging) on a subset.
+func BenchmarkAblationExtras(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite("ExactMatch")
+		res, err := s.AblationExtras()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// ---- micro-benchmarks of the substrates ----
+
+var benchInput = func() []byte {
+	return []byte(strings.Repeat("the quick brown fox jumps over the lazy dog 0123456789 ", 2000))
+}()
+
+// BenchmarkCompile measures end-to-end pattern compilation.
+func BenchmarkCompile(b *testing.B) {
+	patterns := []string{"fox|dog", "qu[a-z]+k", "(the ){2,4}", "l.zy", "d[aeiou]g 0\\d+"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(patterns, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScan measures the simulator's real (host) scanning rate.
+func BenchmarkEngineScan(b *testing.B) {
+	eng := MustCompile([]string{"fox|dog", "qu[a-z]+k", "l.zy"}, &Options{CTAs: 3})
+	b.SetBytes(int64(len(benchInput)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CountOnly(benchInput); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranspose measures the S2P transform.
+func BenchmarkTranspose(b *testing.B) {
+	b.SetBytes(int64(len(benchInput)))
+	for i := 0; i < b.N; i++ {
+		transpose.Transpose(benchInput)
+	}
+}
+
+// BenchmarkMatchStar measures the carry-smear closure primitive.
+func BenchmarkMatchStar(b *testing.B) {
+	basis := transpose.Transpose(benchInput)
+	m := basis.Bit(2)
+	c := basis.Bit(3)
+	b.SetBytes(int64(len(benchInput) / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bitstream.MatchStar(m, c)
+	}
+}
+
+// BenchmarkInterpreter measures the icgrep-analog whole-stream engine.
+func BenchmarkInterpreter(b *testing.B) {
+	prog := lower.MustSingle("re", "q[a-z]*k|fox")
+	basis := transpose.Transpose(benchInput)
+	b.SetBytes(int64(len(benchInput)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Interpret(prog, basis, ir.InterpOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNFASimulate measures the Glushkov-NFA oracle (the ngAP
+// functional substrate).
+func BenchmarkNFASimulate(b *testing.B) {
+	n, err := nfa.Build([]string{"a", "b"}, []rx.Node{
+		rx.MustParse("q[a-z]*k"), rx.MustParse("fox|dog"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(benchInput)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nfa.Simulate(n, benchInput)
+	}
+}
+
+// BenchmarkAhoCorasick measures the Hyperscan-analog literal prefilter.
+func BenchmarkAhoCorasick(b *testing.B) {
+	ac := hybrid.NewAhoCorasick([][]byte{
+		[]byte("fox"), []byte("dog"), []byte("lazy"), []byte("0123"),
+	})
+	b.SetBytes(int64(len(benchInput)))
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		ac.Scan(benchInput, func(hybrid.Hit) { count++ })
+	}
+	_ = count
+}
+
+// BenchmarkHybridEngine measures the full HS-analog scan.
+func BenchmarkHybridEngine(b *testing.B) {
+	patterns := []string{"fox|dog", "qu[a-z]{2,6}k", "lazy", "0\\d{3}"}
+	asts := make([]rx.Node, len(patterns))
+	for i, p := range patterns {
+		asts[i] = rx.MustParse(p)
+	}
+	eng, err := hybrid.Compile(patterns, asts, hybrid.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(benchInput)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Scan(benchInput)
+	}
+}

@@ -1,0 +1,157 @@
+package bitgen
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCompileAndRun(t *testing.T) {
+	eng, err := Compile([]string{"cat", "do(g|ve)"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run([]byte("the cat chased a dove and a dog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["cat"] != 1 || res.Counts["do(g|ve)"] != 2 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	// Matches are sorted by end position.
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i].End < res.Matches[i-1].End {
+			t.Fatal("matches not sorted")
+		}
+	}
+	if res.Stats.ThroughputMBs <= 0 || res.Stats.ModeledTime <= 0 {
+		t.Fatalf("stats missing: %+v", res.Stats)
+	}
+}
+
+func TestMatchEndsAgainstStdlib(t *testing.T) {
+	pattern := "er+or"
+	eng := MustCompile([]string{pattern}, nil)
+	input := []byte("error erstwhile eror errrror terror")
+	res, err := eng.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile("^(?:" + "er+or" + ")$")
+	for _, m := range res.Matches {
+		ok := false
+		for start := 0; start <= m.End; start++ {
+			if re.Match(input[start : m.End+1]) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("reported match ending at %d has no witness", m.End)
+		}
+	}
+}
+
+func TestFoldCase(t *testing.T) {
+	eng := MustCompile([]string{"warning"}, &Options{FoldCase: true})
+	counts, err := eng.CountOnly([]byte("WARNING Warning warning"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["warning"] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Compile(nil, nil); err == nil {
+		t.Error("empty pattern list accepted")
+	}
+	if _, err := Compile([]string{"("}, nil); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := Compile([]string{"a"}, &Options{Device: "TPU"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestDeviceOption(t *testing.T) {
+	input := []byte(strings.Repeat("flag{secret} noise noise ", 200))
+	patterns := []string{"flag\\{[a-z]+\\}"}
+	slow := MustCompile(patterns, &Options{Device: "RTX 3090", CTAs: 8, Threads: 32})
+	fast := MustCompile(patterns, &Options{Device: "L40S", CTAs: 8, Threads: 32})
+	rSlow, err := slow.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFast, err := fast.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Counts["flag\\{[a-z]+\\}"] != 200 {
+		t.Fatalf("counts = %v", rSlow.Counts)
+	}
+	if rFast.Stats.ModeledTime >= rSlow.Stats.ModeledTime {
+		t.Error("L40S not modeled faster on compute-bound work")
+	}
+}
+
+func TestOptimizationToggles(t *testing.T) {
+	patterns := []string{"abcdefgh", "qrstuvwx"}
+	input := []byte(strings.Repeat("zzzzzzzzabcdefghzzzz ", 100))
+	// Shift rebalancing + merging alone must cut barriers; ZBS guards are
+	// disabled here because on a matching input their checks add barriers.
+	full := MustCompile(patterns, &Options{CTAs: 2, Threads: 32, DisableZeroBlockSkipping: true})
+	plain := MustCompile(patterns, &Options{
+		CTAs: 2, Threads: 32,
+		DisableShiftRebalancing:  true,
+		DisableZeroBlockSkipping: true,
+	})
+	rFull, err := full.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPlain, err := plain.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range rFull.Counts {
+		if rFull.Counts[p] != rPlain.Counts[p] {
+			t.Errorf("toggle changed semantics for %q", p)
+		}
+	}
+	if rFull.Stats.Barriers >= rPlain.Stats.Barriers {
+		t.Error("optimizations did not reduce barriers")
+	}
+}
+
+func TestConcurrentRuns(t *testing.T) {
+	eng := MustCompile([]string{"cat", "do(g|ve)s?"}, &Options{CTAs: 2, Threads: 32})
+	inputs := [][]byte{
+		[]byte(strings.Repeat("cat dove ", 100)),
+		[]byte(strings.Repeat("dogs dogs ", 100)),
+		[]byte(strings.Repeat("nothing ", 100)),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, in := range inputs {
+				if _, err := eng.Run(in); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Command bitbench regenerates the paper's evaluation artifacts (tables
+// and figures) on the simulated substrate.
+//
+// Usage:
+//
+//	bitbench -exp all                 # every artifact, default scale
+//	bitbench -exp fig11 -scale 0.1    # Table 2 / Figure 11 at 10% regex scale
+//	bitbench -exp table5 -input 500000
+//	bitbench -exp fig12 -apps Yara,Brill -csv out/
+//
+// Experiments: table1, fig11 (alias table2), fig12 (alias table3), table4,
+// table5, fig13 (alias table6), fig14, fig15, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bitgen/internal/experiments"
+)
+
+type artifact struct {
+	name string
+	run  func(*experiments.Suite) (renderable, error)
+}
+
+type renderable interface {
+	Render() string
+	CSV() string
+}
+
+var artifacts = []artifact{
+	{"table1", func(s *experiments.Suite) (renderable, error) { return s.Table1() }},
+	{"fig11", func(s *experiments.Suite) (renderable, error) { return s.Table2Figure11() }},
+	{"fig12", func(s *experiments.Suite) (renderable, error) { return s.Figure12Breakdown() }},
+	{"table4", func(s *experiments.Suite) (renderable, error) { return s.Table4Memory() }},
+	{"table5", func(s *experiments.Suite) (renderable, error) { return s.Table5Recompute() }},
+	{"fig13", func(s *experiments.Suite) (renderable, error) { return s.Figure13MergeSize() }},
+	{"fig14", func(s *experiments.Suite) (renderable, error) { return s.Figure14Interval() }},
+	{"fig15", func(s *experiments.Suite) (renderable, error) { return s.Figure15Portability() }},
+	{"extras", func(s *experiments.Suite) (renderable, error) { return s.AblationExtras() }},
+	{"ctasweep", func(s *experiments.Suite) (renderable, error) { return s.CTASweep() }},
+}
+
+var aliases = map[string]string{
+	"table2": "fig11",
+	"table3": "fig12",
+	"table6": "fig13",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, fig11, fig12, table4, table5, fig13, fig14, fig15, all)")
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's regex counts to generate")
+	inputBytes := flag.Int("input", 1_000_000, "input size in bytes")
+	appsFlag := flag.String("apps", "", "comma-separated application subset (default: all ten)")
+	seed := flag.Int64("seed", 0, "workload generation seed")
+	hsThreads := flag.Int("hs-threads", 8, "HS-MT goroutine count")
+	csvDir := flag.String("csv", "", "directory to also write CSV files into")
+	flag.Parse()
+
+	opts := experiments.Options{
+		RegexScale: *scale,
+		InputBytes: *inputBytes,
+		Seed:       *seed,
+		HSThreads:  *hsThreads,
+	}
+	if *appsFlag != "" {
+		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+	suite := experiments.NewSuite(opts)
+
+	name := strings.ToLower(*exp)
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	var selected []artifact
+	if name == "all" {
+		selected = artifacts
+	} else {
+		for _, a := range artifacts {
+			if a.name == name {
+				selected = []artifact{a}
+			}
+		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "bitbench: unknown experiment %q\n", *exp)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	for _, a := range selected {
+		start := time.Now()
+		res, err := a.run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bitbench: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==> %s (%.1fs)\n%s\n", a.name, time.Since(start).Seconds(), res.Render())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "bitbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, a.name+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "bitbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("    wrote %s\n", path)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command rxgrep is a grep-like demo of the bitstream engine: it prints
+// the lines of a file on which any of the given patterns match, with the
+// pattern(s) that matched.
+//
+// Usage:
+//
+//	rxgrep 'error|fatal' server.log
+//	rxgrep -e 'timeout [0-9]+ms' -e 'retry #\d' server.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"bitgen"
+)
+
+type patternList []string
+
+func (p *patternList) String() string     { return strings.Join(*p, ",") }
+func (p *patternList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var pats patternList
+	flag.Var(&pats, "e", "pattern (repeatable)")
+	foldCase := flag.Bool("i", false, "case-insensitive")
+	quiet := flag.Bool("q", false, "suppress match lines; print only the summary")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(pats) == 0 {
+		if len(args) < 1 {
+			fmt.Fprintln(os.Stderr, "usage: rxgrep [flags] PATTERN FILE | rxgrep -e P1 -e P2 FILE")
+			os.Exit(2)
+		}
+		pats = append(pats, args[0])
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "rxgrep: exactly one file required")
+		os.Exit(2)
+	}
+	input, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rxgrep:", err)
+		os.Exit(1)
+	}
+
+	eng, err := bitgen.Compile(pats, &bitgen.Options{FoldCase: *foldCase})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rxgrep:", err)
+		os.Exit(1)
+	}
+	res, err := eng.Run(input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rxgrep:", err)
+		os.Exit(1)
+	}
+
+	// Map match end offsets to line numbers.
+	lineOf := make([]int, len(input))
+	lineStart := []int{0}
+	line := 0
+	for i, c := range input {
+		lineOf[i] = line
+		if c == '\n' {
+			line++
+			lineStart = append(lineStart, i+1)
+		}
+	}
+	hits := make(map[int]map[string]bool)
+	for _, m := range res.Matches {
+		ln := lineOf[m.End]
+		if hits[ln] == nil {
+			hits[ln] = make(map[string]bool)
+		}
+		hits[ln][m.Pattern] = true
+	}
+	lines := make([]int, 0, len(hits))
+	for ln := range hits {
+		lines = append(lines, ln)
+	}
+	sort.Ints(lines)
+	if !*quiet {
+		for _, ln := range lines {
+			end := len(input)
+			if ln+1 < len(lineStart) {
+				end = lineStart[ln+1] - 1
+			}
+			var which []string
+			for p := range hits[ln] {
+				which = append(which, p)
+			}
+			sort.Strings(which)
+			fmt.Printf("%d:[%s] %s\n", ln+1, strings.Join(which, ", "),
+				strings.TrimRight(string(input[lineStart[ln]:end]), "\r\n"))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rxgrep: %d matching lines, %d matches, %.1f MB/s modeled\n",
+		len(lines), len(res.Matches), res.Stats.ThroughputMBs)
+	if len(lines) == 0 {
+		os.Exit(1)
+	}
+}

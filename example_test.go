@@ -1,0 +1,52 @@
+package bitgen_test
+
+import (
+	"fmt"
+	"strings"
+
+	"bitgen"
+)
+
+// The basic flow: compile a pattern set once, scan inputs, read matches.
+func ExampleCompile() {
+	eng, err := bitgen.Compile([]string{"a(bc)*d", "cat|dog"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	res, err := eng.Run([]byte("abcbcd cat"))
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range res.Matches {
+		fmt.Printf("%s ends at %d\n", m.Pattern, m.End)
+	}
+	// Output:
+	// a(bc)*d ends at 5
+	// cat|dog ends at 9
+}
+
+// Count-only scanning skips match materialization.
+func ExampleEngine_CountOnly() {
+	eng := bitgen.MustCompile([]string{"na"}, nil)
+	counts, err := eng.CountOnly([]byte("banana"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(counts["na"])
+	// Output:
+	// 2
+}
+
+// Streaming scans bounded-length pattern sets chunk by chunk.
+func ExampleEngine_ScanReader() {
+	eng := bitgen.MustCompile([]string{"flag\\{[a-z]{3,8}\\}"}, nil)
+	input := strings.NewReader("noise flag{secret} more noise flag{hidden} end")
+	var found int
+	err := eng.ScanReader(input, 16<<10, func(m bitgen.Match) { found++ })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(found)
+	// Output:
+	// 2
+}

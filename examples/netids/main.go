@@ -1,0 +1,84 @@
+// Netids: Snort-style deep packet inspection — thousands of signatures
+// matched concurrently over a shared traffic stream, the paper's headline
+// multi-regex scenario. It loads the synthetic Snort workload, runs the
+// full BitGen configuration, and contrasts it against the ablation ladder
+// (Base → DTM → +SR → +ZBS) to show where the speedup comes from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bitgen/internal/engine"
+	"bitgen/internal/kernel"
+	"bitgen/internal/workload"
+)
+
+func main() {
+	app, err := workload.Load("Snort", workload.Options{
+		RegexScale: 0.05, // 5% of the paper's 1,873 signatures
+		InputBytes: 500_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d Snort-style signatures over %d KB of synthetic traffic\n\n",
+		len(app.Regexes), len(app.Input)/1000)
+
+	schemes := []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"Base (partial fusion)", engine.Config{Mode: kernel.ModeBase}},
+		{"DTM  (interleaved)", engine.Config{Mode: kernel.ModeDTM}},
+		{"+SR  (rebalanced)", engine.Config{Mode: kernel.ModeDTM, ShiftRebalancing: true, MergeSize: 8}},
+		{"+ZBS (full BitGen)", engine.BitGenDefault()},
+	}
+
+	var base float64
+	var alerts int64
+	for i, s := range schemes {
+		eng, err := engine.Compile(app.Regexes, s.cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		res, err := eng.Run(app.Input)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		if i == 0 {
+			base = res.ThroughputMBs
+			alerts = res.TotalMatches
+		} else if res.TotalMatches != alerts {
+			log.Fatalf("%s changed the alert count: %d vs %d", s.name, res.TotalMatches, alerts)
+		}
+		total := res.Stats.Total()
+		fmt.Printf("  %-22s %8.1f MB/s  (%.2fx)  %6d barriers  %7.1f MB DRAM\n",
+			s.name, res.ThroughputMBs, res.ThroughputMBs/base,
+			total.Barriers, float64(total.DRAMReadBytes+total.DRAMWriteBytes)/1e6)
+	}
+	fmt.Printf("\nall schemes report the same %d signature hits (exactness check ✓)\n", alerts)
+	fmt.Println("\ntop alerts:")
+	full, err := engine.Compile(app.Regexes, engine.BitGenDefault())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := full.Run(app.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	for _, r := range app.Regexes {
+		if n := res.MatchCounts[r.Name]; n > 0 && shown < 8 {
+			fmt.Printf("  %5d  %s\n", n, truncate(r.Name, 60))
+			shown++
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,3 @@
+module bitgen
+
+go 1.22

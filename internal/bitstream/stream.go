@@ -1,0 +1,444 @@
+// Package bitstream implements the fundamental data type of Parabix-style
+// bit-parallel pattern matching: an unbounded bitstream.
+//
+// A Stream holds one bit per input position. By convention (following the
+// paper), bit i of a match stream S_R is 1 iff a match of the regular
+// expression R ends at input position i. Streams are stored LSB-first: bit i
+// lives in word i/64 at bit position i%64, so the paper's "right shift by k"
+// (advancing cursors toward the future, out[i+k] = in[i]) is a word-level
+// *left* shift with carries. To avoid that permanent source of confusion the
+// API names the two shift directions Advance (paper >>) and Lookback
+// (paper <<) rather than exposing raw shift operators.
+package bitstream
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// WordBits is the number of bits per storage word.
+const WordBits = 64
+
+// Stream is a fixed-length view of an unbounded bitstream. All positions at
+// or beyond Len() are conceptually zero. The zero value is an empty stream.
+type Stream struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// WordsFor returns the number of 64-bit words needed to hold n bits.
+func WordsFor(n int) int {
+	return (n + WordBits - 1) / WordBits
+}
+
+// New returns an all-zero stream of n bits.
+func New(n int) *Stream {
+	if n < 0 {
+		panic(fmt.Sprintf("bitstream: negative length %d", n))
+	}
+	return &Stream{words: make([]uint64, WordsFor(n)), n: n}
+}
+
+// NewOnes returns an all-ones stream of n bits.
+func NewOnes(n int) *Stream {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+	return s
+}
+
+// FromWords wraps the given words as a stream of n bits. The slice is used
+// directly (not copied); bits beyond n must be zero and are cleared
+// defensively.
+func FromWords(words []uint64, n int) *Stream {
+	if len(words) < WordsFor(n) {
+		panic(fmt.Sprintf("bitstream: %d words cannot hold %d bits", len(words), n))
+	}
+	s := &Stream{words: words[:WordsFor(n)], n: n}
+	s.maskTail()
+	return s
+}
+
+// FromBits builds a stream from a string of '1', '0' and '.' runes
+// (dots read as zeros, matching the paper's figures). Whitespace is ignored.
+// Position 0 is the leftmost rune.
+func FromBits(pattern string) *Stream {
+	clean := make([]byte, 0, len(pattern))
+	for i := 0; i < len(pattern); i++ {
+		switch c := pattern[i]; c {
+		case '0', '1', '.':
+			clean = append(clean, c)
+		case ' ', '\t', '\n', '_':
+			// separator, ignore
+		default:
+			panic(fmt.Sprintf("bitstream: invalid rune %q in bit pattern", c))
+		}
+	}
+	s := New(len(clean))
+	for i, c := range clean {
+		if c == '1' {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// FromPositions returns a stream of n bits with ones at the given positions.
+func FromPositions(n int, positions ...int) *Stream {
+	s := New(n)
+	for _, p := range positions {
+		s.Set(p)
+	}
+	return s
+}
+
+// Len returns the number of valid bits.
+func (s *Stream) Len() int { return s.n }
+
+// Words exposes the backing words. The final word's bits beyond Len() are
+// always zero. Callers must not change the slice length.
+func (s *Stream) Words() []uint64 { return s.words }
+
+// Clone returns an independent copy of s.
+func (s *Stream) Clone() *Stream {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Stream{words: w, n: s.n}
+}
+
+// Test reports whether bit i is set. Positions outside [0, Len()) read as 0.
+func (s *Stream) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/WordBits]&(1<<(uint(i)%WordBits)) != 0
+}
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (s *Stream) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstream: Set(%d) out of range [0,%d)", i, s.n))
+	}
+	s.words[i/WordBits] |= 1 << (uint(i) % WordBits)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (s *Stream) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstream: Clear(%d) out of range [0,%d)", i, s.n))
+	}
+	s.words[i/WordBits] &^= 1 << (uint(i) % WordBits)
+}
+
+// Popcount returns the number of set bits.
+func (s *Stream) Popcount() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Any reports whether at least one bit is set (the truth value of a
+// bitstream-program condition).
+func (s *Stream) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Positions returns the indices of all set bits in ascending order.
+func (s *Stream) Positions() []int {
+	out := make([]int, 0, 16)
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*WordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// NextSetBit returns the position of the first set bit at or after from,
+// or -1 if none. It allows iterating matches without materializing the
+// whole position list.
+func (s *Stream) NextSetBit(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from / WordBits
+	w := s.words[wi] >> (uint(from) % WordBits)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*WordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// CountRange returns the number of set bits in [from, to).
+func (s *Stream) CountRange(from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if to > s.n {
+		to = s.n
+	}
+	count := 0
+	for p := s.NextSetBit(from); p >= 0 && p < to; p = s.NextSetBit(p + 1) {
+		count++
+	}
+	return count
+}
+
+// Equal reports whether two streams have the same length and bits.
+func (s *Stream) Equal(t *Stream) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the stream in the paper's figure style: '1' for set bits
+// and '.' for zeros, position 0 leftmost.
+func (s *Stream) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// maskTail clears bits at positions >= n in the final word, preserving the
+// invariant that out-of-range bits are zero.
+func (s *Stream) maskTail() {
+	if s.n%WordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % WordBits)) - 1
+	}
+}
+
+func (s *Stream) checkSameLen(t *Stream) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitstream: length mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// And returns s & t as a new stream.
+func (s *Stream) And(t *Stream) *Stream {
+	s.checkSameLen(t)
+	out := New(s.n)
+	for i := range s.words {
+		out.words[i] = s.words[i] & t.words[i]
+	}
+	return out
+}
+
+// Or returns s | t as a new stream.
+func (s *Stream) Or(t *Stream) *Stream {
+	s.checkSameLen(t)
+	out := New(s.n)
+	for i := range s.words {
+		out.words[i] = s.words[i] | t.words[i]
+	}
+	return out
+}
+
+// Xor returns s ^ t as a new stream.
+func (s *Stream) Xor(t *Stream) *Stream {
+	s.checkSameLen(t)
+	out := New(s.n)
+	for i := range s.words {
+		out.words[i] = s.words[i] ^ t.words[i]
+	}
+	return out
+}
+
+// AndNot returns s &^ t as a new stream.
+func (s *Stream) AndNot(t *Stream) *Stream {
+	s.checkSameLen(t)
+	out := New(s.n)
+	for i := range s.words {
+		out.words[i] = s.words[i] &^ t.words[i]
+	}
+	return out
+}
+
+// Not returns the bounded complement ^s (within Len()).
+func (s *Stream) Not() *Stream {
+	out := New(s.n)
+	for i := range s.words {
+		out.words[i] = ^s.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// Advance implements the paper's "S >> k": each set bit moves k positions
+// toward the future (out[i+k] = in[i]); bits shifted past Len() are lost and
+// zeros enter at the start. k must be non-negative.
+func (s *Stream) Advance(k int) *Stream {
+	out := New(s.n)
+	AdvanceWords(out.words, s.words, k)
+	out.maskTail()
+	return out
+}
+
+// Lookback implements the paper's "S << k": the inverse cursor movement
+// (out[i] = in[i+k]); zeros enter at the end. k must be non-negative.
+func (s *Stream) Lookback(k int) *Stream {
+	out := New(s.n)
+	LookbackWords(out.words, s.words, k)
+	return out
+}
+
+// Shift applies a signed shift in paper stream terms: k > 0 advances
+// (paper >>), k < 0 looks back (paper <<), k == 0 copies.
+func (s *Stream) Shift(k int) *Stream {
+	if k >= 0 {
+		return s.Advance(k)
+	}
+	return s.Lookback(-k)
+}
+
+// Add returns the arithmetic sum s + t, treating both streams as unbounded
+// little-endian integers (bit i has weight 2^i). Carries ripple toward
+// higher positions, i.e. toward the future — the primitive behind Parabix's
+// MatchStar, which computes the Kleene closure of a character class without
+// a loop. A final carry past Len() is dropped.
+func (s *Stream) Add(t *Stream) *Stream {
+	s.checkSameLen(t)
+	out := New(s.n)
+	AddWords(out.words, s.words, t.words)
+	out.maskTail()
+	return out
+}
+
+// AddWords computes dst = x + y over little-endian word vectors of equal
+// length, dropping the final carry.
+func AddWords(dst, x, y []uint64) {
+	var carry uint64
+	for i := range x {
+		sum := x[i] + y[i]
+		c1 := uint64(0)
+		if sum < x[i] {
+			c1 = 1
+		}
+		sum2 := sum + carry
+		if sum2 < sum {
+			c1 = 1
+		}
+		dst[i] = sum2
+		carry = c1
+	}
+}
+
+// MatchStar computes the Kleene-closure smear of marker ends through a
+// character class: given end-position markers M and class stream C, the
+// result marks every position p such that either p is in M, or some m in M
+// is followed by a run of class bytes covering m+1..p. This is the Parabix
+// MatchStar identity (conjugated to end-position markers), built from one
+// advance and one addition:
+//
+//	T = (M >> 1) & C
+//	result = ((((T + C) ^ C) | T) & C) | M
+//
+// The "| T" step refills the holes the addition leaves at non-lowest
+// markers sharing one class run.
+func MatchStar(m, c *Stream) *Stream {
+	t := m.Advance(1).And(c)
+	return t.Add(c).Xor(c).Or(t).And(c).Or(m)
+}
+
+// AdvanceWords shifts src k bit positions toward higher indices into dst
+// (dst and src must have equal length; dst may alias src only when k == 0).
+// Zeros fill the vacated low positions.
+func AdvanceWords(dst, src []uint64, k int) {
+	if k < 0 {
+		panic("bitstream: AdvanceWords with negative k")
+	}
+	wordOff, bitOff := k/WordBits, uint(k%WordBits)
+	n := len(src)
+	if bitOff == 0 {
+		for i := n - 1; i >= 0; i-- {
+			if j := i - wordOff; j >= 0 {
+				dst[i] = src[j]
+			} else {
+				dst[i] = 0
+			}
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		var w uint64
+		if j := i - wordOff; j >= 0 {
+			w = src[j] << bitOff
+			if j > 0 {
+				w |= src[j-1] >> (WordBits - bitOff)
+			}
+		}
+		dst[i] = w
+	}
+}
+
+// LookbackWords shifts src k bit positions toward lower indices into dst.
+// Zeros fill the vacated high positions.
+func LookbackWords(dst, src []uint64, k int) {
+	if k < 0 {
+		panic("bitstream: LookbackWords with negative k")
+	}
+	wordOff, bitOff := k/WordBits, uint(k%WordBits)
+	n := len(src)
+	if bitOff == 0 {
+		for i := 0; i < n; i++ {
+			if j := i + wordOff; j < n {
+				dst[i] = src[j]
+			} else {
+				dst[i] = 0
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		var w uint64
+		if j := i + wordOff; j < n {
+			w = src[j] >> bitOff
+			if j+1 < n {
+				w |= src[j+1] << (WordBits - bitOff)
+			}
+		}
+		dst[i] = w
+	}
+}
+
+// ShiftWords applies a signed paper-style shift over raw words: k > 0
+// advances, k < 0 looks back.
+func ShiftWords(dst, src []uint64, k int) {
+	if k >= 0 {
+		AdvanceWords(dst, src, k)
+	} else {
+		LookbackWords(dst, src, -k)
+	}
+}

@@ -1,0 +1,196 @@
+package charclass
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bitgen/internal/transpose"
+)
+
+func TestBasicSetOps(t *testing.T) {
+	cl := Single('a')
+	if !cl.Contains('a') || cl.Contains('b') {
+		t.Fatal("Single misbehaves")
+	}
+	if got := cl.Size(); got != 1 {
+		t.Fatalf("Size = %d", got)
+	}
+	r := Range('a', 'z')
+	if r.Size() != 26 || !r.Contains('m') || r.Contains('A') {
+		t.Fatal("Range misbehaves")
+	}
+	u := cl.Union(Single('b'))
+	if u.Size() != 2 {
+		t.Fatal("Union misbehaves")
+	}
+	i := r.Intersect(Range('m', 'p'))
+	if i.Size() != 4 {
+		t.Fatal("Intersect misbehaves")
+	}
+	n := r.Negate()
+	if n.Contains('a') || !n.Contains('A') || n.Size() != 230 {
+		t.Fatal("Negate misbehaves")
+	}
+}
+
+func TestDotExcludesNewline(t *testing.T) {
+	d := Dot()
+	if d.Contains('\n') {
+		t.Fatal("Dot contains newline")
+	}
+	if d.Size() != 255 {
+		t.Fatalf("Dot size = %d, want 255", d.Size())
+	}
+}
+
+func TestFoldCase(t *testing.T) {
+	f := Single('a').FoldCase()
+	if !f.Contains('A') || !f.Contains('a') || f.Size() != 2 {
+		t.Fatal("FoldCase misbehaves")
+	}
+	digits := Digit.FoldCase()
+	if !digits.Equal(Digit) {
+		t.Fatal("FoldCase changed a caseless class")
+	}
+}
+
+func TestNamedClasses(t *testing.T) {
+	if Digit.Size() != 10 {
+		t.Fatalf("Digit size = %d", Digit.Size())
+	}
+	if Word.Size() != 63 {
+		t.Fatalf("Word size = %d", Word.Size())
+	}
+	if !Word.Contains('_') || Word.Contains('-') {
+		t.Fatal("Word membership wrong")
+	}
+	if Space.Size() != 6 || !Space.Contains('\t') {
+		t.Fatal("Space membership wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := Single('a').String(); got != "[a]" {
+		t.Errorf("Single('a').String() = %q", got)
+	}
+	if got := Range('a', 'c').String(); got != "[a-c]" {
+		t.Errorf("Range.String() = %q", got)
+	}
+	if got := Empty().String(); got != "[]" {
+		t.Errorf("Empty.String() = %q", got)
+	}
+}
+
+func TestCompileSingleLetterShape(t *testing.T) {
+	// The paper's example: 'a' = 01100001 should compile to a conjunction
+	// touching all eight basis bits (7 ANDs after BDD folding).
+	e := Compile(Single('a'))
+	and, or, not := OpCount(e)
+	if and != 7 || or != 0 {
+		t.Errorf("Single('a') compiled to %d ands, %d ors (want 7, 0): %s", and, or, e)
+	}
+	if not == 0 {
+		t.Errorf("expected negated basis bits in %s", e)
+	}
+}
+
+func TestCompileRangeIsCompact(t *testing.T) {
+	// [a-z] must compile to far fewer ops than 26 byte tests (26*7=182).
+	e := Compile(Range('a', 'z'))
+	and, or, not := OpCount(e)
+	total := and + or + not
+	if total > 25 {
+		t.Errorf("[a-z] compiled to %d ops (%s), expected a compact decomposition", total, e)
+	}
+}
+
+func TestCompileConstants(t *testing.T) {
+	if _, ok := Compile(Empty()).(False); !ok {
+		t.Error("empty class must compile to False")
+	}
+	if _, ok := Compile(Any()).(True); !ok {
+		t.Error("universal class must compile to True")
+	}
+}
+
+// referenceMatch computes the match stream byte-at-a-time.
+func referenceMatch(cl Class, text []byte) []bool {
+	out := make([]bool, len(text))
+	for i, c := range text {
+		out[i] = cl.Contains(c)
+	}
+	return out
+}
+
+func checkClassOnText(t *testing.T, cl Class, text []byte) {
+	t.Helper()
+	basis := transpose.Transpose(text)
+	got := MatchStream(cl, basis)
+	want := referenceMatch(cl, text)
+	for i := range want {
+		if got.Test(i) != want[i] {
+			t.Fatalf("class %v text %q: position %d = %v, want %v",
+				cl, text, i, got.Test(i), want[i])
+		}
+	}
+}
+
+func TestMatchStreamAgainstReference(t *testing.T) {
+	text := []byte("Hello, World! 0123\n\tabcXYZ\x00\xff\x80")
+	for _, cl := range []Class{
+		Single('l'), Range('a', 'z'), Digit, Word, Space, Dot(),
+		Digit.Negate(), Range('A', 'Z').Union(Single('!')),
+	} {
+		checkClassOnText(t, cl, text)
+	}
+}
+
+func TestQuickRandomClasses(t *testing.T) {
+	f := func(seed int64, text []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var cl Class
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			lo := byte(rng.Intn(256))
+			hi := byte(min(255, int(lo)+rng.Intn(64)))
+			cl.AddRange(lo, hi)
+		}
+		if rng.Intn(3) == 0 {
+			cl = cl.Negate()
+		}
+		basis := transpose.Transpose(text)
+		got := MatchStream(cl, basis)
+		for i, c := range text {
+			if got.Test(i) != cl.Contains(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompileIsExactOverAllBytes(t *testing.T) {
+	// Evaluate the compiled expression on the text containing every byte
+	// value once: the compiled expression must agree with Contains exactly.
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	basis := transpose.Transpose(all)
+	f := func(w0, w1, w2, w3 uint64) bool {
+		cl := Class{bits: [4]uint64{w0, w1, w2, w3}}
+		got := MatchStream(cl, basis)
+		for i := 0; i < 256; i++ {
+			if got.Test(i) != cl.Contains(byte(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

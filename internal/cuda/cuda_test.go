@@ -1,0 +1,103 @@
+package cuda
+
+import (
+	"strings"
+	"testing"
+
+	"bitgen/internal/lower"
+	"bitgen/internal/passes"
+)
+
+func generate(t *testing.T, pattern string, optimize bool) string {
+	t.Helper()
+	p := lower.MustSingle("re", pattern)
+	if optimize {
+		passes.Rebalance(p, passes.RebalanceOptions{})
+		passes.MergeBarriers(p, passes.MergeOptions{MergeSize: 8})
+		passes.InsertGuards(p, passes.ZBSOptions{})
+	}
+	src, err := Options{}.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestGenerateBasicStructure(t *testing.T) {
+	src := generate(t, "a(bc)*d", false)
+	for _, want := range []string{
+		"__global__ void bitgen_kernel",
+		"extern __shared__",
+		"for (uint32_t blk",
+		"while (block_any(",
+		"__syncthreads();",
+		"atomicAdd(&match_counts[0]",
+		"basis[",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateBracesBalanced(t *testing.T) {
+	for _, pattern := range []string{"abc", "a(bc)*d", "x(y|z){2,4}w", "ab*c"} {
+		src := generate(t, pattern, true)
+		if o, c := strings.Count(src, "{"), strings.Count(src, "}"); o != c {
+			t.Errorf("%q: %d open vs %d close braces", pattern, o, c)
+		}
+	}
+}
+
+func TestMergedScheduleReducesSyncs(t *testing.T) {
+	plain := generate(t, "abcdefgh", false)
+	merged := generate(t, "abcdefgh", true)
+	if SyncCount(merged) >= SyncCount(plain) {
+		t.Errorf("merged source has %d syncs, plain %d", SyncCount(merged), SyncCount(plain))
+	}
+	if !strings.Contains(merged, "barrier group") {
+		t.Error("merged source does not mention barrier groups")
+	}
+}
+
+func TestGuardsEmitGotos(t *testing.T) {
+	src := generate(t, "abcdefgh|q", true)
+	if !strings.Contains(src, "goto skip_") {
+		t.Fatalf("no ZBS gotos in optimized source:\n%s", src)
+	}
+	// Every goto label referenced must be defined.
+	for _, line := range strings.Split(src, "\n") {
+		if idx := strings.Index(line, "goto "); idx >= 0 {
+			label := strings.TrimSuffix(strings.Fields(line[idx+5:])[0], ";")
+			if !strings.Contains(src, label+":;") {
+				t.Errorf("goto %s has no label", label)
+			}
+		}
+	}
+}
+
+func TestMatchStarEmitted(t *testing.T) {
+	src := generate(t, "ab*c", false)
+	if !strings.Contains(src, "match_star(") {
+		t.Fatalf("class star did not emit match_star:\n%s", src)
+	}
+}
+
+func TestCustomOptions(t *testing.T) {
+	p := lower.MustSingle("re", "ab")
+	src, err := Options{KernelName: "my_kernel", Threads: 128, UnitBits: 32}.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "my_kernel") || !strings.Contains(src, "#define T 128") {
+		t.Fatalf("options not honored:\n%s", src)
+	}
+}
+
+func TestGenerateRejectsInvalidProgram(t *testing.T) {
+	p := lower.MustSingle("re", "ab")
+	p.Outputs[0].Var = 9999
+	if _, err := (Options{}).Generate(p); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package cuda
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitgen/internal/lower"
+	"bitgen/internal/passes"
+)
+
+// TestGoldenKernel locks the generated source for the paper's running
+// example /a(bc)*d/ against a checked-in snapshot. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/cuda -run TestGoldenKernel
+func TestGoldenKernel(t *testing.T) {
+	p := lower.MustSingle("a(bc)*d", "a(bc)*d")
+	passes.Rebalance(p, passes.RebalanceOptions{})
+	passes.MergeBarriers(p, passes.MergeOptions{MergeSize: 8})
+	passes.InsertGuards(p, passes.ZBSOptions{})
+	src, err := Options{}.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "abcstar.cu")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(want) != src {
+		t.Fatalf("generated kernel drifted from %s; rerun with UPDATE_GOLDEN=1 if intentional.\n--- got ---\n%s",
+			golden, src)
+	}
+}

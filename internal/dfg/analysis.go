@@ -1,0 +1,172 @@
+// Package dfg performs the dataflow analyses of Sections 4-6: cumulative
+// shift-offset intervals and the overlap distance Δ (Section 4.2, including
+// per-loop dynamic growth rates), topological depths for Shift Rebalancing
+// (Section 5.2), and zero-path discovery for Zero Block Skipping
+// (Section 6).
+package dfg
+
+import (
+	"fmt"
+
+	"bitgen/internal/ir"
+)
+
+// Interval is a conservative range [Lo, Hi] of cumulative shift offsets δ:
+// computing bit j of a value may read input bits j-Hi .. j-Lo. Advances
+// (paper >>) push the interval up; lookbacks (paper <<) push it down.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Width returns Hi - Lo, the value's contribution to the overlap distance.
+func (iv Interval) Width() int { return iv.Hi - iv.Lo }
+
+func (iv Interval) union(other Interval) Interval {
+	if other.Lo < iv.Lo {
+		iv.Lo = other.Lo
+	}
+	if other.Hi > iv.Hi {
+		iv.Hi = other.Hi
+	}
+	return iv
+}
+
+func (iv Interval) shift(k int) Interval {
+	return Interval{iv.Lo + k, iv.Hi + k}
+}
+
+// Analysis holds the results of analyzing one program.
+type Analysis struct {
+	// VarInterval is the offset interval of each variable after one
+	// once-through execution of every loop body (the static component).
+	VarInterval []Interval
+	// StaticDelta is the paper's Δ without loop accumulation:
+	// max over paths of (max δ - min δ), i.e. Hi(max) - Lo(min) over all
+	// reachable values.
+	StaticDelta int
+	// StaticMaxAdvance and StaticMinOffset split StaticDelta into the
+	// left-extension (past data) and right-extension (future data)
+	// requirements: a window committing [s, e) must cover
+	// [s - StaticMaxAdvance, e - StaticMinOffset).
+	StaticMaxAdvance int // = max(0, max Hi)
+	StaticMinOffset  int // = min(0, min Lo)
+	// LoopGrowth maps each while statement to the additional overlap bits
+	// one extra iteration of its body can require (the paper's μ·k term).
+	// The interleaved executor accumulates these at runtime to form the
+	// dynamic Δ(n).
+	LoopGrowth map[*ir.While]int
+	// HasDynamic reports whether any loop has non-zero growth.
+	HasDynamic bool
+	// HasCarry reports whether the program contains Add or StarThru
+	// instructions, whose carry chains create data-dependent cross-block
+	// dependencies the executor must check at runtime.
+	HasCarry bool
+}
+
+// Analyze computes offset intervals and loop growth for a program.
+func Analyze(p *ir.Program) *Analysis {
+	return AnalyzeBody(p.Stmts, p.NumVars)
+}
+
+// AnalyzeBody analyzes a statement list in isolation: variables defined
+// outside the body are treated as sources with offset interval [0,0] —
+// exactly the situation of a fused segment whose inputs are materialized
+// streams in global memory.
+func AnalyzeBody(stmts []ir.Stmt, numVars int) *Analysis {
+	a := &Analysis{
+		VarInterval: make([]Interval, numVars),
+		LoopGrowth:  make(map[*ir.While]int),
+	}
+	env := make([]Interval, numVars)
+	a.runBody(stmts, env)
+	copy(a.VarInterval, env)
+	for _, iv := range env {
+		if iv.Hi > a.StaticMaxAdvance {
+			a.StaticMaxAdvance = iv.Hi
+		}
+		if iv.Lo < a.StaticMinOffset {
+			a.StaticMinOffset = iv.Lo
+		}
+	}
+	a.StaticDelta = a.StaticMaxAdvance - a.StaticMinOffset
+	for _, g := range a.LoopGrowth {
+		if g != 0 {
+			a.HasDynamic = true
+		}
+	}
+	return a
+}
+
+// runBody interprets a body abstractly, updating env in place.
+func (a *Analysis) runBody(body []ir.Stmt, env []Interval) {
+	for _, s := range body {
+		switch x := s.(type) {
+		case *ir.Assign:
+			switch x.Expr.(type) {
+			case ir.Add, ir.StarThru:
+				a.HasCarry = true
+			}
+			env[x.Dst] = exprInterval(x.Expr, env)
+		case *ir.If:
+			// Either branch may be taken: join the branch effect with the
+			// fall-through state.
+			branch := append([]Interval(nil), env...)
+			a.runBody(x.Body, branch)
+			for i := range env {
+				env[i] = env[i].union(branch[i])
+			}
+		case *ir.While:
+			// First once-through gives the static contribution; a second
+			// pass measures per-iteration growth.
+			first := append([]Interval(nil), env...)
+			a.runBody(x.Body, first)
+			for i := range env {
+				first[i] = first[i].union(env[i]) // zero-iteration path
+			}
+			second := append([]Interval(nil), first...)
+			a.runBody(x.Body, second)
+			growth := 0
+			for i := range second {
+				if d := second[i].Hi - first[i].Hi; d > growth {
+					growth = d
+				}
+				if d := first[i].Lo - second[i].Lo; d > growth {
+					growth = d
+				}
+			}
+			if prev, ok := a.LoopGrowth[x]; !ok || growth > prev {
+				a.LoopGrowth[x] = growth
+			}
+			copy(env, first)
+		case *ir.Guard:
+			// No dataflow effect.
+		default:
+			panic(fmt.Sprintf("dfg: unknown statement %T", s))
+		}
+	}
+}
+
+func exprInterval(e ir.Expr, env []Interval) Interval {
+	switch x := e.(type) {
+	case ir.Zero, ir.Ones, ir.MatchBasis:
+		return Interval{}
+	case ir.Copy:
+		return env[x.Src]
+	case ir.Not:
+		return env[x.Src]
+	case ir.Bin:
+		return env[x.X].union(env[x.Y])
+	case ir.Shift:
+		return env[x.Src].shift(x.K)
+	case ir.Add:
+		// Carries move toward the future by a data-dependent distance;
+		// the static component is the operand union (runtime checks
+		// handle boundary-crossing carry runs).
+		return env[x.X].union(env[x.Y])
+	case ir.StarThru:
+		// Statically the marker is read at j and j-1 and the class at j;
+		// the run-length-dependent reach backwards through C is dynamic.
+		return env[x.M].union(env[x.M].shift(1)).union(env[x.C])
+	}
+	panic(fmt.Sprintf("dfg: unknown expression %T", e))
+}

@@ -1,0 +1,89 @@
+package dfg
+
+import "bitgen/internal/ir"
+
+// ZeroPreservingUse reports whether expression e yields all-zero whenever
+// variable v (one of its operands) is all-zero. AND (either side), the
+// positive side of ANDNOT, SHIFT and COPY preserve zero; OR, XOR and NOT do
+// not (Section 6).
+func ZeroPreservingUse(e ir.Expr, v ir.VarID) bool {
+	switch x := e.(type) {
+	case ir.Copy:
+		return x.Src == v
+	case ir.Shift:
+		return x.Src == v
+	case ir.StarThru:
+		// No markers in, no matches out (the class operand does not
+		// preserve zero: MatchStar(M, 0) = M).
+		return x.M == v
+	case ir.Bin:
+		switch x.Op {
+		case ir.OpAnd:
+			return x.X == v || x.Y == v
+		case ir.OpAndNot:
+			return x.X == v
+		}
+	}
+	return false
+}
+
+// ZeroPath is a chain of assignments within one straight-line run such that
+// if Cond is all-zero, every assignment on the chain produces all-zero.
+type ZeroPath struct {
+	// Cond is the variable whose zeroness makes the chain dead.
+	Cond ir.VarID
+	// Head is the run index of the statement defining Cond, or -1 when
+	// Cond is defined before the run (e.g. a character-class stream).
+	Head int
+	// Stmts are the run indices of the on-path assignments, strictly
+	// increasing, all after Head.
+	Stmts []int
+}
+
+// ZeroPaths discovers maximal zero paths in a straight-line run of
+// assignments. Paths shorter than two on-path statements are discarded:
+// guarding a single instruction cannot pay for the branch.
+func ZeroPaths(run []*ir.Assign, numVars int) []ZeroPath {
+	// lastDef[v] = run index of the latest definition of v seen so far.
+	onPath := make([]bool, len(run))
+	var paths []ZeroPath
+	for head := 0; head < len(run); head++ {
+		if onPath[head] {
+			continue // already the interior of a longer path
+		}
+		chain := followChain(run, head)
+		if len(chain) < 2 {
+			continue
+		}
+		for _, idx := range chain {
+			onPath[idx] = true
+		}
+		paths = append(paths, ZeroPath{
+			Cond:  run[head].Dst,
+			Head:  head,
+			Stmts: chain,
+		})
+	}
+	return paths
+}
+
+// followChain greedily extends a zero path from the definition at run
+// index head: at each step it takes the next statement that consumes the
+// current value zero-preservingly (and whose result is therefore also
+// guaranteed zero), honoring redefinitions of the tracked variable.
+func followChain(run []*ir.Assign, head int) []int {
+	cur := run[head].Dst
+	var chain []int
+	for j := head + 1; j < len(run); j++ {
+		a := run[j]
+		if ZeroPreservingUse(a.Expr, cur) {
+			chain = append(chain, j)
+			cur = a.Dst
+			continue
+		}
+		if a.Dst == cur {
+			break // tracked value redefined by an unrelated computation
+		}
+	}
+	return chain
+}

@@ -1,0 +1,333 @@
+// Package engine orchestrates multi-CTA BitGen execution: it partitions
+// regexes into CTA groups balanced by total character length (Section 7),
+// lowers each group to a bitstream program, applies the configured
+// optimization passes, executes every group on the simulated GPU, and
+// aggregates counters into a modeled kernel time and throughput.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bitgen/internal/bitstream"
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/kernel"
+	"bitgen/internal/lower"
+	"bitgen/internal/passes"
+	"bitgen/internal/transpose"
+)
+
+// Config selects the device, launch geometry and optimization set.
+type Config struct {
+	// Device is the GPU profile for time modeling; zero-value means
+	// RTX 3090 (the paper's primary platform).
+	Device gpusim.Device
+	// Grid is the launch geometry; zero-value means the paper's default
+	// (256 CTAs, 512 threads, 32-bit units).
+	Grid gpusim.Grid
+	// Mode is the execution model (the Table 3 ablation ladder).
+	Mode kernel.Mode
+	// ShiftRebalancing enables the Section 5 pass.
+	ShiftRebalancing bool
+	// MergeSize caps barrier merging; 0 disables merging (each shift
+	// pays its own barrier pair). The effective value is clamped by the
+	// device's shared-memory capacity.
+	MergeSize int
+	// ZeroBlockSkipping enables Section 6 guards.
+	ZeroBlockSkipping bool
+	// IntervalSize is ZBS's guard spacing; 0 means 8.
+	IntervalSize int
+	// KeepOutputs retains full match streams in the result (tests and
+	// small inputs); otherwise only match counts are kept.
+	KeepOutputs bool
+	// TransposeShare scales the transpose kernel's charged traffic; the
+	// reduced-scale experiment methodology runs k% of the workload on a
+	// k%-scaled device, so it charges k% of the (once-per-input)
+	// transpose. Zero means 1 (full charge).
+	TransposeShare float64
+	// MaxWhileIterations caps global fixpoint loops (safety net).
+	MaxWhileIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Device.Name == "" {
+		c.Device = gpusim.RTX3090
+	}
+	if c.Grid == (gpusim.Grid{}) {
+		c.Grid = gpusim.DefaultGrid()
+	}
+	if c.IntervalSize == 0 {
+		c.IntervalSize = 8
+	}
+	return c
+}
+
+// BitGenDefault returns the full-optimization configuration (the paper's
+// "BitGen" scheme with default parameters: merge size 8, interval size 8).
+func BitGenDefault() Config {
+	return Config{
+		Mode:              kernel.ModeDTM,
+		ShiftRebalancing:  true,
+		MergeSize:         8,
+		ZeroBlockSkipping: true,
+		IntervalSize:      8,
+	}
+}
+
+// Group is one CTA's compiled workload.
+type Group struct {
+	// Program is the transformed bitstream program.
+	Program *ir.Program
+	// Names lists the regexes assigned to this group.
+	Names []string
+	// Chars is the total pattern character length (the balancing key).
+	Chars int
+}
+
+// Engine is a compiled multi-regex matcher.
+type Engine struct {
+	cfg    Config
+	groups []Group
+	// PassStats aggregates what the optimization passes did.
+	PassStats PassStats
+}
+
+// PassStats aggregates compile-time pass effects across groups.
+type PassStats struct {
+	Rewrites       int
+	MergedGroups   int
+	DedupedCopies  int
+	ZeroPaths      int
+	GuardsInserted int
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	// Outputs holds full match streams when Config.KeepOutputs is set.
+	Outputs map[string]*bitstream.Stream
+	// MatchCounts maps each regex to its number of match end positions.
+	MatchCounts map[string]int
+	// TotalMatches sums MatchCounts.
+	TotalMatches int64
+	// Stats holds the per-CTA counters of the launch.
+	Stats gpusim.KernelStats
+	// Time is the modeled kernel time breakdown.
+	Time gpusim.TimeBreakdown
+	// ThroughputMBs is input MB (1e6 bytes) per modeled second.
+	ThroughputMBs float64
+	// Fallbacks counts overlap-limit fallbacks across CTAs.
+	Fallbacks int
+	// IntermediateFootprintBytes is the device memory the run's
+	// materialized intermediate bitstreams would occupy across all CTAs.
+	IntermediateFootprintBytes int64
+	// ExceedsDeviceMemory flags configurations whose intermediates do not
+	// fit the device — Section 3.2's reason for excluding sequential
+	// execution from the paper's baseline comparison.
+	ExceedsDeviceMemory bool
+}
+
+// Compile lowers and optimizes a regex set under the configuration.
+func Compile(regexes []lower.Regex, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if len(regexes) == 0 {
+		return nil, fmt.Errorf("engine: no regexes")
+	}
+	e := &Engine{cfg: cfg}
+	for _, part := range partition(regexes, cfg.Grid.CTAs) {
+		prog, err := lower.Group(part.regexes, lower.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ShiftRebalancing {
+			r := passes.Rebalance(prog, passes.RebalanceOptions{})
+			e.PassStats.Rewrites += r.Rewrites
+		}
+		if cfg.MergeSize > 0 {
+			ms := clampMergeSize(cfg)
+			sched := passes.MergeBarriers(prog, passes.MergeOptions{MergeSize: ms})
+			e.PassStats.MergedGroups += len(sched.Groups)
+			e.PassStats.DedupedCopies += sched.DedupedCopies
+		}
+		if cfg.ZeroBlockSkipping {
+			z := passes.InsertGuards(prog, passes.ZBSOptions{Interval: cfg.IntervalSize})
+			e.PassStats.ZeroPaths += z.PathsFound
+			e.PassStats.GuardsInserted += z.GuardsInserted
+		}
+		if err := ir.Validate(prog); err != nil {
+			return nil, fmt.Errorf("engine: pass pipeline produced invalid program: %w", err)
+		}
+		names := make([]string, len(part.regexes))
+		for i, r := range part.regexes {
+			names[i] = r.Name
+		}
+		e.groups = append(e.groups, Group{Program: prog, Names: names, Chars: part.chars})
+	}
+	return e, nil
+}
+
+// clampMergeSize bounds the merge size by shared-memory capacity: each
+// merged stream needs one T×W-bit tile resident.
+func clampMergeSize(cfg Config) int {
+	tile := cfg.Grid.Threads * cfg.Grid.UnitBits / 8
+	maxStreams := cfg.Device.SharedMemPerCTA / tile
+	if maxStreams < 1 {
+		maxStreams = 1
+	}
+	if cfg.MergeSize > maxStreams {
+		return maxStreams
+	}
+	return cfg.MergeSize
+}
+
+// Groups exposes the compiled groups (experiments inspect them).
+func (e *Engine) Groups() []Group { return e.groups }
+
+type part struct {
+	regexes []lower.Regex
+	chars   int
+}
+
+// partition splits regexes into at most n groups with similar total
+// character length (greedy longest-processing-time bin packing).
+func partition(regexes []lower.Regex, n int) []part {
+	if n > len(regexes) {
+		n = len(regexes)
+	}
+	order := make([]int, len(regexes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(regexes[order[a]].Name) > len(regexes[order[b]].Name)
+	})
+	parts := make([]part, n)
+	for _, idx := range order {
+		best := 0
+		for g := 1; g < n; g++ {
+			if parts[g].chars < parts[best].chars {
+				best = g
+			}
+		}
+		parts[best].regexes = append(parts[best].regexes, regexes[idx])
+		parts[best].chars += len(regexes[idx].Name)
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		if len(p.regexes) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Run executes the compiled engine over an input and models its time.
+// Groups execute concurrently on host CPUs (the simulation is functional;
+// the modeled time comes from the counters, not the host clock).
+func (e *Engine) Run(input []byte) (*Result, error) {
+	basis := transpose.Transpose(input)
+	share := e.cfg.TransposeShare
+	if share == 0 {
+		share = 1
+	}
+	res := &Result{
+		MatchCounts: make(map[string]int),
+		Stats: gpusim.KernelStats{
+			PerCTA:         make([]gpusim.CTAStats, len(e.groups)),
+			InputBytes:     int64(len(input)),
+			TransposeBytes: int64(float64(basis.BytesMoved()) * share),
+		},
+	}
+	if e.cfg.KeepOutputs {
+		res.Outputs = make(map[string]*bitstream.Stream)
+	}
+	kcfg := kernel.Config{
+		Grid:               e.cfg.Grid,
+		Mode:               e.cfg.Mode,
+		HonorGuards:        e.cfg.ZeroBlockSkipping,
+		SharedInputCTAs:    len(e.groups),
+		MaxWhileIterations: e.cfg.MaxWhileIterations,
+	}
+	type groupOut struct {
+		run *kernel.RunResult
+		err error
+	}
+	outs := make([]groupOut, len(e.groups))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for gi := range e.groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run, err := kernel.Run(e.groups[gi].Program, basis, kcfg)
+			outs[gi] = groupOut{run, err}
+		}(gi)
+	}
+	wg.Wait()
+	for gi, out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("engine: group %d: %w", gi, out.err)
+		}
+		res.Stats.PerCTA[gi] = out.run.Stats
+		res.Fallbacks += out.run.FallbackSegments
+		for name, s := range out.run.Outputs {
+			n := s.Popcount()
+			res.MatchCounts[name] = n
+			res.TotalMatches += int64(n)
+			if e.cfg.KeepOutputs {
+				res.Outputs[name] = s
+			}
+		}
+	}
+	res.Time = gpusim.EstimateTime(e.cfg.Device, e.cfg.Grid, &res.Stats)
+	res.ThroughputMBs = gpusim.ThroughputMBs(res.Stats.InputBytes, res.Time.TotalSec)
+	for i := range res.Stats.PerCTA {
+		res.IntermediateFootprintBytes += gpusim.IntermediateFootprintBytes(
+			res.Stats.PerCTA[i].IntermediateStreams, int64(len(input)))
+	}
+	res.ExceedsDeviceMemory = float64(res.IntermediateFootprintBytes) > e.cfg.Device.MemoryGB*1e9
+	return res, nil
+}
+
+// MultiResult is the outcome of a MIMD multi-stream launch.
+type MultiResult struct {
+	// PerStream holds each input's result (match counts and outputs are
+	// per stream).
+	PerStream []*Result
+	// Time models the combined launch: every (group, stream) pair is one
+	// CTA, all resident concurrently (the paper's MIMD-style execution).
+	Time gpusim.TimeBreakdown
+	// ThroughputMBs is aggregate input volume per modeled second.
+	ThroughputMBs float64
+}
+
+// RunMulti scans several independent input streams in one modeled launch.
+// Each regex group is replicated per stream — the MISD model (one stream,
+// many programs) becomes MIMD (Section 3.1) — and the cost model sees the
+// full CTA population, so device utilization reflects the combined load.
+func (e *Engine) RunMulti(inputs [][]byte) (*MultiResult, error) {
+	out := &MultiResult{}
+	combined := gpusim.KernelStats{}
+	var total int64
+	for _, input := range inputs {
+		res, err := e.Run(input)
+		if err != nil {
+			return nil, err
+		}
+		out.PerStream = append(out.PerStream, res)
+		combined.PerCTA = append(combined.PerCTA, res.Stats.PerCTA...)
+		combined.TransposeBytes += res.Stats.TransposeBytes
+		total += res.Stats.InputBytes
+	}
+	combined.InputBytes = total
+	out.Time = gpusim.EstimateTime(e.cfg.Device, e.cfg.Grid, &combined)
+	out.ThroughputMBs = gpusim.ThroughputMBs(total, out.Time.TotalSec)
+	return out, nil
+}

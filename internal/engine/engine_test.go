@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/kernel"
+	"bitgen/internal/lower"
+	"bitgen/internal/rx"
+	"bitgen/internal/transpose"
+)
+
+func mustRegexes(t *testing.T, patterns ...string) []lower.Regex {
+	t.Helper()
+	out := make([]lower.Regex, len(patterns))
+	for i, p := range patterns {
+		out[i] = lower.Regex{Name: p, AST: rx.MustParse(p)}
+	}
+	return out
+}
+
+var smallGrid = gpusim.Grid{CTAs: 4, Threads: 8, UnitBits: 32, UnitsPerThread: 1}
+
+func TestCompileAndRunMatchesInterpreter(t *testing.T) {
+	regexes := mustRegexes(t, "cat", "dog(gy)?", "b[ir]rd", "fi(sh)+", "h[aeiou]mster")
+	cfg := BitGenDefault()
+	cfg.Grid = smallGrid
+	cfg.KeepOutputs = true
+	e, err := Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(strings.Repeat("cat doggy bird fishsh hamster hombre dog ", 25))
+	res, err := e.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: single interpreter over the whole set.
+	prog, err := lower.Group(regexes, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ir.Interpret(prog, transpose.Transpose(input), ir.InterpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regexes {
+		if !res.Outputs[r.Name].Equal(ref.Outputs[r.Name]) {
+			t.Errorf("%s diverges from interpreter", r.Name)
+		}
+		if res.MatchCounts[r.Name] != ref.Outputs[r.Name].Popcount() {
+			t.Errorf("%s count mismatch", r.Name)
+		}
+	}
+	if res.ThroughputMBs <= 0 {
+		t.Error("no throughput modeled")
+	}
+}
+
+func TestPartitionBalancesByLength(t *testing.T) {
+	var regexes []lower.Regex
+	for i := 0; i < 40; i++ {
+		pat := strings.Repeat("a", 5+i*3)
+		regexes = append(regexes, lower.Regex{Name: pat, AST: rx.MustParse(pat)})
+	}
+	parts := partition(regexes, 4)
+	if len(parts) != 4 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	minC, maxC := parts[0].chars, parts[0].chars
+	for _, p := range parts {
+		if p.chars < minC {
+			minC = p.chars
+		}
+		if p.chars > maxC {
+			maxC = p.chars
+		}
+	}
+	if float64(maxC) > 1.3*float64(minC) {
+		t.Errorf("imbalanced partition: min %d, max %d", minC, maxC)
+	}
+}
+
+func TestPartitionFewerRegexesThanCTAs(t *testing.T) {
+	regexes := mustRegexes(t, "aa", "bb")
+	parts := partition(regexes, 16)
+	if len(parts) != 2 {
+		t.Fatalf("%d parts, want 2", len(parts))
+	}
+}
+
+func TestAblationLadderConfigs(t *testing.T) {
+	// The five rows of Table 3 must all compile, run, and agree.
+	regexes := mustRegexes(t, "ab(cd)*e", "xy+z", "hello", "w[aeiou]rld.*end")
+	input := []byte(strings.Repeat("abcdcde xyyz hello world...end ", 30))
+	configs := map[string]Config{
+		"Base": {Mode: kernel.ModeBase},
+		"DTM-": {Mode: kernel.ModeDTMStatic},
+		"DTM":  {Mode: kernel.ModeDTM},
+		"SR":   {Mode: kernel.ModeDTM, ShiftRebalancing: true, MergeSize: 8},
+		"ZBS":  BitGenDefault(),
+	}
+	var wantCounts map[string]int
+	for name, cfg := range configs {
+		cfg.Grid = smallGrid
+		e, err := Compile(regexes, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := e.Run(input)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if wantCounts == nil {
+			wantCounts = res.MatchCounts
+			continue
+		}
+		for k, v := range wantCounts {
+			if res.MatchCounts[k] != v {
+				t.Errorf("%s: count for %q = %d, want %d", name, k, res.MatchCounts[k], v)
+			}
+		}
+	}
+}
+
+func TestOptimizationsImproveModeledTime(t *testing.T) {
+	// On a shift-heavy literal workload, the full pipeline must model
+	// faster than bare DTM (Figure 12's SR/ZBS gains).
+	var patterns []string
+	for i := 0; i < 12; i++ {
+		patterns = append(patterns, strings.Repeat(string(rune('a'+i)), 1)+"bcdefgh")
+	}
+	regexes := mustRegexes(t, patterns...)
+	input := []byte(strings.Repeat("the quick brown fox jumped over the lazy dog ", 60))
+	base := Config{Mode: kernel.ModeDTM, Grid: smallGrid}
+	full := BitGenDefault()
+	full.Grid = smallGrid
+	eBase, err := Compile(regexes, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eFull, err := Compile(regexes, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := eBase.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFull, err := eFull.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFull.Time.TotalSec >= rBase.Time.TotalSec {
+		t.Errorf("optimizations did not help: %.3gs vs %.3gs", rFull.Time.TotalSec, rBase.Time.TotalSec)
+	}
+	if eFull.PassStats.Rewrites == 0 && eFull.PassStats.MergedGroups == 0 {
+		t.Error("passes did nothing on a shift-heavy workload")
+	}
+}
+
+func TestMergeSizeClampedBySharedMemory(t *testing.T) {
+	cfg := Config{Device: gpusim.RTX3090, Grid: gpusim.DefaultGrid(), MergeSize: 1000}
+	ms := clampMergeSize(cfg.withDefaults())
+	tile := 512 * 32 / 8
+	if ms != gpusim.RTX3090.SharedMemPerCTA/tile {
+		t.Errorf("clamp = %d", ms)
+	}
+}
+
+func TestCompileRejectsEmpty(t *testing.T) {
+	if _, err := Compile(nil, BitGenDefault()); err == nil {
+		t.Fatal("empty regex set accepted")
+	}
+}
+
+func TestDeviceAffectsModeledTime(t *testing.T) {
+	regexes := mustRegexes(t, "abcdefgh", "ijklmnop")
+	input := []byte(strings.Repeat("abcdefgh ijklmnop qrstuvwx ", 40))
+	t3090 := runOn(t, regexes, input, gpusim.RTX3090)
+	tL40S := runOn(t, regexes, input, gpusim.L40S)
+	if tL40S >= t3090 {
+		t.Errorf("L40S (%.3g) not faster than 3090 (%.3g) on compute-bound work", tL40S, t3090)
+	}
+}
+
+func TestExplainReport(t *testing.T) {
+	regexes := mustRegexes(t, "abcdef", "g(hi)*j", "k[lm]n")
+	cfg := BitGenDefault()
+	cfg.Grid = smallGrid
+	e, err := Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Explain()
+	if len(rep.Groups) != len(e.Groups()) {
+		t.Fatalf("%d group reports for %d groups", len(rep.Groups), len(e.Groups()))
+	}
+	if rep.Totals.Shift == 0 || rep.Totals.And == 0 {
+		t.Fatalf("empty totals: %+v", rep.Totals)
+	}
+	dynamicSeen := false
+	for _, g := range rep.Groups {
+		if g.Regexes == 0 || g.Stats.Total() == 0 {
+			t.Errorf("group %d empty: %+v", g.Index, g)
+		}
+		if g.Dynamic {
+			dynamicSeen = true
+		}
+	}
+	if !dynamicSeen {
+		t.Error("g(hi)*j group not flagged dynamic")
+	}
+	text := rep.String()
+	for _, want := range []string{"CTA groups", "delta", "guards"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSequentialFootprintAtScaleExceedsMemory(t *testing.T) {
+	// Section 3.2: at the paper's scale, sequential execution's
+	// materialized intermediates exceed device memory. Verify the
+	// footprint arithmetic: our small run's footprint, extrapolated to
+	// 256 CTAs × 1 MB inputs × a paper-sized program, crosses 24 GB.
+	regexes := mustRegexes(t, "ab(cd)*e", "xy+z", "hello", "w[aeiou]rld")
+	cfg := Config{Mode: kernel.ModeSequential, Grid: smallGrid, KeepOutputs: false}
+	e, err := Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(strings.Repeat("hello world xyz abcdcde ", 50))
+	res, err := e.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntermediateFootprintBytes <= 0 {
+		t.Fatal("sequential run reported no intermediate footprint")
+	}
+	if res.ExceedsDeviceMemory {
+		t.Fatal("tiny run cannot exceed 24GB")
+	}
+	// Extrapolation: intermediates per CTA here × 256 CTAs × (1 MB / 8)
+	// bytes per stream, with a paper-sized program (~318 intermediates).
+	paperFootprint := int64(318) * 256 * (1_000_000 / 8)
+	if paperFootprint < 10e9 {
+		t.Fatalf("expected >10GB at paper scale, got %d", paperFootprint)
+	}
+	// DTM has no materialized intermediates at all.
+	cfgDTM := cfg
+	cfgDTM.Mode = kernel.ModeDTM
+	eDTM, err := Compile(regexes, cfgDTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDTM, err := eDTM.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDTM.IntermediateFootprintBytes != 0 {
+		t.Fatalf("DTM footprint = %d, want 0", resDTM.IntermediateFootprintBytes)
+	}
+}
+
+func TestRunMultiMIMD(t *testing.T) {
+	regexes := mustRegexes(t, "cat", "d[ou]g")
+	cfg := BitGenDefault()
+	cfg.Grid = smallGrid
+	e, err := Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		[]byte(strings.Repeat("cat dog ", 40)),
+		[]byte(strings.Repeat("dug cot ", 40)),
+		[]byte(strings.Repeat("no pets ", 40)),
+	}
+	multi, err := e.RunMulti(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.PerStream) != 3 {
+		t.Fatalf("%d streams", len(multi.PerStream))
+	}
+	if multi.PerStream[0].MatchCounts["cat"] != 40 || multi.PerStream[0].MatchCounts["d[ou]g"] != 40 {
+		t.Errorf("stream 0 counts = %v", multi.PerStream[0].MatchCounts)
+	}
+	if multi.PerStream[1].MatchCounts["cat"] != 0 || multi.PerStream[1].MatchCounts["d[ou]g"] != 40 {
+		t.Errorf("stream 1 counts = %v", multi.PerStream[1].MatchCounts)
+	}
+	if multi.PerStream[2].TotalMatches != 0 {
+		t.Errorf("stream 2 matched %d", multi.PerStream[2].TotalMatches)
+	}
+	// The combined launch must model at least one stream's time, and the
+	// aggregate throughput must exceed a single stream's (more resident
+	// CTAs amortize the device).
+	single, err := e.Run(inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Time.TotalSec < single.Time.TotalSec*0.99 {
+		t.Errorf("multi time %.3g below single-stream time %.3g", multi.Time.TotalSec, single.Time.TotalSec)
+	}
+	if multi.ThroughputMBs <= single.ThroughputMBs {
+		t.Errorf("MIMD aggregate throughput %.1f not above single %.1f",
+			multi.ThroughputMBs, single.ThroughputMBs)
+	}
+}
+
+func runOn(t *testing.T, regexes []lower.Regex, input []byte, d gpusim.Device) float64 {
+	t.Helper()
+	cfg := BitGenDefault()
+	cfg.Grid = smallGrid
+	cfg.Device = d
+	e, err := Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Time.TotalSec
+}

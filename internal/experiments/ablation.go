@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bitgen/internal/engine"
+	"bitgen/internal/kernel"
+)
+
+// AblationSchemes lists Table 3's rows in order.
+var AblationSchemes = []string{"Base", "DTM-", "DTM", "SR", "ZBS"}
+
+// ablationConfig returns the engine configuration of one Table 3 row.
+func ablationConfig(scheme string) (engine.Config, error) {
+	switch scheme {
+	case "Base":
+		return engine.Config{Mode: kernel.ModeBase}, nil
+	case "DTM-":
+		return engine.Config{Mode: kernel.ModeDTMStatic}, nil
+	case "DTM":
+		return engine.Config{Mode: kernel.ModeDTM}, nil
+	case "SR":
+		return engine.Config{Mode: kernel.ModeDTM, ShiftRebalancing: true, MergeSize: 8}, nil
+	case "ZBS":
+		return engine.BitGenDefault(), nil
+	}
+	return engine.Config{}, fmt.Errorf("experiments: unknown ablation scheme %q", scheme)
+}
+
+// AblationRow holds one application's modeled throughput per scheme, in
+// AblationSchemes order.
+type AblationRow struct {
+	App           string
+	ThroughputMBs []float64
+}
+
+// Normalized returns speedups over the Base column.
+func (r AblationRow) Normalized() []float64 {
+	out := make([]float64, len(r.ThroughputMBs))
+	base := r.ThroughputMBs[0]
+	for i, v := range r.ThroughputMBs {
+		if base > 0 {
+			out[i] = v / base
+		}
+	}
+	return out
+}
+
+// AblationResult is the regenerated Table 3 / Figure 12.
+type AblationResult struct {
+	Schemes []string
+	Rows    []AblationRow
+	// GmeanNormalized is the geometric-mean speedup over Base per scheme.
+	GmeanNormalized []float64
+}
+
+// Figure12Breakdown runs the ablation ladder on every application.
+func (s *Suite) Figure12Breakdown() (*AblationResult, error) {
+	out := &AblationResult{Schemes: AblationSchemes}
+	perScheme := make([][]float64, len(AblationSchemes))
+	for _, name := range s.opts.Apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{App: name}
+		for si, scheme := range AblationSchemes {
+			cfg, err := ablationConfig(scheme)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := s.runBitGen(app, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, scheme, err)
+			}
+			row.ThroughputMBs = append(row.ThroughputMBs, res.ThroughputMBs)
+			perScheme[si] = append(perScheme[si], res.ThroughputMBs)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	out.GmeanNormalized = make([]float64, len(AblationSchemes))
+	for si := range AblationSchemes {
+		var ratios []float64
+		for ai := range perScheme[si] {
+			if perScheme[0][ai] > 0 {
+				ratios = append(ratios, perScheme[si][ai]/perScheme[0][ai])
+			}
+		}
+		out.GmeanNormalized[si] = gmean(ratios)
+	}
+	return out, nil
+}
+
+// Render formats the normalized breakdown.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3 / Figure 12: speedup over Base as optimizations stack\n")
+	fmt.Fprintf(&b, "%-11s", "App")
+	for _, sch := range r.Schemes {
+		fmt.Fprintf(&b, " %8s", sch)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-11s", row.App)
+		for _, v := range row.Normalized() {
+			fmt.Fprintf(&b, " %7.2fx", v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-11s", "Gmean")
+	for _, v := range r.GmeanNormalized {
+		fmt.Fprintf(&b, " %7.2fx", v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV emits comma-separated rows of absolute throughput.
+func (r *AblationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("app")
+	for _, sch := range r.Schemes {
+		b.WriteString("," + strings.ToLower(strings.ReplaceAll(sch, "-", "minus")))
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		b.WriteString(row.App)
+		for _, v := range row.ThroughputMBs {
+			fmt.Fprintf(&b, ",%.2f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

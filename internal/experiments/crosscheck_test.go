@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"bitgen/internal/engine"
+	"bitgen/internal/hybrid"
+	"bitgen/internal/nfa"
+	"bitgen/internal/rx"
+)
+
+// TestThreeEnginesAgreeOnWorkloads is the strongest end-to-end check in
+// the repo: for real generated applications, the bitstream GPU engine, the
+// Glushkov-NFA simulator and the Aho-Corasick/NFA hybrid engine — three
+// unrelated matcher implementations — must produce identical per-regex
+// match counts.
+func TestThreeEnginesAgreeOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine integration")
+	}
+	s := NewSuite(Options{RegexScale: 0.01, InputBytes: 30_000})
+	for _, name := range []string{"Snort", "Dotstar", "Yara", "Protomata", "ClamAV"} {
+		app, err := s.App(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := engine.BitGenDefault()
+		eng, err := engine.Compile(app.Regexes, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bg, err := eng.Run(app.Input)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		names := make([]string, len(app.Regexes))
+		asts := make([]rx.Node, len(app.Regexes))
+		for i, r := range app.Regexes {
+			names[i] = r.Name
+			asts[i] = r.AST
+		}
+		n, err := nfa.Build(names, asts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		nfaRes := nfa.Simulate(n, app.Input)
+
+		heng, err := hybrid.Compile(names, asts, hybrid.Options{Threads: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hres := heng.Scan(app.Input)
+
+		for i, regexName := range names {
+			want := nfaRes.Outputs[i].Popcount()
+			if got := bg.MatchCounts[regexName]; got != want {
+				t.Errorf("%s: bitstream engine %d vs NFA %d for %q", name, got, want, regexName)
+			}
+			if got := hres.Outputs[regexName].Popcount(); got != want {
+				t.Errorf("%s: hybrid engine %d vs NFA %d for %q", name, got, want, regexName)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bitgen/internal/gpusim"
+)
+
+// CTACounts are the sweep points for the CTA-count sensitivity study
+// (Section 7 lists CTA count among BitGen's tunable kernel parameters;
+// the paper fixes 256 — this sweep quantifies the sensitivity).
+var CTACounts = []int{64, 128, 256, 512}
+
+// CTASweepRow is one application's throughput per CTA count.
+type CTASweepRow struct {
+	App string
+	// ThroughputMBs is indexed like CTACounts.
+	ThroughputMBs []float64
+}
+
+// CTASweepResult is the CTA-count sensitivity study.
+type CTASweepResult struct {
+	Counts []int
+	Rows   []CTASweepRow
+}
+
+// CTASweep sweeps the CTA count under the full configuration. More CTAs
+// mean smaller per-CTA regex groups: barrier chains shorten (good) but
+// per-CTA fixed costs and DRAM pressure replicate (bad) — the grouping
+// granularity trade-off behind the paper's choice of 256.
+func (s *Suite) CTASweep() (*CTASweepResult, error) {
+	out := &CTASweepResult{Counts: CTACounts}
+	for _, name := range s.opts.Apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		row := CTASweepRow{App: name}
+		for _, ctas := range CTACounts {
+			cfg := bitGenConfig()
+			grid := gpusim.DefaultGrid()
+			grid.CTAs = ctas
+			cfg.Grid = grid
+			res, _, err := s.runBitGen(app, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/cta%d: %w", name, ctas, err)
+			}
+			row.ThroughputMBs = append(row.ThroughputMBs, res.ThroughputMBs)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (r *CTASweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("CTA-count sensitivity (throughput MB/s; counts are pre-scaling)\n")
+	fmt.Fprintf(&b, "%-11s", "App")
+	for _, c := range r.Counts {
+		fmt.Fprintf(&b, " CTA=%-5d", c)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-11s", row.App)
+		for _, v := range row.ThroughputMBs {
+			fmt.Fprintf(&b, " %8.1f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV emits comma-separated rows.
+func (r *CTASweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("app")
+	for _, c := range r.Counts {
+		fmt.Fprintf(&b, ",cta%d", c)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		b.WriteString(row.App)
+		for _, v := range row.ThroughputMBs {
+			fmt.Fprintf(&b, ",%.2f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

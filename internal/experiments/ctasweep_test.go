@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestCTASweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four CTA counts")
+	}
+	s := NewSuite(Options{RegexScale: 0.02, InputBytes: 40_000, Apps: []string{"Snort"}})
+	res, err := s.CTASweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if len(row.ThroughputMBs) != len(CTACounts) {
+		t.Fatalf("%d points", len(row.ThroughputMBs))
+	}
+	for i, v := range row.ThroughputMBs {
+		if v <= 0 {
+			t.Errorf("CTA=%d: throughput %v", CTACounts[i], v)
+		}
+	}
+}

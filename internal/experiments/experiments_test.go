@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinySuite keeps experiment tests fast: few regexes, small input.
+func tinySuite() *Suite {
+	return NewSuite(Options{
+		RegexScale: 0.01,
+		InputBytes: 40_000,
+		HSThreads:  2,
+	})
+}
+
+// twoAppSuite restricts to two contrasting applications.
+func twoAppSuite(apps ...string) *Suite {
+	return NewSuite(Options{
+		RegexScale: 0.01,
+		InputBytes: 40_000,
+		HSThreads:  2,
+		Apps:       apps,
+	})
+}
+
+func TestTable1(t *testing.T) {
+	s := tinySuite()
+	res, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byApp := map[string]Table1Row{}
+	for _, row := range res.Rows {
+		byApp[row.App] = row
+		if row.And == 0 || row.Shift == 0 {
+			t.Errorf("%s: empty instruction mix %+v", row.App, row)
+		}
+	}
+	// Qualitative Table 1 shapes.
+	if byApp["Yara"].While > byApp["Brill"].While {
+		t.Error("Yara should have far fewer whiles than Brill")
+	}
+	if byApp["ClamAV"].AvgLen < byApp["Yara"].AvgLen {
+		t.Error("ClamAV patterns should be much longer than Yara's")
+	}
+	text := res.Render()
+	for _, want := range []string{"Brill", "while", "ClamAV"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if !strings.Contains(res.CSV(), "app,num_regex") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestOverallSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all five schemes")
+	}
+	s := twoAppSuite("ExactMatch", "Dotstar")
+	res, err := s.Table2Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.BitGen <= 0 || row.HS1T <= 0 || row.NgAP <= 0 || row.ICGrep <= 0 {
+			t.Errorf("%s: non-positive throughput %+v", row.App, row)
+		}
+		// The headline result: BitGen beats ngAP and icgrep.
+		if row.BitGen <= row.NgAP {
+			t.Errorf("%s: BitGen (%.1f) not above ngAP (%.1f)", row.App, row.BitGen, row.NgAP)
+		}
+		if row.BitGen <= row.ICGrep {
+			t.Errorf("%s: BitGen (%.1f) not above icgrep (%.1f)", row.App, row.BitGen, row.ICGrep)
+		}
+	}
+	if res.GmeanNgAP <= 1 {
+		t.Errorf("gmean speedup over ngAP = %.2f", res.GmeanNgAP)
+	}
+	if !strings.Contains(res.Render(), "Gmean") {
+		t.Error("render missing gmean")
+	}
+}
+
+func TestAblationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full ablation ladder")
+	}
+	// The Base-vs-DTM trade needs enough CTAs for aggregate DRAM traffic
+	// to matter (the paper runs 256 CTAs over 1 MB); use a larger scale
+	// than the other smoke tests.
+	s := NewSuite(Options{RegexScale: 0.06, InputBytes: 150_000, HSThreads: 2,
+		Apps: []string{"Yara", "Snort"}})
+	res, err := s.Figure12Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		norm := row.Normalized()
+		if norm[0] != 1.0 {
+			t.Errorf("%s: Base not normalized to 1", row.App)
+		}
+		// DTM must beat Base (the paper's core claim).
+		if norm[2] <= norm[0] {
+			t.Errorf("%s: DTM (%.2f) not above Base", row.App, norm[2])
+		}
+	}
+	// Gmean ladder: the full stack should be the best or near-best.
+	last := res.GmeanNormalized[len(res.GmeanNormalized)-1]
+	if last <= 1 {
+		t.Errorf("full stack gmean = %.2f", last)
+	}
+}
+
+func TestMemoryTableSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three fusion levels")
+	}
+	s := twoAppSuite("Snort")
+	res, err := s.Table4Memory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	base, dtmMinus, dtm := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !(base.Loops > dtmMinus.Loops && dtmMinus.Loops > dtm.Loops) {
+		t.Errorf("loop ladder broken: %.1f, %.1f, %.1f", base.Loops, dtmMinus.Loops, dtm.Loops)
+	}
+	if dtm.Loops != 1 {
+		t.Errorf("DTM loops = %.1f", dtm.Loops)
+	}
+	if dtm.IntermediateStreams != 0 {
+		t.Errorf("DTM intermediates = %.1f", dtm.IntermediateStreams)
+	}
+	if dtm.DRAMReadMB+dtm.DRAMWrittenMB >= base.DRAMReadMB+base.DRAMWrittenMB {
+		t.Error("DTM DRAM traffic not below Base")
+	}
+}
+
+func TestRecomputeTableSmall(t *testing.T) {
+	s := twoAppSuite("Dotstar", "ExactMatch")
+	res, err := s.Table5Recompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Iterations <= 0 {
+			t.Errorf("%s: no iterations recorded", row.App)
+		}
+		if row.AvgStatic < 0 || row.RecomputePct < 0 {
+			t.Errorf("%s: negative stats %+v", row.App, row)
+		}
+	}
+}
+
+func TestMergeSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four merge sizes")
+	}
+	s := twoAppSuite("ExactMatch")
+	res, err := s.Figure13MergeSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// #Sync must fall as merge size grows (Table 6's trend).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].SyncPerCTA > res.Rows[i-1].SyncPerCTA {
+			t.Errorf("sync count rose at merge size %d: %.1f > %.1f",
+				res.Rows[i].MergeSize, res.Rows[i].SyncPerCTA, res.Rows[i-1].SyncPerCTA)
+		}
+	}
+	if res.Rows[0].SMemKB >= res.Rows[3].SMemKB {
+		t.Error("smem footprint should grow with merge size")
+	}
+}
+
+func TestIntervalSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four interval sizes")
+	}
+	s := twoAppSuite("Dotstar")
+	res, err := s.Figure14Interval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if len(row.Normalized) != 4 {
+			t.Fatalf("%s: %d points", row.App, len(row.Normalized))
+		}
+		if row.Normalized[0] != 1.0 {
+			t.Errorf("%s: I=1 not normalized", row.App)
+		}
+	}
+}
+
+func TestPortabilitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three devices")
+	}
+	s := twoAppSuite("ExactMatch", "Snort")
+	res, err := s.Figure15Portability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BitGen must gain more from better devices than ngAP (compute-bound
+	// vs latency-bound): on H100 ngAP is nearly flat (Figure 15).
+	bgL40S := res.GmeanBitGen["L40S"]
+	ngH100 := res.GmeanNgAP["H100 NVL"]
+	bgH100 := res.GmeanBitGen["H100 NVL"]
+	if bgL40S <= 1.0 {
+		t.Errorf("BitGen L40S gmean = %.2f, want > 1", bgL40S)
+	}
+	if ngH100 > 1.25 {
+		t.Errorf("ngAP H100 gmean = %.2f, want near-flat", ngH100)
+	}
+	if bgH100 <= ngH100 {
+		t.Errorf("BitGen H100 scaling (%.2f) not above ngAP (%.2f)", bgH100, ngH100)
+	}
+	if res.GmeanBitGen["RTX 3090"] != 1.0 {
+		t.Errorf("3090 not normalized: %.3f", res.GmeanBitGen["RTX 3090"])
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestAblationExtrasSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four schemes")
+	}
+	s := NewSuite(Options{RegexScale: 0.05, InputBytes: 100_000, Apps: []string{"ExactMatch"}})
+	res, err := s.AblationExtras()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	// rewrite-only adds shifts without merging: barrier count must not
+	// drop below plain DTM; rewrite+merge must beat everything on sync.
+	full := row.ShiftBarriersPerCTA[3]
+	if full >= row.ShiftBarriersPerCTA[0] {
+		t.Errorf("rewrite+merge barriers %.0f not below DTM %.0f", full, row.ShiftBarriersPerCTA[0])
+	}
+	if full >= row.ShiftBarriersPerCTA[1] {
+		t.Errorf("rewrite+merge barriers %.0f not below rewrite-only %.0f", full, row.ShiftBarriersPerCTA[1])
+	}
+	if row.ThroughputMBs[3] <= row.ThroughputMBs[0] {
+		t.Errorf("full pipeline %.1f not above DTM %.1f", row.ThroughputMBs[3], row.ThroughputMBs[0])
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bitgen/internal/engine"
+	"bitgen/internal/kernel"
+)
+
+// MemoryRow is one scheme's average-per-CTA profile (Table 4).
+type MemoryRow struct {
+	Scheme              string
+	Loops               float64
+	IntermediateStreams float64
+	DRAMReadMB          float64
+	DRAMWrittenMB       float64
+}
+
+// MemoryResult is the regenerated Table 4.
+type MemoryResult struct {
+	Rows []MemoryRow
+}
+
+// table4Schemes are Table 4's rows.
+var table4Schemes = []struct {
+	name string
+	mode kernel.Mode
+}{
+	{"Base", kernel.ModeBase},
+	{"DTM-", kernel.ModeDTMStatic},
+	{"DTM", kernel.ModeDTM},
+}
+
+// Table4Memory profiles fusion levels, averaged per CTA across all
+// applications (the paper reports the same average).
+func (s *Suite) Table4Memory() (*MemoryResult, error) {
+	out := &MemoryResult{}
+	for _, scheme := range table4Schemes {
+		row := MemoryRow{Scheme: scheme.name}
+		ctas := 0
+		for _, name := range s.opts.Apps {
+			app, err := s.App(name)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := s.runBitGen(app, engine.Config{Mode: scheme.mode})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, scheme.name, err)
+			}
+			for _, c := range res.Stats.PerCTA {
+				row.Loops += float64(c.Loops)
+				row.IntermediateStreams += float64(c.IntermediateStreams)
+				row.DRAMReadMB += float64(c.DRAMReadBytes) / 1e6
+				row.DRAMWrittenMB += float64(c.DRAMWriteBytes) / 1e6
+				ctas++
+			}
+		}
+		if ctas > 0 {
+			row.Loops /= float64(ctas)
+			row.IntermediateStreams /= float64(ctas)
+			row.DRAMReadMB /= float64(ctas)
+			row.DRAMWrittenMB /= float64(ctas)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the table.
+func (r *MemoryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4: fusion level profile, average per CTA\n")
+	fmt.Fprintf(&b, "%-8s %8s %14s %12s %12s\n",
+		"Scheme", "#Loop", "#Intermediate", "DRAM Rd(MB)", "DRAM Wr(MB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %8.1f %14.1f %12.3f %12.3f\n",
+			row.Scheme, row.Loops, row.IntermediateStreams, row.DRAMReadMB, row.DRAMWrittenMB)
+	}
+	return b.String()
+}
+
+// CSV emits comma-separated rows.
+func (r *MemoryResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("scheme,loops,intermediates,dram_read_mb,dram_write_mb\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.2f,%.2f,%.4f,%.4f\n",
+			row.Scheme, row.Loops, row.IntermediateStreams, row.DRAMReadMB, row.DRAMWrittenMB)
+	}
+	return b.String()
+}

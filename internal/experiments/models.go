@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math"
+
+	"bitgen/internal/ir"
+	"bitgen/internal/transpose"
+)
+
+// CPU model for the icgrep analog: single-core SIMD bitstream execution on
+// the paper's Xeon Platinum 8562Y+. One core sustains a fraction of the
+// 512-bit integer pipelines on streaming bitwise kernels; the whole-stream
+// working set spills to memory between instructions (the same poor-reuse
+// property the paper attributes to sequential execution).
+const (
+	// cpuOpsPerSec is achieved 32-bit ops/second for one core running
+	// bitstream loops (AVX-512: 16 lanes × 2 ports × ~3.4 GHz × ~35%
+	// achieved).
+	cpuOpsPerSec = 38e9
+	// cpuStreamBytesPerSec is achieved single-core memory bandwidth for
+	// the materialized intermediate streams.
+	cpuStreamBytesPerSec = 18e9
+)
+
+// hsSIMDFactor maps the repo's interpreted Go hybrid engine to real
+// Hyperscan's hand-tuned AVX-512 implementation (Teddy literal matching,
+// SIMD NFA states): a fixed, documented multiplier applied to measured
+// wall-clock throughput. Calibrated on the pure-literal workloads, where
+// both engines do the same logical work (ExactMatch: our Aho-Corasick scan
+// vs Hyperscan's ~3.3 GB/s in Table 2).
+const hsSIMDFactor = 12.0
+
+// hsNFAFactor is the smaller advantage real Hyperscan's SIMD Glushkov-NFA
+// states hold over our bitset simulation on the general (unfilterable)
+// path.
+const hsNFAFactor = 3.0
+
+// interpStats summarizes one whole-stream interpretation.
+type interpStats struct {
+	instructions int64
+	bytesTouched int64
+}
+
+// interpretForStats runs the reference interpreter, returning its dynamic
+// cost counters.
+func interpretForStats(p *ir.Program, input []byte) (*transpose.Basis, interpStats, error) {
+	basis := transpose.Transpose(input)
+	res, err := ir.Interpret(p, basis, ir.InterpOptions{})
+	if err != nil {
+		return nil, interpStats{}, err
+	}
+	return basis, interpStats{
+		instructions: res.Stats.Instructions,
+		bytesTouched: res.Stats.StreamBytesTouched,
+	}, nil
+}
+
+// cpuBitstreamTime models icgrep's execution time from interpreter
+// counters: compute and memory streaming overlap imperfectly, so the time
+// is their maximum plus a 20% serialization tax.
+func cpuBitstreamTime(st interpStats, inputBytes int) float64 {
+	unitOps := float64(st.instructions) * float64(inputBytes) / 32.0
+	compute := unitOps / cpuOpsPerSec
+	mem := float64(st.bytesTouched) / cpuStreamBytesPerSec
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t * 1.2
+}
+
+func logOf(v float64) float64 { return math.Log(v) }
+func expOf(v float64) float64 { return math.Exp(v) }

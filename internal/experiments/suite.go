@@ -1,0 +1,280 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 8) on the simulated substrate: Table 1 (workload
+// statistics), Figure 11 / Table 2 (overall throughput vs baselines),
+// Table 3 / Figure 12 (optimization ablation), Table 4 (memory/DRAM under
+// DTM), Table 5 (recompute overhead), Table 6 / Figure 13 (merge-size
+// sweep), Figure 14 (interval-size sweep) and Figure 15 (portability).
+//
+// Numbers are model-derived (see DESIGN.md); EXPERIMENTS.md records the
+// paper-vs-measured comparison for each artifact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bitgen/internal/engine"
+	"bitgen/internal/gpusim"
+	"bitgen/internal/hybrid"
+	"bitgen/internal/lower"
+	"bitgen/internal/nfa"
+	"bitgen/internal/rx"
+	"bitgen/internal/workload"
+)
+
+// Options scale the experiment suite.
+type Options struct {
+	// RegexScale is the fraction of each application's paper regex count
+	// to generate; zero means 0.05.
+	RegexScale float64
+	// InputBytes is the input size; zero means 1_000_000 (the paper's
+	// 10^6-byte inputs).
+	InputBytes int
+	// Apps restricts the applications; empty means all ten.
+	Apps []string
+	// Seed perturbs workload generation.
+	Seed int64
+	// HSThreads is the HS-MT goroutine count; zero means 8.
+	HSThreads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RegexScale == 0 {
+		o.RegexScale = 0.05
+	}
+	if o.InputBytes == 0 {
+		o.InputBytes = 1_000_000
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = workload.Names()
+	}
+	if o.HSThreads == 0 {
+		o.HSThreads = 8
+	}
+	return o
+}
+
+// Suite caches generated applications and compiled artifacts across
+// experiments.
+type Suite struct {
+	opts Options
+	apps map[string]*workload.App
+}
+
+// NewSuite prepares a suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts.withDefaults(), apps: make(map[string]*workload.App)}
+}
+
+// Opts returns the effective options.
+func (s *Suite) Opts() Options { return s.opts }
+
+// App loads (and caches) one application.
+func (s *Suite) App(name string) (*workload.App, error) {
+	if app, ok := s.apps[name]; ok {
+		return app, nil
+	}
+	app, err := workload.Load(name, workload.Options{
+		RegexScale: s.opts.RegexScale,
+		InputBytes: s.opts.InputBytes,
+		Seed:       s.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.apps[name] = app
+	return app, nil
+}
+
+// runBitGen compiles and runs one application under a configuration,
+// returning the engine result. The CTA count scales with the regex scale
+// so each CTA carries a paper-sized group: the paper distributes e.g.
+// Yara's 3,358 regexes over 256 CTAs (~13 per group); at 5% scale we use
+// ~13 CTAs to keep the same per-CTA program size, which is what the
+// barrier/compute balance depends on.
+func (s *Suite) runBitGen(app *workload.App, cfg engine.Config) (*engine.Result, *engine.Engine, error) {
+	cfg.Grid = s.gridFor(app, cfg.Grid)
+	if cfg.Device.Name == "" {
+		cfg.Device = gpusim.RTX3090
+	}
+	cfg.Device = scaleDevice(cfg.Device, s.opts.RegexScale)
+	if s.opts.RegexScale < 1 {
+		cfg.TransposeShare = s.opts.RegexScale
+	}
+	e, err := engine.Compile(app.Regexes, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: compile: %w", app.Name, err)
+	}
+	res, err := e.Run(app.Input)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: run: %w", app.Name, err)
+	}
+	return res, e, nil
+}
+
+// scaleDevice shrinks a device profile proportionally to the regex scale:
+// running a 5% workload on 5% of the SMs and 5% of the DRAM bandwidth
+// reproduces the full-scale contention regime (aggregate-DRAM-bound Base
+// vs barrier/compute-bound DTM) that the paper's 256-CTA launches exhibit.
+// Per-SM throughput, shared memory, clocks and barrier costs are
+// unchanged, so per-CTA behavior and cross-device ratios are preserved.
+func scaleDevice(d gpusim.Device, scale float64) gpusim.Device {
+	if scale >= 1 {
+		return d
+	}
+	d.TIOPS *= scale
+	d.BandwidthGBs *= scale
+	sms := int(float64(d.SMs)*scale + 0.5)
+	if sms < 1 {
+		sms = 1
+	}
+	d.SMs = sms
+	return d
+}
+
+// gridFor scales a launch geometry to the application's generated regex
+// count (see runBitGen).
+func (s *Suite) gridFor(app *workload.App, grid gpusim.Grid) gpusim.Grid {
+	if grid == (gpusim.Grid{}) {
+		grid = gpusim.DefaultGrid()
+	}
+	scaledCTAs := int(float64(grid.CTAs)*s.opts.RegexScale + 0.5)
+	if scaledCTAs < 1 {
+		scaledCTAs = 1
+	}
+	if scaledCTAs < grid.CTAs {
+		grid.CTAs = scaledCTAs
+	}
+	if grid.CTAs > len(app.Regexes) {
+		grid.CTAs = len(app.Regexes)
+	}
+	return grid
+}
+
+// bitGenConfig returns the full-optimization configuration.
+func bitGenConfig() engine.Config { return engine.BitGenDefault() }
+
+// runNgAP simulates the NFA engine for an application and models its time
+// on a device.
+func (s *Suite) runNgAP(app *workload.App, device gpusim.Device) (float64, nfa.SimStats, error) {
+	asts := make([]rx.Node, len(app.Regexes))
+	names := make([]string, len(app.Regexes))
+	for i, r := range app.Regexes {
+		asts[i] = r.AST
+		names[i] = r.Name
+	}
+	n, err := nfa.Build(names, asts)
+	if err != nil {
+		return 0, nfa.SimStats{}, err
+	}
+	sim := nfa.Simulate(n, app.Input)
+	model := nfa.DefaultNgAPModel()
+	return model.ThroughputMBsScaled(device, sim.Stats, s.worklistScale(app)), sim.Stats, nil
+}
+
+// worklistScale extrapolates the simulated regex subset to the paper's
+// full set size for ngAP's parallelism term: worklist occupancy grows with
+// the number of concurrently-matched patterns.
+func (s *Suite) worklistScale(app *workload.App) float64 {
+	paper, err := workload.PaperRegexCount(app.Name)
+	if err != nil || len(app.Regexes) == 0 {
+		return 1
+	}
+	return float64(paper) / float64(len(app.Regexes))
+}
+
+// runHyperscan measures the hybrid engine's wall-clock throughput. For the
+// multi-threaded configuration it sweeps thread counts up to the requested
+// maximum and reports the best, as the paper does for HS-MT ("we sweep the
+// number of threads and report the best-performing configuration").
+func (s *Suite) runHyperscan(app *workload.App, threads int) (float64, hybrid.Stats, error) {
+	asts := make([]rx.Node, len(app.Regexes))
+	names := make([]string, len(app.Regexes))
+	for i, r := range app.Regexes {
+		asts[i] = r.AST
+		names[i] = r.Name
+	}
+	sweep := []int{threads}
+	if threads > 1 {
+		sweep = nil
+		for t := 1; t <= threads; t *= 2 {
+			sweep = append(sweep, t)
+		}
+	}
+	var best float64
+	var bestStats hybrid.Stats
+	for _, t := range sweep {
+		eng, err := hybrid.Compile(names, asts, hybrid.Options{Threads: t})
+		if err != nil {
+			return 0, hybrid.Stats{}, err
+		}
+		// Warm-up, then best-of-two timed runs: wall-clock measurements
+		// on a shared host are noisy, and the fastest observed run is the
+		// least-perturbed estimate of steady state.
+		eng.Scan(app.Input)
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			res := eng.Scan(app.Input)
+			elapsed := time.Since(start).Seconds()
+			thpt := gpusim.ThroughputMBs(int64(len(app.Input)), elapsed) * hsCalibration(res.Stats)
+			if thpt > best {
+				best = thpt
+				bestStats = res.Stats
+			}
+		}
+	}
+	return best, bestStats, nil
+}
+
+// hsCalibration interpolates the Go-to-Hyperscan SIMD factor by workload
+// mix: the literal path (Teddy) gains the full factor, the general NFA
+// path a much smaller one.
+func hsCalibration(st hybrid.Stats) float64 {
+	total := st.ExactRegexes + st.PrefilteredRegexes + st.GeneralRegexes
+	if total == 0 {
+		return hsSIMDFactor
+	}
+	generalShare := float64(st.GeneralRegexes) / float64(total)
+	return hsSIMDFactor*(1-generalShare) + hsNFAFactor*generalShare
+}
+
+// runICGrep models the CPU bitstream engine: the whole-stream sequential
+// execution of the same programs BitGen runs, on a single-core SIMD model.
+func (s *Suite) runICGrep(app *workload.App) (float64, error) {
+	prog, err := lower.Group(app.Regexes, lower.Options{})
+	if err != nil {
+		return 0, err
+	}
+	_, stats, err := interpretForStats(prog, app.Input)
+	if err != nil {
+		return 0, err
+	}
+	t := cpuBitstreamTime(stats, len(app.Input))
+	return gpusim.ThroughputMBs(int64(len(app.Input)), t), nil
+}
+
+// gmean computes a geometric mean of positive values.
+func gmean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return 0
+		}
+		logSum += logOf(v)
+	}
+	return expOf(logSum / float64(len(values)))
+}
+
+// sortedKeys returns a map's keys in sorted order (stable rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

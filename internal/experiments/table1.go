@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bitgen/internal/ir"
+	"bitgen/internal/lower"
+)
+
+// Table1Row is one application's workload statistics (the columns of
+// Table 1, plus the MatchStar count our lowering adds).
+type Table1Row struct {
+	App                              string
+	NumRegex                         int
+	AvgLen, SDLen                    float64
+	And, Or, Not, Shift, Star, While int
+}
+
+// Table1Result is the regenerated Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+	// Scale echoes the regex-count scale the suite ran at, for comparison
+	// against the paper's absolute counts.
+	Scale float64
+}
+
+// Table1 regenerates the workload-statistics table.
+func (s *Suite) Table1() (*Table1Result, error) {
+	out := &Table1Result{Scale: s.opts.RegexScale}
+	for _, name := range s.opts.Apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{App: name, NumRegex: len(app.Patterns)}
+		total := 0.0
+		for _, p := range app.Patterns {
+			total += float64(len(p))
+		}
+		row.AvgLen = total / float64(len(app.Patterns))
+		varSum := 0.0
+		for _, p := range app.Patterns {
+			d := float64(len(p)) - row.AvgLen
+			varSum += d * d
+		}
+		row.SDLen = math.Sqrt(varSum / float64(len(app.Patterns)))
+		prog, err := lower.Group(app.Regexes, lower.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		st := ir.CollectStats(prog)
+		row.And, row.Or, row.Not = st.And, st.Or, st.Not
+		row.Shift, row.Star, row.While = st.Shift, st.Star, st.While
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the table.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: workload statistics (regex scale %.3f of paper counts)\n", r.Scale)
+	fmt.Fprintf(&b, "%-11s %7s %7s %7s %8s %7s %7s %7s %6s %6s\n",
+		"App", "#Regex", "AvgLen", "SDLen", "and", "or", "not", "shift", "star", "while")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-11s %7d %7.1f %7.1f %8d %7d %7d %7d %6d %6d\n",
+			row.App, row.NumRegex, row.AvgLen, row.SDLen,
+			row.And, row.Or, row.Not, row.Shift, row.Star, row.While)
+	}
+	return b.String()
+}
+
+// CSV emits comma-separated rows.
+func (r *Table1Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("app,num_regex,avg_len,sd_len,and,or,not,shift,star,while\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.2f,%.2f,%d,%d,%d,%d,%d,%d\n",
+			row.App, row.NumRegex, row.AvgLen, row.SDLen,
+			row.And, row.Or, row.Not, row.Shift, row.Star, row.While)
+	}
+	return b.String()
+}

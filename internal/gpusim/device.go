@@ -1,0 +1,139 @@
+// Package gpusim models the GPU execution substrate the paper's kernels run
+// on. Go has no practical CUDA path, so the repo substitutes a functional
+// simulator: the kernel executors (package kernel) compute real bitstreams
+// window-by-window exactly as the generated CUDA would, while this package
+// supplies the device profiles, the event counters a profiler would report
+// (DRAM traffic, shared-memory traffic, barriers, thread-ops), and an
+// analytic cost model that converts counters into estimated kernel time.
+//
+// Absolute times are model-derived, not silicon-measured; the experiments
+// (EXPERIMENTS.md) compare *shapes* — speedup ratios, trends across
+// parameters and devices — against the paper, which is what the counters
+// determine.
+package gpusim
+
+import "fmt"
+
+// Device describes a GPU profile. The numbers for the three evaluation
+// GPUs come from the paper (Section 7/8.3) and public spec sheets.
+type Device struct {
+	Name string
+	// TIOPS is peak 32-bit integer throughput in tera-ops/second
+	// (the paper quotes 17.8 / 33.5 / 45.8 for 3090 / H100 / L40S).
+	TIOPS float64
+	// BandwidthGBs is peak DRAM bandwidth in GB/s.
+	BandwidthGBs float64
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// SharedMemPerCTA is the usable shared memory per CTA in bytes.
+	SharedMemPerCTA int
+	// SMemBandwidthGBs is per-SM shared-memory bandwidth in GB/s.
+	SMemBandwidthGBs float64
+	// ClockGHz is the boost clock, which sets dependent-latency costs
+	// (barriers, serialized launches).
+	ClockGHz float64
+	// MemoryGB is device memory capacity, used to flag configurations
+	// whose intermediate bitstreams would not fit (Section 3.2 b).
+	MemoryGB float64
+}
+
+// The paper's three evaluation GPUs.
+var (
+	RTX3090 = Device{
+		Name:             "RTX 3090",
+		TIOPS:            17.8,
+		BandwidthGBs:     936,
+		SMs:              82,
+		SharedMemPerCTA:  100 << 10,
+		SMemBandwidthGBs: 128,
+		ClockGHz:         1.70,
+		MemoryGB:         24,
+	}
+	H100 = Device{
+		Name:             "H100 NVL",
+		TIOPS:            33.5,
+		BandwidthGBs:     3938,
+		SMs:              132,
+		SharedMemPerCTA:  227 << 10,
+		SMemBandwidthGBs: 256,
+		ClockGHz:         1.79,
+		MemoryGB:         94,
+	}
+	L40S = Device{
+		Name:             "L40S",
+		TIOPS:            45.8,
+		BandwidthGBs:     864,
+		SMs:              142,
+		SharedMemPerCTA:  100 << 10,
+		SMemBandwidthGBs: 128,
+		ClockGHz:         2.52,
+		MemoryGB:         48,
+	}
+)
+
+// barrierCycles is the modeled stall of one CTA-wide __syncthreads()
+// including its warp-scheduling bubble, in core cycles. Calibrated so an
+// unmerged shift-per-barrier schedule reproduces the ~50% barrier-stall
+// share of Table 6 (SR_1).
+const barrierCycles = 300
+
+// BarrierSec returns the modeled cost of one barrier on this device.
+func (d Device) BarrierSec() float64 {
+	return barrierCycles / (d.ClockGHz * 1e9)
+}
+
+// Devices lists the evaluation GPUs in the paper's order.
+func Devices() []Device { return []Device{RTX3090, H100, L40S} }
+
+// DeviceByName looks a profile up by name.
+func DeviceByName(name string) (Device, error) {
+	for _, d := range Devices() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("gpusim: unknown device %q", name)
+}
+
+// Grid describes a kernel launch configuration.
+type Grid struct {
+	// CTAs is the number of cooperative thread arrays launched.
+	CTAs int
+	// Threads is the CTA size T.
+	Threads int
+	// UnitBits is the word size W each thread handles per step
+	// (32 on the evaluated GPUs).
+	UnitBits int
+	// UnitsPerThread is how many W-bit units one thread processes per
+	// block iteration; the block size is Threads*UnitBits*UnitsPerThread
+	// bits.
+	UnitsPerThread int
+}
+
+// DefaultGrid mirrors the paper's defaults: 256 CTAs, 512 threads, 32-bit
+// units, one unit per thread. A block covers T·W = 16,384 input positions,
+// so a 1 MB input runs in about 62 block iterations (Table 5's #Iter) and
+// the maximum overlap distance is 16,384 bits (Section 8.2's limit).
+func DefaultGrid() Grid {
+	return Grid{CTAs: 256, Threads: 512, UnitBits: 32, UnitsPerThread: 1}
+}
+
+// BlockBits returns the number of bitstream bits one block iteration covers.
+func (g Grid) BlockBits() int { return g.Threads * g.UnitBits * g.UnitsPerThread }
+
+// Validate checks the configuration.
+func (g Grid) Validate() error {
+	switch {
+	case g.CTAs <= 0:
+		return fmt.Errorf("gpusim: CTAs = %d", g.CTAs)
+	case g.Threads <= 0 || g.Threads > 1024:
+		return fmt.Errorf("gpusim: Threads = %d out of (0,1024]", g.Threads)
+	case g.UnitBits != 32 && g.UnitBits != 64:
+		return fmt.Errorf("gpusim: UnitBits = %d, want 32 or 64", g.UnitBits)
+	case g.UnitsPerThread <= 0:
+		return fmt.Errorf("gpusim: UnitsPerThread = %d", g.UnitsPerThread)
+	case g.BlockBits()%64 != 0:
+		return fmt.Errorf("gpusim: block bits %d not a multiple of 64", g.BlockBits())
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package hybrid
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bitgen/internal/ir"
+	"bitgen/internal/lower"
+	"bitgen/internal/rx"
+	"bitgen/internal/transpose"
+)
+
+func TestAhoCorasickBasics(t *testing.T) {
+	ac := NewAhoCorasick([][]byte{[]byte("he"), []byte("she"), []byte("his"), []byte("hers")})
+	var hits []Hit
+	ac.Scan([]byte("ushers"), func(h Hit) { hits = append(hits, h) })
+	// ushers: "she" ends at 3, "he" ends at 3, "hers" ends at 5.
+	got := map[[2]int32]bool{}
+	for _, h := range hits {
+		got[[2]int32{h.ID, h.End}] = true
+	}
+	want := [][2]int32{{1, 3}, {0, 3}, {3, 5}}
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("missing hit %v in %v", w, hits)
+		}
+	}
+}
+
+func TestAhoCorasickOverlapping(t *testing.T) {
+	ac := NewAhoCorasick([][]byte{[]byte("aa")})
+	count := 0
+	ac.Scan([]byte("aaaa"), func(Hit) { count++ })
+	if count != 3 {
+		t.Fatalf("aa in aaaa: %d hits, want 3", count)
+	}
+}
+
+func TestDecomposeBuckets(t *testing.T) {
+	cases := []struct {
+		pattern   string
+		exact     bool
+		hasFactor bool
+		unbounded bool
+	}{
+		{"hello", true, true, false},
+		{"hel+o", false, true, true},
+		{"abc(x|y)def", false, true, false},
+		{"(foo)|(barbar)", false, true, false},
+		{"[a-z]+", false, false, true},
+		{"a?b?c?", false, false, false},
+		{"x{3,7}yzw", false, true, false},
+	}
+	for _, c := range cases {
+		f := Decompose(rx.MustParse(c.pattern), 3)
+		if f.Exact != c.exact {
+			t.Errorf("%q: Exact = %v, want %v", c.pattern, f.Exact, c.exact)
+		}
+		if (len(f.Literals) > 0) != c.hasFactor {
+			t.Errorf("%q: factors = %v, want presence %v", c.pattern, f.Literals, c.hasFactor)
+		}
+		if (f.MaxLen == rx.Unbounded) != c.unbounded {
+			t.Errorf("%q: MaxLen = %d, want unbounded %v", c.pattern, f.MaxLen, c.unbounded)
+		}
+	}
+}
+
+func TestDecomposeAlternativeFactors(t *testing.T) {
+	f := Decompose(rx.MustParse("(foobar)|(bazqux)"), 3)
+	if len(f.Literals) != 2 {
+		t.Fatalf("factors = %v, want both alternatives", f.Literals)
+	}
+}
+
+// checkEngine cross-checks the hybrid engine against the bitstream
+// pipeline for a set of patterns over an input.
+func checkEngine(t *testing.T, patterns []string, input string, threads int) *ScanResult {
+	t.Helper()
+	names := make([]string, len(patterns))
+	asts := make([]rx.Node, len(patterns))
+	regexes := make([]lower.Regex, len(patterns))
+	for i, p := range patterns {
+		names[i] = p
+		asts[i] = rx.MustParse(p)
+		regexes[i] = lower.Regex{Name: p, AST: asts[i]}
+	}
+	eng, err := Compile(names, asts, Options{Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Scan([]byte(input))
+
+	prog, err := lower.Group(regexes, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ir.Interpret(prog, transpose.Transpose([]byte(input)), ir.InterpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if !res.Outputs[name].Equal(ref.Outputs[name]) {
+			t.Errorf("pattern %q on %q:\n hybrid    %s\n bitstream %s",
+				name, input, res.Outputs[name], ref.Outputs[name])
+		}
+	}
+	return res
+}
+
+func TestEngineMatchesBitstreamPipeline(t *testing.T) {
+	patterns := []string{
+		"needle",
+		"nee?dle",
+		"(cat)|(dog)",
+		"ab[cd]ef",
+		"x[0-9]{2,4}y",
+		"[a-f]+z",
+		"q.*k",
+	}
+	input := "a needle in a haystack, nedle needle, cat dog ab cef abdef x12y x12345y qzzk " +
+		strings.Repeat("fazfbz ", 10)
+	res := checkEngine(t, patterns, input, 1)
+	if res.Stats.ExactRegexes != 1 {
+		t.Errorf("ExactRegexes = %d, want 1", res.Stats.ExactRegexes)
+	}
+	if res.Stats.GeneralRegexes == 0 {
+		t.Error("expected q.*k and [a-f]+z on the general path")
+	}
+	if res.Stats.PrefilteredRegexes == 0 {
+		t.Error("expected prefiltered patterns")
+	}
+}
+
+func TestEngineMultiThreadedEquivalence(t *testing.T) {
+	patterns := []string{"aba", "bab", "a{2,3}b", "(ab)|(ba)c", "abcde", "e+dcba"}
+	rng := rand.New(rand.NewSource(12))
+	input := make([]byte, 20_000)
+	letters := []byte("abcde ")
+	for i := range input {
+		input[i] = letters[rng.Intn(len(letters))]
+	}
+	names := patterns
+	asts := make([]rx.Node, len(patterns))
+	for i, p := range patterns {
+		asts[i] = rx.MustParse(p)
+	}
+	e1, err := Compile(names, asts, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := Compile(names, asts, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := e1.Scan(input)
+	r4 := e4.Scan(input)
+	for _, name := range names {
+		if !r1.Outputs[name].Equal(r4.Outputs[name]) {
+			t.Errorf("MT output differs for %q", name)
+		}
+	}
+}
+
+func TestEngineRandomizedCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized cross-check")
+	}
+	rng := rand.New(rand.NewSource(4242))
+	alphabet := []byte("abcd")
+	for trial := 0; trial < 60; trial++ {
+		k := 1 + rng.Intn(4)
+		patterns := make([]string, 0, k)
+		seen := map[string]bool{}
+		for len(patterns) < k {
+			ast := rx.Generate(rng, rx.GenOptions{MaxDepth: 3, Alphabet: alphabet, MaxRepeat: 3})
+			s := ast.String()
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			patterns = append(patterns, s)
+		}
+		input := make([]byte, 30+rng.Intn(200))
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		checkEngine(t, patterns, string(input), 1+rng.Intn(3))
+	}
+}
+
+func TestLiteralHeavyWorkloadUsesPrefilter(t *testing.T) {
+	// A Yara/ExactMatch-like set: all pure literals. Everything must take
+	// the exact path with zero confirmation bytes.
+	var patterns []string
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		n := 6 + rng.Intn(10)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		patterns = append(patterns, string(b))
+	}
+	names := patterns
+	asts := make([]rx.Node, len(patterns))
+	for i, p := range patterns {
+		asts[i] = rx.MustParse(p)
+	}
+	eng, err := Compile(names, asts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Scan([]byte(strings.Repeat("the quick brown fox ", 500)))
+	if res.Stats.ExactRegexes != 50 {
+		t.Fatalf("ExactRegexes = %d", res.Stats.ExactRegexes)
+	}
+	if res.Stats.ConfirmedBytes != 0 || res.Stats.GeneralBytes != 0 {
+		t.Fatalf("literal workload did slow-path work: %+v", res.Stats)
+	}
+}
+
+func TestRegionalConfirmationBounds(t *testing.T) {
+	// Matches whose extent reaches maxLen on both sides of the literal
+	// factor: the confirmation region must cover them exactly.
+	pattern := "[0-9]{3}needle[0-9]{3}"
+	names := []string{pattern}
+	asts := []rx.Node{rx.MustParse(pattern)}
+	eng, err := Compile(names, asts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("xx123needle456xx ... 99needle999 ... 123needle45")
+	res := eng.Scan(input)
+	got := res.Outputs[pattern].Positions()
+	if len(got) != 1 || got[0] != 13 {
+		t.Fatalf("positions = %v, want [13]", got)
+	}
+	if res.Stats.PrefilteredRegexes != 1 || res.Stats.ConfirmedBytes == 0 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+func TestAdjacentHitRegionsMerge(t *testing.T) {
+	pattern := "ab{1,3}c"
+	eng, err := Compile([]string{pattern}, []rx.Node{rx.MustParse(pattern)}, Options{MinLiteral: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(strings.Repeat("abc", 50))
+	res := eng.Scan(input)
+	if got := res.Outputs[pattern].Popcount(); got != 50 {
+		t.Fatalf("count = %d, want 50", got)
+	}
+}

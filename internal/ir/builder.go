@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"fmt"
+
+	"bitgen/internal/charclass"
+)
+
+// Builder incrementally constructs a Program with fresh-variable
+// bookkeeping and nested control-flow scopes.
+type Builder struct {
+	prog  *Program
+	stack []*[]Stmt // innermost body last
+	// ccCache shares the instruction sequence of repeated character
+	// classes within one program (common in multi-regex groups).
+	ccCache map[charclass.Class]VarID
+	// basisCache shares MatchBasis reads.
+	basisCache [8]VarID
+	// CCs records every distinct class expanded, for diagnostics.
+	CCs []CCRef
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	b := &Builder{prog: &Program{}, ccCache: make(map[charclass.Class]VarID)}
+	b.stack = append(b.stack, &b.prog.Stmts)
+	for i := range b.basisCache {
+		b.basisCache[i] = NoVar
+	}
+	return b
+}
+
+func (b *Builder) top() *[]Stmt { return b.stack[len(b.stack)-1] }
+
+// Emit appends an assignment of expr to a fresh variable and returns it.
+func (b *Builder) Emit(expr Expr) VarID {
+	v := b.prog.NewVar()
+	b.EmitTo(v, expr)
+	return v
+}
+
+// EmitTo appends an assignment of expr to an existing variable.
+func (b *Builder) EmitTo(dst VarID, expr Expr) {
+	*b.top() = append(*b.top(), &Assign{Dst: dst, Expr: expr})
+}
+
+// NewVar allocates a variable without assigning it.
+func (b *Builder) NewVar() VarID { return b.prog.NewVar() }
+
+// Zero emits an all-zero assignment.
+func (b *Builder) Zero() VarID { return b.Emit(Zero{}) }
+
+// And emits x & y.
+func (b *Builder) And(x, y VarID) VarID { return b.Emit(Bin{OpAnd, x, y}) }
+
+// Or emits x | y.
+func (b *Builder) Or(x, y VarID) VarID { return b.Emit(Bin{OpOr, x, y}) }
+
+// AndNot emits x &^ y.
+func (b *Builder) AndNot(x, y VarID) VarID { return b.Emit(Bin{OpAndNot, x, y}) }
+
+// Xor emits x ^ y.
+func (b *Builder) Xor(x, y VarID) VarID { return b.Emit(Bin{OpXor, x, y}) }
+
+// Sum emits the arithmetic addition x + y (MatchStar's carry smear).
+func (b *Builder) Sum(x, y VarID) VarID { return b.Emit(Add{x, y}) }
+
+// Not emits ~x.
+func (b *Builder) Not(x VarID) VarID { return b.Emit(Not{x}) }
+
+// Advance emits the paper's x >> k (k > 0).
+func (b *Builder) Advance(x VarID, k int) VarID {
+	if k <= 0 {
+		panic(fmt.Sprintf("ir: Advance distance %d", k))
+	}
+	return b.Emit(Shift{x, k})
+}
+
+// If opens an if(cond) block, runs body, and closes it.
+func (b *Builder) If(cond VarID, body func()) {
+	blk := &If{Cond: cond}
+	*b.top() = append(*b.top(), blk)
+	b.stack = append(b.stack, &blk.Body)
+	body()
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// While opens a while(cond) block, runs body, and closes it.
+func (b *Builder) While(cond VarID, body func()) {
+	blk := &While{Cond: cond}
+	*b.top() = append(*b.top(), blk)
+	b.stack = append(b.stack, &blk.Body)
+	body()
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// Basis returns the variable holding basis bitstream j, emitting the read
+// on first use.
+func (b *Builder) Basis(j int) VarID {
+	if b.basisCache[j] != NoVar {
+		return b.basisCache[j]
+	}
+	v := b.Emit(MatchBasis{j})
+	b.basisCache[j] = v
+	return v
+}
+
+// MatchClass expands a character class into bitwise instructions over the
+// basis bitstreams (Figure 2 (a)) and returns the match-stream variable.
+// Repeated classes are cached. Only valid at top level (outside control
+// flow), which is where lowering emits all class matches.
+func (b *Builder) MatchClass(cl charclass.Class) VarID {
+	if v, ok := b.ccCache[cl]; ok {
+		return v
+	}
+	if len(b.stack) != 1 {
+		panic("ir: MatchClass inside control flow")
+	}
+	v := b.matchExpr(charclass.Compile(cl))
+	b.ccCache[cl] = v
+	b.CCs = append(b.CCs, CCRef{Class: cl, Var: v})
+	return v
+}
+
+func (b *Builder) matchExpr(e charclass.Expr) VarID {
+	switch x := e.(type) {
+	case charclass.True:
+		return b.Emit(Ones{})
+	case charclass.False:
+		return b.Emit(Zero{})
+	case charclass.Basis:
+		return b.Basis(x.Bit)
+	case charclass.Not:
+		return b.Not(b.matchExpr(x.X))
+	case charclass.And:
+		// ¬x ∧ y and x ∧ ¬y fold into a single AndNot instruction, the
+		// form SIMD and GPU ISAs provide natively.
+		if nx, ok := x.X.(charclass.Not); ok {
+			return b.AndNot(b.matchExpr(x.Y), b.matchExpr(nx.X))
+		}
+		if ny, ok := x.Y.(charclass.Not); ok {
+			return b.AndNot(b.matchExpr(x.X), b.matchExpr(ny.X))
+		}
+		return b.And(b.matchExpr(x.X), b.matchExpr(x.Y))
+	case charclass.Or:
+		return b.Or(b.matchExpr(x.X), b.matchExpr(x.Y))
+	}
+	panic(fmt.Sprintf("ir: unknown class expression %T", e))
+}
+
+// Output registers a named output stream.
+func (b *Builder) Output(name string, v VarID) {
+	b.prog.Outputs = append(b.prog.Outputs, Output{Name: name, Var: v})
+}
+
+// Program finalizes and returns the built program.
+func (b *Builder) Program() *Program {
+	if len(b.stack) != 1 {
+		panic("ir: unclosed control-flow scope")
+	}
+	return b.prog
+}

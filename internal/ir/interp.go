@@ -1,0 +1,257 @@
+package ir
+
+import (
+	"fmt"
+
+	"bitgen/internal/bitstream"
+	"bitgen/internal/transpose"
+)
+
+// ExecStats reports the dynamic cost of a whole-stream interpretation.
+type ExecStats struct {
+	// Instructions is the number of assignments executed (each touching
+	// the full stream).
+	Instructions int64
+	// WhileIterations is the total number of loop-body executions.
+	WhileIterations int64
+	// GuardSkips counts guard-triggered skips (only when guards are
+	// honored).
+	GuardSkips int64
+	// StreamBytesTouched approximates memory traffic: bytes of operand
+	// and result streams moved per executed assignment.
+	StreamBytesTouched int64
+}
+
+// InterpOptions control interpretation.
+type InterpOptions struct {
+	// HonorGuards executes Guard statements (skipping and zeroing) instead
+	// of ignoring them. Both settings must yield identical outputs; tests
+	// rely on that equivalence.
+	HonorGuards bool
+	// MaxWhileIterations caps fixed-point loops as a non-termination
+	// safety net. Zero means 2*len(input)+16.
+	MaxWhileIterations int
+}
+
+// Result holds the interpreter's outputs.
+type Result struct {
+	// Outputs maps each program output name to its match stream.
+	Outputs map[string]*bitstream.Stream
+	// Vars is the final environment, indexed by VarID (nil = never
+	// assigned).
+	Vars  []*bitstream.Stream
+	Stats ExecStats
+}
+
+// Interpret executes a bitstream program over the full input, one
+// instruction at a time across the entire stream — the execution model of
+// CPU bitstream engines like icgrep, and the golden reference for the GPU
+// executors.
+func Interpret(p *Program, basis *transpose.Basis, opts InterpOptions) (*Result, error) {
+	n := basis.N
+	maxIter := opts.MaxWhileIterations
+	if maxIter == 0 {
+		maxIter = 2*n + 16
+	}
+	env := &interpEnv{
+		prog:    p,
+		basis:   basis,
+		n:       n,
+		vars:    make([]*bitstream.Stream, p.NumVars),
+		maxIter: maxIter,
+		honor:   opts.HonorGuards,
+	}
+	if err := env.runBody(p.Stmts); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Outputs: make(map[string]*bitstream.Stream, len(p.Outputs)),
+		Vars:    env.vars,
+		Stats:   env.stats,
+	}
+	for _, o := range p.Outputs {
+		s := env.vars[o.Var]
+		if s == nil {
+			return nil, fmt.Errorf("ir: output %q (S%d) never assigned", o.Name, o.Var)
+		}
+		res.Outputs[o.Name] = s
+	}
+	return res, nil
+}
+
+type interpEnv struct {
+	prog    *Program
+	basis   *transpose.Basis
+	n       int
+	vars    []*bitstream.Stream
+	stats   ExecStats
+	maxIter int
+	honor   bool
+}
+
+// get reads a variable. A variable that was never assigned on the taken
+// path (e.g. one only defined inside an if whose branch was not taken) reads
+// as all-zero — the same semantics the block-wise executors give their
+// window-fresh register files. Textual use-before-def is still rejected by
+// Validate.
+func (e *interpEnv) get(v VarID) (*bitstream.Stream, error) {
+	s := e.vars[v]
+	if s == nil {
+		s = bitstream.New(e.n)
+		e.vars[v] = s
+	}
+	return s, nil
+}
+
+func (e *interpEnv) runBody(body []Stmt) error {
+	for i := 0; i < len(body); i++ {
+		switch x := body[i].(type) {
+		case *Assign:
+			if err := e.assign(x); err != nil {
+				return err
+			}
+		case *If:
+			cond, err := e.get(x.Cond)
+			if err != nil {
+				return err
+			}
+			if cond.Any() {
+				if err := e.runBody(x.Body); err != nil {
+					return err
+				}
+			}
+		case *While:
+			iters := 0
+			for {
+				cond, err := e.get(x.Cond)
+				if err != nil {
+					return err
+				}
+				if !cond.Any() {
+					break
+				}
+				if iters++; iters > e.maxIter {
+					return fmt.Errorf("ir: while(S%d) exceeded %d iterations", x.Cond, e.maxIter)
+				}
+				e.stats.WhileIterations++
+				if err := e.runBody(x.Body); err != nil {
+					return err
+				}
+			}
+		case *Guard:
+			if !e.honor {
+				continue
+			}
+			cond, err := e.get(x.Cond)
+			if err != nil {
+				return err
+			}
+			if !cond.Any() {
+				e.stats.GuardSkips++
+				for _, s := range body[i+1 : i+1+x.Skip] {
+					e.zeroDefs(s)
+				}
+				i += x.Skip
+			}
+		default:
+			return fmt.Errorf("ir: unknown statement %T", body[i])
+		}
+	}
+	return nil
+}
+
+// zeroDefs sets every variable assigned (transitively) by s to all-zero,
+// the semantics of a taken zero-block guard.
+func (e *interpEnv) zeroDefs(s Stmt) {
+	switch x := s.(type) {
+	case *Assign:
+		e.vars[x.Dst] = bitstream.New(e.n)
+	case *If:
+		for _, b := range x.Body {
+			e.zeroDefs(b)
+		}
+	case *While:
+		for _, b := range x.Body {
+			e.zeroDefs(b)
+		}
+	}
+}
+
+func (e *interpEnv) assign(a *Assign) error {
+	var out *bitstream.Stream
+	switch x := a.Expr.(type) {
+	case Zero:
+		out = bitstream.New(e.n)
+	case Ones:
+		out = bitstream.NewOnes(e.n)
+	case Copy:
+		s, err := e.get(x.Src)
+		if err != nil {
+			return err
+		}
+		out = s.Clone()
+	case Not:
+		s, err := e.get(x.Src)
+		if err != nil {
+			return err
+		}
+		out = s.Not()
+	case Bin:
+		sx, err := e.get(x.X)
+		if err != nil {
+			return err
+		}
+		sy, err := e.get(x.Y)
+		if err != nil {
+			return err
+		}
+		switch x.Op {
+		case OpAnd:
+			out = sx.And(sy)
+		case OpOr:
+			out = sx.Or(sy)
+		case OpXor:
+			out = sx.Xor(sy)
+		case OpAndNot:
+			out = sx.AndNot(sy)
+		default:
+			return fmt.Errorf("ir: unknown binop %v", x.Op)
+		}
+	case Shift:
+		s, err := e.get(x.Src)
+		if err != nil {
+			return err
+		}
+		out = s.Shift(x.K)
+	case Add:
+		sx, err := e.get(x.X)
+		if err != nil {
+			return err
+		}
+		sy, err := e.get(x.Y)
+		if err != nil {
+			return err
+		}
+		out = sx.Add(sy)
+	case StarThru:
+		m, err := e.get(x.M)
+		if err != nil {
+			return err
+		}
+		c, err := e.get(x.C)
+		if err != nil {
+			return err
+		}
+		out = bitstream.MatchStar(m, c)
+	case MatchBasis:
+		out = e.basis.Bit(x.Bit).Clone()
+	default:
+		return fmt.Errorf("ir: unknown expression %T", a.Expr)
+	}
+	e.vars[a.Dst] = out
+	e.stats.Instructions++
+	// Operand reads + result write, in bytes of full-stream traffic.
+	nBytes := int64((e.n + 7) / 8)
+	e.stats.StreamBytesTouched += nBytes * int64(len(Operands(a.Expr))+1)
+	return nil
+}

@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"bitgen/internal/charclass"
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/lower"
+	"bitgen/internal/rx"
+	"bitgen/internal/transpose"
+)
+
+// buildIfProgram builds a program with a hand-written if (the lowering
+// never emits ifs, so the executors' if-paths need direct coverage).
+func buildIfProgram() *ir.Program {
+	b := ir.NewBuilder()
+	sa := b.MatchClass(charclass.Single('a'))
+	sb := b.MatchClass(charclass.Single('b'))
+	res := b.NewVar()
+	b.EmitTo(res, ir.Zero{})
+	b.If(sa, func() {
+		t := b.Advance(sa, 1)
+		b.EmitTo(res, ir.Bin{Op: ir.OpAnd, X: t, Y: sb})
+	})
+	out := b.Or(res, sb)
+	b.Output("re", out)
+	return b.Program()
+}
+
+func TestIfStatementAllModes(t *testing.T) {
+	for _, input := range []string{
+		strings.Repeat("ab", 40),                                 // branch taken everywhere
+		strings.Repeat("xb", 40),                                 // branch never taken
+		strings.Repeat("x", 40) + "ab" + strings.Repeat("b", 40), // mixed blocks
+	} {
+		p := buildIfProgram()
+		basis := transpose.Transpose([]byte(input))
+		want := interpRef(t, p, basis)["re"]
+		for _, mode := range allModes {
+			res, err := Run(p, basis, Config{Grid: tinyGrid, Mode: mode})
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			if !res.Outputs["re"].Equal(want) {
+				t.Errorf("%v on %q: if-program diverges:\n got  %s\n want %s",
+					mode, input, res.Outputs["re"], want)
+			}
+		}
+	}
+}
+
+func TestLookbackShiftAllModes(t *testing.T) {
+	// Hand-written lookback (<<): the rebalancer emits these, so the
+	// executors must handle negative shifts with right-margin overlap.
+	b := ir.NewBuilder()
+	sa := b.MatchClass(charclass.Single('a'))
+	sb := b.MatchClass(charclass.Single('b'))
+	look := b.Emit(ir.Shift{Src: sb, K: -2}) // b two positions ahead
+	out := b.And(sa, look)
+	b.Output("re", out)
+	p := b.Program()
+	input := strings.Repeat("a.b.", 30)
+	basis := transpose.Transpose([]byte(input))
+	want := interpRef(t, p, basis)["re"]
+	for _, mode := range allModes {
+		res, err := Run(p, basis, Config{Grid: tinyGrid, Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !res.Outputs["re"].Equal(want) {
+			t.Errorf("%v: lookback diverges:\n got  %s\n want %s", mode, res.Outputs["re"], want)
+		}
+	}
+}
+
+func TestRawAddInstructionAllModes(t *testing.T) {
+	// Raw Add (not the fused StarThru): exercises the generic carry
+	// boundary check.
+	b := ir.NewBuilder()
+	sa := b.MatchClass(charclass.Single('a'))
+	sb := b.MatchClass(charclass.Single('b'))
+	sum := b.Sum(sa, sb)
+	out := b.And(sum, sb)
+	b.Output("re", out)
+	p := b.Program()
+	// Long 'a' runs so carries cross the 128-bit blocks.
+	input := strings.Repeat("a", 300) + "b" + strings.Repeat("ab", 50)
+	basis := transpose.Transpose([]byte(input))
+	want := interpRef(t, p, basis)["re"]
+	for _, mode := range allModes {
+		res, err := Run(p, basis, Config{Grid: tinyGrid, Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !res.Outputs["re"].Equal(want) {
+			t.Errorf("%v: raw Add diverges:\n got  %s\n want %s", mode, res.Outputs["re"], want)
+		}
+	}
+}
+
+func TestNestedLoopsAcrossBlocks(t *testing.T) {
+	// Star-of-star via bounded repetition of a starred group: nested
+	// whiles in the window executor.
+	input := strings.Repeat("xabababy", 20) + "x" + strings.Repeat("ab", 90) + "y"
+	checkAllModes(t, "x((ab)*y){1,2}", input, tinyGrid)
+}
+
+func TestManyGroupsOneProgramWindows(t *testing.T) {
+	// A group program with many outputs sharing classes, across an input
+	// larger than one default block.
+	regexes := []lower.Regex{}
+	for _, p := range []string{"abc", "bcd", "cde", "a.c", "b+c", "c{2,3}d"} {
+		regexes = append(regexes, lower.Regex{Name: p, AST: rx.MustParse(p)})
+	}
+	prog, err := lower.Group(regexes, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(strings.Repeat("abcdeccdbbc", 2000))
+	basis := transpose.Transpose(input)
+	want := interpRef(t, prog, basis)
+	res, err := Run(prog, basis, Config{Grid: gpusim.DefaultGrid(), Mode: ModeDTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		if !res.Outputs[name].Equal(w) {
+			t.Errorf("%s diverges on default grid", name)
+		}
+	}
+	if res.Stats.Windows < 2 {
+		t.Errorf("expected multiple windows, got %d", res.Stats.Windows)
+	}
+}
+
+func TestInputExactlyOneBlock(t *testing.T) {
+	// Input length == block bits: a single full window, no margins.
+	input := strings.Repeat("ab", tinyGrid.BlockBits()/2)
+	checkAllModes(t, "ab", input, tinyGrid)
+}
+
+func TestInputOneByteOverBlock(t *testing.T) {
+	input := strings.Repeat("ab", tinyGrid.BlockBits()/2) + "c"
+	checkAllModes(t, "bc", input, tinyGrid)
+}

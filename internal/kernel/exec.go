@@ -1,0 +1,996 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"bitgen/internal/bitstream"
+	"bitgen/internal/dfg"
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/transpose"
+)
+
+// Config controls one CTA execution.
+type Config struct {
+	// Grid is the launch geometry (thread count, unit size, block size).
+	Grid gpusim.Grid
+	// Mode selects the execution model.
+	Mode Mode
+	// HonorGuards executes Zero Block Skipping guards.
+	HonorGuards bool
+	// MaxOverlapBits caps the dynamic overlap distance Δ; beyond it the
+	// executor falls back to materializing the offending loop or carry
+	// (Section 8.2). Zero means one block (the paper's T·W·U limit).
+	MaxOverlapBits int
+	// SharedInputCTAs amortizes DRAM charges for the shared basis input
+	// across this many CTAs (the L2 effect of every CTA reading the same
+	// transposed input). Zero means 1 (no sharing).
+	SharedInputCTAs int
+	// FullOutputWrites charges full match-stream writes to DRAM instead
+	// of compact match positions.
+	FullOutputWrites bool
+	// MaxWhileIterations bounds global fixpoint loops; zero = 2n+16.
+	MaxWhileIterations int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Grid == (gpusim.Grid{}) {
+		c.Grid = gpusim.DefaultGrid()
+	}
+	if c.MaxOverlapBits == 0 {
+		c.MaxOverlapBits = c.Grid.BlockBits()
+	}
+	if c.SharedInputCTAs == 0 {
+		c.SharedInputCTAs = 1
+	}
+	if c.MaxWhileIterations == 0 {
+		c.MaxWhileIterations = 2*n + 16
+	}
+	return c
+}
+
+// RunResult is the outcome of executing one CTA.
+type RunResult struct {
+	// Outputs maps output names to exact match streams.
+	Outputs map[string]*bitstream.Stream
+	// Stats are the CTA's event counters.
+	Stats gpusim.CTAStats
+	// FallbackSegments counts loops/carries that overflowed the overlap
+	// limit and were materialized stream-wise (0 in the common case).
+	FallbackSegments int
+}
+
+// overflowError signals that a window's dynamic overlap exceeded the limit.
+type overflowError struct {
+	stmt ir.Stmt // the loop or carry assignment responsible
+	need int
+}
+
+func (e *overflowError) Error() string {
+	return fmt.Sprintf("kernel: overlap distance %d bits exceeds the block limit", e.need)
+}
+
+// Run executes a bitstream program over an input on one simulated CTA.
+// All modes produce bit-identical outputs; they differ in data movement,
+// synchronization, and therefore modeled time.
+func Run(p *ir.Program, basis *transpose.Basis, cfg Config) (*RunResult, error) {
+	cfg = cfg.withDefaults(basis.N)
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ir.Validate(p); err != nil {
+		return nil, err
+	}
+	materialize := make(map[ir.Stmt]bool)
+	for attempt := 0; ; attempt++ {
+		res, err := runOnce(p, basis, cfg, materialize)
+		var ovf *overflowError
+		fusedMode := cfg.Mode == ModeDTM || cfg.Mode == ModeDTMStatic
+		if errors.As(err, &ovf) && fusedMode && ovf.stmt != nil && !materialize[ovf.stmt] && attempt < 1+len(p.Stmts) {
+			// Section 8.2 fallback: execute the offending loop or carry
+			// sequentially (materialized) and re-run interleaved around it.
+			materialize[ovf.stmt] = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.FallbackSegments = len(materialize)
+		return res, nil
+	}
+}
+
+type ctaExec struct {
+	cfg     Config
+	prog    *ir.Program
+	basis   *transpose.Basis
+	n       int // input bits
+	nWords  int
+	stats   gpusim.CTAStats
+	globals []*bitstream.Stream
+	isMat   []bool
+	isOut   []bool
+	regs    *regFile
+	// unitsPerWord converts 64-bit simulation words into the device's
+	// W-bit accounting units.
+	unitsPerWord int64
+	// current fused-segment state
+	curAnalysis *dfg.Analysis
+	// scratch buffers for StarThru
+	tmpT, tmpS []uint64
+	// window state
+	ws, cs, ce, weBits int
+	ww                 int
+	needBits           int
+	saturate           bool
+	culprit            ir.Stmt
+	loopRan            bool
+	// barrier-merge schedule
+	groupOf    map[*ir.Assign]int
+	groupFirst map[int]*ir.Assign
+	groupSrcs  map[int]map[ir.VarID]bool
+	// per-window group tracking
+	windowGroupsCharged map[int]bool
+}
+
+func runOnce(p *ir.Program, basis *transpose.Basis, cfg Config, materialize map[ir.Stmt]bool) (*RunResult, error) {
+	pl := buildPlan(p.Stmts, cfg.Mode, materialize)
+	ex := &ctaExec{
+		cfg:          cfg,
+		prog:         p,
+		basis:        basis,
+		n:            basis.N,
+		nWords:       bitstream.WordsFor(basis.N),
+		globals:      make([]*bitstream.Stream, p.NumVars),
+		isOut:        make([]bool, p.NumVars),
+		regs:         newRegFile(p.NumVars),
+		unitsPerWord: int64(64 / cfg.Grid.UnitBits),
+	}
+	for _, o := range p.Outputs {
+		ex.isOut[o.Var] = true
+	}
+	var intermediates int
+	ex.isMat, intermediates = liveness(pl, p)
+	ex.stats.Loops = int64(pl.countLoops())
+	ex.stats.IntermediateStreams = int64(intermediates)
+	progAn := dfg.Analyze(p)
+	ex.stats.StaticDelta = int64(progAn.StaticDelta)
+	ex.buildBarrierSchedule()
+
+	if err := ex.execPlan(pl); err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{Outputs: make(map[string]*bitstream.Stream, len(p.Outputs))}
+	for _, o := range p.Outputs {
+		s := ex.globals[o.Var]
+		if s == nil {
+			s = bitstream.New(ex.n)
+		}
+		res.Outputs[o.Name] = s
+		if !cfg.FullOutputWrites {
+			// Compact outputs: one 32-bit position per match.
+			ex.stats.DRAMWriteBytes += 4 * int64(s.Popcount())
+		}
+	}
+	res.Stats = ex.stats
+	return res, nil
+}
+
+// buildBarrierSchedule indexes the program's barrier schedule (produced by
+// the Shift Rebalancing pass) for O(1) lookup during execution.
+func (ex *ctaExec) buildBarrierSchedule() {
+	ex.groupOf = make(map[*ir.Assign]int)
+	ex.groupFirst = make(map[int]*ir.Assign)
+	ex.groupSrcs = make(map[int]map[ir.VarID]bool)
+	sched := ex.prog.Barriers
+	if sched == nil {
+		return
+	}
+	for gid, group := range sched.Groups {
+		if len(group) < 2 {
+			continue // singleton groups behave like unscheduled shifts
+		}
+		srcs := make(map[ir.VarID]bool)
+		for i, a := range group {
+			ex.groupOf[a] = gid
+			if i == 0 {
+				ex.groupFirst[gid] = a
+			}
+			if sh, ok := a.Expr.(ir.Shift); ok {
+				srcs[sh.Src] = true
+			}
+		}
+		ex.groupSrcs[gid] = srcs
+	}
+}
+
+// ---------- plan walking ----------
+
+func (ex *ctaExec) execPlan(pl *plan) error {
+	for _, node := range pl.nodes {
+		switch x := node.(type) {
+		case *fusedSeg:
+			if err := ex.execFused(x); err != nil {
+				return err
+			}
+		case *streamSeg:
+			ex.execStream(x.assign)
+		case *ctlSeg:
+			if err := ex.execCtl(x); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// streamBytes is the size of one full materialized bitstream.
+func (ex *ctaExec) streamBytes() int64 { return int64(ex.nWords) * 8 }
+
+// streamUnits is the op count of one full-stream pass.
+func (ex *ctaExec) streamUnits() int64 { return int64(ex.nWords) * ex.unitsPerWord }
+
+// globalStream returns the materialized stream for v, or an all-zero stream
+// for a variable that was never written on the taken path.
+func (ex *ctaExec) globalStream(v ir.VarID) *bitstream.Stream {
+	if s := ex.globals[v]; s != nil {
+		return s
+	}
+	return bitstream.New(ex.n)
+}
+
+// chargeStreamRead charges a full-stream DRAM read of variable v.
+func (ex *ctaExec) chargeStreamRead() {
+	ex.stats.DRAMReadBytes += ex.streamBytes()
+}
+
+// execCtl evaluates an if/while with a global (whole-stream) condition.
+func (ex *ctaExec) execCtl(c *ctlSeg) error {
+	evalCond := func() bool {
+		ex.chargeStreamRead()
+		ex.stats.UnitOps += ex.streamUnits()
+		return ex.globalStream(c.cond).Any()
+	}
+	if !c.isWhile {
+		if evalCond() {
+			return ex.execPlan(c.body)
+		}
+		return nil
+	}
+	iters := 0
+	for evalCond() {
+		if iters++; iters > ex.cfg.MaxWhileIterations {
+			return fmt.Errorf("kernel: global while(S%d) exceeded %d iterations", c.cond, ex.cfg.MaxWhileIterations)
+		}
+		ex.stats.WhileIterations++
+		if err := ex.execPlan(c.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execStream executes one instruction over the whole stream, block by
+// block in order (shift neighborhoods and carries forward exactly).
+func (ex *ctaExec) execStream(a *ir.Assign) {
+	read := func(v ir.VarID) *bitstream.Stream {
+		ex.chargeStreamRead()
+		return ex.globalStream(v)
+	}
+	var out *bitstream.Stream
+	opFactor := int64(1)
+	switch e := a.Expr.(type) {
+	case ir.Zero:
+		out = bitstream.New(ex.n)
+	case ir.Ones:
+		out = bitstream.NewOnes(ex.n)
+	case ir.Copy:
+		out = read(e.Src).Clone()
+	case ir.Not:
+		out = read(e.Src).Not()
+	case ir.Bin:
+		x, y := read(e.X), read(e.Y)
+		switch e.Op {
+		case ir.OpAnd:
+			out = x.And(y)
+		case ir.OpOr:
+			out = x.Or(y)
+		case ir.OpXor:
+			out = x.Xor(y)
+		case ir.OpAndNot:
+			out = x.AndNot(y)
+		}
+	case ir.Shift:
+		out = read(e.Src).Shift(e.K)
+		opFactor = 2
+		// Sequential shifts read the adjacent block too (Figure 5 (b)).
+		ex.stats.DRAMReadBytes += ex.streamBytes() / int64(max(1, ex.n/ex.cfg.Grid.BlockBits()))
+	case ir.Add:
+		out = read(e.X).Add(read(e.Y))
+		opFactor = 3
+	case ir.StarThru:
+		out = bitstream.MatchStar(read(e.M), read(e.C))
+		opFactor = 7
+	case ir.MatchBasis:
+		out = ex.basis.Bit(e.Bit).Clone()
+		ex.stats.DRAMReadBytes += ex.streamBytes() / int64(ex.cfg.SharedInputCTAs)
+	}
+	ex.globals[a.Dst] = out
+	ex.stats.UnitOps += opFactor * ex.streamUnits()
+	ex.stats.DRAMWriteBytes += ex.streamBytes()
+	ex.stats.Barriers++ // inter-loop dependency barrier (Figure 5)
+}
+
+// ---------- fused (windowed) execution ----------
+
+func align64(bits int) int { return (bits + 63) &^ 63 }
+
+// execFused runs a fused segment window by window with Dependency-Aware
+// Thread-Data Mapping: each window covers its commit range plus overlap
+// margins; all segment values are recomputed inside the window.
+func (ex *ctaExec) execFused(seg *fusedSeg) error {
+	an := dfg.AnalyzeBody(seg.stmts, ex.prog.NumVars)
+	ex.curAnalysis = an
+	blockBits := ex.cfg.Grid.BlockBits()
+	dynamic := an.HasDynamic || an.HasCarry
+	baseDL := align64(an.StaticMaxAdvance)
+	baseDR := align64(-an.StaticMinOffset)
+
+	// liveOut: variables this segment must commit to global memory.
+	liveOut := ex.segmentLiveOut(seg)
+
+	if ex.n == 0 {
+		return nil
+	}
+	dl := baseDL
+	for cs := 0; cs < ex.n; cs += blockBits {
+		ce := cs + blockBits
+		if ce > ex.n {
+			ce = ex.n
+		}
+		// Adapt the starting overlap: keep the previous window's converged
+		// margin as a hint (chains persist across windows), decaying back
+		// toward the static value.
+		if dl > baseDL {
+			dl = max(baseDL, align64(dl/2))
+		}
+		committed, err := ex.runWindowToFixpoint(seg, an, cs, ce, dl, baseDR, dynamic, liveOut)
+		if err != nil {
+			return err
+		}
+		dl = committed
+		ex.stats.Windows++
+		ex.stats.CommittedBits += int64(ce - cs)
+		leftMargin := min(dl, cs)
+		rightMargin := min(baseDR, ex.n-ce)
+		ex.stats.RecomputedBits += int64(leftMargin + rightMargin)
+		dyn := int64(leftMargin - min(baseDL, cs))
+		ex.stats.DynDeltaSum += dyn
+		if dyn > ex.stats.DynDeltaMax {
+			ex.stats.DynDeltaMax = dyn
+		}
+	}
+	return nil
+}
+
+// segmentLiveOut lists the variables defined in the segment that must be
+// committed (materialized or outputs).
+func (ex *ctaExec) segmentLiveOut(seg *fusedSeg) []ir.VarID {
+	seen := make(map[ir.VarID]bool)
+	var out []ir.VarID
+	ir.WalkStmts(seg.stmts, func(s ir.Stmt) {
+		a, ok := s.(*ir.Assign)
+		if !ok {
+			return
+		}
+		if (ex.isMat[a.Dst] || ex.isOut[a.Dst]) && !seen[a.Dst] {
+			seen[a.Dst] = true
+			out = append(out, a.Dst)
+		}
+	})
+	return out
+}
+
+// runWindowToFixpoint executes one window, growing the left overlap until
+// the committed bits are provably independent of unseen history, then
+// commits live-out values. It returns the converged left-overlap in bits.
+func (ex *ctaExec) runWindowToFixpoint(seg *fusedSeg, an *dfg.Analysis, cs, ce, dl, dr int, dynamic bool, liveOut []ir.VarID) (int, error) {
+	_ = an
+	for {
+		if err := ex.execWindowOnce(seg, cs, ce, dl, dr, false, true); err != nil {
+			return 0, err
+		}
+		if !dynamic || cs == 0 {
+			// Static programs are covered by Δ_static; the first window
+			// has no unseen history.
+			ex.commitWindow(liveOut, cs, ce)
+			return dl, nil
+		}
+		if ex.needBits > dl {
+			// A carry run reached the window start: grow and retry.
+			grown, err := ex.growOverlap(dl, cs)
+			if err != nil {
+				return 0, err
+			}
+			dl = grown
+			continue
+		}
+		if dl >= cs {
+			// The window already reaches the stream start: no unseen
+			// history exists, the result is exact.
+			ex.commitWindow(liveOut, cs, ce)
+			return dl, nil
+		}
+		if !segHasPropagatingLoop(an) {
+			// Carry-only segment: checkCarryBoundary vouched for every
+			// cross-block conduit, no probe needed. (A loop that merely
+			// did not fire locally is NOT safe to skip: missing history
+			// can be exactly why it did not fire.)
+			ex.commitWindow(liveOut, cs, ce)
+			return dl, nil
+		}
+		// Save the committed slices, then run the saturation probe: the
+		// same window with the overlap margins flooded with markers at
+		// every loop head. By monotonicity of the closure loops, equality
+		// of committed bits proves no history beyond the margin could
+		// change them.
+		cur := ex.snapshotCommitted(liveOut, cs, ce)
+		if err := ex.execWindowOnce(seg, cs, ce, dl, dr, true, false); err != nil {
+			return 0, err
+		}
+		sat := ex.snapshotCommitted(liveOut, cs, ce)
+		if equalSnapshots(cur, sat) {
+			ex.restoreSnapshot(liveOut, cs, ce, cur)
+			ex.commitWindow(liveOut, cs, ce)
+			return dl, nil
+		}
+		grown, err := ex.growOverlap(dl, cs)
+		if err != nil {
+			// Attribute the overflow to a concrete loop or carry so the
+			// materialization fallback can retry.
+			var ovf *overflowError
+			if errors.As(err, &ovf) && ovf.stmt == nil {
+				ovf.stmt = findDynamicStmt(seg.stmts)
+			}
+			return 0, err
+		}
+		dl = grown
+	}
+}
+
+// segHasPropagatingLoop reports whether the segment contains a while loop
+// whose body advances markers (growth > 0) — the only construct requiring
+// the saturation probe.
+func segHasPropagatingLoop(an *dfg.Analysis) bool {
+	for _, g := range an.LoopGrowth {
+		if g > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// findDynamicStmt returns the first while loop or carry assignment in a
+// segment (the fallback culprit when growth cannot be attributed).
+func findDynamicStmt(stmts []ir.Stmt) ir.Stmt {
+	var found ir.Stmt
+	ir.WalkStmts(stmts, func(s ir.Stmt) {
+		if found != nil {
+			return
+		}
+		switch x := s.(type) {
+		case *ir.While:
+			found = x
+		case *ir.Assign:
+			switch x.Expr.(type) {
+			case ir.Add, ir.StarThru:
+				found = x
+			}
+		}
+	})
+	return found
+}
+
+// growOverlap doubles the left overlap, honoring the block-size limit.
+func (ex *ctaExec) growOverlap(dl, cs int) (int, error) {
+	grown := dl * 2
+	if grown < 64 {
+		grown = 64
+	}
+	if grown > cs {
+		// No point extending past the stream start.
+		grown = align64(cs)
+	}
+	if dl >= ex.cfg.MaxOverlapBits || (grown == dl && dl >= cs) {
+		return 0, &overflowError{stmt: ex.culprit, need: grown}
+	}
+	if grown > ex.cfg.MaxOverlapBits {
+		grown = align64(ex.cfg.MaxOverlapBits)
+	}
+	if grown <= dl {
+		return 0, &overflowError{stmt: ex.culprit, need: grown}
+	}
+	return grown, nil
+}
+
+// snapshotCommitted copies the committed word range of each live-out var.
+func (ex *ctaExec) snapshotCommitted(liveOut []ir.VarID, cs, ce int) map[ir.VarID][]uint64 {
+	fromWord := cs / 64
+	toWord := (ce + 63) / 64
+	snap := make(map[ir.VarID][]uint64, len(liveOut))
+	for _, v := range liveOut {
+		buf := ex.windowSlice(v, fromWord, toWord)
+		cp := make([]uint64, len(buf))
+		copy(cp, buf)
+		snap[v] = cp
+	}
+	return snap
+}
+
+// windowSlice returns the words [fromWord, toWord) of v's current window
+// register (zeros if the variable was not computed this window).
+func (ex *ctaExec) windowSlice(v ir.VarID, fromWord, toWord int) []uint64 {
+	out := make([]uint64, toWord-fromWord)
+	reg := ex.regs.get(v)
+	if reg == nil {
+		return out
+	}
+	wsWord := ex.ws / 64
+	for i := range out {
+		j := fromWord + i - wsWord
+		if j >= 0 && j < len(reg) {
+			out[i] = reg[j]
+		}
+	}
+	return out
+}
+
+func equalSnapshots(a, b map[ir.VarID][]uint64) bool {
+	for v, aw := range a {
+		bw := b[v]
+		if len(aw) != len(bw) {
+			return false
+		}
+		for i := range aw {
+			if aw[i] != bw[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// restoreSnapshot writes saved committed words back into the registers so
+// commitWindow stores the unsaturated values.
+func (ex *ctaExec) restoreSnapshot(liveOut []ir.VarID, cs, ce int, snap map[ir.VarID][]uint64) {
+	fromWord := cs / 64
+	wsWord := ex.ws / 64
+	for _, v := range liveOut {
+		words := snap[v]
+		reg := ex.regs.get(v)
+		if reg == nil {
+			reg = ex.regs.buf(v)
+			for i := range reg {
+				reg[i] = 0
+			}
+		}
+		for i, w := range words {
+			j := fromWord + i - wsWord
+			if j >= 0 && j < len(reg) {
+				reg[j] = w
+			}
+		}
+	}
+}
+
+// commitWindow stores the committed range of live-out variables to global
+// memory and charges the DRAM writes.
+func (ex *ctaExec) commitWindow(liveOut []ir.VarID, cs, ce int) {
+	fromWord := cs / 64
+	toWord := (ce + 63) / 64
+	wsWord := ex.ws / 64
+	for _, v := range liveOut {
+		g := ex.globals[v]
+		if g == nil {
+			g = bitstream.New(ex.n)
+			ex.globals[v] = g
+		}
+		reg := ex.regs.get(v)
+		if reg == nil {
+			// Variable not computed this window (e.g. guarded off):
+			// committed value is zero.
+			words := g.Words()
+			for i := fromWord; i < toWord && i < len(words); i++ {
+				words[i] = 0
+			}
+			maskStreamTail(g)
+		} else {
+			storeWindow(g, fromWord, reg, fromWord-wsWord, toWord-fromWord)
+		}
+		if ex.isOut[v] && !ex.cfg.FullOutputWrites {
+			continue // compact outputs are charged at the end
+		}
+		ex.stats.DRAMWriteBytes += int64(toWord-fromWord) * 8
+	}
+}
+
+// execWindowOnce evaluates every statement of the segment over the window
+// [cs-dl, ce+dr). When saturate is set, loop conditions and carry inputs
+// are flooded over the margins (the probe pass); when charge is set, costs
+// are accounted.
+func (ex *ctaExec) execWindowOnce(seg *fusedSeg, cs, ce, dl, dr int, saturate, charge bool) error {
+	ex.ws = cs - dl
+	if ex.ws < 0 {
+		ex.ws = 0
+	}
+	ex.cs, ex.ce = cs, ce
+	ex.weBits = ce + dr
+	if ex.weBits > ex.n {
+		ex.weBits = ex.n
+	}
+	wsWord := ex.ws / 64
+	weWord := (ex.weBits + 63) / 64
+	ex.ww = weWord - wsWord
+	ex.regs.beginWindow(ex.ww)
+	ex.needBits = 0
+	ex.culprit = nil
+	ex.loopRan = false
+	ex.saturate = saturate
+	ex.windowGroupsCharged = make(map[int]bool)
+	if cap(ex.tmpT) < ex.ww {
+		ex.tmpT = make([]uint64, ex.ww)
+		ex.tmpS = make([]uint64, ex.ww)
+	}
+	ex.tmpT = ex.tmpT[:ex.ww]
+	ex.tmpS = ex.tmpS[:ex.ww]
+	return ex.execStmtsWindowed(seg.stmts, charge)
+}
+
+// windowUnits is the op count of one full-window pass.
+func (ex *ctaExec) windowUnits() int64 { return int64(ex.ww) * ex.unitsPerWord }
+
+// windowBytes is the byte size of one window buffer.
+func (ex *ctaExec) windowBytes() int64 { return int64(ex.ww) * 8 }
+
+// readWindowed returns the window buffer of operand v, loading it from
+// global memory or the basis if it is not register-resident.
+func (ex *ctaExec) readWindowed(v ir.VarID, charge bool) []uint64 {
+	if b := ex.regs.get(v); b != nil {
+		return b
+	}
+	b := ex.regs.buf(v)
+	if g := ex.globals[v]; g != nil {
+		loadWindow(b, g, ex.ws/64)
+		if charge {
+			ex.stats.DRAMReadBytes += ex.windowBytes()
+		}
+		return b
+	}
+	// Never materialized: semantically zero (validated conditional defs).
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// marginMask sets the margin bits (outside the committed range) in buf.
+func (ex *ctaExec) saturateMargins(buf []uint64) {
+	left := ex.cs - ex.ws // bits of left margin
+	for i := 0; i < left/64; i++ {
+		buf[i] = ^uint64(0)
+	}
+	if left%64 != 0 {
+		buf[left/64] |= (1 << (uint(left) % 64)) - 1
+	}
+	// Right margin.
+	rightStart := ex.ce - ex.ws
+	if rightStart < ex.weBits-ex.ws {
+		w := rightStart / 64
+		if rightStart%64 != 0 {
+			buf[w] |= ^uint64(0) << (uint(rightStart) % 64)
+			w++
+		}
+		for ; w < len(buf); w++ {
+			buf[w] = ^uint64(0)
+		}
+	}
+}
+
+func (ex *ctaExec) execStmtsWindowed(stmts []ir.Stmt, charge bool) error {
+	for i := 0; i < len(stmts); i++ {
+		switch x := stmts[i].(type) {
+		case *ir.Assign:
+			if err := ex.execAssignWindowed(x, charge); err != nil {
+				return err
+			}
+		case *ir.Guard:
+			cond := ex.readWindowed(x.Cond, charge)
+			if charge {
+				// The guard's zero test piggybacks on the producing
+				// instruction's atomicOr flag (Section 6): it costs a
+				// block-wide reduction but no extra barrier.
+				ex.stats.UnitOps += ex.windowUnits()
+				ex.stats.SMemWriteBytes += int64(ex.cfg.Grid.Threads) * 4
+				ex.stats.GuardChecks++
+			}
+			if ex.cfg.HonorGuards && !anyWords(cond) {
+				for _, s := range stmts[i+1 : i+1+x.Skip] {
+					ex.zeroDefsWindowed(s, charge)
+				}
+				if charge {
+					ex.stats.GuardSkips++
+					ex.stats.SkippedStmts += int64(x.Skip)
+				}
+				i += x.Skip
+			}
+		case *ir.If:
+			cond := ex.readWindowed(x.Cond, charge)
+			if charge {
+				ex.stats.UnitOps += ex.windowUnits()
+				ex.stats.Barriers++
+			}
+			if anyWords(cond) {
+				if err := ex.execStmtsWindowed(x.Body, charge); err != nil {
+					return err
+				}
+			}
+		case *ir.While:
+			if err := ex.execWhileWindowed(x, charge); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("kernel: unexpected statement %T in fused segment", stmts[i])
+		}
+	}
+	return nil
+}
+
+func (ex *ctaExec) execWhileWindowed(w *ir.While, charge bool) error {
+	growth := ex.curAnalysis.LoopGrowth[w]
+	iters := 0
+	maxIters := ex.weBits - ex.ws + 16
+	for {
+		cond := ex.readWindowed(w.Cond, charge)
+		if ex.saturate && iters == 0 {
+			// Probe pass: flood the margins of the loop condition so any
+			// possible cross-boundary propagation is triggered.
+			ex.saturateMargins(cond)
+		}
+		if charge {
+			ex.stats.UnitOps += ex.windowUnits()
+			ex.stats.Barriers++
+		}
+		if !anyWords(cond) {
+			break
+		}
+		if iters++; iters > maxIters {
+			ex.culprit = w
+			return &overflowError{stmt: w, need: ex.cfg.MaxOverlapBits + 1}
+		}
+		ex.loopRan = true
+		if charge {
+			ex.stats.WhileIterations++
+		}
+		if growth > 0 {
+			ex.needBits += growth
+			if ex.culprit == nil {
+				ex.culprit = w
+			}
+		}
+		if err := ex.execStmtsWindowed(w.Body, charge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// zeroDefsWindowed zeroes the destinations of a skipped statement (taken
+// zero-block guard).
+func (ex *ctaExec) zeroDefsWindowed(s ir.Stmt, charge bool) {
+	switch x := s.(type) {
+	case *ir.Assign:
+		ex.regs.zero(x.Dst)
+		if charge {
+			ex.stats.UnitOps += ex.windowUnits()
+		}
+	case *ir.If:
+		for _, b := range x.Body {
+			ex.zeroDefsWindowed(b, charge)
+		}
+	case *ir.While:
+		for _, b := range x.Body {
+			ex.zeroDefsWindowed(b, charge)
+		}
+	}
+}
+
+func (ex *ctaExec) execAssignWindowed(a *ir.Assign, charge bool) error {
+	units := ex.windowUnits()
+	switch e := a.Expr.(type) {
+	case ir.Zero:
+		ex.regs.zero(a.Dst)
+		if charge {
+			ex.stats.UnitOps += units
+		}
+	case ir.Ones:
+		dst := ex.regs.buf(a.Dst)
+		for i := range dst {
+			dst[i] = ^uint64(0)
+		}
+		ex.maskWindowTail(dst)
+		if charge {
+			ex.stats.UnitOps += units
+		}
+	case ir.Copy:
+		src := ex.readWindowed(e.Src, charge)
+		dst := ex.regs.buf(a.Dst)
+		copyWords(dst, src)
+		if charge {
+			ex.stats.UnitOps += units
+		}
+	case ir.Not:
+		src := ex.readWindowed(e.Src, charge)
+		dst := ex.regs.buf(a.Dst)
+		notWords(dst, src)
+		ex.maskWindowTail(dst)
+		if charge {
+			ex.stats.UnitOps += units
+		}
+	case ir.Bin:
+		x := ex.readWindowed(e.X, charge)
+		y := ex.readWindowed(e.Y, charge)
+		dst := ex.regs.buf(a.Dst)
+		switch e.Op {
+		case ir.OpAnd:
+			andWords(dst, x, y)
+		case ir.OpOr:
+			orWords(dst, x, y)
+		case ir.OpXor:
+			xorWords(dst, x, y)
+		case ir.OpAndNot:
+			andNotWords(dst, x, y)
+		}
+		if charge {
+			ex.stats.UnitOps += units
+		}
+	case ir.Shift:
+		src := ex.readWindowed(e.Src, charge)
+		dst := ex.regs.buf(a.Dst)
+		// Window-local shift: zeros enter at the window edges. When the
+		// window starts at the true beginning of the stream this is exact;
+		// otherwise the overlap margin keeps the affected bits out of the
+		// committed range.
+		bitstream.ShiftWords(dst, src, e.K)
+		ex.maskWindowTail(dst)
+		if charge {
+			ex.chargeShift(a, units)
+		}
+	case ir.Add:
+		x := ex.readWindowed(e.X, charge)
+		y := ex.readWindowed(e.Y, charge)
+		dst := ex.regs.buf(a.Dst)
+		bitstream.AddWords(dst, x, y)
+		ex.maskWindowTail(dst)
+		ex.checkCarryBoundary(a, x, y)
+		if charge {
+			ex.stats.UnitOps += 3 * units
+			ex.stats.Barriers++ // carry exchange across threads
+			ex.stats.SMemWriteBytes += int64(ex.cfg.Grid.Threads) * 8
+		}
+	case ir.StarThru:
+		m := ex.readWindowed(e.M, charge)
+		c := ex.readWindowed(e.C, charge)
+		dst := ex.regs.buf(a.Dst)
+		starThruWords(dst, m, c, ex.tmpT, ex.tmpS)
+		ex.maskWindowTail(dst)
+		ex.checkCarryBoundary(a, c, nil)
+		if charge {
+			ex.stats.UnitOps += 7 * units
+			ex.stats.Barriers += 2 // marker-shift neighborhood + carry exchange
+			ex.stats.ShiftBarriers++
+			ex.stats.SMemWriteBytes += ex.windowBytes() + int64(ex.cfg.Grid.Threads)*8
+			ex.stats.SMemReadBytes += ex.windowBytes()
+		}
+	case ir.MatchBasis:
+		dst := ex.regs.buf(a.Dst)
+		loadWindow(dst, ex.basis.Bit(e.Bit), ex.ws/64)
+		if charge {
+			ex.stats.DRAMReadBytes += ex.windowBytes() / int64(ex.cfg.SharedInputCTAs)
+		}
+	default:
+		return fmt.Errorf("kernel: unknown expression %T", a.Expr)
+	}
+	return nil
+}
+
+// maskWindowTail zeroes bits beyond the end of the stream in the final
+// window.
+func (ex *ctaExec) maskWindowTail(buf []uint64) {
+	endBit := ex.weBits - ex.ws
+	if endBit >= len(buf)*64 {
+		return
+	}
+	w := endBit / 64
+	if endBit%64 != 0 {
+		buf[w] &= (1 << (uint(endBit) % 64)) - 1
+		w++
+	}
+	for ; w < len(buf); w++ {
+		buf[w] = 0
+	}
+}
+
+// checkCarryBoundary inspects whether a carry chain could have entered the
+// window from unseen (or not-yet-recomputed) history: a run of ones in the
+// carry-propagating operand that crosses the commit boundary and begins
+// inside the unsafe left margin — either before the window start, or in
+// the first StaticMaxAdvance bits where recomputed values may themselves be
+// stale. If so the window must grow.
+func (ex *ctaExec) checkCarryBoundary(a *ir.Assign, c []uint64, c2 []uint64) {
+	if ex.ws == 0 {
+		return // stream start: carry-in of zero is exact
+	}
+	boundary := ex.cs - ex.ws
+	probe := c
+	if c2 != nil {
+		probe = ex.tmpT[:len(c)]
+		orWords(probe, c, c2)
+	}
+	runLen, reachesStart := onesRunCrossing(probe, boundary)
+	if runLen == 0 && !reachesStart {
+		return
+	}
+	runStart := boundary - runLen // relative to window start; 0 if reachesStart
+	if reachesStart {
+		runStart = 0
+	}
+	unsafe := ex.curAnalysis.StaticMaxAdvance // stale-margin width in bits
+	if reachesStart || runStart < unsafe {
+		ex.needBits = max(ex.needBits, boundary+64)
+		if ex.culprit == nil {
+			ex.culprit = a
+		}
+		return
+	}
+	// Chain fully visible and sourced in safe territory: record the
+	// realized dynamic dependency distance.
+	if int64(runLen) > ex.stats.DynDeltaMax {
+		ex.stats.DynDeltaMax = int64(runLen)
+	}
+}
+
+// chargeShift accounts a windowed shift's synchronization and shared-memory
+// traffic, honoring the barrier-merge schedule.
+func (ex *ctaExec) chargeShift(a *ir.Assign, units int64) {
+	ex.stats.UnitOps += 2 * units
+	gid, grouped := ex.groupOf[a]
+	if !grouped {
+		ex.stats.Barriers += 2
+		ex.stats.ShiftBarriers += 2
+		ex.stats.SMemWriteBytes += ex.windowBytes()
+		ex.stats.SMemReadBytes += ex.windowBytes()
+		ex.trackSMemPeak(1)
+		return
+	}
+	if !ex.windowGroupsCharged[gid] {
+		ex.windowGroupsCharged[gid] = true
+		ex.stats.Barriers += 2
+		ex.stats.ShiftBarriers += 2
+		// One shared-memory store per distinct source in the group
+		// (redundant-copy elimination, Section 5.3).
+		ex.stats.SMemWriteBytes += int64(len(ex.groupSrcs[gid])) * ex.windowBytes()
+		ex.trackSMemPeak(len(ex.groupSrcs[gid]))
+	}
+	ex.stats.SMemReadBytes += ex.windowBytes()
+}
+
+// trackSMemPeak records the high-water shared-memory footprint: streams
+// co-resident for one merged barrier group, at one T×W tile per stream.
+func (ex *ctaExec) trackSMemPeak(streams int) {
+	tile := int64(ex.cfg.Grid.Threads * ex.cfg.Grid.UnitBits / 8)
+	if peak := int64(streams) * tile; peak > ex.stats.SMemPeakBytes {
+		ex.stats.SMemPeakBytes = peak
+	}
+}

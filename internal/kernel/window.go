@@ -1,0 +1,192 @@
+package kernel
+
+import (
+	"bitgen/internal/bitstream"
+	"bitgen/internal/ir"
+)
+
+// regFile holds the per-window register state of a fused segment: one
+// window-sized word buffer per variable, with epoch tagging so buffers are
+// invalidated between windows without clearing.
+type regFile struct {
+	bufs  [][]uint64
+	epoch []uint32
+	cur   uint32
+	ww    int // words per window
+}
+
+func newRegFile(numVars int) *regFile {
+	return &regFile{
+		bufs:  make([][]uint64, numVars),
+		epoch: make([]uint32, numVars),
+	}
+}
+
+// beginWindow invalidates all registers and (re)sizes buffers to ww words.
+func (r *regFile) beginWindow(ww int) {
+	r.cur++
+	r.ww = ww
+}
+
+// has reports whether v holds a value in the current window.
+func (r *regFile) has(v ir.VarID) bool {
+	return r.epoch[v] == r.cur && r.bufs[v] != nil
+}
+
+// buf returns v's buffer for writing, allocating or resizing as needed and
+// marking it valid in the current window. Contents are unspecified.
+func (r *regFile) buf(v ir.VarID) []uint64 {
+	b := r.bufs[v]
+	if cap(b) < r.ww {
+		b = make([]uint64, r.ww)
+		r.bufs[v] = b
+	}
+	b = b[:r.ww]
+	r.bufs[v] = b
+	r.epoch[v] = r.cur
+	return b
+}
+
+// get returns v's current-window buffer or nil.
+func (r *regFile) get(v ir.VarID) []uint64 {
+	if !r.has(v) {
+		return nil
+	}
+	return r.bufs[v][:r.ww]
+}
+
+// zero fills v's buffer with zeros.
+func (r *regFile) zero(v ir.VarID) {
+	b := r.buf(v)
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// loadWindow copies words [fromWord, fromWord+ww) of a stream into dst,
+// zero-filling beyond the stream's backing words.
+func loadWindow(dst []uint64, s *bitstream.Stream, fromWord int) {
+	words := s.Words()
+	for i := range dst {
+		j := fromWord + i
+		if j >= 0 && j < len(words) {
+			dst[i] = words[j]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// storeWindow copies src's words [srcOff, srcOff+nWords) into stream words
+// starting at dstWord, clipping to the stream's length.
+func storeWindow(s *bitstream.Stream, dstWord int, src []uint64, srcOff, nWords int) {
+	words := s.Words()
+	for i := 0; i < nWords; i++ {
+		j := dstWord + i
+		if j < 0 || j >= len(words) {
+			continue
+		}
+		words[j] = src[srcOff+i]
+	}
+	// Re-mask the tail by rebuilding via FromWords semantics: the stream
+	// keeps bits past Len zero.
+	maskStreamTail(s)
+}
+
+func maskStreamTail(s *bitstream.Stream) {
+	n := s.Len()
+	words := s.Words()
+	if n%64 != 0 && len(words) > 0 {
+		words[len(words)-1] &= (1 << (uint(n) % 64)) - 1
+	}
+}
+
+// anyWords reports whether any bit is set.
+func anyWords(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// andWords / orWords / xorWords / andNotWords / notWords are the word-level
+// kernels of the bitwise instructions.
+func andWords(dst, x, y []uint64) {
+	for i := range dst {
+		dst[i] = x[i] & y[i]
+	}
+}
+
+func orWords(dst, x, y []uint64) {
+	for i := range dst {
+		dst[i] = x[i] | y[i]
+	}
+}
+
+func xorWords(dst, x, y []uint64) {
+	for i := range dst {
+		dst[i] = x[i] ^ y[i]
+	}
+}
+
+func andNotWords(dst, x, y []uint64) {
+	for i := range dst {
+		dst[i] = x[i] &^ y[i]
+	}
+}
+
+func notWords(dst, x []uint64) {
+	for i := range dst {
+		dst[i] = ^x[i]
+	}
+}
+
+func copyWords(dst, x []uint64) {
+	copy(dst, x)
+}
+
+// onesRunCrossing inspects the class window c and the boundary bit position
+// boundary (relative to the window start, in bits): it returns the length
+// of the run of consecutive 1-bits ending just before the boundary, and
+// whether that run extends all the way to the window start (meaning a carry
+// chain could have begun before the window and the committed bits may be
+// stale). A zero-length run means no chain crosses the boundary.
+func onesRunCrossing(c []uint64, boundary int) (runLen int, reachesStart bool) {
+	if boundary <= 0 {
+		return 0, false
+	}
+	// The run must include bit boundary-1 to cross into the committed
+	// region.
+	i := boundary - 1
+	for i >= 0 {
+		w := c[i/64]
+		bit := uint(i) % 64
+		if w&(1<<bit) == 0 {
+			return boundary - 1 - i, false
+		}
+		// Fast path: whole word of ones below this bit.
+		if bit == 63 && w == ^uint64(0) {
+			i -= 64
+			continue
+		}
+		i--
+	}
+	return boundary, true
+}
+
+// starThruWords computes the fused MatchStar over window buffers:
+// with T = (M >> 1) & C (window-local shift, zero carry-in),
+// dst = ((((T + C) ^ C) | T) & C) | M.
+// tmp must be two scratch buffers of window size.
+func starThruWords(dst, m, c []uint64, tmpT, tmpS []uint64) {
+	bitstream.AdvanceWords(tmpT, m, 1)
+	for i := range tmpT {
+		tmpT[i] &= c[i]
+	}
+	bitstream.AddWords(tmpS, tmpT, c)
+	for i := range dst {
+		dst[i] = ((tmpS[i]^c[i])|tmpT[i])&c[i] | m[i]
+	}
+}

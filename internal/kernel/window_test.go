@@ -1,0 +1,186 @@
+package kernel
+
+import (
+	"testing"
+
+	"bitgen/internal/bitstream"
+)
+
+func TestRegFileEpochInvalidation(t *testing.T) {
+	r := newRegFile(4)
+	r.beginWindow(2)
+	b := r.buf(1)
+	b[0], b[1] = 7, 9
+	if !r.has(1) || r.get(1)[1] != 9 {
+		t.Fatal("buffer not readable in same window")
+	}
+	r.beginWindow(2)
+	if r.has(1) {
+		t.Fatal("buffer survived window change")
+	}
+	if r.get(1) != nil {
+		t.Fatal("get returned stale buffer")
+	}
+	// Re-acquiring gives a buffer (contents unspecified) without
+	// reallocating when capacity suffices.
+	b2 := r.buf(1)
+	if len(b2) != 2 {
+		t.Fatalf("len = %d", len(b2))
+	}
+}
+
+func TestRegFileResize(t *testing.T) {
+	r := newRegFile(2)
+	r.beginWindow(1)
+	r.buf(0)[0] = 5
+	r.beginWindow(8)
+	b := r.buf(0)
+	if len(b) != 8 {
+		t.Fatalf("len = %d", len(b))
+	}
+}
+
+func TestRegFileZero(t *testing.T) {
+	r := newRegFile(2)
+	r.beginWindow(3)
+	b := r.buf(0)
+	b[0], b[2] = ^uint64(0), 42
+	r.zero(0)
+	for i, w := range r.get(0) {
+		if w != 0 {
+			t.Fatalf("word %d = %d after zero", i, w)
+		}
+	}
+}
+
+func TestLoadStoreWindow(t *testing.T) {
+	s := bitstream.FromPositions(256, 0, 70, 200)
+	dst := make([]uint64, 2)
+	loadWindow(dst, s, 1) // words 1..2 => bits 64..191
+	if dst[0]&(1<<6) == 0 {
+		t.Fatal("bit 70 missing from window")
+	}
+	loadWindow(dst, s, 3) // word 3 valid, word 4 beyond backing => zero
+	if dst[1] != 0 {
+		t.Fatal("beyond-stream word not zeroed")
+	}
+	// Store back into a fresh stream.
+	out := bitstream.New(256)
+	src := []uint64{0, 1 << 6, 0}
+	storeWindow(out, 0, src, 0, 3) // writes words 0..2
+	if got := out.Positions(); len(got) != 1 || got[0] != 70 {
+		t.Fatalf("positions = %v", got)
+	}
+}
+
+func TestStoreWindowMasksTail(t *testing.T) {
+	out := bitstream.New(70) // 2 words, 6 valid bits in word 1
+	src := []uint64{0, ^uint64(0)}
+	storeWindow(out, 0, src, 0, 2)
+	if got := out.Popcount(); got != 6 {
+		t.Fatalf("popcount = %d, want 6 (tail masked)", got)
+	}
+}
+
+func TestOnesRunCrossing(t *testing.T) {
+	mk := func(bits string) []uint64 {
+		s := bitstream.FromBits(bits)
+		w := make([]uint64, bitstream.WordsFor(s.Len()))
+		copy(w, s.Words())
+		return w
+	}
+	cases := []struct {
+		bits        string
+		boundary    int
+		wantLen     int
+		wantReaches bool
+	}{
+		{"00000000", 4, 0, false},
+		{"00110000", 4, 2, false}, // run [2,3] ends at boundary-1
+		{"11110000", 4, 4, true},  // run reaches window start
+		{"01110000", 4, 3, false}, // run starts at 1
+		{"11101111", 4, 0, false}, // bit 3 clear: no crossing run
+		{"11111111", 8, 8, true},
+	}
+	for _, c := range cases {
+		runLen, reaches := onesRunCrossing(mk(c.bits), c.boundary)
+		if runLen != c.wantLen || reaches != c.wantReaches {
+			t.Errorf("onesRunCrossing(%s, %d) = (%d, %v), want (%d, %v)",
+				c.bits, c.boundary, runLen, reaches, c.wantLen, c.wantReaches)
+		}
+	}
+}
+
+func TestOnesRunCrossingLongRuns(t *testing.T) {
+	// A 100-bit run ending at boundary 128 within a 192-bit window.
+	w := make([]uint64, 3)
+	s := bitstream.New(192)
+	for i := 28; i < 128; i++ {
+		s.Set(i)
+	}
+	copy(w, s.Words())
+	runLen, reaches := onesRunCrossing(w, 128)
+	if runLen != 100 || reaches {
+		t.Fatalf("got (%d, %v), want (100, false)", runLen, reaches)
+	}
+	// Extend to the start: now it reaches.
+	for i := 0; i < 28; i++ {
+		s.Set(i)
+	}
+	copy(w, s.Words())
+	_, reaches = onesRunCrossing(w, 128)
+	if !reaches {
+		t.Fatal("full-prefix run not flagged")
+	}
+}
+
+func TestStarThruWordsMatchesStreamVersion(t *testing.T) {
+	m := bitstream.FromPositions(192, 3, 64, 130)
+	c := bitstream.New(192)
+	for i := 0; i < 192; i += 3 {
+		c.Set(i)
+		c.Set(i + 1)
+	}
+	want := bitstream.MatchStar(m, c)
+	ww := 3
+	dst := make([]uint64, ww)
+	t1, t2 := make([]uint64, ww), make([]uint64, ww)
+	starThruWords(dst, m.Words(), c.Words(), t1, t2)
+	got := bitstream.FromWords(dst, 192)
+	if !got.Equal(want) {
+		t.Fatalf("starThruWords diverges:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestWordKernels(t *testing.T) {
+	x := []uint64{0b1100, 0}
+	y := []uint64{0b1010, ^uint64(0)}
+	dst := make([]uint64, 2)
+	andWords(dst, x, y)
+	if dst[0] != 0b1000 || dst[1] != 0 {
+		t.Fatal("andWords")
+	}
+	orWords(dst, x, y)
+	if dst[0] != 0b1110 {
+		t.Fatal("orWords")
+	}
+	xorWords(dst, x, y)
+	if dst[0] != 0b0110 {
+		t.Fatal("xorWords")
+	}
+	andNotWords(dst, x, y)
+	if dst[0] != 0b0100 {
+		t.Fatal("andNotWords")
+	}
+	notWords(dst, x)
+	if dst[0] != ^uint64(0b1100) {
+		t.Fatal("notWords")
+	}
+	copyWords(dst, x)
+	if dst[0] != 0b1100 {
+		t.Fatal("copyWords")
+	}
+	if anyWords([]uint64{0, 0}) || !anyWords([]uint64{0, 4}) {
+		t.Fatal("anyWords")
+	}
+}

@@ -1,0 +1,33 @@
+package lower
+
+import (
+	"testing"
+
+	"bitgen/internal/rx"
+)
+
+// FuzzLower asserts every parseable pattern lowers to a valid program (or
+// reports a clean budget error), never panicking.
+func FuzzLower(f *testing.F) {
+	for _, seed := range []string{
+		"a(bc)*d", "x(y|z)?w", "a{0,3}b", "(a*)*", "((a|b)*c){2}", "\\x41+",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		if len(pattern) > 200 {
+			return // keep unroll sizes sane under fuzzing
+		}
+		ast, err := rx.Parse(pattern)
+		if err != nil {
+			return
+		}
+		if _, err := Group(
+			[]Regex{{Name: "f", AST: ast}},
+			Options{MaxUnroll: 2000},
+		); err != nil {
+			// Budget errors are expected for large bounded repetitions.
+			return
+		}
+	})
+}

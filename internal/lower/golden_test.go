@@ -1,0 +1,70 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"bitgen/internal/ir"
+)
+
+// TestListing3Golden locks the lowered form of the paper's running example
+// /a(bc)*d/ (Listing 3): four character classes at the top, one while loop
+// whose body advances through b then c accumulating new matches, and a
+// final advance-and-intersect with d. Variable numbering may drift if the
+// class compiler changes; the structural assertions below are the paper's.
+func TestListing3Golden(t *testing.T) {
+	p := MustSingle("a(bc)*d", "a(bc)*d")
+	text := p.String()
+
+	// Exactly one while loop.
+	if got := strings.Count(text, "while ("); got != 1 {
+		t.Fatalf("want exactly 1 while, got %d:\n%s", got, text)
+	}
+	// The loop body holds two advances (>> 1 through b, >> 1 through c),
+	// an AndNot frontier update and an Or accumulation; one more advance
+	// follows the loop for the final d.
+	lines := strings.Split(text, "\n")
+	loopStart := -1
+	for i, l := range lines {
+		if strings.Contains(l, "while (") {
+			loopStart = i
+			break
+		}
+	}
+	inLoop := 0
+	afterLoop := 0
+	for _, l := range lines[loopStart+1:] {
+		if strings.HasPrefix(l, "    ") {
+			if strings.Contains(l, ">> 1") {
+				inLoop++
+			}
+			continue
+		}
+		if strings.Contains(l, ">> 1") {
+			afterLoop++
+		}
+	}
+	if inLoop != 2 {
+		t.Errorf("loop body advances = %d, want 2 (b then c):\n%s", inLoop, text)
+	}
+	if afterLoop != 1 {
+		t.Errorf("post-loop advances = %d, want 1 (the final d):\n%s", afterLoop, text)
+	}
+	st := ir.CollectStats(p)
+	if st.Star != 0 {
+		t.Errorf("multi-character star must not use MatchStar: %+v", st)
+	}
+}
+
+// TestClassStarGolden locks the MatchStar form for a single-class star:
+// /ab*c/ compiles with zero while loops and one StarThru.
+func TestClassStarGolden(t *testing.T) {
+	p := MustSingle("ab*c", "ab*c")
+	st := ir.CollectStats(p)
+	if st.While != 0 || st.Star != 1 {
+		t.Fatalf("ab*c stats = %+v, want While=0 Star=1\n%s", st, p)
+	}
+	if !strings.Contains(p.String(), "MatchStar(") {
+		t.Fatalf("missing MatchStar in:\n%s", p)
+	}
+}

@@ -1,0 +1,171 @@
+package nfa
+
+import (
+	"fmt"
+	"sort"
+
+	"bitgen/internal/bitstream"
+)
+
+// DFA is a lazily-determinized subset automaton over an NFA — the
+// RE2-style execution model the paper's related work contrasts with:
+// linear-time scanning, but with a state space that can grow steeply as
+// patterns are added, which is why DFA engines struggle in the paper's
+// multi-regex setting ("their efficiency drops when handling large sets
+// of patterns").
+type DFA struct {
+	nfa *NFA
+	// states are the materialized subset states; state 0 is the start
+	// subset {0} (the NFA start is persistently active: unanchored
+	// matching).
+	states []*dfaState
+	// cache maps a canonical subset key to its state index.
+	cache map[string]int32
+	// MaxStates caps lazy construction; beyond it Run falls back to NFA
+	// simulation (mirroring real engines' DFA-cache bailouts).
+	MaxStates int
+	// BailedOut reports whether the cap was hit.
+	BailedOut bool
+}
+
+type dfaState struct {
+	// set is the sorted NFA state subset.
+	set []int32
+	// next is filled lazily per byte; -1 = not yet computed.
+	next [256]int32
+	// accepts lists regex ids accepting in this subset.
+	accepts []int32
+}
+
+// NewDFA prepares a lazy DFA over the NFA. maxStates <= 0 means 100_000.
+func NewDFA(n *NFA, maxStates int) *DFA {
+	if maxStates <= 0 {
+		maxStates = 100_000
+	}
+	d := &DFA{nfa: n, cache: make(map[string]int32), MaxStates: maxStates}
+	d.intern([]int32{0})
+	return d
+}
+
+// NumStates reports how many subset states have been materialized.
+func (d *DFA) NumStates() int { return len(d.states) }
+
+func subsetKey(set []int32) string {
+	b := make([]byte, 0, len(set)*4)
+	for _, s := range set {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+// intern returns the state index for a sorted subset, creating it if new.
+func (d *DFA) intern(set []int32) int32 {
+	key := subsetKey(set)
+	if idx, ok := d.cache[key]; ok {
+		return idx
+	}
+	st := &dfaState{set: set}
+	for i := range st.next {
+		st.next[i] = -1
+	}
+	seen := make(map[int32]bool)
+	for _, s := range set {
+		for _, r := range d.nfa.AcceptOf[s] {
+			if !seen[r] {
+				seen[r] = true
+				st.accepts = append(st.accepts, r)
+			}
+		}
+	}
+	sort.Slice(st.accepts, func(i, j int) bool { return st.accepts[i] < st.accepts[j] })
+	idx := int32(len(d.states))
+	d.states = append(d.states, st)
+	d.cache[key] = idx
+	return idx
+}
+
+// step computes (lazily) the successor of state idx on byte c.
+func (d *DFA) step(idx int32, c byte) (int32, error) {
+	st := d.states[idx]
+	if nxt := st.next[c]; nxt >= 0 {
+		return nxt, nil
+	}
+	if len(d.states) >= d.MaxStates {
+		d.BailedOut = true
+		return -1, fmt.Errorf("nfa: DFA state cap %d reached", d.MaxStates)
+	}
+	// Successor subset: follow every NFA state in the set, keep targets
+	// whose class contains c, and always re-add the start state (bit 0
+	// stays active for unanchored matching).
+	members := make(map[int32]bool)
+	for _, s := range st.set {
+		for _, q := range d.nfa.Follow[s] {
+			if d.nfa.Class[q].Contains(c) {
+				members[q] = true
+			}
+		}
+	}
+	members[0] = true
+	set := make([]int32, 0, len(members))
+	for q := range members {
+		set = append(set, q)
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	nxt := d.intern(set)
+	st.next[c] = nxt
+	return nxt, nil
+}
+
+// Run scans the input, marking per-regex match end positions (identical
+// semantics to Simulate). If the state cap is hit it transparently falls
+// back to NFA simulation for the whole input.
+func (d *DFA) Run(input []byte) *SimResult {
+	res := &SimResult{Outputs: make([]*bitstream.Stream, d.nfa.NumRegex)}
+	for r := range res.Outputs {
+		res.Outputs[r] = bitstream.New(len(input))
+	}
+	for r, nullable := range d.nfa.NullableOf {
+		if nullable {
+			for i := 0; i < len(input); i++ {
+				res.Outputs[r].Set(i)
+			}
+		}
+	}
+	cur := int32(0)
+	for i, c := range input {
+		res.Stats.Symbols++
+		nxt, err := d.step(cur, c)
+		if err != nil {
+			return Simulate(d.nfa, input)
+		}
+		cur = nxt
+		st := d.states[cur]
+		if len(st.accepts) > 0 {
+			for _, r := range st.accepts {
+				if !res.Outputs[r].Test(i) {
+					res.Outputs[r].Set(i)
+					res.Stats.Matches++
+				}
+			}
+		}
+		res.Stats.Activations += int64(len(st.set) - 1)
+		if len(st.set)-1 > res.Stats.MaxFrontier {
+			res.Stats.MaxFrontier = len(st.set) - 1
+		}
+	}
+	return res
+}
+
+// Determinize eagerly materializes the full DFA (or up to the cap) by
+// breadth-first exploration over all 256 bytes; used by the state-growth
+// study. Returns the state count and whether the cap was hit.
+func (d *DFA) Determinize() (int, bool) {
+	for qi := 0; qi < len(d.states); qi++ {
+		for c := 0; c < 256; c++ {
+			if _, err := d.step(int32(qi), byte(c)); err != nil {
+				return len(d.states), true
+			}
+		}
+	}
+	return len(d.states), false
+}

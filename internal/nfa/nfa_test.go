@@ -1,0 +1,167 @@
+package nfa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/lower"
+	"bitgen/internal/rx"
+	"bitgen/internal/transpose"
+)
+
+func simulatePattern(t *testing.T, pattern, input string) *SimResult {
+	t.Helper()
+	n, err := Build([]string{pattern}, []rx.Node{rx.MustParse(pattern)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Simulate(n, []byte(input))
+}
+
+func TestSimulateLiteral(t *testing.T) {
+	res := simulatePattern(t, "cat", "bobcat catcat")
+	got := res.Outputs[0].Positions()
+	want := []int{5, 9, 12}
+	if len(got) != len(want) {
+		t.Fatalf("positions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("positions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimulateKleene(t *testing.T) {
+	res := simulatePattern(t, "a(bc)*d", "ad abcd abcbcd abd")
+	got := res.Outputs[0].Positions()
+	want := []int{1, 6, 13}
+	if len(got) != len(want) {
+		t.Fatalf("positions = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateNullablePattern(t *testing.T) {
+	res := simulatePattern(t, "a*", "xyz")
+	if res.Outputs[0].Popcount() != 3 {
+		t.Fatalf("a* on xyz = %s, want all positions", res.Outputs[0])
+	}
+}
+
+func TestSimulateMultiRegex(t *testing.T) {
+	n, err := Build(
+		[]string{"cat", "dog"},
+		[]rx.Node{rx.MustParse("cat"), rx.MustParse("dog")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Simulate(n, []byte("catdog"))
+	if got := res.Outputs[0].Positions(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("cat = %v", got)
+	}
+	if got := res.Outputs[1].Positions(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("dog = %v", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	res := simulatePattern(t, "ab", strings.Repeat("ab", 50))
+	if res.Stats.Symbols != 100 {
+		t.Errorf("Symbols = %d", res.Stats.Symbols)
+	}
+	if res.Stats.Activations == 0 || res.Stats.FollowFetches == 0 {
+		t.Errorf("no work counted: %+v", res.Stats)
+	}
+	if res.Stats.MaxFrontier < 1 {
+		t.Errorf("MaxFrontier = %d", res.Stats.MaxFrontier)
+	}
+	if res.Stats.Matches != 50 {
+		t.Errorf("Matches = %d, want 50", res.Stats.Matches)
+	}
+}
+
+// TestAgreesWithBitstreamPipeline cross-checks the two completely
+// independent matchers: Glushkov NFA simulation vs regex→bitstream→
+// interpreter. Agreement of independent implementations is the strongest
+// correctness signal in the repo.
+func TestAgreesWithBitstreamPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("abc")
+	for trial := 0; trial < 200; trial++ {
+		ast := rx.Generate(rng, rx.GenOptions{MaxDepth: 3, Alphabet: alphabet, MaxRepeat: 3})
+		input := make([]byte, 20+rng.Intn(100))
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		n, err := Build([]string{"re"}, []rx.Node{ast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nfaOut := Simulate(n, input).Outputs[0]
+
+		p, err := lower.Group([]lower.Regex{{Name: "re", AST: ast}}, lower.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ir.Interpret(p, transpose.Transpose(input), ir.InterpOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nfaOut.Equal(res.Outputs["re"]) {
+			t.Fatalf("trial %d: %q on %q:\n nfa       %s\n bitstream %s",
+				trial, ast.String(), input, nfaOut, res.Outputs["re"])
+		}
+	}
+}
+
+func TestNgAPModelRegimes(t *testing.T) {
+	m := DefaultNgAPModel()
+	d := gpusim.RTX3090
+	// Low frontier: latency-bound; high frontier with many fetches:
+	// memory-bound. Both must yield positive finite times.
+	low := SimStats{Symbols: 1_000_000, Activations: 100_000, FollowFetches: 200_000}
+	high := SimStats{Symbols: 1_000_000, Activations: 80_000_000, FollowFetches: 160_000_000}
+	tLow := m.EstimateTime(d, low)
+	tHigh := m.EstimateTime(d, high)
+	if tLow <= 0 || tHigh <= 0 {
+		t.Fatalf("times = %v, %v", tLow, tHigh)
+	}
+	// The sparse workload must be occupancy-bound: slower than its pure
+	// fetch time (the paper's ClamAV case — an underutilized worklist is
+	// slower than a busy one).
+	fetchOnlyLow := float64(low.FollowFetches) * m.DRAMLatencySec / m.InFlight
+	if tLow <= fetchOnlyLow {
+		t.Error("sparse workload not occupancy-bound")
+	}
+	// The heavy workload must be fetch-bound.
+	fetchOnlyHigh := float64(high.FollowFetches) * m.DRAMLatencySec / m.InFlight
+	if tHigh < fetchOnlyHigh*0.99 {
+		t.Error("dense workload not fetch-bound")
+	}
+}
+
+func TestNgAPPortabilityIsFlat(t *testing.T) {
+	// Figure 15: ngAP shows little benefit from H100 (bandwidth-bound,
+	// latency-bound) compared to BitGen's compute-ratio scaling.
+	m := DefaultNgAPModel()
+	stats := SimStats{Symbols: 1_000_000, Activations: 5_000_000, FollowFetches: 10_000_000}
+	t3090 := m.EstimateTime(gpusim.RTX3090, stats)
+	tH100 := m.EstimateTime(gpusim.H100, stats)
+	speedup := t3090 / tH100
+	if speedup > 1.9 {
+		t.Errorf("ngAP H100 speedup %.2f too close to the compute ratio", speedup)
+	}
+	if speedup < 0.8 {
+		t.Errorf("ngAP slower on H100: %.2f", speedup)
+	}
+}
+
+func TestBuildRejectsMismatchedInputs(t *testing.T) {
+	if _, err := Build([]string{"a", "b"}, []rx.Node{rx.MustParse("a")}); err == nil {
+		t.Fatal("mismatched name/pattern counts accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package nfa
+
+import (
+	"math/bits"
+
+	"bitgen/internal/bitstream"
+)
+
+// SimStats counts the dynamic work of an NFA simulation — the quantities
+// the ngAP cost model consumes.
+type SimStats struct {
+	// Symbols is the number of input bytes processed.
+	Symbols int64
+	// Activations is the total number of state activations (sum of
+	// frontier sizes after each symbol).
+	Activations int64
+	// FollowFetches is the number of follow-list expansions (one per
+	// active state per symbol): each is an irregular memory access on a
+	// real automata engine.
+	FollowFetches int64
+	// MaxFrontier is the peak number of simultaneously active states.
+	MaxFrontier int
+	// Matches is the total number of match events recorded.
+	Matches int64
+}
+
+// AvgFrontier returns the mean number of active states per symbol.
+func (s *SimStats) AvgFrontier() float64 {
+	if s.Symbols == 0 {
+		return 0
+	}
+	return float64(s.Activations) / float64(s.Symbols)
+}
+
+// SimResult holds per-regex match streams plus work counters.
+type SimResult struct {
+	// Outputs[r] marks the end positions of matches of regex r,
+	// all-match semantics (identical to the bitstream engine's outputs).
+	Outputs []*bitstream.Stream
+	Stats   SimStats
+}
+
+// Simulate runs the NFA over the input with the start state persistently
+// active (unanchored matching) and records every match end position. It is
+// the repo's independent matching oracle: package-level tests cross-check
+// it against the bitstream pipeline.
+func Simulate(n *NFA, input []byte) *SimResult {
+	numStates := n.NumStates()
+	words := (numStates + 63) / 64
+	res := &SimResult{Outputs: make([]*bitstream.Stream, n.NumRegex)}
+	for r := range res.Outputs {
+		res.Outputs[r] = bitstream.New(len(input))
+	}
+	// Precompute byte-class masks: byteMask[b] has bit s set iff state s
+	// consumes byte b.
+	byteMask := make([][]uint64, 256)
+	for c := 0; c < 256; c++ {
+		byteMask[c] = make([]uint64, words)
+	}
+	for s := 1; s < numStates; s++ {
+		cl := n.Class[s]
+		for c := 0; c < 256; c++ {
+			if cl.Contains(byte(c)) {
+				byteMask[c][s/64] |= 1 << (uint(s) % 64)
+			}
+		}
+	}
+	// Follow masks per state.
+	followMask := make([][]uint64, numStates)
+	for s := 0; s < numStates; s++ {
+		m := make([]uint64, words)
+		for _, q := range n.Follow[s] {
+			m[q/64] |= 1 << (uint(q) % 64)
+		}
+		followMask[s] = m
+	}
+	// Accept mask (any regex) and per-state accept lists for reporting.
+	acceptAny := make([]uint64, words)
+	for s := 0; s < numStates; s++ {
+		if len(n.AcceptOf[s]) > 0 {
+			acceptAny[s/64] |= 1 << (uint(s) % 64)
+		}
+	}
+
+	// Nullable regexes match (length zero) at every position.
+	for r, nullable := range n.NullableOf {
+		if nullable {
+			for i := 0; i < len(input); i++ {
+				res.Outputs[r].Set(i)
+			}
+		}
+	}
+
+	active := make([]uint64, words)
+	pending := make([]uint64, words)
+	for i, c := range input {
+		res.Stats.Symbols++
+		for w := range pending {
+			pending[w] = 0
+		}
+		// Expand follow sets of active states; the start state (bit 0) is
+		// always active (unanchored matching).
+		active[0] |= 1
+		for w, a := range active {
+			for a != 0 {
+				b := bits.TrailingZeros64(a)
+				a &= a - 1
+				s := w*64 + b
+				res.Stats.FollowFetches++
+				fm := followMask[s]
+				for k := range pending {
+					pending[k] |= fm[k]
+				}
+			}
+		}
+		// Filter by the byte's class membership.
+		bm := byteMask[c]
+		frontier := 0
+		anyAccept := false
+		for w := range pending {
+			pending[w] &= bm[w]
+			frontier += bits.OnesCount64(pending[w])
+			if pending[w]&acceptAny[w] != 0 {
+				anyAccept = true
+			}
+		}
+		res.Stats.Activations += int64(frontier)
+		if frontier > res.Stats.MaxFrontier {
+			res.Stats.MaxFrontier = frontier
+		}
+		if anyAccept {
+			for w := range pending {
+				hits := pending[w] & acceptAny[w]
+				for hits != 0 {
+					b := bits.TrailingZeros64(hits)
+					hits &= hits - 1
+					s := w*64 + b
+					for _, r := range n.AcceptOf[s] {
+						if !res.Outputs[r].Test(i) {
+							res.Outputs[r].Set(i)
+							res.Stats.Matches++
+						}
+					}
+				}
+			}
+		}
+		active, pending = pending, active
+	}
+	return res
+}

@@ -1,0 +1,212 @@
+package passes
+
+import "bitgen/internal/ir"
+
+// MergeOptions control barrier merging.
+type MergeOptions struct {
+	// MergeSize is the maximum number of SHIFT instructions sharing one
+	// barrier pair (the paper's tunable "merge size"; its effective value
+	// is bounded by shared-memory capacity, which the engine enforces).
+	// Zero means 8, the paper's default.
+	MergeSize int
+}
+
+// MergeBarriers implements Section 5.3: it schedules SHIFT instructions as
+// early as their operands allow, co-locates groups of up to MergeSize
+// shifts, and records the groups in the program's BarrierSchedule so the
+// interleaved executor charges one barrier pair per group. Shifts of the
+// same source within a group share a single shared-memory copy
+// (redundant-copy elimination). Statements are physically reordered; the
+// transformation preserves semantics (dependencies are respected).
+func MergeBarriers(p *ir.Program, opts MergeOptions) *ir.BarrierSchedule {
+	if opts.MergeSize == 0 {
+		opts.MergeSize = 8
+	}
+	sched := &ir.BarrierSchedule{MergeSize: opts.MergeSize}
+	mergeBody(p, &p.Stmts, opts, sched)
+	p.Barriers = sched
+	return sched
+}
+
+func mergeBody(p *ir.Program, body *[]ir.Stmt, opts MergeOptions, sched *ir.BarrierSchedule) {
+	for _, s := range *body {
+		switch x := s.(type) {
+		case *ir.If:
+			mergeBody(p, &x.Body, opts, sched)
+		case *ir.While:
+			mergeBody(p, &x.Body, opts, sched)
+		}
+	}
+	// Process maximal runs of assignments. Guards end a run: moving a
+	// statement across a guard would change what the guard skips.
+	start := 0
+	for i := 0; i <= len(*body); i++ {
+		isAssign := false
+		if i < len(*body) {
+			_, isAssign = (*body)[i].(*ir.Assign)
+		}
+		if isAssign {
+			continue
+		}
+		if i > start {
+			mergeRun(body, start, i, opts, sched)
+		}
+		start = i + 1
+	}
+}
+
+// mergeRun schedules the shifts of one straight-line run as early as their
+// operands allow (clustering them with shifts already placed there), then
+// groups consecutive shifts up to the merge size, as in Figure 9.
+func mergeRun(body *[]ir.Stmt, start, end int, opts MergeOptions, sched *ir.BarrierSchedule) {
+	orig := make([]*ir.Assign, 0, end-start)
+	for _, s := range (*body)[start:end] {
+		orig = append(orig, s.(*ir.Assign))
+	}
+	// Reject runs with variable redefinition: reordering is only safe in
+	// single-assignment runs (the lowering emits SSA-shaped straight-line
+	// code except for loop-carried variables, which live in loop bodies).
+	seen := make(map[ir.VarID]bool)
+	for _, a := range orig {
+		if seen[a.Dst] {
+			return
+		}
+		seen[a.Dst] = true
+	}
+
+	// Deferred scheduling: shifts are held back until their first use,
+	// then either merged upward into the current barrier group (when
+	// their operands were already available at the group's position) or
+	// placed as a new group leader — the paper's greedy algorithm.
+	// Shifts with no use inside the run (output-producing shifts, values
+	// consumed by later segments) are NOT deferred: moving them to the
+	// run's end would stretch zero paths across unrelated regexes'
+	// code and poison ZBS validation.
+	usedInRun := make(map[ir.VarID]bool)
+	for _, a := range orig {
+		for _, v := range ir.Operands(a.Expr) {
+			usedInRun[v] = true
+		}
+	}
+	newOrder := make([]*ir.Assign, 0, len(orig))
+	definedAt := make(map[ir.VarID]int) // index in newOrder
+	pendingShift := make(map[ir.VarID]*ir.Assign)
+	type group struct {
+		leaderPos int
+		lastPos   int
+		size      int
+	}
+	var cur *group
+	insertAt := func(pos int, a *ir.Assign) {
+		newOrder = append(newOrder, nil)
+		copy(newOrder[pos+1:], newOrder[pos:])
+		newOrder[pos] = a
+		for v, idx := range definedAt {
+			if idx >= pos {
+				definedAt[v] = idx + 1
+			}
+		}
+		definedAt[a.Dst] = pos
+	}
+	var flushShift func(a *ir.Assign)
+	flushShift = func(a *ir.Assign) {
+		delete(pendingShift, a.Dst)
+		for _, v := range ir.Operands(a.Expr) {
+			if dep, ok := pendingShift[v]; ok {
+				flushShift(dep)
+			}
+		}
+		if cur != nil && cur.size < opts.MergeSize && operandsBefore(a, definedAt, cur.leaderPos) {
+			insertAt(cur.lastPos+1, a)
+			cur.lastPos++
+			cur.size++
+			return
+		}
+		newOrder = append(newOrder, a)
+		definedAt[a.Dst] = len(newOrder) - 1
+		cur = &group{leaderPos: len(newOrder) - 1, lastPos: len(newOrder) - 1, size: 1}
+	}
+	for _, a := range orig {
+		if _, isShift := a.Expr.(ir.Shift); isShift && usedInRun[a.Dst] {
+			pendingShift[a.Dst] = a
+			continue
+		}
+		for _, v := range ir.Operands(a.Expr) {
+			if dep, ok := pendingShift[v]; ok {
+				flushShift(dep)
+			}
+		}
+		if isShiftAssign(a) {
+			// Un-deferred shift: schedule it here, still merging with the
+			// current group when possible.
+			flushShift(a)
+			continue
+		}
+		newOrder = append(newOrder, a)
+		definedAt[a.Dst] = len(newOrder) - 1
+	}
+	if len(pendingShift) > 0 {
+		// Should not happen (every deferred shift has an in-run use), but
+		// flush defensively in original order.
+		for _, a := range orig {
+			if _, still := pendingShift[a.Dst]; still && isShiftAssign(a) {
+				flushShift(a)
+			}
+		}
+	}
+
+	for i, a := range newOrder {
+		(*body)[start+i] = a
+	}
+
+	groupAdjacent(newOrder, opts, sched)
+}
+
+// operandsBefore reports whether every operand of a is defined strictly
+// before position pos (external definitions count as position -1).
+func operandsBefore(a *ir.Assign, definedAt map[ir.VarID]int, pos int) bool {
+	for _, v := range ir.Operands(a.Expr) {
+		if idx, ok := definedAt[v]; ok && idx >= pos {
+			return false
+		}
+	}
+	return true
+}
+
+func isShiftAssign(a *ir.Assign) bool {
+	_, ok := a.Expr.(ir.Shift)
+	return ok
+}
+
+// groupAdjacent records runs of adjacent shifts as barrier groups.
+func groupAdjacent(newOrder []*ir.Assign, opts MergeOptions, sched *ir.BarrierSchedule) {
+	// Group consecutive shifts, chunked by the merge size; count the
+	// shared-memory copies saved by duplicate sources within a group.
+	var cur []*ir.Assign
+	flushGroup := func() {
+		if len(cur) >= 2 {
+			sched.Groups = append(sched.Groups, cur)
+			srcs := make(map[ir.VarID]bool)
+			for _, m := range cur {
+				if sh, ok := m.Expr.(ir.Shift); ok {
+					if srcs[sh.Src] {
+						sched.DedupedCopies++
+					}
+					srcs[sh.Src] = true
+				}
+			}
+		}
+		cur = nil
+	}
+	for _, a := range newOrder {
+		if _, isShift := a.Expr.(ir.Shift); isShift {
+			if len(cur) == opts.MergeSize {
+				flushGroup()
+			}
+			cur = append(cur, a)
+			continue
+		}
+		flushGroup()
+	}
+	flushGroup()
+}

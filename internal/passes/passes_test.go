@@ -1,0 +1,267 @@
+package passes
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bitgen/internal/charclass"
+	"bitgen/internal/dfg"
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/kernel"
+	"bitgen/internal/lower"
+	"bitgen/internal/rx"
+	"bitgen/internal/transpose"
+)
+
+// runInterp interprets a program over an input.
+func runInterp(t *testing.T, p *ir.Program, input []byte) map[string]string {
+	t.Helper()
+	res, err := ir.Interpret(p, transpose.Transpose(input), ir.InterpOptions{HonorGuards: false})
+	if err != nil {
+		t.Fatalf("interpret: %v\n%s", err, p)
+	}
+	out := make(map[string]string)
+	for name, s := range res.Outputs {
+		out[name] = s.String()
+	}
+	return out
+}
+
+func mustEqualOutputs(t *testing.T, a, b map[string]string, context string) {
+	t.Helper()
+	for name, s := range a {
+		if b[name] != s {
+			t.Fatalf("%s: output %s changed:\n before %s\n after  %s", context, name, s, b[name])
+		}
+	}
+}
+
+// buildABB builds Figure 8's program for /abb/:
+// B4 = ((B1 >> 1 & B2) >> 1) & B3 as a chain.
+func buildABB() *ir.Program {
+	b := ir.NewBuilder()
+	b1 := b.MatchClass(charclass.Single('a'))
+	b2 := b.MatchClass(charclass.Single('b'))
+	b3 := b.MatchClass(charclass.Single('b'))
+	_ = b3 // same class: cached to b2
+	s5 := b.Advance(b1, 1)
+	s6 := b.And(s5, b2)
+	s7 := b.Advance(s6, 1)
+	s4 := b.And(s7, b2)
+	b.Output("abb", s4)
+	return b.Program()
+}
+
+func TestRebalancePreservesSemanticsABB(t *testing.T) {
+	p := buildABB()
+	input := []byte("abb xabb abbb bb abab " + strings.Repeat("ab", 30))
+	before := runInterp(t, p, input)
+	res := Rebalance(p, RebalanceOptions{})
+	if err := ir.Validate(p); err != nil {
+		t.Fatalf("rebalanced program invalid: %v\n%s", err, p)
+	}
+	if res.Rewrites == 0 {
+		t.Fatalf("no rewrites applied to the /abb/ chain\n%s", p)
+	}
+	after := runInterp(t, p, input)
+	mustEqualOutputs(t, before, after, "rebalance")
+}
+
+func TestRebalanceShortensCriticalPath(t *testing.T) {
+	// Figure 8: the chain depth through the final AND drops after
+	// rebalancing (shifts move onto the shallow CC operands).
+	p := buildABB()
+	depthOfOutput := func(p *ir.Program) int {
+		depths := dfg.Depths(p)
+		var want ir.VarID = p.Outputs[0].Var
+		best := -1
+		ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+			if a, ok := s.(*ir.Assign); ok && a.Dst == want {
+				best = depths[a]
+			}
+		})
+		return best
+	}
+	before := depthOfOutput(p)
+	// Give the CC matches depth by rebuilding: in this toy program the CC
+	// streams are at depth>0 already; the interesting metric is the span
+	// from the shift chain.
+	Rebalance(p, RebalanceOptions{})
+	after := depthOfOutput(p)
+	if after > before {
+		t.Fatalf("critical path grew: %d -> %d\n%s", before, after, p)
+	}
+}
+
+func TestRebalanceIntroducesLookbacks(t *testing.T) {
+	p := buildABB()
+	Rebalance(p, RebalanceOptions{})
+	st := ir.CollectStats(p)
+	neg := 0
+	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+		if a, ok := s.(*ir.Assign); ok {
+			if sh, ok := a.Expr.(ir.Shift); ok && sh.K < 0 {
+				neg++
+			}
+		}
+	})
+	if neg == 0 {
+		t.Fatalf("expected counter-shifts (<<) after rebalancing; stats %+v\n%s", st, p)
+	}
+}
+
+func TestMergeBarriersSchedule(t *testing.T) {
+	// abb after rebalancing has independent shifts on CC streams that can
+	// share one barrier pair (Figure 9).
+	p := buildABB()
+	Rebalance(p, RebalanceOptions{})
+	sched := MergeBarriers(p, MergeOptions{MergeSize: 8})
+	if len(sched.Groups) == 0 {
+		t.Fatalf("no merged groups\n%s", p)
+	}
+	if err := ir.Validate(p); err != nil {
+		t.Fatalf("merged program invalid: %v\n%s", err, p)
+	}
+	input := []byte("abb xabb abbb bb abab")
+	after := runInterp(t, p, input)
+	fresh := buildABB()
+	before := runInterp(t, fresh, input)
+	mustEqualOutputs(t, before, after, "merge")
+}
+
+func TestMergeReducesExecutorBarriers(t *testing.T) {
+	grid := gpusim.Grid{CTAs: 1, Threads: 4, UnitBits: 32, UnitsPerThread: 1}
+	input := []byte(strings.Repeat("the quick brown fox jumps over cdefg ", 20))
+	build := func() *ir.Program { return lower.MustSingle("re", "abcde|cdefg") }
+
+	plain := build()
+	res1, err := kernel.Run(plain, transpose.Transpose(input), kernel.Config{Grid: grid, Mode: kernel.ModeDTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := build()
+	Rebalance(merged, RebalanceOptions{})
+	MergeBarriers(merged, MergeOptions{MergeSize: 8})
+	res2, err := kernel.Run(merged, transpose.Transpose(input), kernel.Config{Grid: grid, Mode: kernel.ModeDTM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Outputs["re"].Equal(res2.Outputs["re"]) {
+		t.Fatal("merged program changed results")
+	}
+	if res2.Stats.ShiftBarriers >= res1.Stats.ShiftBarriers {
+		t.Errorf("merge did not reduce shift barriers: %d vs %d",
+			res2.Stats.ShiftBarriers, res1.Stats.ShiftBarriers)
+	}
+}
+
+func TestMergeSizeSweepMonotone(t *testing.T) {
+	grid := gpusim.Grid{CTAs: 1, Threads: 4, UnitBits: 32, UnitsPerThread: 1}
+	input := []byte(strings.Repeat("abcdefghij", 40))
+	var prev int64 = -1
+	for _, ms := range []int{1, 4, 16, 32} {
+		p := lower.MustSingle("re", "abcdefgh")
+		Rebalance(p, RebalanceOptions{})
+		MergeBarriers(p, MergeOptions{MergeSize: ms})
+		res, err := kernel.Run(p, transpose.Transpose(input), kernel.Config{Grid: grid, Mode: kernel.ModeDTM})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Stats.ShiftBarriers > prev {
+			t.Errorf("merge size %d increased barriers: %d > %d", ms, res.Stats.ShiftBarriers, prev)
+		}
+		prev = res.Stats.ShiftBarriers
+	}
+}
+
+func TestInsertGuardsFindsPathsAndPreservesSemantics(t *testing.T) {
+	p := lower.MustSingle("re", "abcdefgh|q")
+	input := []byte(strings.Repeat("no hits here... abcdefgh! ", 15))
+	before := runInterp(t, p, input)
+	res := InsertGuards(p, ZBSOptions{Interval: 2})
+	if res.PathsFound == 0 || res.GuardsInserted == 0 {
+		t.Fatalf("ZBS found %d paths, inserted %d guards\n%s", res.PathsFound, res.GuardsInserted, p)
+	}
+	if err := ir.Validate(p); err != nil {
+		t.Fatalf("guarded program invalid: %v\n%s", err, p)
+	}
+	after := runInterp(t, p, input)
+	mustEqualOutputs(t, before, after, "zbs-plain")
+
+	// Guarded interpretation must agree too.
+	resG, err := ir.Interpret(p, transpose.Transpose(input), ir.InterpOptions{HonorGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range before {
+		if resG.Outputs[name].String() != s {
+			t.Fatalf("honored guards changed output %s", name)
+		}
+	}
+}
+
+func TestGuardsSkipOnMismatchInput(t *testing.T) {
+	grid := gpusim.Grid{CTAs: 1, Threads: 4, UnitBits: 32, UnitsPerThread: 1}
+	p := lower.MustSingle("re", "zebraquagga")
+	InsertGuards(p, ZBSOptions{})
+	input := []byte(strings.Repeat("nothing to see here, move along. ", 20))
+	res, err := kernel.Run(p, transpose.Transpose(input), kernel.Config{Grid: grid, Mode: kernel.ModeDTM, HonorGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.GuardSkips == 0 {
+		t.Fatalf("no guard skips on all-mismatch input (checks=%d)\n%s", res.Stats.GuardChecks, p)
+	}
+	if res.Outputs["re"].Any() {
+		t.Fatal("false match")
+	}
+}
+
+func TestFullPipelineRandomEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized pass equivalence")
+	}
+	rng := rand.New(rand.NewSource(20250706))
+	alphabet := []byte("abcd")
+	grid := gpusim.Grid{CTAs: 1, Threads: 4, UnitBits: 32, UnitsPerThread: 1}
+	for trial := 0; trial < 80; trial++ {
+		ast := rx.Generate(rng, rx.GenOptions{MaxDepth: 3, Alphabet: alphabet, MaxRepeat: 3})
+		p, err := lower.Group([]lower.Regex{{Name: "re", AST: ast}}, lower.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 40 + rng.Intn(120)
+		input := make([]byte, n)
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		want := runInterp(t, p, input)
+
+		Rebalance(p, RebalanceOptions{})
+		if err := ir.Validate(p); err != nil {
+			t.Fatalf("trial %d (%q): rebalance broke validity: %v", trial, ast.String(), err)
+		}
+		MergeBarriers(p, MergeOptions{MergeSize: 4})
+		if err := ir.Validate(p); err != nil {
+			t.Fatalf("trial %d (%q): merge broke validity: %v", trial, ast.String(), err)
+		}
+		InsertGuards(p, ZBSOptions{Interval: 3})
+		if err := ir.Validate(p); err != nil {
+			t.Fatalf("trial %d (%q): zbs broke validity: %v", trial, ast.String(), err)
+		}
+		got := runInterp(t, p, input)
+		mustEqualOutputs(t, want, got, "pipeline "+ast.String())
+
+		// And through the interleaved executor with guards honored.
+		res, err := kernel.Run(p, transpose.Transpose(input), kernel.Config{Grid: grid, Mode: kernel.ModeDTM, HonorGuards: true})
+		if err != nil {
+			t.Fatalf("trial %d (%q): executor: %v", trial, ast.String(), err)
+		}
+		if res.Outputs["re"].String() != want["re"] {
+			t.Fatalf("trial %d (%q) input %q: executor diverges:\n got  %s\n want %s",
+				trial, ast.String(), input, res.Outputs["re"], want["re"])
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package passes implements BitGen's program transformations: Shift
+// Rebalancing with barrier merging (Section 5) and Zero Block Skipping
+// guard insertion (Section 6). All passes preserve whole-stream semantics;
+// the test suite verifies transformed programs against the interpreter.
+package passes
+
+import (
+	"bitgen/internal/dfg"
+	"bitgen/internal/ir"
+)
+
+// RebalanceOptions control the Shift Rebalancing pass.
+type RebalanceOptions struct {
+	// MaxIterations bounds the rewrite fixpoint; zero means 16.
+	MaxIterations int
+}
+
+// RebalanceResult reports what the pass did.
+type RebalanceResult struct {
+	// Rewrites counts applied operand rewrites.
+	Rewrites int
+	// Iterations is how many fixpoint rounds ran.
+	Iterations int
+}
+
+// Rebalance applies the operand-rewriting transformation of Section 5.2 to
+// every straight-line run of the program: for an AND whose one operand is a
+// freshly shifted value and whose other operand is topologically shallower,
+//
+//	(A >> n) & B   →   (A & (B << n)) >> n
+//
+// moving the shift off the critical path onto the earlier-available
+// operand. The rewrite is applied iteratively until a fixpoint. Only
+// top-level and straight-line-body runs of assignments are transformed;
+// control-flow bodies are processed independently.
+func Rebalance(p *ir.Program, opts RebalanceOptions) RebalanceResult {
+	if opts.MaxIterations == 0 {
+		// Each round applies at least one rewrite per straight-line run;
+		// long literal chains (ClamAV signatures run to hundreds of
+		// characters) need proportionally many rounds to reach the
+		// balanced Figure-8 form.
+		n := 0
+		ir.WalkStmts(p.Stmts, func(ir.Stmt) { n++ })
+		opts.MaxIterations = 4*n + 64
+	}
+	var res RebalanceResult
+	for round := 0; round < opts.MaxIterations; round++ {
+		res.Iterations++
+		changed := rebalanceBody(p, &p.Stmts, &res)
+		if fuseShiftChains(p, &p.Stmts) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	// Rewrites leave the original single-use shifts dead; sweep them.
+	EliminateDeadCode(p)
+	return res
+}
+
+// fuseShiftChains composes same-direction shift pairs: a single-use
+// X = A >> a feeding Y = X >> b becomes Y = A >> (a+b) (and likewise for
+// lookbacks). This is the "merged after the last AND" step of Figure 8's
+// second iteration; it is exact on bounded streams only for same-sign
+// shifts, so mixed directions are left alone.
+func fuseShiftChains(p *ir.Program, body *[]ir.Stmt) bool {
+	changed := false
+	for _, s := range *body {
+		switch x := s.(type) {
+		case *ir.If:
+			if fuseShiftChains(p, &x.Body) {
+				changed = true
+			}
+		case *ir.While:
+			if fuseShiftChains(p, &x.Body) {
+				changed = true
+			}
+		}
+	}
+	// Work over maximal assignment runs.
+	uses := make(map[ir.VarID]int)
+	def := make(map[ir.VarID]*ir.Assign)
+	redef := make(map[ir.VarID]bool)
+	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+		switch x := s.(type) {
+		case *ir.Assign:
+			for _, v := range ir.Operands(x.Expr) {
+				uses[v]++
+			}
+			if def[x.Dst] != nil {
+				redef[x.Dst] = true
+			}
+			def[x.Dst] = x
+		case *ir.If:
+			uses[x.Cond]++
+		case *ir.While:
+			uses[x.Cond]++
+		case *ir.Guard:
+			uses[x.Cond]++
+		}
+	})
+	for _, o := range p.Outputs {
+		uses[o.Var]++
+	}
+	ir.WalkStmts(*body, func(s ir.Stmt) {
+		a, ok := s.(*ir.Assign)
+		if !ok {
+			return
+		}
+		outer, ok := a.Expr.(ir.Shift)
+		if !ok {
+			return
+		}
+		innerDef := def[outer.Src]
+		if innerDef == nil || redef[outer.Src] {
+			return
+		}
+		inner, ok := innerDef.Expr.(ir.Shift)
+		if !ok || redef[inner.Src] {
+			return
+		}
+		if (inner.K > 0) != (outer.K > 0) {
+			return // mixed directions do not compose exactly
+		}
+		// Retargeting is always sound: the inner shift stays for any
+		// other users and dead-code elimination removes it if unused.
+		a.Expr = ir.Shift{Src: inner.Src, K: inner.K + outer.K}
+		changed = true
+	})
+	_ = uses
+	return changed
+}
+
+// EliminateDeadCode removes assignments whose results are never read
+// (transitively), keeping outputs, conditions and guard sources alive.
+// It returns the number of statements removed.
+func EliminateDeadCode(p *ir.Program) int {
+	removed := 0
+	for {
+		uses := make(map[ir.VarID]int)
+		ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+			switch x := s.(type) {
+			case *ir.Assign:
+				for _, v := range ir.Operands(x.Expr) {
+					uses[v]++
+				}
+			case *ir.If:
+				uses[x.Cond]++
+			case *ir.While:
+				uses[x.Cond]++
+			case *ir.Guard:
+				uses[x.Cond]++
+			}
+		})
+		for _, o := range p.Outputs {
+			uses[o.Var]++
+		}
+		// A variable assigned more than once (loop-carried) is kept
+		// conservatively: its assignments may feed each other.
+		defs := make(map[ir.VarID]int)
+		ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+			if a, ok := s.(*ir.Assign); ok {
+				defs[a.Dst]++
+			}
+		})
+		n := removeDead(&p.Stmts, uses, defs)
+		if n == 0 {
+			return removed
+		}
+		removed += n
+	}
+}
+
+// removeDead drops dead assignments from a body. Guards whose skip range
+// shrinks are conservatively left intact only when all skipped statements
+// survive; otherwise bodies containing guards are skipped entirely.
+func removeDead(body *[]ir.Stmt, uses map[ir.VarID]int, defs map[ir.VarID]int) int {
+	for _, s := range *body {
+		if _, ok := s.(*ir.Guard); ok {
+			// Removing statements would desynchronize guard skip counts.
+			return removeDeadNested(*body, uses, defs)
+		}
+	}
+	removed := 0
+	kept := (*body)[:0]
+	for _, s := range *body {
+		if a, ok := s.(*ir.Assign); ok {
+			if uses[a.Dst] == 0 && defs[a.Dst] == 1 {
+				removed++
+				continue
+			}
+		}
+		kept = append(kept, s)
+	}
+	*body = kept
+	for _, s := range *body {
+		switch x := s.(type) {
+		case *ir.If:
+			removed += removeDead(&x.Body, uses, defs)
+		case *ir.While:
+			removed += removeDead(&x.Body, uses, defs)
+		}
+	}
+	return removed
+}
+
+// removeDeadNested only recurses into nested bodies (used when the current
+// body contains guards and must keep its statement count).
+func removeDeadNested(body []ir.Stmt, uses map[ir.VarID]int, defs map[ir.VarID]int) int {
+	removed := 0
+	for _, s := range body {
+		switch x := s.(type) {
+		case *ir.If:
+			removed += removeDead(&x.Body, uses, defs)
+		case *ir.While:
+			removed += removeDead(&x.Body, uses, defs)
+		}
+	}
+	return removed
+}
+
+func rebalanceBody(p *ir.Program, body *[]ir.Stmt, res *RebalanceResult) bool {
+	changed := false
+	// Recurse into nested bodies first.
+	for _, s := range *body {
+		switch x := s.(type) {
+		case *ir.If:
+			if rebalanceBody(p, &x.Body, res) {
+				changed = true
+			}
+		case *ir.While:
+			if rebalanceBody(p, &x.Body, res) {
+				changed = true
+			}
+		}
+	}
+	// Process the maximal runs of assignments in this body.
+	start := 0
+	for i := 0; i <= len(*body); i++ {
+		atEnd := i == len(*body)
+		var isAssign bool
+		if !atEnd {
+			_, isAssign = (*body)[i].(*ir.Assign)
+		}
+		if !atEnd && isAssign {
+			continue
+		}
+		if i > start {
+			if rebalanceRun(p, body, start, i, res) {
+				changed = true
+			}
+		}
+		start = i + 1
+	}
+	return changed
+}
+
+// rebalanceRun rewrites one straight-line run (*body)[start:end).
+func rebalanceRun(p *ir.Program, body *[]ir.Stmt, start, end int, res *RebalanceResult) bool {
+	run := make([]*ir.Assign, 0, end-start)
+	for _, s := range (*body)[start:end] {
+		run = append(run, s.(*ir.Assign))
+	}
+	// Count uses of each variable within the run, and identify the single
+	// defining statement of shift values (rewriting is only safe when the
+	// shifted value has exactly one use: the AND we are rewriting).
+	uses := make(map[ir.VarID]int)
+	defIdx := make(map[ir.VarID]int)
+	redefined := make(map[ir.VarID]bool)
+	for idx, a := range run {
+		for _, v := range ir.Operands(a.Expr) {
+			uses[v]++
+		}
+		if _, dup := defIdx[a.Dst]; dup {
+			redefined[a.Dst] = true
+		}
+		defIdx[a.Dst] = idx
+	}
+	// Variables used outside this run (later program text) must not have
+	// their defining expressions repurposed. Conservatively count output
+	// uses as external.
+	external := externalUses(p, body, start, end)
+
+	varDepth := dfg.VarDepthsAt(run, p.NumVars)
+	changed := false
+	for idx, a := range run {
+		bin, ok := a.Expr.(ir.Bin)
+		if !ok || bin.Op != ir.OpAnd {
+			continue
+		}
+		// Identify a shift-defined operand within this run.
+		tryRewrite := func(shiftVar, other ir.VarID) bool {
+			sIdx, ok := defIdx[shiftVar]
+			if !ok || sIdx >= idx || redefined[shiftVar] {
+				return false
+			}
+			sh, ok := run[sIdx].Expr.(ir.Shift)
+			if !ok {
+				return false
+			}
+			if uses[shiftVar] != 1 || external[shiftVar] || redefined[shiftVar] {
+				return false
+			}
+			// The new statements read sh.Src and other at this position;
+			// their values must equal those at their original reads.
+			if redefined[other] || redefined[sh.Src] {
+				return false
+			}
+			// Profitable when the shift's source is deeper than the other
+			// operand: moving the shift to the shallower side shortens the
+			// critical path (Section 5.2's x > y condition).
+			if varDepth[sh.Src] <= varDepth[other] {
+				return false
+			}
+			// Rewrite: D = (A >> k) & B  →
+			//   counter = B << k; inner = A & counter; D = inner >> k.
+			// The old shift becomes dead (single use) and is removed by
+			// dead-code elimination; the barrier-merge pass later hoists
+			// the counter-shift to where B is available.
+			counter := p.NewVar()
+			inner := p.NewVar()
+			a.Expr = ir.Shift{Src: inner, K: sh.K}
+			pre := []ir.Stmt{
+				&ir.Assign{Dst: counter, Expr: ir.Shift{Src: other, K: -sh.K}},
+				&ir.Assign{Dst: inner, Expr: ir.Bin{Op: ir.OpAnd, X: sh.Src, Y: counter}},
+			}
+			pos := start + idx
+			*body = append(*body, nil, nil)
+			copy((*body)[pos+2:], (*body)[pos:len(*body)-2])
+			(*body)[pos] = pre[0]
+			(*body)[pos+1] = pre[1]
+			res.Rewrites++
+			return true
+		}
+		if tryRewrite(bin.X, bin.Y) || tryRewrite(bin.Y, bin.X) {
+			changed = true
+			break // indices shifted; restart this run next round
+		}
+	}
+	return changed
+}
+
+// externalUses reports variables defined in (*body)[start:end) that are
+// read anywhere outside that range (including outputs and conditions).
+func externalUses(p *ir.Program, body *[]ir.Stmt, start, end int) map[ir.VarID]bool {
+	inRange := make(map[ir.Stmt]bool)
+	for _, s := range (*body)[start:end] {
+		inRange[s] = true
+	}
+	ext := make(map[ir.VarID]bool)
+	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+		if inRange[s] {
+			return
+		}
+		switch x := s.(type) {
+		case *ir.Assign:
+			for _, v := range ir.Operands(x.Expr) {
+				ext[v] = true
+			}
+		case *ir.If:
+			ext[x.Cond] = true
+		case *ir.While:
+			ext[x.Cond] = true
+		case *ir.Guard:
+			ext[x.Cond] = true
+		}
+	})
+	for _, o := range p.Outputs {
+		ext[o.Var] = true
+	}
+	return ext
+}

@@ -1,0 +1,220 @@
+package passes
+
+import (
+	"bitgen/internal/dfg"
+	"bitgen/internal/ir"
+)
+
+// ZBSOptions control Zero Block Skipping guard insertion.
+type ZBSOptions struct {
+	// Interval is the spacing of additional guards along a zero path
+	// (Section 6's interval size). Zero means 8, the paper's default.
+	Interval int
+	// MinSkip is the minimum number of skipped statements for a guard to
+	// be worth its check; zero means 2.
+	MinSkip int
+}
+
+// ZBSResult reports what the pass did.
+type ZBSResult struct {
+	// PathsFound is the number of zero paths discovered.
+	PathsFound int
+	// GuardsInserted is the number of guards placed.
+	GuardsInserted int
+	// Rejected counts insertion attempts that failed validation (a
+	// skipped non-path instruction defines a variable used outside the
+	// skipped range).
+	Rejected int
+}
+
+// InsertGuards implements Section 6: it finds zero paths in every
+// straight-line run, validates candidate guard positions, and inserts
+// conditional skips at the path head and every Interval instructions along
+// the path. When a guard triggers at runtime (its condition block is
+// all-zero), the executor skips the covered statements and zeroes their
+// destinations — sound because on-path values are guaranteed zero and
+// validated non-path values are dead outside the range.
+func InsertGuards(p *ir.Program, opts ZBSOptions) ZBSResult {
+	if opts.Interval == 0 {
+		opts.Interval = 8
+	}
+	if opts.MinSkip == 0 {
+		opts.MinSkip = 2
+	}
+	var res ZBSResult
+	ext := globalUses(p)
+	guardBody(p, &p.Stmts, opts, &res, ext)
+	return res
+}
+
+// globalUses records, per variable, every textual use in the program plus
+// outputs (used to decide whether a skipped definition escapes its range).
+// A nil entry marks an output use.
+func globalUses(p *ir.Program) map[ir.VarID][]ir.Stmt {
+	uses := make(map[ir.VarID][]ir.Stmt)
+	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+		switch x := s.(type) {
+		case *ir.Assign:
+			for _, v := range ir.Operands(x.Expr) {
+				uses[v] = append(uses[v], s)
+			}
+		case *ir.If:
+			uses[x.Cond] = append(uses[x.Cond], s)
+		case *ir.While:
+			uses[x.Cond] = append(uses[x.Cond], s)
+		case *ir.Guard:
+			uses[x.Cond] = append(uses[x.Cond], s)
+		}
+	})
+	for _, o := range p.Outputs {
+		uses[o.Var] = append(uses[o.Var], nil)
+	}
+	return uses
+}
+
+// insertion describes one guard to place: right after `after`, skipping
+// through `last`, conditioned on `cond`.
+type insertion struct {
+	after *ir.Assign
+	last  *ir.Assign
+	cond  ir.VarID
+}
+
+func guardBody(p *ir.Program, body *[]ir.Stmt, opts ZBSOptions, res *ZBSResult, ext map[ir.VarID][]ir.Stmt) {
+	for _, s := range *body {
+		switch x := s.(type) {
+		case *ir.If:
+			guardBody(p, &x.Body, opts, res, ext)
+		case *ir.While:
+			guardBody(p, &x.Body, opts, res, ext)
+		}
+	}
+	var inserts []insertion
+	var run []*ir.Assign
+	flush := func() {
+		if len(run) > 1 {
+			inserts = append(inserts, planRunGuards(run, p.NumVars, opts, res, ext)...)
+		}
+		run = nil
+	}
+	for _, s := range *body {
+		if a, ok := s.(*ir.Assign); ok {
+			run = append(run, a)
+			continue
+		}
+		flush()
+	}
+	flush()
+	if len(inserts) == 0 {
+		return
+	}
+	// Rebuild the body with guards placed after their anchor statements.
+	byAnchor := make(map[*ir.Assign][]insertion)
+	for _, ins := range inserts {
+		byAnchor[ins.after] = append(byAnchor[ins.after], ins)
+	}
+	rebuilt := make([]ir.Stmt, 0, len(*body)+len(inserts))
+	guardOf := make(map[*ir.Guard]*ir.Assign)
+	for _, s := range *body {
+		rebuilt = append(rebuilt, s)
+		if a, ok := s.(*ir.Assign); ok {
+			for _, ins := range byAnchor[a] {
+				g := &ir.Guard{Cond: ins.cond, Skip: 1}
+				guardOf[g] = ins.last
+				rebuilt = append(rebuilt, g)
+				res.GuardsInserted++
+			}
+		}
+	}
+	// Fix skip counts now that final positions are known.
+	pos := make(map[ir.Stmt]int, len(rebuilt))
+	for i, s := range rebuilt {
+		pos[s] = i
+	}
+	kept := rebuilt[:0]
+	for _, s := range rebuilt {
+		if g, ok := s.(*ir.Guard); ok {
+			if target, tracked := guardOf[g]; tracked {
+				tp, ok := pos[target]
+				if !ok || tp <= pos[g] {
+					continue // degenerate: drop the guard
+				}
+				g.Skip = tp - pos[g]
+			}
+		}
+		kept = append(kept, s)
+	}
+	*body = kept
+}
+
+// planRunGuards finds valid guard insertions for one straight-line run.
+func planRunGuards(run []*ir.Assign, numVars int, opts ZBSOptions, res *ZBSResult, ext map[ir.VarID][]ir.Stmt) []insertion {
+	var out []insertion
+	taken := make(map[*ir.Assign]bool)
+	paths := dfg.ZeroPaths(run, numVars)
+	res.PathsFound += len(paths)
+	for _, path := range paths {
+		endIdx := path.Stmts[len(path.Stmts)-1]
+		onPath := make(map[int]bool, len(path.Stmts)+1)
+		onPath[path.Head] = true
+		for _, idx := range path.Stmts {
+			onPath[idx] = true
+		}
+		candidates := []int{path.Head}
+		for j := opts.Interval; j < len(path.Stmts); j += opts.Interval {
+			candidates = append(candidates, path.Stmts[j-1])
+		}
+		for _, condPos := range candidates {
+			// Advance past rejections, as the paper's algorithm does.
+			for condPos < endIdx {
+				if validSkipRange(run, condPos+1, endIdx, onPath, ext) {
+					break
+				}
+				res.Rejected++
+				next := -1
+				for _, idx := range path.Stmts {
+					if idx > condPos && idx < endIdx {
+						next = idx
+						break
+					}
+				}
+				if next == -1 {
+					condPos = endIdx // no valid start: give up on this candidate
+					break
+				}
+				condPos = next
+			}
+			if condPos >= endIdx || endIdx-condPos < opts.MinSkip {
+				continue
+			}
+			anchor := run[condPos]
+			if taken[anchor] {
+				continue
+			}
+			taken[anchor] = true
+			out = append(out, insertion{after: anchor, last: run[endIdx], cond: anchor.Dst})
+		}
+	}
+	return out
+}
+
+// validSkipRange checks the paper's rejection rule: every non-path
+// statement inside the candidate range must not define a variable used
+// outside the range.
+func validSkipRange(run []*ir.Assign, from, to int, onPath map[int]bool, ext map[ir.VarID][]ir.Stmt) bool {
+	inRange := make(map[ir.Stmt]bool, to-from+1)
+	for i := from; i <= to; i++ {
+		inRange[run[i]] = true
+	}
+	for i := from; i <= to; i++ {
+		if onPath[i] {
+			continue // on-path values are provably zero when skipped
+		}
+		for _, use := range ext[run[i].Dst] {
+			if use == nil || !inRange[use] {
+				return false
+			}
+		}
+	}
+	return true
+}

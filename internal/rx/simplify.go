@@ -1,0 +1,120 @@
+package rx
+
+import "bitgen/internal/charclass"
+
+// Simplify returns a semantically-equivalent, normalized AST:
+//
+//   - nested concatenations and alternations are flattened;
+//   - alternations of single-byte-class alternatives merge into one class
+//     ((a|b|[cd]) → [a-d]), shrinking the lowered program;
+//   - duplicate alternatives are removed;
+//   - degenerate repetitions collapse (x{1} → x, x{0,} → x*, x{1,} → x+,
+//     (x*)* → x*, (x?)? → x?, (x+)+ → x+, (x*)? → x*, (x?)* → x*);
+//   - empty concatenations inside operators fold away.
+//
+// The pass is idempotent and preserves all-match end-position semantics
+// (property-tested against the stdlib oracle).
+func Simplify(n Node) Node {
+	switch x := n.(type) {
+	case CC:
+		return x
+	case Concat:
+		parts := make([]Node, 0, len(x.Parts))
+		for _, p := range x.Parts {
+			sp := Simplify(p)
+			if inner, ok := sp.(Concat); ok {
+				parts = append(parts, inner.Parts...)
+				continue
+			}
+			parts = append(parts, sp)
+		}
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		return Concat{parts}
+	case Alt:
+		alts := make([]Node, 0, len(x.Alts))
+		for _, a := range x.Alts {
+			sa := Simplify(a)
+			if inner, ok := sa.(Alt); ok {
+				alts = append(alts, inner.Alts...)
+				continue
+			}
+			alts = append(alts, sa)
+		}
+		// Merge single-class alternatives and drop duplicates.
+		var classUnion charclass.Class
+		haveClass := false
+		merged := make([]Node, 0, len(alts))
+		seen := make(map[string]bool)
+		for _, a := range alts {
+			if cc, ok := a.(CC); ok {
+				classUnion = classUnion.Union(cc.Class)
+				haveClass = true
+				continue
+			}
+			key := a.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			merged = append(merged, a)
+		}
+		if haveClass {
+			merged = append([]Node{CC{classUnion}}, merged...)
+		}
+		if len(merged) == 1 {
+			return merged[0]
+		}
+		return Alt{merged}
+	case Star:
+		sub := Simplify(x.Sub)
+		switch inner := sub.(type) {
+		case Star:
+			return inner // (x*)* = x*
+		case Plus:
+			return Star{inner.Sub} // (x+)* = x*
+		case Opt:
+			return Star{inner.Sub} // (x?)* = x*
+		}
+		return Star{sub}
+	case Plus:
+		sub := Simplify(x.Sub)
+		switch inner := sub.(type) {
+		case Star:
+			return inner // (x*)+ = x*
+		case Plus:
+			return inner // (x+)+ = x+
+		case Opt:
+			return Star{inner.Sub} // (x?)+ = x*
+		}
+		return Plus{sub}
+	case Opt:
+		sub := Simplify(x.Sub)
+		switch inner := sub.(type) {
+		case Star:
+			return inner // (x*)? = x*
+		case Opt:
+			return inner // (x?)? = x?
+		case Plus:
+			return Star{inner.Sub} // (x+)? = x*
+		}
+		return Opt{sub}
+	case Repeat:
+		sub := Simplify(x.Sub)
+		switch {
+		case x.Min == 1 && x.Max == 1:
+			return sub
+		case x.Min == 0 && x.Max == Unbounded:
+			return Simplify(Star{sub})
+		case x.Min == 1 && x.Max == Unbounded:
+			return Simplify(Plus{sub})
+		case x.Min == 0 && x.Max == 1:
+			return Simplify(Opt{sub})
+		case x.Min == 0 && x.Max == 0:
+			return Concat{} // matches only the empty string
+		}
+		return Repeat{Sub: sub, Min: x.Min, Max: x.Max}
+	}
+	return n
+}

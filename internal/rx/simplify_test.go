@@ -1,0 +1,96 @@
+package rx
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+func TestSimplifyShapes(t *testing.T) {
+	cases := map[string]string{
+		"a|b|c":       "[a-c]",
+		"(a|b)|(c|d)": "[a-d]",
+		"a{1}":        "a",
+		"a{1,1}":      "a",
+		"a{0,}":       "a*",
+		"a{1,}":       "a+",
+		"a{0,1}":      "a?",
+		"(a*)*":       "a*",
+		"(a+)+":       "a+",
+		"(a?)?":       "a?",
+		"(a*)?":       "a*",
+		"(a?)*":       "a*",
+		"(a+)?":       "a*",
+		"(a?)+":       "a*",
+		"(a*)+":       "a*",
+		"a|a|a":       "a",
+		"(ab)(cd)":    "abcd",
+	}
+	for in, want := range cases {
+		got := Simplify(MustParse(in)).String()
+		if got != want {
+			t.Errorf("Simplify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 200; i++ {
+		n := Generate(rng, GenOptions{MaxDepth: 4})
+		s1 := Simplify(n)
+		s2 := Simplify(s1)
+		if s1.String() != s2.String() {
+			t.Fatalf("not idempotent: %q -> %q -> %q", n.String(), s1.String(), s2.String())
+		}
+	}
+}
+
+func TestSimplifyNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 200; i++ {
+		n := Generate(rng, GenOptions{MaxDepth: 4})
+		before := countNodes(n)
+		after := countNodes(Simplify(n))
+		if after > before {
+			t.Fatalf("simplify grew %q: %d -> %d nodes", n.String(), before, after)
+		}
+	}
+}
+
+func countNodes(n Node) int {
+	c := 0
+	Walk(n, func(Node) { c++ })
+	return c
+}
+
+// TestSimplifyPreservesLanguage checks semantic equivalence via the Go
+// regexp oracle on exhaustive short strings.
+func TestSimplifyPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	alphabet := []byte("ab")
+	for trial := 0; trial < 150; trial++ {
+		n := Generate(rng, GenOptions{MaxDepth: 3, Alphabet: alphabet, MaxRepeat: 3})
+		s := Simplify(n)
+		re1, err1 := regexp.Compile("^(?:" + ToGoRegexp(n) + ")$")
+		re2, err2 := regexp.Compile("^(?:" + ToGoRegexp(s) + ")$")
+		if err1 != nil || err2 != nil {
+			t.Fatalf("oracle compile: %v %v", err1, err2)
+		}
+		// All strings over {a,b} up to length 6.
+		var walk func(prefix []byte)
+		walk = func(prefix []byte) {
+			if re1.Match(prefix) != re2.Match(prefix) {
+				t.Fatalf("simplify changed language of %q (-> %q) on %q",
+					n.String(), s.String(), prefix)
+			}
+			if len(prefix) == 6 {
+				return
+			}
+			for _, c := range alphabet {
+				walk(append(prefix, c))
+			}
+		}
+		walk(nil)
+	}
+}

@@ -1,0 +1,77 @@
+// Package transpose converts a byte stream into the eight basis bitstreams
+// of the Parabix representation and back.
+//
+// Basis bitstream b_j holds bit j of every input byte: following the paper's
+// convention, b_0 carries the most significant bit (so the ASCII byte
+// 01100001 for 'a' sets b_1, b_2 and b_7 at that position). The transpose is
+// the preprocessing kernel the paper runs on the GPU before bitstream
+// execution; here it is a pure CPU routine that the simulator charges for.
+package transpose
+
+import (
+	"fmt"
+
+	"bitgen/internal/bitstream"
+)
+
+// NumBasis is the number of basis bitstreams (one per bit of a byte).
+const NumBasis = 8
+
+// Basis holds the eight transposed bitstreams of an input. Basis[0] is the
+// most significant bit of each byte.
+type Basis struct {
+	Streams [NumBasis]*bitstream.Stream
+	N       int // input length in bytes == stream length in bits
+}
+
+// Transpose computes the serial-to-parallel transform of text.
+func Transpose(text []byte) *Basis {
+	n := len(text)
+	b := &Basis{N: n}
+	words := make([][]uint64, NumBasis)
+	nw := bitstream.WordsFor(n)
+	for j := range words {
+		words[j] = make([]uint64, nw)
+	}
+	for i, c := range text {
+		wi, bit := i/bitstream.WordBits, uint64(1)<<(uint(i)%bitstream.WordBits)
+		for j := 0; j < NumBasis; j++ {
+			if c&(0x80>>uint(j)) != 0 {
+				words[j][wi] |= bit
+			}
+		}
+	}
+	for j := range words {
+		b.Streams[j] = bitstream.FromWords(words[j], n)
+	}
+	return b
+}
+
+// Inverse reconstructs the byte stream from the basis (parallel-to-serial).
+// It is the round-trip check used by the tests.
+func (b *Basis) Inverse() []byte {
+	out := make([]byte, b.N)
+	for j := 0; j < NumBasis; j++ {
+		s := b.Streams[j]
+		if s.Len() != b.N {
+			panic(fmt.Sprintf("transpose: basis %d has %d bits, want %d", j, s.Len(), b.N))
+		}
+		mask := byte(0x80 >> uint(j))
+		for _, p := range s.Positions() {
+			out[p] |= mask
+		}
+	}
+	return out
+}
+
+// Bit returns basis stream j (0 = most significant bit of each byte).
+func (b *Basis) Bit(j int) *bitstream.Stream {
+	return b.Streams[j]
+}
+
+// BytesMoved returns the number of bytes the transpose kernel reads plus
+// writes, used by the GPU simulator's traffic accounting (input bytes in,
+// the same volume out as bit-planes).
+func (b *Basis) BytesMoved() int64 {
+	return 2 * int64(b.N)
+}

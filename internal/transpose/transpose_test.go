@@ -1,0 +1,65 @@
+package transpose
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransposeKnownByte(t *testing.T) {
+	// 'a' = 0x61 = 01100001: bits 1, 2 and 7 (MSB-first) are set.
+	b := Transpose([]byte("a"))
+	want := map[int]bool{1: true, 2: true, 7: true}
+	for j := 0; j < NumBasis; j++ {
+		if got := b.Bit(j).Test(0); got != want[j] {
+			t.Errorf("basis %d at position 0 = %v, want %v", j, got, want[j])
+		}
+	}
+}
+
+func TestTransposePositions(t *testing.T) {
+	text := []byte("ab") // 'a'=0x61, 'b'=0x62
+	b := Transpose(text)
+	// Basis 6 (bit value 0x02) is set only for 'b'; basis 7 (0x01) only for 'a'.
+	if got := b.Bit(6).Positions(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("basis 6 positions = %v, want [1]", got)
+	}
+	if got := b.Bit(7).Positions(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("basis 7 positions = %v, want [0]", got)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	b := Transpose(nil)
+	if b.N != 0 {
+		t.Fatalf("N = %d, want 0", b.N)
+	}
+	if got := b.Inverse(); len(got) != 0 {
+		t.Fatalf("Inverse of empty = %v", got)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(Transpose(data).Inverse(), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripLong(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 100_000)
+	rng.Read(data)
+	if !bytes.Equal(Transpose(data).Inverse(), data) {
+		t.Fatal("100k round trip failed")
+	}
+}
+
+func TestBytesMoved(t *testing.T) {
+	if got := Transpose(make([]byte, 1000)).BytesMoved(); got != 2000 {
+		t.Fatalf("BytesMoved = %d, want 2000", got)
+	}
+}

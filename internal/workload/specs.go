@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// specs defines the ten applications in Table 1 order. Pattern shapes are
+// chosen so that, per Table 1, the compiled instruction mixes reproduce
+// each application's character: see the per-generator comments.
+var specs = []spec{
+	{
+		// Brill: part-of-speech tagging rules — word alternations with
+		// unbounded multi-word repetition. Control-heavy: the paper counts
+		// 15,028 while loops for 1,849 regexes (~8 each), far more than
+		// any other application.
+		name: "Brill", paperCount: 1849,
+		genPattern: func(rng *rand.Rand) string {
+			var b strings.Builder
+			b.WriteString(randWord(rng, lowerLetters, 3, 6))
+			loops := 4 + rng.Intn(3)
+			for i := 0; i < loops; i++ {
+				w1 := randWord(rng, lowerLetters, 2, 3)
+				w2 := randWord(rng, lowerLetters, 2, 3)
+				fmt.Fprintf(&b, "((%s)|(%s))*", w1, w2)
+				b.WriteString(randWord(rng, lowerLetters, 1, 3))
+			}
+			return b.String()
+		},
+		genInput: englishInput,
+	},
+	{
+		// ClamAV: virus byte-sequence signatures — long literal *byte*
+		// strings (rendered \xHH, ~4 source chars per byte: Table 1's
+		// 359.7-char average is ~90 signature bytes) with bounded
+		// wildcard gaps. Over benign traffic almost no prefix ever
+		// matches, which is what starves ngAP's worklists (Section 8.1)
+		// and feeds Zero Block Skipping. Shift-heavy, almost no loops.
+		name: "ClamAV", paperCount: 491,
+		genPattern: func(rng *rand.Rand) string {
+			var b strings.Builder
+			segments := 1 + rng.Intn(4)
+			for i := 0; i < segments; i++ {
+				if i > 0 {
+					switch rng.Intn(3) {
+					case 0:
+						fmt.Fprintf(&b, ".{%d}", 1+rng.Intn(6))
+					case 1:
+						fmt.Fprintf(&b, ".{%d,%d}", 1+rng.Intn(3), 4+rng.Intn(6))
+					default:
+						b.WriteString("(..)?")
+					}
+				}
+				nBytes := 10 + rng.Intn(50)
+				for j := 0; j < nBytes; j++ {
+					fmt.Fprintf(&b, "\\x%02x", rng.Intn(256))
+				}
+			}
+			return b.String()
+		},
+		genInput: binaryHexInput,
+	},
+	{
+		// Dotstar: lit1.*lit2(.*lit3) patterns from Becchi's suite —
+		// dominated by character-class stars that compile to MatchStar
+		// carries, not loops (183 whiles over 1,279 regexes).
+		name: "Dotstar", paperCount: 1279,
+		genPattern: func(rng *rand.Rand) string {
+			parts := 2 + rng.Intn(2)
+			words := make([]string, parts)
+			for i := range words {
+				words[i] = randWord(rng, lowerLetters, 5, 14)
+			}
+			return strings.Join(words, ".*")
+		},
+		genInput: lineTextInput,
+	},
+	{
+		// Protomata: protein motif signatures — amino-acid classes and
+		// alternations with bounded gaps. Alternation-heavy: 44,291 ORs,
+		// the highest of any application.
+		name: "Protomata", paperCount: 2338,
+		genPattern: func(rng *rand.Rand) string {
+			var b strings.Builder
+			// Motifs open with a short conserved literal region.
+			b.WriteString(randWord(rng, aminoAcids, 3, 6))
+			elems := 10 + rng.Intn(14)
+			for i := 0; i < elems; i++ {
+				switch rng.Intn(5) {
+				case 0, 1:
+					b.WriteByte(aminoAcids[rng.Intn(len(aminoAcids))])
+				case 2:
+					k := 2 + rng.Intn(4)
+					b.WriteByte('[')
+					for j := 0; j < k; j++ {
+						b.WriteByte(aminoAcids[rng.Intn(len(aminoAcids))])
+					}
+					b.WriteByte(']')
+				case 3:
+					fmt.Fprintf(&b, "((%c)|(%c%c))",
+						aminoAcids[rng.Intn(20)], aminoAcids[rng.Intn(20)], aminoAcids[rng.Intn(20)])
+				default:
+					fmt.Fprintf(&b, ".{%d,%d}", 1+rng.Intn(3), 3+rng.Intn(4))
+				}
+			}
+			// Occasional gap loop: a few regexes carry unbounded repeats.
+			if rng.Intn(8) == 0 {
+				b.WriteString("(" + randWord(rng, aminoAcids, 2, 3) + ")*")
+				b.WriteByte(aminoAcids[rng.Intn(20)])
+			}
+			return b.String()
+		},
+		genInput: proteinInput,
+	},
+	{
+		// Snort: intrusion-detection content rules — mixed literals,
+		// classes, bounded repetition, some loops (4,742 whiles).
+		name: "Snort", paperCount: 1873,
+		genPattern: func(rng *rand.Rand) string {
+			var b strings.Builder
+			b.WriteString(randWord(rng, lowerLetters, 6, 14))
+			extras := 3 + rng.Intn(4)
+			for i := 0; i < extras; i++ {
+				switch rng.Intn(6) {
+				case 0:
+					fmt.Fprintf(&b, "[%c-%c]{1,%d}", 'a'+rng.Intn(10), 'n'+rng.Intn(10), 2+rng.Intn(6))
+				case 1:
+					b.WriteString("\\d{1,5}")
+				case 2:
+					fmt.Fprintf(&b, "(%s)?", randWord(rng, lowerLetters, 2, 4))
+				case 3:
+					b.WriteString("(" + randWord(rng, lowerLetters, 2, 3) + ")*")
+				case 4:
+					b.WriteString("/" + randWord(rng, lowerLetters, 3, 7))
+				default:
+					b.WriteString("=" + randWord(rng, "0123456789abcdef", 2, 8))
+				}
+			}
+			return b.String()
+		},
+		genInput: httpTrafficInput,
+	},
+	{
+		// Yara: malware string signatures — overwhelmingly literal
+		// (76,756 shifts, only 7 whiles across 3,358 regexes), short
+		// (avg 32.5 chars).
+		name: "Yara", paperCount: 3358,
+		genPattern: func(rng *rand.Rand) string {
+			w := randWord(rng, lowerLetters+hexDigits, 12, 44)
+			if rng.Intn(10) == 0 {
+				// A rare class wildcard keeps it from being pure literal.
+				k := 4 + rng.Intn(len(w)-6)
+				return w[:k] + "[0-9a-f]" + w[k:]
+			}
+			return w
+		},
+		genInput: binaryHexInput,
+	},
+	{
+		// Bro217: a small HTTP signature set — short simple patterns.
+		name: "Bro217", paperCount: 227,
+		genPattern: func(rng *rand.Rand) string {
+			verbs := []string{"get", "post", "head", "put"}
+			var b strings.Builder
+			b.WriteString(verbs[rng.Intn(len(verbs))])
+			b.WriteString("/" + randWord(rng, lowerLetters, 3, 9))
+			if rng.Intn(3) == 0 {
+				b.WriteString("\\.(cgi|php|asp)")
+			}
+			if rng.Intn(4) == 0 {
+				b.WriteString("\\?" + randWord(rng, lowerLetters, 2, 5) + "=")
+			}
+			return b.String()
+		},
+		genInput: httpTrafficInput,
+	},
+	{
+		// ExactMatch: pure literal strings (Becchi's suite), avg 52.9.
+		name: "ExactMatch", paperCount: 298,
+		genPattern: func(rng *rand.Rand) string {
+			return randWord(rng, lowerLetters, 35, 70)
+		},
+		genInput: lineTextInput,
+	},
+	{
+		// Ranges1: Becchi's suite with ~1 character range per pattern.
+		name: "Ranges1", paperCount: 298,
+		genPattern: func(rng *rand.Rand) string {
+			w := randWord(rng, lowerLetters, 35, 70)
+			k := 2 + rng.Intn(len(w)-10)
+			mid := fmt.Sprintf("[%c-%c]", 'a'+rng.Intn(12), 'm'+rng.Intn(12))
+			out := w[:k] + mid + w[k+1:]
+			if rng.Intn(5) == 0 {
+				out += "(" + randWord(rng, lowerLetters, 2, 3) + ")*" + randWord(rng, lowerLetters, 2, 4)
+			}
+			return out
+		},
+		genInput: lineTextInput,
+	},
+	{
+		// TCP: packet-header-flavored patterns with classes and counters.
+		name: "TCP", paperCount: 300,
+		genPattern: func(rng *rand.Rand) string {
+			var b strings.Builder
+			b.WriteString(randWord(rng, lowerLetters, 8, 20))
+			b.WriteString("\\d{1,3}(\\.\\d{1,3}){1,3}")
+			if rng.Intn(2) == 0 {
+				b.WriteString(":" + randWord(rng, "0123456789", 2, 5))
+			}
+			if rng.Intn(6) == 0 {
+				b.WriteString("(" + randWord(rng, lowerLetters, 2, 3) + ")*")
+			}
+			b.WriteString(randWord(rng, lowerLetters, 4, 12))
+			return b.String()
+		},
+		genInput: httpTrafficInput,
+	},
+}
+
+// ---- input generators ----
+
+// englishInput produces word-structured text (Brill's corpus flavor).
+func englishInput(rng *rand.Rand, n int, patterns []string) []byte {
+	words := make([]string, 400)
+	for i := range words {
+		words[i] = randWord(rng, lowerLetters, 2, 8)
+	}
+	var b strings.Builder
+	b.Grow(n + 16)
+	col := 0
+	for b.Len() < n {
+		w := words[rng.Intn(len(words))]
+		b.WriteString(w)
+		col += len(w) + 1
+		if col > 60+rng.Intn(30) {
+			b.WriteByte('\n')
+			col = 0
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	buf := []byte(b.String()[:n])
+	plantPatterns(rng, buf, patterns, 0.0008)
+	return buf
+}
+
+// lineTextInput produces ~70-90 character lines of lowercase text — the
+// structure that bounds MatchStar carry runs (Table 5's Dotstar max
+// dynamic overlap of ~72 bits).
+func lineTextInput(rng *rand.Rand, n int, patterns []string) []byte {
+	buf := make([]byte, n)
+	lineLen := 0
+	target := 70 + rng.Intn(20)
+	for i := range buf {
+		if lineLen >= target {
+			buf[i] = '\n'
+			lineLen = 0
+			target = 70 + rng.Intn(20)
+			continue
+		}
+		if rng.Intn(7) == 0 {
+			buf[i] = ' '
+		} else {
+			buf[i] = lowerLetters[rng.Intn(26)]
+		}
+		lineLen++
+	}
+	plantPatterns(rng, buf, patterns, 0.0005)
+	return buf
+}
+
+// binaryHexInput produces full-range binary payload data (benign traffic /
+// executables) in which the ASCII-hex signatures of ClamAV and Yara almost
+// never partially match — the regime behind the paper's observations that
+// ngAP's worklists starve on ClamAV and that zero blocks abound. Planted
+// signature instances provide the rare true hits.
+func binaryHexInput(rng *rand.Rand, n int, patterns []string) []byte {
+	buf := make([]byte, n)
+	rng.Read(buf)
+	plantPatterns(rng, buf, patterns, 0.0004)
+	return buf
+}
+
+// proteinInput produces amino-acid sequences in FASTA-like lines.
+func proteinInput(rng *rand.Rand, n int, patterns []string) []byte {
+	buf := make([]byte, n)
+	col := 0
+	for i := range buf {
+		if col >= 60 {
+			buf[i] = '\n'
+			col = 0
+			continue
+		}
+		buf[i] = aminoAcids[rng.Intn(len(aminoAcids))]
+		col++
+	}
+	plantPatterns(rng, buf, patterns, 0.0006)
+	return buf
+}
+
+// httpTrafficInput produces request-line flavored traffic.
+func httpTrafficInput(rng *rand.Rand, n int, patterns []string) []byte {
+	verbs := []string{"get", "post", "head", "put"}
+	var b strings.Builder
+	b.Grow(n + 64)
+	for b.Len() < n {
+		fmt.Fprintf(&b, "%s/%s?%s=%s http/1.1 host=%d.%d.%d.%d:%d\n",
+			verbs[rng.Intn(len(verbs))],
+			randWord(rng, lowerLetters, 3, 10),
+			randWord(rng, lowerLetters, 2, 5),
+			randWord(rng, lowerLetters+hexDigits, 3, 12),
+			rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256),
+			rng.Intn(65536))
+	}
+	buf := []byte(b.String()[:n])
+	plantPatterns(rng, buf, patterns, 0.0008)
+	return buf
+}

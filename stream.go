@@ -1,0 +1,146 @@
+package bitgen
+
+import (
+	"fmt"
+	"io"
+
+	"bitgen/internal/rx"
+)
+
+// ScanReader scans a stream in fixed-size chunks, reporting every match
+// end position (relative to the whole stream) through emit. Chunks overlap
+// by maxLen-1 bytes so matches straddling a boundary are found exactly
+// once.
+//
+// Streaming requires every pattern to have a finite maximum match length
+// (no '*', '+' or open-ended '{n,}'): otherwise a match could span any
+// number of chunks and ScanReader returns an error at call time. chunkSize
+// must exceed the longest possible match; zero means 256 KiB.
+func (e *Engine) ScanReader(r io.Reader, chunkSize int, emit func(Match)) error {
+	if chunkSize == 0 {
+		chunkSize = 256 << 10
+	}
+	maxLen := 0
+	for _, p := range e.patterns {
+		ast, err := rx.Parse(p)
+		if err != nil {
+			return err
+		}
+		l := patternMaxLen(ast)
+		if l == rx.Unbounded {
+			return fmt.Errorf("bitgen: pattern %q has unbounded match length; streaming needs finite patterns", p)
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen == 0 {
+		return fmt.Errorf("bitgen: empty patterns cannot stream")
+	}
+	if chunkSize <= maxLen {
+		return fmt.Errorf("bitgen: chunk size %d must exceed the longest match length %d", chunkSize, maxLen)
+	}
+	overlap := maxLen - 1
+	buf := make([]byte, 0, chunkSize+overlap)
+	var offset int64 // stream offset of buf[0]
+	var emittedThrough int64 = -1
+
+	flush := func(final bool) error {
+		if len(buf) == 0 {
+			return nil
+		}
+		res, err := e.Run(buf)
+		if err != nil {
+			return err
+		}
+		for _, m := range res.Matches {
+			abs := offset + int64(m.End)
+			// Positions inside the carried-over overlap were already
+			// reported by the previous flush.
+			if abs <= emittedThrough {
+				continue
+			}
+			emit(Match{Pattern: m.Pattern, End: int(abs)})
+		}
+		last := offset + int64(len(buf)) - 1
+		if final {
+			emittedThrough = last
+			return nil
+		}
+		// A match ending within the last `overlap` bytes may extend with
+		// data from the next chunk only if it STARTS there too — but end
+		// positions are final: a match ending at position p is complete.
+		// All ends in this buffer are therefore safely emitted; carry the
+		// overlap so matches *starting* near the edge are still seen.
+		emittedThrough = last
+		keep := overlap
+		if keep > len(buf) {
+			keep = len(buf)
+		}
+		carried := buf[len(buf)-keep:]
+		offset += int64(len(buf) - keep)
+		copy(buf[:keep], carried)
+		buf = buf[:keep]
+		return nil
+	}
+
+	for {
+		start := len(buf)
+		buf = buf[:cap(buf)]
+		n, err := io.ReadFull(r, buf[start:start+chunkSize])
+		buf = buf[:start+n]
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return flush(true)
+		}
+		if err != nil {
+			return err
+		}
+		if err := flush(false); err != nil {
+			return err
+		}
+	}
+}
+
+// patternMaxLen mirrors the hybrid engine's bound computation.
+func patternMaxLen(n rx.Node) int {
+	switch x := n.(type) {
+	case rx.CC:
+		return 1
+	case rx.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			l := patternMaxLen(p)
+			if l == rx.Unbounded {
+				return rx.Unbounded
+			}
+			total += l
+		}
+		return total
+	case rx.Alt:
+		best := 0
+		for _, a := range x.Alts {
+			l := patternMaxLen(a)
+			if l == rx.Unbounded {
+				return rx.Unbounded
+			}
+			if l > best {
+				best = l
+			}
+		}
+		return best
+	case rx.Star, rx.Plus:
+		return rx.Unbounded
+	case rx.Opt:
+		return patternMaxLen(x.Sub)
+	case rx.Repeat:
+		if x.Max == rx.Unbounded {
+			return rx.Unbounded
+		}
+		l := patternMaxLen(x.Sub)
+		if l == rx.Unbounded {
+			return rx.Unbounded
+		}
+		return l * x.Max
+	}
+	return 0
+}

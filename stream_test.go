@@ -1,0 +1,100 @@
+package bitgen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestScanReaderMatchesWholeInput(t *testing.T) {
+	patterns := []string{"cat", "d[ou]g{1,2}", "bird?"}
+	eng := MustCompile(patterns, &Options{CTAs: 2, Threads: 32})
+
+	rng := rand.New(rand.NewSource(9))
+	words := []string{"cat", "dog", "dugg", "bird", "bir", "fish", "xxxx", " "}
+	var b strings.Builder
+	for b.Len() < 50_000 {
+		b.WriteString(words[rng.Intn(len(words))])
+	}
+	input := []byte(b.String())
+
+	want, err := eng.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	if err := eng.ScanReader(bytes.NewReader(input), 4096, func(m Match) {
+		got = append(got, m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Matches) {
+		t.Fatalf("streamed %d matches, whole-input %d", len(got), len(want.Matches))
+	}
+	// Compare as sets keyed by (pattern, end).
+	seen := make(map[Match]bool, len(want.Matches))
+	for _, m := range want.Matches {
+		seen[m] = true
+	}
+	for _, m := range got {
+		if !seen[m] {
+			t.Fatalf("streamed spurious match %+v", m)
+		}
+	}
+}
+
+func TestScanReaderBoundaryStraddle(t *testing.T) {
+	// Place a match exactly across every chunk boundary.
+	eng := MustCompile([]string{"abcde"}, &Options{CTAs: 1, Threads: 32})
+	chunk := 1000
+	input := make([]byte, 5*chunk)
+	for i := range input {
+		input[i] = 'x'
+	}
+	for _, pos := range []int{chunk - 2, 2*chunk - 3, 3*chunk - 1, 4*chunk - 4} {
+		copy(input[pos:], "abcde")
+	}
+	var ends []int
+	if err := eng.ScanReader(bytes.NewReader(input), chunk, func(m Match) {
+		ends = append(ends, m.End)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 4 {
+		t.Fatalf("ends = %v, want 4 straddling matches", ends)
+	}
+}
+
+func TestScanReaderRejectsUnbounded(t *testing.T) {
+	eng := MustCompile([]string{"ab*c"}, &Options{CTAs: 1, Threads: 32})
+	err := eng.ScanReader(strings.NewReader("abc"), 1024, func(Match) {})
+	if err == nil {
+		t.Fatal("unbounded pattern accepted for streaming")
+	}
+}
+
+func TestScanReaderRejectsTinyChunks(t *testing.T) {
+	eng := MustCompile([]string{"abcdefghij"}, &Options{CTAs: 1, Threads: 32})
+	err := eng.ScanReader(strings.NewReader("x"), 5, func(Match) {})
+	if err == nil {
+		t.Fatal("chunk smaller than max match accepted")
+	}
+}
+
+func TestScanReaderShortInput(t *testing.T) {
+	eng := MustCompile([]string{"hi"}, &Options{CTAs: 1, Threads: 32})
+	count := 0
+	if err := eng.ScanReader(strings.NewReader("hi"), 1024, func(Match) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	// Empty input.
+	if err := eng.ScanReader(strings.NewReader(""), 1024, func(Match) {
+		t.Fatal("match on empty input")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
