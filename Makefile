@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet fault ci bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The fault-injection and hardening suites, race-exercised: typed error
+# paths, panic containment, cancellation, chunk-boundary streaming.
+fault:
+	$(GO) test -race -run 'Injected|Hardened|WhileCap|Cancel|Limit|Concurrent' ./internal/faultinject/ ./internal/kernel/ ./internal/engine/ .
+	$(GO) test -race -run FuzzScanReaderChunkBoundaries .
+
+# ci is the tier-1 verification gate: vet, build, the full suite under the
+# race detector, and the fault-injection suite.
+ci: vet build race fault
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

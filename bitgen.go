@@ -17,13 +17,26 @@
 //	eng, err := bitgen.Compile([]string{"a(bc)*d", "error:.*timeout"}, nil)
 //	res, err := eng.Run(input)
 //	for _, m := range res.Matches { fmt.Println(m.Pattern, m.End) }
+//
+// Hardening: every entry point fails structured instead of fatal. Each
+// call has a *Context variant (CompileContext, RunContext, RunMultiContext,
+// CountOnlyContext, ScanReaderContext) whose cancellation or deadline
+// interrupts execution at safe boundaries and returns ErrCanceled.
+// Options.Limits bounds input size, pattern count, compiled program size,
+// while-loop iterations and device-memory footprint; violations return
+// errors matching ErrLimit. Engine invariant violations (panics) are
+// contained and surface as *InternalError with the poisoned CTA group's
+// patterns attached — the process and the Engine itself survive. See
+// errors.go for the full taxonomy and DESIGN.md §8 for the failure model.
 package bitgen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"bitgen/internal/bgerr"
 	"bitgen/internal/engine"
 	"bitgen/internal/gpusim"
 	"bitgen/internal/lower"
@@ -52,6 +65,62 @@ type Options struct {
 	MergeSize int
 	// IntervalSize is the zero-block-skipping guard spacing (default 8).
 	IntervalSize int
+	// Limits bounds resource use; the zero value applies the documented
+	// defaults (see Limits). Violations return errors satisfying
+	// errors.Is(err, ErrLimit).
+	Limits Limits
+}
+
+// Default resource limits, applied when the corresponding Limits field is
+// zero.
+const (
+	DefaultMaxInputBytes          = 1 << 30 // 1 GiB per run
+	DefaultMaxPatterns            = 4096
+	DefaultMaxProgramInstructions = 1 << 20 // per CTA group
+)
+
+// Limits bounds the resources one Engine may consume. For each field the
+// zero value selects the documented default and a negative value disables
+// the check; exceeding an effective limit returns a *LimitError satisfying
+// errors.Is(err, ErrLimit).
+type Limits struct {
+	// MaxInputBytes caps the input size of one Run/CountOnly call (and
+	// each ScanReader chunk). Default DefaultMaxInputBytes.
+	MaxInputBytes int64
+	// MaxPatterns caps the pattern count per Compile. Default
+	// DefaultMaxPatterns.
+	MaxPatterns int
+	// MaxProgramInstructions caps any single CTA group's lowered
+	// bitstream program. Default DefaultMaxProgramInstructions.
+	MaxProgramInstructions int
+	// MaxWhileIterations caps global while-loop fixpoint iterations
+	// during execution — the safety net against pathological or
+	// adversarial spins. Zero selects the engine's real default
+	// (1<<20); negative selects the adaptive 2n+16 bound.
+	MaxWhileIterations int
+	// MaxDeviceMemoryBytes caps the materialized intermediate-bitstream
+	// footprint of one run. Zero enforces the selected device's memory
+	// capacity — the enforceable form of the ExceedsDeviceMemory flag;
+	// negative disables enforcement (report-only).
+	MaxDeviceMemoryBytes int64
+}
+
+// withDefaults resolves zero fields against the documented defaults and
+// the selected device's memory capacity.
+func (l Limits) withDefaults(dev gpusim.Device) Limits {
+	if l.MaxInputBytes == 0 {
+		l.MaxInputBytes = DefaultMaxInputBytes
+	}
+	if l.MaxPatterns == 0 {
+		l.MaxPatterns = DefaultMaxPatterns
+	}
+	if l.MaxProgramInstructions == 0 {
+		l.MaxProgramInstructions = DefaultMaxProgramInstructions
+	}
+	if l.MaxDeviceMemoryBytes == 0 {
+		l.MaxDeviceMemoryBytes = int64(dev.MemoryGB * 1e9)
+	}
+	return l
 }
 
 // Match reports one match: Pattern matched the input ending at byte
@@ -90,11 +159,18 @@ type Result struct {
 }
 
 // Engine is a compiled multi-pattern matcher. A compiled Engine is
-// immutable: Run, CountOnly and ScanReader may be called concurrently from
-// multiple goroutines.
+// immutable: Run, RunMulti, CountOnly and ScanReader may be called
+// concurrently from multiple goroutines, and an error from one call
+// (including a contained *InternalError) leaves the Engine usable.
 type Engine struct {
 	inner    *engine.Engine
 	patterns []string
+	limits   Limits
+	// maxLen is the longest possible match length across all patterns,
+	// computed once at compile time for ScanReader's overlap; unbounded
+	// lists every pattern with no finite bound (streaming refusal).
+	maxLen    int
+	unbounded []string
 }
 
 // Compile parses and compiles the patterns. A nil opts selects defaults.
@@ -104,29 +180,59 @@ type Engine struct {
 // postfix operators '*', '+', '?', '{n}', '{n,}', '{n,m}'. Anchors and
 // backreferences are not supported.
 func Compile(patterns []string, opts *Options) (*Engine, error) {
+	return CompileContext(context.Background(), patterns, opts)
+}
+
+// CompileContext is Compile honoring a context: cancellation is observed
+// between patterns and between CTA groups, and any panic inside the
+// compilation pipeline is contained as a *InternalError naming the
+// offending group's patterns.
+func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Engine, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts == nil {
 		opts = &Options{}
 	}
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("bitgen: no patterns")
 	}
+	var dev gpusim.Device
+	if opts.Device != "" {
+		d, err := gpusim.DeviceByName(opts.Device)
+		if err != nil {
+			return nil, &UnsupportedError{Feature: fmt.Sprintf("device %q", opts.Device)}
+		}
+		dev = d
+	} else {
+		dev = gpusim.RTX3090
+	}
+	limits := opts.Limits.withDefaults(dev)
+	if limits.MaxPatterns > 0 && len(patterns) > limits.MaxPatterns {
+		return nil, &LimitError{Limit: "patterns", Value: int64(len(patterns)), Max: int64(limits.MaxPatterns)}
+	}
 	regexes := make([]lower.Regex, len(patterns))
+	maxLen := 0
+	var unbounded []string
 	for i, p := range patterns {
+		if err := ctx.Err(); err != nil {
+			return nil, bgerr.Canceled(err)
+		}
 		ast, err := rx.ParseWith(p, rx.Options{FoldCase: opts.FoldCase})
 		if err != nil {
 			return nil, err
 		}
 		regexes[i] = lower.Regex{Name: p, AST: ast}
+		// Cache the streaming bound now — ScanReader must not re-parse.
+		if l := patternMaxLen(ast); l == rx.Unbounded {
+			unbounded = append(unbounded, p)
+		} else if l > maxLen {
+			maxLen = l
+		}
 	}
 	cfg := engine.BitGenDefault()
 	cfg.KeepOutputs = true
-	if opts.Device != "" {
-		d, err := gpusim.DeviceByName(opts.Device)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Device = d
-	}
+	cfg.Device = dev
 	grid := gpusim.DefaultGrid()
 	if opts.CTAs > 0 {
 		grid.CTAs = opts.CTAs
@@ -147,11 +253,23 @@ func Compile(patterns []string, opts *Options) (*Engine, error) {
 	if opts.IntervalSize > 0 {
 		cfg.IntervalSize = opts.IntervalSize
 	}
-	inner, err := engine.Compile(regexes, cfg)
+	if limits.MaxProgramInstructions > 0 {
+		cfg.MaxProgramInstructions = limits.MaxProgramInstructions
+	}
+	cfg.MaxWhileIterations = limits.MaxWhileIterations
+	if limits.MaxDeviceMemoryBytes > 0 {
+		cfg.MemoryBudgetBytes = limits.MaxDeviceMemoryBytes
+	}
+	inner, err := engine.CompileContext(ctx, regexes, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inner: inner, patterns: patterns}, nil
+	return &Engine{
+		inner:    inner,
+		patterns: patterns,
+		limits:   limits,
+		maxLen:   maxLen, unbounded: unbounded,
+	}, nil
 }
 
 // MustCompile is Compile that panics on error, for static pattern tables.
@@ -171,13 +289,16 @@ func (e *Engine) Patterns() []string { return e.patterns }
 // counts.
 func (e *Engine) Explain() string { return e.inner.Explain().String() }
 
-// Run scans the input and returns every match with modeled execution
-// statistics.
-func (e *Engine) Run(input []byte) (*Result, error) {
-	inner, err := e.inner.Run(input)
-	if err != nil {
-		return nil, err
+// checkInput enforces the per-run input-size limit.
+func (e *Engine) checkInput(input []byte) error {
+	if e.limits.MaxInputBytes > 0 && int64(len(input)) > e.limits.MaxInputBytes {
+		return &LimitError{Limit: "input-bytes", Value: int64(len(input)), Max: e.limits.MaxInputBytes}
 	}
+	return nil
+}
+
+// toResult converts an internal run result to the public form.
+func toResult(inner *engine.Result) *Result {
 	res := &Result{Counts: inner.MatchCounts}
 	for pattern, stream := range inner.Outputs {
 		for _, end := range stream.Positions() {
@@ -200,15 +321,88 @@ func (e *Engine) Run(input []byte) (*Result, error) {
 		RecomputePercent: total.RecomputePercent(),
 		GuardSkips:       total.GuardSkips,
 	}
-	return res, nil
+	return res
 }
 
-// CountOnly scans the input and returns only per-pattern match counts
-// (cheaper than Run for large inputs when positions are not needed).
+// Run scans the input and returns every match with modeled execution
+// statistics.
+func (e *Engine) Run(input []byte) (*Result, error) {
+	return e.RunContext(context.Background(), input)
+}
+
+// RunContext is Run honoring a context: a caller deadline or cancellation
+// interrupts execution at block-window and while-loop boundaries and
+// returns an error satisfying errors.Is(err, ErrCanceled). A panic inside
+// one CTA group is contained as a *InternalError; the Engine remains
+// usable afterwards.
+func (e *Engine) RunContext(ctx context.Context, input []byte) (*Result, error) {
+	if err := e.checkInput(input); err != nil {
+		return nil, err
+	}
+	inner, err := e.inner.RunContext(ctx, input)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(inner), nil
+}
+
+// CountOnly scans the input and returns only per-pattern match counts.
+// Unlike Run, no match streams are retained and no position list is
+// materialized — each group's output becomes garbage as soon as its count
+// is taken — so it is cheaper than Run for large inputs when positions
+// are not needed.
 func (e *Engine) CountOnly(input []byte) (map[string]int, error) {
-	res, err := e.inner.Run(input)
+	return e.CountOnlyContext(context.Background(), input)
+}
+
+// CountOnlyContext is CountOnly honoring a context (see RunContext).
+func (e *Engine) CountOnlyContext(ctx context.Context, input []byte) (map[string]int, error) {
+	if err := e.checkInput(input); err != nil {
+		return nil, err
+	}
+	res, err := e.inner.RunCounts(ctx, input)
 	if err != nil {
 		return nil, err
 	}
 	return res.MatchCounts, nil
+}
+
+// MultiResult is the outcome of RunMulti: per-stream results plus the
+// modeled time of the combined MIMD launch (every (group, stream) pair is
+// one resident CTA).
+type MultiResult struct {
+	// PerStream holds each input's result, in input order.
+	PerStream []*Result
+	// ModeledTime is the simulated time of the combined launch.
+	ModeledTime time.Duration
+	// ThroughputMBs is aggregate input volume per modeled second.
+	ThroughputMBs float64
+}
+
+// RunMulti scans several independent input streams in one modeled MIMD
+// launch (Section 3.1): each pattern group is replicated per stream and
+// the cost model sees the full CTA population.
+func (e *Engine) RunMulti(inputs [][]byte) (*MultiResult, error) {
+	return e.RunMultiContext(context.Background(), inputs)
+}
+
+// RunMultiContext is RunMulti honoring a context (see RunContext).
+func (e *Engine) RunMultiContext(ctx context.Context, inputs [][]byte) (*MultiResult, error) {
+	for _, input := range inputs {
+		if err := e.checkInput(input); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := e.inner.RunMultiContext(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiResult{
+		ModeledTime:   time.Duration(inner.Time.TotalSec * float64(time.Second)),
+		ThroughputMBs: inner.ThroughputMBs,
+	}
+	for _, r := range inner.PerStream {
+		out.PerStream = append(out.PerStream, toResult(r))
+	}
+	return out, nil
 }

@@ -1,0 +1,295 @@
+package bitgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"bitgen/internal/engine"
+	"bitgen/internal/faultinject"
+	"bitgen/internal/lower"
+	"bitgen/internal/rx"
+)
+
+func TestMaxPatternsLimit(t *testing.T) {
+	_, err := Compile([]string{"a", "b", "c"}, &Options{Limits: Limits{MaxPatterns: 2}})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("3 patterns with MaxPatterns 2 returned %v, want ErrLimit", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "patterns" || le.Value != 3 || le.Max != 2 {
+		t.Fatalf("limit error = %+v", le)
+	}
+	if _, err := Compile([]string{"a", "b"}, &Options{Limits: Limits{MaxPatterns: 2}}); err != nil {
+		t.Fatalf("2 patterns refused: %v", err)
+	}
+}
+
+func TestMaxInputBytesLimit(t *testing.T) {
+	e, err := Compile([]string{"cat"}, &Options{Limits: Limits{MaxInputBytes: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(make([]byte, 17)); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized Run returned %v, want ErrLimit", err)
+	}
+	if _, err := e.CountOnly(make([]byte, 17)); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized CountOnly returned %v, want ErrLimit", err)
+	}
+	if _, err := e.RunMulti([][]byte{[]byte("ok"), make([]byte, 17)}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized RunMulti stream returned %v, want ErrLimit", err)
+	}
+	if _, err := e.Run([]byte("the cat sat")); err != nil {
+		t.Fatalf("in-limit Run failed: %v", err)
+	}
+}
+
+func TestUnknownDeviceIsUnsupported(t *testing.T) {
+	_, err := Compile([]string{"cat"}, &Options{Device: "TPU v9"})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unknown device returned %v, want ErrUnsupported", err)
+	}
+}
+
+func TestScanReaderListsAllUnboundedPatterns(t *testing.T) {
+	e, err := Compile([]string{"abc", "a+b", "x.{3}", "c*d"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanErr := e.ScanReader(strings.NewReader("abc"), 0, func(Match) {})
+	if !errors.Is(scanErr, ErrUnsupported) {
+		t.Fatalf("unbounded streaming returned %v, want ErrUnsupported", scanErr)
+	}
+	var ue *UnsupportedError
+	if !errors.As(scanErr, &ue) {
+		t.Fatalf("error %v is not an *UnsupportedError", scanErr)
+	}
+	want := []string{"a+b", "c*d"}
+	if len(ue.Patterns) != len(want) {
+		t.Fatalf("offending patterns = %v, want %v (all of them)", ue.Patterns, want)
+	}
+	for i, p := range want {
+		if ue.Patterns[i] != p {
+			t.Fatalf("offending patterns = %v, want %v", ue.Patterns, want)
+		}
+	}
+}
+
+func TestScanReaderUsesCompileTimeBound(t *testing.T) {
+	// maxLen for "x.{3}" is 4; a chunk of 4 must be refused, 5 accepted.
+	e, err := Compile([]string{"x.{3}"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.maxLen != 4 {
+		t.Fatalf("cached maxLen = %d, want 4", e.maxLen)
+	}
+	if err := e.ScanReader(strings.NewReader("xabcxdef"), 4, func(Match) {}); err == nil {
+		t.Fatal("chunk == maxLen accepted")
+	}
+	var got []Match
+	if err := e.ScanReader(strings.NewReader("xabcxdef"), 5, func(m Match) { got = append(got, m) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("matches = %v, want 2", got)
+	}
+}
+
+func TestCountOnlyMatchesRunCounts(t *testing.T) {
+	patterns := []string{"cat", "dog(gy)?", "\\d{2,4}"}
+	e, err := Compile(patterns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(strings.Repeat("cat doggy 1234 dog 56 catalog ", 40))
+	full, err := e.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := e.CountOnly(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range patterns {
+		if counts[p] != full.Counts[p] {
+			t.Fatalf("CountOnly %s = %d, Run = %d", p, counts[p], full.Counts[p])
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	e, err := Compile([]string{"cat"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, []byte("the cat")); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled RunContext returned %v", err)
+	}
+	if _, err := e.CountOnlyContext(ctx, []byte("the cat")); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled CountOnlyContext returned %v", err)
+	}
+	if err := e.ScanReaderContext(ctx, strings.NewReader("the cat"), 0, func(Match) {}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ScanReaderContext returned %v", err)
+	}
+	if _, err := CompileContext(ctx, []string{"cat"}, nil); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled CompileContext returned %v", err)
+	}
+	// The engine survives cancellations.
+	if _, err := e.Run([]byte("the cat")); err != nil {
+		t.Fatalf("engine unusable after cancellation: %v", err)
+	}
+}
+
+// TestInternalErrorSurfacesThroughPublicAPI arms the fault injector on an
+// internally-built engine and asserts the public error taxonomy sees the
+// contained panic.
+func TestInternalErrorSurfacesThroughPublicAPI(t *testing.T) {
+	patterns := []string{"cat", "dog"}
+	regexes := make([]lower.Regex, len(patterns))
+	for i, p := range patterns {
+		regexes[i] = lower.Regex{Name: p, AST: rx.MustParse(p)}
+	}
+	cfg := engine.BitGenDefault()
+	cfg.KeepOutputs = true
+	cfg.Inject = faultinject.New(1).ArmNth(faultinject.KernelPanic, 1)
+	inner, err := engine.Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{inner: inner, patterns: patterns}
+	_, err = e.Run([]byte("cat dog"))
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("public API error %v is not a *bitgen.InternalError", err)
+	}
+	if len(ie.Patterns) == 0 || ie.Group < 0 {
+		t.Fatalf("internal error lacks attribution: %+v", ie)
+	}
+	if _, err := e.Run([]byte("cat dog")); err != nil {
+		t.Fatalf("engine unusable after contained panic: %v", err)
+	}
+}
+
+// TestConcurrentUseOneEngine exercises Run, RunMulti, CountOnly and
+// ScanReader from many goroutines on a single Engine; run under -race it
+// proves the compiled Engine is safely shareable.
+func TestConcurrentUseOneEngine(t *testing.T) {
+	e, err := Compile([]string{"cat", "d.g", "\\d{2}"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte(strings.Repeat("cat 42 dog dig 7 catalog ", 30))
+	ref, err := e.CountOnly(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMatches, err := e.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					res, err := e.Run(input)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(res.Matches) != len(refMatches.Matches) {
+						errc <- fmt.Errorf("concurrent Run saw %d matches, want %d", len(res.Matches), len(refMatches.Matches))
+						return
+					}
+				case 1:
+					counts, err := e.CountOnly(input)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for p, n := range ref {
+						if counts[p] != n {
+							errc <- fmt.Errorf("concurrent CountOnly %s = %d, want %d", p, counts[p], n)
+							return
+						}
+					}
+				case 2:
+					mr, err := e.RunMulti([][]byte{input, input[:len(input)/2]})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(mr.PerStream) != 2 {
+						errc <- fmt.Errorf("RunMulti returned %d streams", len(mr.PerStream))
+						return
+					}
+				case 3:
+					n := 0
+					if err := e.ScanReader(bytes.NewReader(input), 64, func(Match) { n++ }); err != nil {
+						errc <- err
+						return
+					}
+					if n != len(refMatches.Matches) {
+						errc <- fmt.Errorf("concurrent ScanReader saw %d matches, want %d", n, len(refMatches.Matches))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// FuzzScanReaderChunkBoundaries asserts that chunked streaming over any
+// input at any legal chunk size reports exactly the matches of a
+// whole-input Run.
+func FuzzScanReaderChunkBoundaries(f *testing.F) {
+	e, err := Compile([]string{"abc", "a.c", "\\d{2}", "q[^u]{1,3}k"}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("abc a5c 42 qiik abc"), uint16(8))
+	f.Add([]byte(strings.Repeat("abcabc12", 40)), uint16(16))
+	f.Add([]byte("qk q12k ab"), uint16(5))
+	f.Add([]byte{}, uint16(9))
+	f.Fuzz(func(t *testing.T, data []byte, rawChunk uint16) {
+		// maxLen is 5 (q[^u]{1,3}k); chunk must exceed it.
+		chunkSize := 6 + int(rawChunk%512)
+		want, err := e.Run(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Match
+		if err := e.ScanReader(bytes.NewReader(data), chunkSize, func(m Match) { got = append(got, m) }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Matches) {
+			t.Fatalf("chunked scan (chunk %d) found %d matches, whole-input Run found %d",
+				chunkSize, len(got), len(want.Matches))
+		}
+		// ScanReader emits in per-chunk order, which matches Run's order
+		// (end position, then pattern) within and across chunks.
+		for i := range got {
+			if got[i] != want.Matches[i] {
+				t.Fatalf("match %d: chunked %+v != whole %+v (chunk %d)", i, got[i], want.Matches[i], chunkSize)
+			}
+		}
+	})
+}

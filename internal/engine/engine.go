@@ -6,12 +6,17 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
+	"bitgen/internal/faultinject"
 	"bitgen/internal/gpusim"
 	"bitgen/internal/ir"
 	"bitgen/internal/kernel"
@@ -19,6 +24,13 @@ import (
 	"bitgen/internal/passes"
 	"bitgen/internal/transpose"
 )
+
+// DefaultMaxWhileIterations is the real default cap on global while-loop
+// fixpoint iterations. It is far above anything a legitimate pattern needs
+// (iteration counts track match lengths, not input sizes) while still
+// bounding a pathological or adversarial spin. Configure -1 for the
+// kernel's adaptive 2n+16 bound, or any positive value explicitly.
+const DefaultMaxWhileIterations = 1 << 20
 
 // Config selects the device, launch geometry and optimization set.
 type Config struct {
@@ -48,8 +60,20 @@ type Config struct {
 	// k%-scaled device, so it charges k% of the (once-per-input)
 	// transpose. Zero means 1 (full charge).
 	TransposeShare float64
-	// MaxWhileIterations caps global fixpoint loops (safety net).
+	// MaxWhileIterations caps global fixpoint loops. Zero selects
+	// DefaultMaxWhileIterations; -1 selects the kernel's adaptive 2n+16
+	// bound. Hitting the cap returns an error satisfying
+	// errors.Is(err, bgerr.ErrLimit).
 	MaxWhileIterations int
+	// MaxProgramInstructions refuses compilation when any group's lowered
+	// program exceeds this instruction count (0 = unlimited).
+	MaxProgramInstructions int
+	// MemoryBudgetBytes refuses a run whose materialized intermediate
+	// bitstreams exceed this budget — the enforceable form of
+	// Result.ExceedsDeviceMemory (0 = report-only, no enforcement).
+	MemoryBudgetBytes int64
+	// Inject is an optional fault injector (tests only). Nil never fires.
+	Inject *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +85,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IntervalSize == 0 {
 		c.IntervalSize = 8
+	}
+	switch {
+	case c.MaxWhileIterations == 0:
+		c.MaxWhileIterations = DefaultMaxWhileIterations
+	case c.MaxWhileIterations < 0:
+		c.MaxWhileIterations = 0 // kernel maps 0 to its adaptive 2n+16
 	}
 	return c
 }
@@ -131,6 +161,14 @@ type Result struct {
 
 // Compile lowers and optimizes a regex set under the configuration.
 func Compile(regexes []lower.Regex, cfg Config) (*Engine, error) {
+	return CompileContext(context.Background(), regexes, cfg)
+}
+
+// CompileContext is Compile honoring a context (checked between CTA
+// groups) and containing compiler panics: an invariant violation anywhere
+// in the lower/passes pipeline surfaces as a *bgerr.InternalError naming
+// the group's patterns instead of crashing the process.
+func CompileContext(ctx context.Context, regexes []lower.Regex, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Grid.Validate(); err != nil {
 		return nil, err
@@ -139,36 +177,64 @@ func Compile(regexes []lower.Regex, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: no regexes")
 	}
 	e := &Engine{cfg: cfg}
-	for _, part := range partition(regexes, cfg.Grid.CTAs) {
-		prog, err := lower.Group(part.regexes, lower.Options{})
-		if err != nil {
-			return nil, err
-		}
-		if cfg.ShiftRebalancing {
-			r := passes.Rebalance(prog, passes.RebalanceOptions{})
-			e.PassStats.Rewrites += r.Rewrites
-		}
-		if cfg.MergeSize > 0 {
-			ms := clampMergeSize(cfg)
-			sched := passes.MergeBarriers(prog, passes.MergeOptions{MergeSize: ms})
-			e.PassStats.MergedGroups += len(sched.Groups)
-			e.PassStats.DedupedCopies += sched.DedupedCopies
-		}
-		if cfg.ZeroBlockSkipping {
-			z := passes.InsertGuards(prog, passes.ZBSOptions{Interval: cfg.IntervalSize})
-			e.PassStats.ZeroPaths += z.PathsFound
-			e.PassStats.GuardsInserted += z.GuardsInserted
-		}
-		if err := ir.Validate(prog); err != nil {
-			return nil, fmt.Errorf("engine: pass pipeline produced invalid program: %w", err)
+	for gi, part := range partition(regexes, cfg.Grid.CTAs) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, bgerr.Canceled(err)
+			}
 		}
 		names := make([]string, len(part.regexes))
 		for i, r := range part.regexes {
 			names[i] = r.Name
 		}
+		prog, err := compileGroup(part.regexes, names, gi, cfg, &e.PassStats)
+		if err != nil {
+			return nil, err
+		}
 		e.groups = append(e.groups, Group{Program: prog, Names: names, Chars: part.chars})
 	}
 	return e, nil
+}
+
+// compileGroup lowers and optimizes one CTA group's regexes, converting
+// any panic in the pipeline into a typed internal error.
+func compileGroup(regexes []lower.Regex, names []string, gi int, cfg Config, ps *PassStats) (prog *ir.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			prog = nil
+			err = &bgerr.InternalError{
+				Op: "compile", Group: gi, Patterns: names,
+				Value: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	prog, err = lower.Group(regexes, lower.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if n := ir.CollectStats(prog).Total(); cfg.MaxProgramInstructions > 0 && n > cfg.MaxProgramInstructions {
+		return nil, fmt.Errorf("engine: group %d: %w", gi,
+			&bgerr.LimitError{Limit: "program-instructions", Value: int64(n), Max: int64(cfg.MaxProgramInstructions)})
+	}
+	if cfg.ShiftRebalancing {
+		r := passes.Rebalance(prog, passes.RebalanceOptions{})
+		ps.Rewrites += r.Rewrites
+	}
+	if cfg.MergeSize > 0 {
+		ms := clampMergeSize(cfg)
+		sched := passes.MergeBarriers(prog, passes.MergeOptions{MergeSize: ms})
+		ps.MergedGroups += len(sched.Groups)
+		ps.DedupedCopies += sched.DedupedCopies
+	}
+	if cfg.ZeroBlockSkipping {
+		z := passes.InsertGuards(prog, passes.ZBSOptions{Interval: cfg.IntervalSize})
+		ps.ZeroPaths += z.PathsFound
+		ps.GuardsInserted += z.GuardsInserted
+	}
+	if err := ir.Validate(prog); err != nil {
+		return nil, fmt.Errorf("engine: pass pipeline produced invalid program: %w", err)
+	}
+	return prog, nil
 }
 
 // clampMergeSize bounds the merge size by shared-memory capacity: each
@@ -230,6 +296,29 @@ func partition(regexes []lower.Regex, n int) []part {
 // Groups execute concurrently on host CPUs (the simulation is functional;
 // the modeled time comes from the counters, not the host clock).
 func (e *Engine) Run(input []byte) (*Result, error) {
+	return e.RunContext(context.Background(), input)
+}
+
+// RunContext is Run honoring a context. Cancellation is observed at the
+// group-dispatch boundary and, inside each kernel, at block-window and
+// while-iteration boundaries; a canceled run returns an error satisfying
+// errors.Is(err, bgerr.ErrCanceled). A panic inside one CTA group's kernel
+// is contained: it surfaces as a *bgerr.InternalError carrying the group
+// index, its pattern names and the stack, while other groups (and other
+// concurrent runs on this immutable Engine) are unaffected.
+func (e *Engine) RunContext(ctx context.Context, input []byte) (*Result, error) {
+	return e.run(ctx, input, e.cfg.KeepOutputs)
+}
+
+// RunCounts is RunContext without retaining match streams, regardless of
+// Config.KeepOutputs: per-group output streams become garbage as soon as
+// their counts are taken, which is what makes counts-only scans cheaper
+// than full runs on large inputs.
+func (e *Engine) RunCounts(ctx context.Context, input []byte) (*Result, error) {
+	return e.run(ctx, input, false)
+}
+
+func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Result, error) {
 	basis := transpose.Transpose(input)
 	share := e.cfg.TransposeShare
 	if share == 0 {
@@ -243,7 +332,7 @@ func (e *Engine) Run(input []byte) (*Result, error) {
 			TransposeBytes: int64(float64(basis.BytesMoved()) * share),
 		},
 	}
-	if e.cfg.KeepOutputs {
+	if keepOutputs {
 		res.Outputs = make(map[string]*bitstream.Stream)
 	}
 	kcfg := kernel.Config{
@@ -252,6 +341,7 @@ func (e *Engine) Run(input []byte) (*Result, error) {
 		HonorGuards:        e.cfg.ZeroBlockSkipping,
 		SharedInputCTAs:    len(e.groups),
 		MaxWhileIterations: e.cfg.MaxWhileIterations,
+		Inject:             e.cfg.Inject,
 	}
 	type groupOut struct {
 		run *kernel.RunResult
@@ -264,24 +354,64 @@ func (e *Engine) Run(input []byte) (*Result, error) {
 		wg.Add(1)
 		go func(gi int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// Panic containment: one poisoned group degrades to a typed
+			// error; the WaitGroup and semaphore are released on every
+			// path, so the launch never deadlocks and the process (and
+			// concurrent runs on this Engine) survive.
+			defer func() {
+				if r := recover(); r != nil {
+					outs[gi] = groupOut{nil, &bgerr.InternalError{
+						Op: "run", Group: gi, Patterns: e.groups[gi].Names,
+						Value: r, Stack: debug.Stack(),
+					}}
+				}
+			}()
+			if ctx != nil {
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					outs[gi] = groupOut{nil, bgerr.Canceled(ctx.Err())}
+					return
+				}
+			} else {
+				sem <- struct{}{}
+			}
 			defer func() { <-sem }()
-			run, err := kernel.Run(e.groups[gi].Program, basis, kcfg)
+			if err := gpusim.CheckLaunch(e.cfg.Inject, gi); err != nil {
+				outs[gi] = groupOut{nil, fmt.Errorf("engine: group %d: %w", gi, err)}
+				return
+			}
+			run, err := kernel.RunContext(ctx, e.groups[gi].Program, basis, kcfg)
+			if err != nil {
+				err = fmt.Errorf("engine: group %d: %w", gi, err)
+			}
 			outs[gi] = groupOut{run, err}
 		}(gi)
 	}
 	wg.Wait()
-	for gi, out := range outs {
-		if out.err != nil {
-			return nil, fmt.Errorf("engine: group %d: %w", gi, out.err)
+	// Prefer a substantive failure over a cancellation echo: when one
+	// group hits a real error while others are canceled, report the real
+	// one.
+	var firstErr error
+	for _, out := range outs {
+		if out.err == nil {
+			continue
 		}
+		if firstErr == nil || (isCanceled(firstErr) && !isCanceled(out.err)) {
+			firstErr = out.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for gi, out := range outs {
 		res.Stats.PerCTA[gi] = out.run.Stats
 		res.Fallbacks += out.run.FallbackSegments
 		for name, s := range out.run.Outputs {
 			n := s.Popcount()
 			res.MatchCounts[name] = n
 			res.TotalMatches += int64(n)
-			if e.cfg.KeepOutputs {
+			if keepOutputs {
 				res.Outputs[name] = s
 			}
 		}
@@ -293,8 +423,16 @@ func (e *Engine) Run(input []byte) (*Result, error) {
 			res.Stats.PerCTA[i].IntermediateStreams, int64(len(input)))
 	}
 	res.ExceedsDeviceMemory = float64(res.IntermediateFootprintBytes) > e.cfg.Device.MemoryGB*1e9
+	if e.cfg.MemoryBudgetBytes > 0 && res.IntermediateFootprintBytes > e.cfg.MemoryBudgetBytes {
+		return nil, &bgerr.LimitError{
+			Limit: "device-memory-bytes",
+			Value: res.IntermediateFootprintBytes, Max: e.cfg.MemoryBudgetBytes,
+		}
+	}
 	return res, nil
 }
+
+func isCanceled(err error) bool { return errors.Is(err, bgerr.ErrCanceled) }
 
 // MultiResult is the outcome of a MIMD multi-stream launch.
 type MultiResult struct {
@@ -313,11 +451,17 @@ type MultiResult struct {
 // many programs) becomes MIMD (Section 3.1) — and the cost model sees the
 // full CTA population, so device utilization reflects the combined load.
 func (e *Engine) RunMulti(inputs [][]byte) (*MultiResult, error) {
+	return e.RunMultiContext(context.Background(), inputs)
+}
+
+// RunMultiContext is RunMulti honoring a context; cancellation and panic
+// containment follow RunContext's semantics per stream.
+func (e *Engine) RunMultiContext(ctx context.Context, inputs [][]byte) (*MultiResult, error) {
 	out := &MultiResult{}
 	combined := gpusim.KernelStats{}
 	var total int64
 	for _, input := range inputs {
-		res, err := e.Run(input)
+		res, err := e.RunContext(ctx, input)
 		if err != nil {
 			return nil, err
 		}

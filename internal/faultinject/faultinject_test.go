@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire(KernelPanic) {
+		t.Fatal("nil injector fired")
+	}
+	if err := in.Err(LaunchFail); err != nil {
+		t.Fatalf("nil injector returned error: %v", err)
+	}
+	if in.Hits(WhileCap) != 0 || in.Fired(WhileCap) != 0 {
+		t.Fatal("nil injector has counters")
+	}
+	in.Corrupt(TileCorrupt, []uint64{1, 2, 3}) // must not panic
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.Fire(KernelPanic) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if in.Hits(KernelPanic) != 100 {
+		t.Fatalf("hits = %d, want 100", in.Hits(KernelPanic))
+	}
+}
+
+func TestNthFiresExactlyOnce(t *testing.T) {
+	in := New(7).ArmNth(LaunchFail, 3)
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if in.Fire(LaunchFail) {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Fatalf("fired at %v, want exactly [3]", fires)
+	}
+	if in.Fired(LaunchFail) != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired(LaunchFail))
+	}
+}
+
+func TestNthRepeatFiresFromNOn(t *testing.T) {
+	in := New(7).Arm(WhileCap, Spec{Nth: 4, Repeat: true})
+	n := 0
+	for i := 1; i <= 10; i++ {
+		if in.Fire(WhileCap) {
+			n++
+		}
+	}
+	if n != 7 {
+		t.Fatalf("fired %d times, want 7 (hits 4..10)", n)
+	}
+}
+
+func TestProbDeterministicAcrossInjectors(t *testing.T) {
+	record := func() []bool {
+		in := New(42).Arm(TileCorrupt, Spec{Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire(TileCorrupt)
+		}
+		return out
+	}
+	a, b := record(), record()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identically-seeded injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.3 fired %d/%d times — not probabilistic", fired, len(a))
+	}
+	// A different seed must give a different schedule (overwhelmingly).
+	in2 := New(43).Arm(TileCorrupt, Spec{Prob: 0.3})
+	same := true
+	for i := range a {
+		if in2.Fire(TileCorrupt) != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestErrReturnsTypedFault(t *testing.T) {
+	in := New(1).ArmNth(LaunchFail, 1)
+	err := in.Err(LaunchFail)
+	if err == nil {
+		t.Fatal("armed Err returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error %v does not match ErrInjected", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Point != LaunchFail || fe.Hit != 1 {
+		t.Fatalf("fault = %+v, want point %s hit 1", fe, LaunchFail)
+	}
+	if err := in.Err(LaunchFail); err != nil {
+		t.Fatalf("second hit fired again: %v", err)
+	}
+}
+
+func TestCorruptIsDeterministicAndNonZero(t *testing.T) {
+	mk := func() []uint64 {
+		in := New(9)
+		w := make([]uint64, 8)
+		in.Corrupt(TileCorrupt, w)
+		return w
+	}
+	a, b := mk(), mk()
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corruption not deterministic")
+		}
+		if a[i] != 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("corruption flipped no bits")
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	in := New(5).Arm(KernelPanic, Spec{Nth: 50, Repeat: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Fire(KernelPanic)
+				in.Hits(KernelPanic)
+				in.Fired(KernelPanic)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(KernelPanic); got != 800 {
+		t.Fatalf("hits = %d, want 800", got)
+	}
+	// Hits 50..800 fire: 751 of them.
+	if got := in.Fired(KernelPanic); got != 751 {
+		t.Fatalf("fired = %d, want 751", got)
+	}
+}

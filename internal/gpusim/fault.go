@@ -1,0 +1,19 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"bitgen/internal/faultinject"
+)
+
+// CheckLaunch consults the fault injector at the simulated kernel-launch
+// boundary for one CTA group. On a real device this is where a launch can
+// fail asynchronously (sticky context errors, ECC events, OOM at launch);
+// the engine calls it before dispatching each group so injected mid-launch
+// failures exercise the same error path. A nil injector never fails.
+func CheckLaunch(inj *faultinject.Injector, cta int) error {
+	if err := inj.Err(faultinject.LaunchFail); err != nil {
+		return fmt.Errorf("gpusim: launch of CTA group %d failed: %w", cta, err)
+	}
+	return nil
+}

@@ -1,11 +1,14 @@
 package kernel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
 	"bitgen/internal/dfg"
+	"bitgen/internal/faultinject"
 	"bitgen/internal/gpusim"
 	"bitgen/internal/ir"
 	"bitgen/internal/transpose"
@@ -31,7 +34,11 @@ type Config struct {
 	// of compact match positions.
 	FullOutputWrites bool
 	// MaxWhileIterations bounds global fixpoint loops; zero = 2n+16.
+	// Hitting the cap returns an error satisfying errors.Is(err,
+	// bgerr.ErrLimit) — never silent truncation.
 	MaxWhileIterations int
+	// Inject is an optional fault injector (tests only). Nil never fires.
+	Inject *faultinject.Injector
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -75,6 +82,15 @@ func (e *overflowError) Error() string {
 // All modes produce bit-identical outputs; they differ in data movement,
 // synchronization, and therefore modeled time.
 func Run(p *ir.Program, basis *transpose.Basis, cfg Config) (*RunResult, error) {
+	return RunContext(context.Background(), p, basis, cfg)
+}
+
+// RunContext is Run honoring a context: cancellation is checked at every
+// block-window boundary, global while-loop iteration, and fixpoint retry,
+// so a caller deadline interrupts even a pathological input promptly. A
+// canceled run returns an error satisfying errors.Is(err, bgerr.ErrCanceled)
+// (and errors.Is against the underlying context error).
+func RunContext(ctx context.Context, p *ir.Program, basis *transpose.Basis, cfg Config) (*RunResult, error) {
 	cfg = cfg.withDefaults(basis.N)
 	if err := cfg.Grid.Validate(); err != nil {
 		return nil, err
@@ -84,7 +100,10 @@ func Run(p *ir.Program, basis *transpose.Basis, cfg Config) (*RunResult, error) 
 	}
 	materialize := make(map[ir.Stmt]bool)
 	for attempt := 0; ; attempt++ {
-		res, err := runOnce(p, basis, cfg, materialize)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		res, err := runOnce(ctx, p, basis, cfg, materialize)
 		var ovf *overflowError
 		fusedMode := cfg.Mode == ModeDTM || cfg.Mode == ModeDTMStatic
 		if errors.As(err, &ovf) && fusedMode && ovf.stmt != nil && !materialize[ovf.stmt] && attempt < 1+len(p.Stmts) {
@@ -101,7 +120,19 @@ func Run(p *ir.Program, basis *transpose.Basis, cfg Config) (*RunResult, error) 
 	}
 }
 
+// ctxErr converts a done context into the taxonomy's canceled error.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return bgerr.Canceled(err)
+	}
+	return nil
+}
+
 type ctaExec struct {
+	ctx     context.Context
 	cfg     Config
 	prog    *ir.Program
 	basis   *transpose.Basis
@@ -134,9 +165,13 @@ type ctaExec struct {
 	windowGroupsCharged map[int]bool
 }
 
-func runOnce(p *ir.Program, basis *transpose.Basis, cfg Config, materialize map[ir.Stmt]bool) (*RunResult, error) {
+func runOnce(ctx context.Context, p *ir.Program, basis *transpose.Basis, cfg Config, materialize map[ir.Stmt]bool) (*RunResult, error) {
+	if cfg.Inject.Fire(faultinject.KernelPanic) {
+		panic("faultinject: injected kernel panic")
+	}
 	pl := buildPlan(p.Stmts, cfg.Mode, materialize)
 	ex := &ctaExec{
+		ctx:          ctx,
 		cfg:          cfg,
 		prog:         p,
 		basis:        basis,
@@ -261,8 +296,13 @@ func (ex *ctaExec) execCtl(c *ctlSeg) error {
 	}
 	iters := 0
 	for evalCond() {
-		if iters++; iters > ex.cfg.MaxWhileIterations {
-			return fmt.Errorf("kernel: global while(S%d) exceeded %d iterations", c.cond, ex.cfg.MaxWhileIterations)
+		if err := ctxErr(ex.ctx); err != nil {
+			return err
+		}
+		iters++
+		if iters > ex.cfg.MaxWhileIterations || ex.cfg.Inject.Fire(faultinject.WhileCap) {
+			return fmt.Errorf("kernel: global while(S%d): %w", c.cond,
+				&bgerr.LimitError{Limit: "while-iterations", Value: int64(iters), Max: int64(ex.cfg.MaxWhileIterations)})
 		}
 		ex.stats.WhileIterations++
 		if err := ex.execPlan(c.body); err != nil {
@@ -346,6 +386,9 @@ func (ex *ctaExec) execFused(seg *fusedSeg) error {
 	}
 	dl := baseDL
 	for cs := 0; cs < ex.n; cs += blockBits {
+		if err := ctxErr(ex.ctx); err != nil {
+			return err
+		}
 		ce := cs + blockBits
 		if ce > ex.n {
 			ce = ex.n
@@ -398,7 +441,15 @@ func (ex *ctaExec) segmentLiveOut(seg *fusedSeg) []ir.VarID {
 // commits live-out values. It returns the converged left-overlap in bits.
 func (ex *ctaExec) runWindowToFixpoint(seg *fusedSeg, an *dfg.Analysis, cs, ce, dl, dr int, dynamic bool, liveOut []ir.VarID) (int, error) {
 	_ = an
+	if ex.cfg.Inject.Fire(faultinject.ForceFallback) {
+		// Injected Section 8.2 overflow: push the segment's loop or carry
+		// onto the materialized fallback path.
+		return 0, &overflowError{stmt: findDynamicStmt(seg.stmts), need: ex.cfg.MaxOverlapBits + 1}
+	}
 	for {
+		if err := ctxErr(ex.ctx); err != nil {
+			return 0, err
+		}
 		if err := ex.execWindowOnce(seg, cs, ce, dl, dr, false, true); err != nil {
 			return 0, err
 		}
@@ -588,6 +639,16 @@ func (ex *ctaExec) restoreSnapshot(liveOut []ir.VarID, cs, ce int, snap map[ir.V
 // commitWindow stores the committed range of live-out variables to global
 // memory and charges the DRAM writes.
 func (ex *ctaExec) commitWindow(liveOut []ir.VarID, cs, ce int) {
+	if len(liveOut) > 0 && ex.cfg.Inject.Fire(faultinject.TileCorrupt) {
+		// Injected shared-memory tile corruption: flip deterministic bits
+		// in the first live-out register before it is committed. The fault
+		// is contained — outputs may be wrong for this run, but execution
+		// completes and the engine stays usable.
+		if reg := ex.regs.get(liveOut[0]); reg != nil {
+			ex.cfg.Inject.Corrupt(faultinject.TileCorrupt, reg)
+			ex.maskWindowTail(reg)
+		}
+	}
 	fromWord := cs / 64
 	toWord := (ce + 63) / 64
 	wsWord := ex.ws / 64

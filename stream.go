@@ -1,9 +1,11 @@
 package bitgen
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"bitgen/internal/bgerr"
 	"bitgen/internal/rx"
 )
 
@@ -14,31 +16,38 @@ import (
 //
 // Streaming requires every pattern to have a finite maximum match length
 // (no '*', '+' or open-ended '{n,}'): otherwise a match could span any
-// number of chunks and ScanReader returns an error at call time. chunkSize
-// must exceed the longest possible match; zero means 256 KiB.
+// number of chunks and ScanReader returns a *UnsupportedError listing
+// every unbounded pattern. The bound is computed once at Compile time;
+// this call does no per-call pattern analysis. chunkSize must exceed the
+// longest possible match; zero means 256 KiB.
 func (e *Engine) ScanReader(r io.Reader, chunkSize int, emit func(Match)) error {
+	return e.ScanReaderContext(context.Background(), r, chunkSize, emit)
+}
+
+// ScanReaderContext is ScanReader honoring a context, checked before each
+// chunk scan and inside the per-chunk run (see RunContext).
+func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize int, emit func(Match)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if chunkSize == 0 {
 		chunkSize = 256 << 10
 	}
-	maxLen := 0
-	for _, p := range e.patterns {
-		ast, err := rx.Parse(p)
-		if err != nil {
-			return err
-		}
-		l := patternMaxLen(ast)
-		if l == rx.Unbounded {
-			return fmt.Errorf("bitgen: pattern %q has unbounded match length; streaming needs finite patterns", p)
-		}
-		if l > maxLen {
-			maxLen = l
+	if len(e.unbounded) > 0 {
+		return &UnsupportedError{
+			Feature:  "streaming patterns with unbounded match length",
+			Patterns: append([]string(nil), e.unbounded...),
 		}
 	}
+	maxLen := e.maxLen
 	if maxLen == 0 {
-		return fmt.Errorf("bitgen: empty patterns cannot stream")
+		return &UnsupportedError{Feature: "streaming empty patterns"}
 	}
 	if chunkSize <= maxLen {
 		return fmt.Errorf("bitgen: chunk size %d must exceed the longest match length %d", chunkSize, maxLen)
+	}
+	if e.limits.MaxInputBytes > 0 && int64(chunkSize+maxLen-1) > e.limits.MaxInputBytes {
+		return &LimitError{Limit: "input-bytes", Value: int64(chunkSize + maxLen - 1), Max: e.limits.MaxInputBytes}
 	}
 	overlap := maxLen - 1
 	buf := make([]byte, 0, chunkSize+overlap)
@@ -49,7 +58,7 @@ func (e *Engine) ScanReader(r io.Reader, chunkSize int, emit func(Match)) error 
 		if len(buf) == 0 {
 			return nil
 		}
-		res, err := e.Run(buf)
+		res, err := e.RunContext(ctx, buf)
 		if err != nil {
 			return err
 		}
@@ -85,6 +94,9 @@ func (e *Engine) ScanReader(r io.Reader, chunkSize int, emit func(Match)) error 
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return bgerr.Canceled(err)
+		}
 		start := len(buf)
 		buf = buf[:cap(buf)]
 		n, err := io.ReadFull(r, buf[start:start+chunkSize])
