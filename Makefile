@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fault ci bench
+.PHONY: build test race vet fault fuzz ci bench
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The fault-injection and hardening suites, race-exercised: typed error
-# paths, panic containment, cancellation, chunk-boundary streaming.
+# The fault-injection, hardening and resilience suites, race-exercised:
+# typed error paths, panic containment, cancellation, chunk-boundary
+# streaming, and the backend ladder (retry, breaker, cross-checking).
 fault:
 	$(GO) test -race -run 'Injected|Hardened|WhileCap|Cancel|Limit|Concurrent' ./internal/faultinject/ ./internal/kernel/ ./internal/engine/ .
-	$(GO) test -race -run FuzzScanReaderChunkBoundaries .
+	$(GO) test -race ./internal/resilience/
+	$(GO) test -race -run 'Resilient|Persistent|Transient|Breaker|ForceBackend|CrossCheck|TileCorruption|Quarantine|Ladder|Classify' ./internal/kernel/ .
+	$(GO) test -race -run 'FuzzScanReaderChunkBoundaries|FuzzBackendsAgree' .
+
+# Short smoke runs of the fuzz targets: the streaming chunk-boundary
+# oracle and the three-backend differential oracle. FUZZTIME=2m for a
+# longer local soak.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz '^FuzzBackendsAgree$$' -fuzztime $(FUZZTIME) -run '^FuzzBackendsAgree$$' .
+	$(GO) test -fuzz '^FuzzScanReaderChunkBoundaries$$' -fuzztime $(FUZZTIME) -run '^FuzzScanReaderChunkBoundaries$$' .
 
 # ci is the tier-1 verification gate: vet, build, the full suite under the
 # race detector, and the fault-injection suite.

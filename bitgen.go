@@ -40,6 +40,7 @@ import (
 	"bitgen/internal/engine"
 	"bitgen/internal/gpusim"
 	"bitgen/internal/lower"
+	"bitgen/internal/resilience"
 	"bitgen/internal/rx"
 )
 
@@ -69,6 +70,15 @@ type Options struct {
 	// defaults (see Limits). Violations return errors satisfying
 	// errors.Is(err, ErrLimit).
 	Limits Limits
+	// Resilience, when non-nil, enables the self-healing backend ladder
+	// (bitstream → hybrid → NFA reference): transient faults are retried
+	// with backoff, persistently failing backends are circuit-broken,
+	// and a sampled fraction of calls is differentially cross-checked
+	// against the NFA reference. Applies to Run, CountOnly and
+	// ScanReader (per chunk); RunMulti models a combined MIMD launch and
+	// always runs the bitstream engine. See ResilienceOptions and
+	// Engine.Health.
+	Resilience *ResilienceOptions
 }
 
 // Default resource limits, applied when the corresponding Limits field is
@@ -154,8 +164,14 @@ type Result struct {
 	Matches []Match
 	// Counts maps each pattern to its number of match end positions.
 	Counts map[string]int
-	// Stats is the modeled execution summary.
+	// Stats is the modeled execution summary. Zero when a resilience
+	// fallback rung served the call: only the bitstream engine models
+	// GPU execution.
 	Stats Stats
+	// Backend names the resilience ladder rung that served this call
+	// (BackendBitstream, BackendHybrid or BackendNFA). Empty when
+	// resilience is disabled.
+	Backend string
 }
 
 // Engine is a compiled multi-pattern matcher. A compiled Engine is
@@ -171,6 +187,9 @@ type Engine struct {
 	// lists every pattern with no finite bound (streaming refusal).
 	maxLen    int
 	unbounded []string
+	// ladder is the self-healing backend ladder; nil when
+	// Options.Resilience was not set.
+	ladder *resilience.Ladder
 }
 
 // Compile parses and compiles the patterns. A nil opts selects defaults.
@@ -264,12 +283,22 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		inner:    inner,
 		patterns: patterns,
 		limits:   limits,
 		maxLen:   maxLen, unbounded: unbounded,
-	}, nil
+	}
+	if opts.Resilience != nil {
+		asts := make([]rx.Node, len(regexes))
+		for i := range regexes {
+			asts[i] = regexes[i].AST
+		}
+		if err := buildLadder(e, asts, opts.Resilience); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // MustCompile is Compile that panics on error, for static pattern tables.
@@ -339,6 +368,9 @@ func (e *Engine) RunContext(ctx context.Context, input []byte) (*Result, error) 
 	if err := e.checkInput(input); err != nil {
 		return nil, err
 	}
+	if e.ladder != nil {
+		return e.runLadder(ctx, input)
+	}
 	inner, err := e.inner.RunContext(ctx, input)
 	if err != nil {
 		return nil, err
@@ -356,9 +388,18 @@ func (e *Engine) CountOnly(input []byte) (map[string]int, error) {
 }
 
 // CountOnlyContext is CountOnly honoring a context (see RunContext).
+// With resilience enabled the call rides the backend ladder (positions
+// are materialized by the serving rung, then counted).
 func (e *Engine) CountOnlyContext(ctx context.Context, input []byte) (map[string]int, error) {
 	if err := e.checkInput(input); err != nil {
 		return nil, err
+	}
+	if e.ladder != nil {
+		res, err := e.runLadder(ctx, input)
+		if err != nil {
+			return nil, err
+		}
+		return res.Counts, nil
 	}
 	res, err := e.inner.RunCounts(ctx, input)
 	if err != nil {

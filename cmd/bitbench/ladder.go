@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"bitgen"
+	"bitgen/internal/experiments"
+	"bitgen/internal/workload"
+)
+
+// ladderRow is one application scanned through the public resilience
+// ladder rather than the raw experiment harness.
+type ladderRow struct {
+	App     string
+	Backend string
+	Matches int
+	MBs     float64
+	Health  bitgen.Health
+}
+
+type ladderReport struct {
+	forced string
+	rows   []ladderRow
+}
+
+// runLadder scans each selected application through the public API with
+// resilience enabled, reporting which rung served and the ladder health.
+// A forced backend pins the ladder to that single rung.
+func runLadder(s *experiments.Suite, forced string) (*ladderReport, error) {
+	apps := s.Opts().Apps
+	if len(apps) == 0 {
+		apps = workload.Names()
+	}
+	rep := &ladderReport{forced: forced}
+	for _, name := range apps {
+		app, err := s.App(name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		ropts := &bitgen.ResilienceOptions{ForceBackend: forced}
+		eng, err := bitgen.Compile(app.Patterns, &bitgen.Options{Resilience: ropts})
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile: %w", name, err)
+		}
+		res, err := eng.Run(app.Input)
+		if err != nil {
+			return nil, fmt.Errorf("%s: run: %w", name, err)
+		}
+		rep.rows = append(rep.rows, ladderRow{
+			App:     name,
+			Backend: res.Backend,
+			Matches: len(res.Matches),
+			MBs:     res.Stats.ThroughputMBs,
+			Health:  eng.Health(),
+		})
+	}
+	return rep, nil
+}
+
+func (r *ladderReport) Render() string {
+	var b strings.Builder
+	if r.forced != "" {
+		fmt.Fprintf(&b, "resilience ladder pinned to %q\n", r.forced)
+	} else {
+		b.WriteString("resilience ladder: bitstream -> hybrid -> nfa\n")
+	}
+	fmt.Fprintf(&b, "%-12s %-10s %10s %12s  %s\n", "app", "served-by", "matches", "MB/s", "backend states")
+	for _, row := range r.rows {
+		var states []string
+		for _, bh := range row.Health.Backends {
+			s := bh.State.String()
+			if bh.Quarantined {
+				s = "quarantined"
+			}
+			states = append(states, fmt.Sprintf("%s=%s", bh.Name, s))
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %10d %12.1f  %s\n",
+			row.App, row.Backend, row.Matches, row.MBs, strings.Join(states, " "))
+	}
+	return b.String()
+}
+
+func (r *ladderReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("app,served_by,matches,modeled_mbs,calls,fallbacks,crosschecks,mismatches\n")
+	for _, row := range r.rows {
+		h := row.Health
+		fmt.Fprintf(&b, "%s,%s,%d,%.2f,%d,%d,%d,%d\n",
+			row.App, row.Backend, row.Matches, row.MBs, h.Calls, h.Fallbacks, h.CrossChecks, h.Mismatches)
+	}
+	return b.String()
+}

@@ -9,7 +9,10 @@
 //	bitbench -exp fig12 -apps Yara,Brill -csv out/
 //
 // Experiments: table1, fig11 (alias table2), fig12 (alias table3), table4,
-// table5, fig13 (alias table6), fig14, fig15, all.
+// table5, fig13 (alias table6), fig14, fig15, all. The extra "ladder"
+// artifact (not part of "all") scans each application through the public
+// resilience ladder and reports which backend served; combine with
+// -backend to pin a single rung.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"bitgen/internal/cli"
 	"bitgen/internal/experiments"
 )
 
@@ -60,6 +64,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload generation seed")
 	hsThreads := flag.Int("hs-threads", 8, "HS-MT goroutine count")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
+	backend := flag.String("backend", "", cli.BackendUsage)
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -77,9 +82,16 @@ func main() {
 	if canonical, ok := aliases[name]; ok {
 		name = canonical
 	}
+	// The ladder artifact exercises the public resilience API rather than
+	// the experiment harness; it is opt-in and not part of "all".
+	ladderArtifact := artifact{"ladder", func(s *experiments.Suite) (renderable, error) {
+		return runLadder(s, *backend)
+	}}
 	var selected []artifact
 	if name == "all" {
 		selected = artifacts
+	} else if name == ladderArtifact.name {
+		selected = []artifact{ladderArtifact}
 	} else {
 		for _, a := range artifacts {
 			if a.name == name {
@@ -97,7 +109,7 @@ func main() {
 		start := time.Now()
 		res, err := a.run(suite)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bitbench: %s: %v\n", a.name, err)
+			fmt.Fprintf(os.Stderr, "bitbench: %s: %s\n", a.name, cli.Describe(err))
 			os.Exit(1)
 		}
 		fmt.Printf("==> %s (%.1fs)\n%s\n", a.name, time.Since(start).Seconds(), res.Render())

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"bitgen"
+	"bitgen/internal/cli"
 )
 
 type patternList []string
@@ -28,6 +29,7 @@ func main() {
 	flag.Var(&pats, "e", "pattern (repeatable)")
 	foldCase := flag.Bool("i", false, "case-insensitive")
 	quiet := flag.Bool("q", false, "suppress match lines; print only the summary")
+	backend := flag.String("backend", "", cli.BackendUsage)
 	flag.Parse()
 
 	args := flag.Args()
@@ -46,18 +48,21 @@ func main() {
 	input, err := os.ReadFile(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rxgrep:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
-	eng, err := bitgen.Compile(pats, &bitgen.Options{FoldCase: *foldCase})
+	eng, err := bitgen.Compile(pats, &bitgen.Options{
+		FoldCase:   *foldCase,
+		Resilience: cli.Resilience(*backend),
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rxgrep:", err)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "rxgrep:", cli.Describe(err))
+		os.Exit(2)
 	}
 	res, err := eng.Run(input)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rxgrep:", err)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "rxgrep:", cli.Describe(err))
+		os.Exit(2)
 	}
 
 	// Map match end offsets to line numbers.
@@ -99,8 +104,12 @@ func main() {
 				strings.TrimRight(string(input[lineStart[ln]:end]), "\r\n"))
 		}
 	}
-	fmt.Fprintf(os.Stderr, "rxgrep: %d matching lines, %d matches, %.1f MB/s modeled\n",
-		len(lines), len(res.Matches), res.Stats.ThroughputMBs)
+	served := res.Backend
+	if served == "" {
+		served = "bitstream (direct)"
+	}
+	fmt.Fprintf(os.Stderr, "rxgrep: %d matching lines, %d matches via %s, %.1f MB/s modeled\n",
+		len(lines), len(res.Matches), served, res.Stats.ThroughputMBs)
 	if len(lines) == 0 {
 		os.Exit(1)
 	}

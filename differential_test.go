@@ -1,0 +1,98 @@
+package bitgen
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bitgen/internal/rx"
+)
+
+// fuzzPatterns derives a small deduplicated pattern set from a seed using
+// the shared generator, rendered back to source syntax.
+func fuzzPatterns(seed uint64, count int) []string {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	opts := rx.GenOptions{MaxDepth: 3, MaxRepeat: 3}
+	seen := make(map[string]bool)
+	var out []string
+	for tries := 0; len(out) < count && tries < 4*count; tries++ {
+		p := rx.Generate(rng, opts).String()
+		if len(p) == 0 || len(p) > 40 || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// fuzzInput maps raw fuzz bytes into the generator's alphabet (with some
+// untouched noise bytes) so generated patterns actually match.
+func fuzzInput(data []byte) []byte {
+	if len(data) > 4<<10 {
+		data = data[:4<<10]
+	}
+	in := make([]byte, len(data))
+	for i, b := range data {
+		if b%5 == 0 {
+			in[i] = b // raw noise
+		} else {
+			in[i] = 'a' + b%10
+		}
+	}
+	return in
+}
+
+// FuzzBackendsAgree is the differential oracle behind the resilience
+// ladder: for random bounded patterns and random inputs, the bitstream
+// kernel, the hybrid AC engine, and the NFA reference must produce
+// identical match sets — otherwise falling over silently changes results.
+func FuzzBackendsAgree(f *testing.F) {
+	f.Add(uint64(1), []byte("abcabcddef aabbcc"))
+	f.Add(uint64(7), []byte("jjjjiihhaa gggff"))
+	f.Add(uint64(42), []byte{})
+	f.Add(uint64(1234), []byte("the quick brown fox abca"))
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
+		patterns := fuzzPatterns(seed, 4)
+		if len(patterns) == 0 {
+			t.Skip("generator produced no usable patterns")
+		}
+		input := fuzzInput(data)
+
+		results := make(map[string][]Match, 3)
+		for _, backend := range []string{BackendBitstream, BackendHybrid, BackendNFA} {
+			e, err := Compile(patterns, &Options{
+				Resilience: &ResilienceOptions{ForceBackend: backend},
+			})
+			if errors.Is(err, ErrLimit) || errors.Is(err, ErrUnsupported) {
+				t.Skip(err)
+			}
+			if err != nil {
+				t.Fatalf("compile %v for %s: %v", patterns, backend, err)
+			}
+			res, err := e.Run(input)
+			if errors.Is(err, ErrLimit) {
+				t.Skip(err)
+			}
+			if err != nil {
+				t.Fatalf("%s run: %v", backend, err)
+			}
+			results[backend] = res.Matches
+		}
+
+		ref := results[BackendNFA]
+		for _, backend := range []string{BackendBitstream, BackendHybrid} {
+			got := results[backend]
+			if len(got) != len(ref) {
+				t.Fatalf("patterns %v: %s found %d matches, nfa reference %d\n%s: %v\nnfa: %v",
+					patterns, backend, len(got), len(ref), backend, got, ref)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("patterns %v: %s match %d = %+v, nfa reference %+v",
+						patterns, backend, i, got[i], ref[i])
+				}
+			}
+		}
+	})
+}

@@ -18,14 +18,21 @@ import "bitgen/internal/bgerr"
 //     variant was canceled or timed out. The underlying context error is
 //     in the chain, so errors.Is(err, context.Canceled) and
 //     errors.Is(err, context.DeadlineExceeded) also work.
+//   - errors.Is(err, ErrTransient): an environmental fault worth retrying
+//     (a failed kernel launch). With resilience enabled these are retried
+//     with backoff automatically and rarely surface; without it the
+//     caller may retry.
 //   - errors.As(&*InternalError): an engine invariant was violated — a
 //     contained panic. The process survives, the Engine remains usable,
 //     and the error carries the CTA group index, the group's patterns and
 //     the recovered stack for reporting.
+//   - errors.As(&*ReadError): ScanReader's input reader failed mid-stream;
+//     the error carries the absolute stream offset for resumption.
 var (
 	ErrLimit       = bgerr.ErrLimit
 	ErrUnsupported = bgerr.ErrUnsupported
 	ErrCanceled    = bgerr.ErrCanceled
+	ErrTransient   = bgerr.ErrTransient
 )
 
 // LimitError reports which resource limit was exceeded (see Limits).

@@ -3,7 +3,7 @@
 // repository root), so internal packages can produce errors that callers
 // classify with errors.Is / errors.As against the public identities.
 //
-// The taxonomy separates four failure classes:
+// The taxonomy separates five failure classes:
 //
 //   - ErrLimit: the caller exceeded a configured resource limit (input
 //     size, pattern count, program size, iteration cap, device memory).
@@ -12,6 +12,12 @@
 //     do by design (unknown device, unbounded patterns in streaming).
 //   - ErrCanceled: the caller's context was canceled or its deadline
 //     expired; the run was abandoned at a safe boundary.
+//   - ErrTransient: an environmental fault that may succeed if simply
+//     retried (a failed kernel launch — sticky context errors, ECC
+//     events, launch-queue hiccups on a real device). The resilience
+//     layer retries these with backoff before falling over to another
+//     backend; everything else is either terminal (the three classes
+//     above, never retried) or failover-eligible (*InternalError).
 //   - *InternalError: an invariant was violated inside the engine (a
 //     contained panic). These indicate bugs, carry the recovered value
 //     and stack, and should be reported — but they do not crash the
@@ -31,6 +37,7 @@ var (
 	ErrLimit       = errors.New("bitgen: resource limit exceeded")
 	ErrUnsupported = errors.New("bitgen: unsupported operation")
 	ErrCanceled    = errors.New("bitgen: run canceled")
+	ErrTransient   = errors.New("bitgen: transient fault")
 )
 
 // LimitError reports a violated resource limit.
@@ -87,6 +94,25 @@ func Canceled(cause error) error {
 		cause = context.Canceled
 	}
 	return &canceledError{cause: cause}
+}
+
+// transientError marks a fault as retryable: both
+// errors.Is(err, ErrTransient) and errors.Is(err, cause-identity) hold.
+type transientError struct{ cause error }
+
+func (e *transientError) Error() string { return "bitgen: transient: " + e.cause.Error() }
+
+func (e *transientError) Is(target error) bool { return target == ErrTransient }
+
+func (e *transientError) Unwrap() error { return e.cause }
+
+// Transient marks an error as a retryable environmental fault. A nil
+// cause returns nil.
+func Transient(cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return &transientError{cause: cause}
 }
 
 // InternalError is a contained engine panic: an invariant violation that

@@ -254,6 +254,16 @@ func clampMergeSize(cfg Config) int {
 // Groups exposes the compiled groups (experiments inspect them).
 func (e *Engine) Groups() []Group { return e.groups }
 
+// WithInjector returns a shallow copy of the engine whose runs consult the
+// given fault injector (the compiled groups are shared; a compiled Engine
+// is immutable). Hardening and resilience tests use it to arm faults on an
+// already-compiled engine without re-running the pipeline.
+func (e *Engine) WithInjector(inj *faultinject.Injector) *Engine {
+	ne := *e
+	ne.cfg.Inject = inj
+	return &ne
+}
+
 type part struct {
 	regexes []lower.Regex
 	chars   int

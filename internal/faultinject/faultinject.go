@@ -104,6 +104,17 @@ func (in *Injector) ArmNth(p Point, n uint64) *Injector {
 	return in.Arm(p, Spec{Nth: n})
 }
 
+// Disarm removes a point's firing rule (hit counters are kept). Recovery
+// tests use it to model an environmental fault that clears: a persistently
+// failing backend stops faulting and the circuit breaker's next probe
+// succeeds.
+func (in *Injector) Disarm(p Point) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.specs, p)
+	return in
+}
+
 // Fire records one hit of the point and reports whether it fires. Safe on
 // a nil receiver (never fires), so call sites need no guard.
 func (in *Injector) Fire(p Point) bool {

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 
+	"bitgen/internal/bgerr"
 	"bitgen/internal/faultinject"
 )
 
@@ -11,9 +12,15 @@ import (
 // fail asynchronously (sticky context errors, ECC events, OOM at launch);
 // the engine calls it before dispatching each group so injected mid-launch
 // failures exercise the same error path. A nil injector never fails.
+//
+// Launch failures are classified transient (errors.Is(err, bgerr.
+// ErrTransient)): on a real device a failed launch is an environmental
+// fault worth retrying, unlike a kernel invariant violation or a resource
+// refusal. The resilience ladder retries transient faults with backoff
+// before falling over to another backend.
 func CheckLaunch(inj *faultinject.Injector, cta int) error {
 	if err := inj.Err(faultinject.LaunchFail); err != nil {
-		return fmt.Errorf("gpusim: launch of CTA group %d failed: %w", cta, err)
+		return bgerr.Transient(fmt.Errorf("gpusim: launch of CTA group %d failed: %w", cta, err))
 	}
 	return nil
 }

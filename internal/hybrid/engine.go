@@ -1,10 +1,12 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
 	"bitgen/internal/nfa"
 	"bitgen/internal/rx"
@@ -81,11 +83,10 @@ type shard struct {
 }
 
 type prefiltEntry struct {
-	regex   int // shard-local regex index
-	nfa     *nfa.NFA
-	litLen  map[int32]int // ac pattern id → literal length
-	maxLen  int
-	regions []region
+	regex  int // shard-local regex index
+	nfa    *nfa.NFA
+	litLen map[int32]int // ac pattern id → literal length
+	maxLen int
 }
 
 type region struct{ lo, hi int }
@@ -170,6 +171,37 @@ func compileShard(names []string, asts []rx.Node, idx []int, opts Options) (*sha
 	return sh, nil
 }
 
+// ScanContext is Scan honoring a context, checked before the scan and
+// between shard joins; cancellation returns an error satisfying
+// errors.Is(err, bgerr.ErrCanceled). It is the hybrid engine's rung of
+// the resilience backend ladder (see internal/resilience.Backend).
+func (e *Engine) ScanContext(ctx context.Context, input []byte) (*ScanResult, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, bgerr.Canceled(err)
+		}
+	}
+	res := e.Scan(input)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, bgerr.Canceled(err)
+		}
+	}
+	return res, nil
+}
+
+// MatchPositions adapts a scan to the resilience Backend contract:
+// pattern → sorted match end positions, empty streams omitted.
+func (r *ScanResult) MatchPositions() map[string][]int {
+	out := make(map[string][]int, len(r.Outputs))
+	for name, s := range r.Outputs {
+		if p := s.Positions(); len(p) > 0 {
+			out[name] = p
+		}
+	}
+	return out
+}
+
 // Scan matches all regexes over input. With Threads > 1 the shards run
 // concurrently.
 func (e *Engine) Scan(input []byte) *ScanResult {
@@ -210,10 +242,11 @@ func (sh *shard) scan(input []byte) (map[string]*bitstream.Stream, Stats) {
 	for _, name := range sh.names {
 		out[name] = bitstream.New(len(input))
 	}
-	// Reset per-scan region lists.
-	for i := range sh.prefilt {
-		sh.prefilt[i].regions = sh.prefilt[i].regions[:0]
-	}
+	// Per-scan region lists live on the stack, not the shard: a compiled
+	// Engine is immutable during Scan, so concurrent scans (the resilience
+	// ladder runs the hybrid rung from a concurrency-safe public Engine)
+	// do not race.
+	regions := make([][]region, len(sh.prefilt))
 	// Pass 1: prefilter.
 	sh.ac.Scan(input, func(h Hit) {
 		st.LiteralHits++
@@ -233,15 +266,15 @@ func (sh *shard) scan(input []byte) (map[string]*bitstream.Stream, Stats) {
 		if hi > len(input)-1 {
 			hi = len(input) - 1
 		}
-		entry.regions = append(entry.regions, region{lo, hi})
+		regions[eIdx] = append(regions[eIdx], region{lo, hi})
 	})
 	// Pass 2: regional confirmation.
 	for i := range sh.prefilt {
 		entry := &sh.prefilt[i]
-		if len(entry.regions) == 0 {
+		if len(regions[i]) == 0 {
 			continue
 		}
-		merged := mergeRegions(entry.regions)
+		merged := mergeRegions(regions[i])
 		stream := out[sh.names[entry.regex]]
 		for _, rg := range merged {
 			st.ConfirmedBytes += int64(rg.hi - rg.lo + 1)

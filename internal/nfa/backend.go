@@ -1,0 +1,14 @@
+package nfa
+
+// MatchPositions adapts a simulation to the resilience Backend contract:
+// pattern name → sorted match end positions, regexes with no matches
+// omitted.
+func (r *SimResult) MatchPositions(names []string) map[string][]int {
+	out := make(map[string][]int, len(r.Outputs))
+	for i, s := range r.Outputs {
+		if p := s.Positions(); len(p) > 0 {
+			out[names[i]] = p
+		}
+	}
+	return out
+}

@@ -1,8 +1,10 @@
 package nfa
 
 import (
+	"context"
 	"math/bits"
 
+	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
 )
 
@@ -40,11 +42,30 @@ type SimResult struct {
 	Stats   SimStats
 }
 
+// simCheckEvery is how many input bytes SimulateContext processes between
+// context checks: frequent enough that a deadline interrupts promptly,
+// cheap enough (one masked compare per byte) to be invisible on the scan
+// hot path.
+const simCheckEvery = 64 << 10
+
 // Simulate runs the NFA over the input with the start state persistently
 // active (unanchored matching) and records every match end position. It is
 // the repo's independent matching oracle: package-level tests cross-check
 // it against the bitstream pipeline.
 func Simulate(n *NFA, input []byte) *SimResult {
+	res, _ := simulate(nil, n, input)
+	return res
+}
+
+// SimulateContext is Simulate honoring a context: cancellation is
+// observed every simCheckEvery input bytes and returns an error
+// satisfying errors.Is(err, bgerr.ErrCanceled). It is the reference rung
+// of the resilience backend ladder (see internal/resilience.Backend).
+func SimulateContext(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
+	return simulate(ctx, n, input)
+}
+
+func simulate(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
 	numStates := n.NumStates()
 	words := (numStates + 63) / 64
 	res := &SimResult{Outputs: make([]*bitstream.Stream, n.NumRegex)}
@@ -94,6 +115,11 @@ func Simulate(n *NFA, input []byte) *SimResult {
 	active := make([]uint64, words)
 	pending := make([]uint64, words)
 	for i, c := range input {
+		if ctx != nil && i&(simCheckEvery-1) == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, bgerr.Canceled(err)
+			}
+		}
 		res.Stats.Symbols++
 		for w := range pending {
 			pending[w] = 0
@@ -146,5 +172,5 @@ func Simulate(n *NFA, input []byte) *SimResult {
 		}
 		active, pending = pending, active
 	}
-	return res
+	return res, nil
 }

@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed: the backend is healthy; attempts flow through.
+	Closed State = iota
+	// Open: the backend failed repeatedly; attempts are skipped until the
+	// cooldown elapses, then one half-open probe is admitted.
+	Open
+	// HalfOpen: the cooldown elapsed and one probe is in flight; its
+	// outcome closes or re-opens the breaker.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-backend circuit breaker. All methods are safe for
+// concurrent use; time is supplied by the caller so tests control it.
+type breaker struct {
+	mu        sync.Mutex
+	state     State
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open duration before a half-open probe
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	// quarantined pins the breaker open with no probes: set when a
+	// differential cross-check catches the backend returning a wrong
+	// match set. Only an explicit Reset clears it — a backend caught
+	// lying must not silently rejoin the ladder.
+	quarantined bool
+
+	consecFails int
+	attempts    uint64
+	successes   uint64
+	failures    uint64
+	retries     uint64
+	skips       uint64
+	lastFailure string
+}
+
+// allow reports whether an attempt may proceed now. A true return in
+// half-open state claims the single probe slot; the caller must report
+// the outcome via success or failure (or release via abandon).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.quarantined {
+		b.skips++
+		return false
+	}
+	switch b.state {
+	case Closed:
+		b.attempts++
+		return true
+	case Open:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			b.attempts++
+			return true
+		}
+	case HalfOpen:
+		if !b.probing {
+			b.probing = true
+			b.attempts++
+			return true
+		}
+	}
+	b.skips++
+	return false
+}
+
+// success records a served request: the breaker closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.consecFails = 0
+	b.state = Closed
+	b.probing = false
+}
+
+// failure records a failover-class failure; the breaker opens when the
+// streak reaches the threshold or when a half-open probe fails.
+func (b *breaker) failure(now time.Time, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.consecFails++
+	b.lastFailure = err.Error()
+	wasProbe := b.state == HalfOpen
+	b.probing = false
+	if wasProbe || (b.threshold > 0 && b.consecFails >= b.threshold) {
+		b.state = Open
+		b.openedAt = now
+	}
+}
+
+// abandon releases a claimed probe slot without judging the backend (the
+// attempt aborted for caller-side reasons, e.g. cancellation).
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.state = Open
+	}
+	b.probing = false
+}
+
+// quarantine pins the breaker open until reset.
+func (b *breaker) quarantine(now time.Time, reason string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.quarantined = true
+	b.state = Open
+	b.openedAt = now
+	b.probing = false
+	b.lastFailure = reason
+}
+
+// reset closes the breaker and clears quarantine and the failure streak.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.quarantined = false
+	b.state = Closed
+	b.probing = false
+	b.consecFails = 0
+}
+
+// snapshot copies the observable state into a BackendHealth (Name is
+// filled by the caller).
+func (b *breaker) snapshot() BackendHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendHealth{
+		State:               b.state,
+		Quarantined:         b.quarantined,
+		ConsecutiveFailures: b.consecFails,
+		Attempts:            b.attempts,
+		Successes:           b.successes,
+		Failures:            b.failures,
+		Retries:             b.retries,
+		Skips:               b.skips,
+		LastFailure:         b.lastFailure,
+	}
+}

@@ -1,0 +1,454 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bitgen/internal/bgerr"
+)
+
+// fakeBackend serves a fixed match set, with call k first consulting a
+// scripted error sequence (nil entries and calls past the script's end
+// succeed).
+type fakeBackend struct {
+	name   string
+	script []error // err for call k (nil = success); beyond the script: success
+	set    map[string][]int
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) Run(ctx context.Context, input []byte) (map[string][]int, any, error) {
+	f.mu.Lock()
+	k := f.calls
+	f.calls++
+	f.mu.Unlock()
+	if k < len(f.script) && f.script[k] != nil {
+		return nil, nil, f.script[k]
+	}
+	return f.set, f.name, nil
+}
+
+func (f *fakeBackend) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// testClock is a manually-advanced clock.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func noSleep(time.Duration) {}
+
+var (
+	setA = map[string][]int{"a": {1, 5}, "b": {3}}
+	setB = map[string][]int{"a": {1, 5}}
+	boom = errors.New("backend exploded")
+)
+
+func internalErr() error {
+	return &bgerr.InternalError{Op: "run", Group: 0, Value: "poisoned"}
+}
+
+func newTestLadder(t *testing.T, cfg Config, backends ...Backend) (*Ladder, *testClock) {
+	t.Helper()
+	clk := &testClock{}
+	cfg.Now = clk.now
+	if cfg.Sleep == nil {
+		cfg.Sleep = noSleep
+	}
+	l, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, clk
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{&bgerr.LimitError{Limit: "input-bytes", Value: 2, Max: 1}, ClassAbort},
+		{&bgerr.UnsupportedError{Feature: "x"}, ClassAbort},
+		{bgerr.Canceled(context.Canceled), ClassAbort},
+		{bgerr.Transient(boom), ClassRetry},
+		{fmt.Errorf("engine: group 3: %w", bgerr.Transient(boom)), ClassRetry},
+		{internalErr(), ClassFailover},
+		{boom, ClassFailover},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestTransientFaultIsRetriedThenServed(t *testing.T) {
+	primary := &fakeBackend{
+		name:   "p",
+		script: []error{bgerr.Transient(boom), bgerr.Transient(boom)},
+		set:    setA,
+	}
+	var slept []time.Duration
+	clk := &testClock{}
+	l, err := New([]Backend{primary}, Config{
+		MaxRetries: 2, Now: clk.now,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := l.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "p" || !Equal(out.Positions, setA) {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", out.Attempts)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("backoff sleeps = %v, want 2", slept)
+	}
+	// Jittered exponential backoff: try k sleeps base·2^k·[0.5,1.5).
+	base := time.Millisecond
+	for k, d := range slept {
+		lo := time.Duration(float64(base<<uint(k)) * 0.5)
+		hi := time.Duration(float64(base<<uint(k)) * 1.5)
+		if d < lo || d >= hi {
+			t.Fatalf("sleep %d = %v outside [%v, %v)", k, d, lo, hi)
+		}
+	}
+	h := l.Health()
+	if h.Backends[0].Retries != 2 || h.Backends[0].Successes != 1 {
+		t.Fatalf("health = %+v", h.Backends[0])
+	}
+}
+
+func TestTerminalErrorsAbortWithoutRetryOrFallback(t *testing.T) {
+	for _, terminal := range []error{
+		&bgerr.LimitError{Limit: "while-iterations", Value: 10, Max: 5},
+		&bgerr.UnsupportedError{Feature: "anchors"},
+		bgerr.Canceled(context.Canceled),
+	} {
+		primary := &fakeBackend{name: "p", script: []error{terminal}, set: setA}
+		fallback := &fakeBackend{name: "f", set: setA}
+		l, _ := newTestLadder(t, Config{}, primary, fallback)
+		_, err := l.Run(context.Background(), nil)
+		if err == nil || Classify(err) != ClassAbort {
+			t.Fatalf("terminal %v returned %v", terminal, err)
+		}
+		if primary.callCount() != 1 {
+			t.Fatalf("terminal %v retried: %d calls", terminal, primary.callCount())
+		}
+		if fallback.callCount() != 0 {
+			t.Fatalf("terminal %v fell over to fallback", terminal)
+		}
+	}
+}
+
+func TestFailoverServesFromNextRung(t *testing.T) {
+	primary := &fakeBackend{name: "p", script: []error{internalErr()}, set: setA}
+	fallback := &fakeBackend{name: "f", set: setA}
+	l, _ := newTestLadder(t, Config{}, primary, fallback)
+	out, err := l.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "f" || !Equal(out.Positions, setA) {
+		t.Fatalf("outcome = %+v", out)
+	}
+	h := l.Health()
+	if h.Fallbacks != 1 || h.Backends[0].Failures != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestRetryExhaustionFallsOver(t *testing.T) {
+	script := []error{bgerr.Transient(boom), bgerr.Transient(boom), bgerr.Transient(boom)}
+	primary := &fakeBackend{name: "p", script: script, set: setA}
+	fallback := &fakeBackend{name: "f", set: setA}
+	l, _ := newTestLadder(t, Config{MaxRetries: 2}, primary, fallback)
+	out, err := l.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "f" {
+		t.Fatalf("served by %q, want fallback", out.Backend)
+	}
+	if primary.callCount() != 3 {
+		t.Fatalf("primary attempted %d times, want 3", primary.callCount())
+	}
+}
+
+func TestBreakerOpensAfterThresholdAndProbesAfterCooldown(t *testing.T) {
+	fails := make([]error, 10)
+	for i := range fails {
+		fails[i] = internalErr()
+	}
+	primary := &fakeBackend{name: "p", script: fails, set: setA}
+	fallback := &fakeBackend{name: "f", set: setA}
+	l, clk := newTestLadder(t, Config{BreakerThreshold: 3, BreakerCooldown: time.Second}, primary, fallback)
+
+	for i := 0; i < 3; i++ {
+		out, err := l.Run(context.Background(), nil)
+		if err != nil || out.Backend != "f" {
+			t.Fatalf("call %d: %v %+v", i, err, out)
+		}
+	}
+	if h := l.Health(); h.Backends[0].State != Open {
+		t.Fatalf("after threshold failures, state = %v, want open", h.Backends[0].State)
+	}
+	// While open the primary is not attempted.
+	before := primary.callCount()
+	if _, err := l.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if primary.callCount() != before {
+		t.Fatal("open breaker still attempted the primary")
+	}
+	if h := l.Health(); h.Backends[0].Skips == 0 {
+		t.Fatal("skip not recorded")
+	}
+	// After the cooldown one probe is admitted; the script still fails,
+	// so the breaker re-opens immediately (half-open failure).
+	clk.advance(time.Second)
+	if _, err := l.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if primary.callCount() != before+1 {
+		t.Fatalf("probe not admitted: %d calls, want %d", primary.callCount(), before+1)
+	}
+	if h := l.Health(); h.Backends[0].State != Open {
+		t.Fatalf("failed probe left state %v, want open", h.Backends[0].State)
+	}
+	// Exhaust the scripted failures, cool down again: the probe succeeds
+	// and the breaker closes; the primary serves again.
+	primary.mu.Lock()
+	primary.calls = len(primary.script)
+	primary.mu.Unlock()
+	clk.advance(time.Second)
+	out, err := l.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "p" {
+		t.Fatalf("recovered probe served by %q, want primary", out.Backend)
+	}
+	if h := l.Health(); h.Backends[0].State != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", h.Backends[0].State)
+	}
+}
+
+func TestCrossCheckMismatchQuarantinesAndServesReference(t *testing.T) {
+	primary := &fakeBackend{name: "p", set: setB} // wrong: missing "b"
+	ref := &fakeBackend{name: "ref", set: setA}
+	l, _ := newTestLadder(t, Config{CrossCheckFraction: 1}, primary, ref)
+	out, err := l.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Mismatch || out.Backend != "ref" || !Equal(out.Positions, setA) {
+		t.Fatalf("outcome = %+v, want reference result with Mismatch", out)
+	}
+	h := l.Health()
+	if h.Mismatches != 1 || h.CrossChecks != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	if !h.Backends[0].Quarantined || h.Backends[0].State != Open {
+		t.Fatalf("primary not quarantined: %+v", h.Backends[0])
+	}
+	// Quarantine is sticky: later calls go straight to the reference.
+	before := primary.callCount()
+	if out, err = l.Run(context.Background(), nil); err != nil || out.Backend != "ref" {
+		t.Fatalf("post-quarantine: %v %+v", err, out)
+	}
+	if primary.callCount() != before {
+		t.Fatal("quarantined backend was attempted")
+	}
+	// Reset clears the quarantine.
+	if !l.Reset("p") {
+		t.Fatal("Reset did not find the backend")
+	}
+	if h := l.Health(); h.Backends[0].Quarantined || h.Backends[0].State != Closed {
+		t.Fatalf("after reset: %+v", h.Backends[0])
+	}
+}
+
+func TestCrossCheckAgreementKeepsPrimary(t *testing.T) {
+	primary := &fakeBackend{name: "p", set: setA}
+	ref := &fakeBackend{name: "ref", set: setA}
+	l, _ := newTestLadder(t, Config{CrossCheckFraction: 1}, primary, ref)
+	out, err := l.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "p" || out.Mismatch || !out.CrossChecked {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if h := l.Health(); h.CrossChecks != 1 || h.Mismatches != 0 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestCrossCheckSamplingFraction(t *testing.T) {
+	primary := &fakeBackend{name: "p", set: setA}
+	ref := &fakeBackend{name: "ref", set: setA}
+	l, _ := newTestLadder(t, Config{CrossCheckFraction: 0.25, Seed: 42}, primary, ref)
+	const calls = 2000
+	for i := 0; i < calls; i++ {
+		if _, err := l.Run(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := l.Health()
+	got := float64(h.CrossChecks) / calls
+	if got < 0.18 || got > 0.32 {
+		t.Fatalf("sampled fraction %.3f far from configured 0.25", got)
+	}
+	if int(h.CrossChecks) != ref.callCount() {
+		t.Fatalf("reference ran %d times for %d cross-checks", ref.callCount(), h.CrossChecks)
+	}
+}
+
+func TestAllBackendsFailing(t *testing.T) {
+	a := &fakeBackend{name: "a", script: []error{internalErr()}}
+	b := &fakeBackend{name: "b", script: []error{boom}}
+	l, _ := newTestLadder(t, Config{}, a, b)
+	_, err := l.Run(context.Background(), nil)
+	if !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("all-fail returned %v, want ErrNoBackend", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("last failure not in chain: %v", err)
+	}
+}
+
+func TestDeterministicJitterAcrossLadders(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		primary := &fakeBackend{
+			name:   "p",
+			script: []error{bgerr.Transient(boom), bgerr.Transient(boom)},
+			set:    setA,
+		}
+		clk := &testClock{}
+		l, err := New([]Backend{primary}, Config{
+			MaxRetries: 2, Seed: 7, Now: clk.now,
+			Sleep: func(d time.Duration) { slept = append(slept, d) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Run(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+		return slept
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sleep counts differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLadderConcurrentUse(t *testing.T) {
+	// Every 3rd primary call fails over; run many goroutines and assert
+	// every call is served with the right match set. Run with -race.
+	primary := &fakeBackend{name: "p", set: setA}
+	flaky := &flakyBackend{inner: primary, every: 3}
+	fallback := &fakeBackend{name: "f", set: setA}
+	l, _ := newTestLadder(t, Config{BreakerThreshold: -1}, flaky, fallback)
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				out, err := l.Run(context.Background(), nil)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !Equal(out.Positions, setA) {
+					errc <- fmt.Errorf("wrong match set from %s", out.Backend)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	h := l.Health()
+	if h.Calls != 400 {
+		t.Fatalf("calls = %d, want 400", h.Calls)
+	}
+	if h.Backends[0].Successes+h.Fallbacks != 400 {
+		t.Fatalf("successes %d + fallbacks %d != 400", h.Backends[0].Successes, h.Fallbacks)
+	}
+}
+
+// flakyBackend fails every Nth call with a failover-class error.
+type flakyBackend struct {
+	inner *fakeBackend
+	every int
+	mu    sync.Mutex
+	n     int
+}
+
+func (f *flakyBackend) Name() string { return f.inner.name }
+
+func (f *flakyBackend) Run(ctx context.Context, input []byte) (map[string][]int, any, error) {
+	f.mu.Lock()
+	f.n++
+	fail := f.n%f.every == 0
+	f.mu.Unlock()
+	if fail {
+		return nil, nil, internalErr()
+	}
+	return f.inner.Run(ctx, input)
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(setA, map[string][]int{"b": {3}, "a": {1, 5}}) {
+		t.Fatal("identical sets compare unequal")
+	}
+	if Equal(setA, setB) || Equal(setB, setA) {
+		t.Fatal("different key sets compare equal")
+	}
+	if Equal(map[string][]int{"a": {1}}, map[string][]int{"a": {2}}) {
+		t.Fatal("different positions compare equal")
+	}
+}

@@ -9,6 +9,24 @@ import (
 	"bitgen/internal/rx"
 )
 
+// ReadError reports that ScanReader's input reader failed mid-stream.
+// Offset is the absolute stream offset of the first byte that could not
+// be read — every match ending before Offset was already emitted, so a
+// caller can resume by re-opening the source at Offset and scanning the
+// remainder with a fresh ScanReader call.
+type ReadError struct {
+	// Offset is the absolute stream offset at which the read failed.
+	Offset int64
+	// Err is the reader's error.
+	Err error
+}
+
+func (e *ReadError) Error() string {
+	return fmt.Sprintf("bitgen: stream read failed at offset %d: %v", e.Offset, e.Err)
+}
+
+func (e *ReadError) Unwrap() error { return e.Err }
+
 // ScanReader scans a stream in fixed-size chunks, reporting every match
 // end position (relative to the whole stream) through emit. Chunks overlap
 // by maxLen-1 bytes so matches straddling a boundary are found exactly
@@ -105,7 +123,9 @@ func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize i
 			return flush(true)
 		}
 		if err != nil {
-			return err
+			// offset is buf[0]'s stream position and buf holds start+n
+			// valid bytes, so the failed read began at offset+len(buf).
+			return &ReadError{Offset: offset + int64(len(buf)), Err: err}
 		}
 		if err := flush(false); err != nil {
 			return err

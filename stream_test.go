@@ -2,6 +2,7 @@ package bitgen
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -79,6 +80,81 @@ func TestScanReaderRejectsTinyChunks(t *testing.T) {
 	err := eng.ScanReader(strings.NewReader("x"), 5, func(Match) {})
 	if err == nil {
 		t.Fatal("chunk smaller than max match accepted")
+	}
+}
+
+// brokenReader serves from data until fail bytes have been read, then
+// returns errDisk.
+type brokenReader struct {
+	data []byte
+	pos  int
+	fail int
+}
+
+var errDisk = errors.New("disk read failure")
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if r.pos >= r.fail {
+		return 0, errDisk
+	}
+	n := copy(p, r.data[r.pos:r.fail])
+	r.pos += n
+	return n, nil
+}
+
+func TestScanReaderMidStreamReadFailure(t *testing.T) {
+	eng := MustCompile([]string{"cat"}, &Options{CTAs: 1, Threads: 32})
+	input := []byte(strings.Repeat("xxcatxxx", 400)) // 3200 bytes, match every 8
+	const fail = 2500
+	var got []Match
+	err := eng.ScanReader(&brokenReader{data: input, fail: fail}, 1000, func(m Match) {
+		got = append(got, m)
+	})
+	if err == nil {
+		t.Fatal("mid-stream read failure was swallowed")
+	}
+	var re *ReadError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v (%T) is not a *ReadError", err, err)
+	}
+	if re.Offset != fail {
+		t.Fatalf("ReadError.Offset = %d, want %d (bytes delivered before the failure)", re.Offset, fail)
+	}
+	if !errors.Is(err, errDisk) {
+		t.Fatalf("underlying reader error lost from chain: %v", err)
+	}
+	if !strings.Contains(err.Error(), "offset 2500") {
+		t.Fatalf("error message lacks the offset: %q", err.Error())
+	}
+	// Every match in the chunks flushed before the failure was emitted:
+	// two full 1000-byte chunks were scanned, so all matches ending at or
+	// before 2000 must be present and correctly positioned.
+	want := 0
+	for end := 4; end <= 2000; end += 8 {
+		want++
+	}
+	n := 0
+	for _, m := range got {
+		if m.End <= 2000 {
+			n++
+			if (m.End-4)%8 != 0 {
+				t.Fatalf("bogus match end %d", m.End)
+			}
+		}
+	}
+	if n != want {
+		t.Fatalf("emitted %d matches before the failure point, want %d", n, want)
+	}
+}
+
+func TestScanReaderImmediateReadFailure(t *testing.T) {
+	eng := MustCompile([]string{"cat"}, &Options{CTAs: 1, Threads: 32})
+	err := eng.ScanReader(&brokenReader{fail: 0}, 1024, func(Match) {
+		t.Fatal("emit called despite the reader failing at offset 0")
+	})
+	var re *ReadError
+	if !errors.As(err, &re) || re.Offset != 0 {
+		t.Fatalf("err = %v, want *ReadError at offset 0", err)
 	}
 }
 
