@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fault fuzz ci bench
+.PHONY: build test race vet fault fuzz ci bench obs-smoke
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,21 @@ fuzz:
 	$(GO) test -fuzz '^FuzzBackendsAgree$$' -fuzztime $(FUZZTIME) -run '^FuzzBackendsAgree$$' .
 	$(GO) test -fuzz '^FuzzScanReaderChunkBoundaries$$' -fuzztime $(FUZZTIME) -run '^FuzzScanReaderChunkBoundaries$$' .
 
+# obs-smoke runs a real scan with tracing and metrics on and validates
+# the exported artifacts: the Chrome trace_event JSON schema (loadable in
+# chrome://tracing / Perfetto) and the Prometheus text-exposition grammar
+# (HELP/TYPE comments, label syntax, cumulative histogram buckets).
+obs-smoke:
+	@tmp=$$(mktemp -d) && \
+	printf 'error: timeout after 30ms\nok line\nfatal: disk full\n' > $$tmp/input.txt && \
+	$(GO) run ./cmd/rxgrep -q -metrics -trace $$tmp/trace.json -profile $$tmp/profile.json \
+		'error|fatal' $$tmp/input.txt > $$tmp/metrics.txt && \
+	$(GO) run ./cmd/obscheck -trace $$tmp/trace.json -metrics $$tmp/metrics.txt && \
+	rm -rf $$tmp
+
 # ci is the tier-1 verification gate: vet, build, the full suite under the
-# race detector, and the fault-injection suite.
-ci: vet build race fault
+# race detector, the fault-injection suite, and the observability smoke.
+ci: vet build race fault obs-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

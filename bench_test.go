@@ -189,6 +189,32 @@ func BenchmarkEngineScan(b *testing.B) {
 	}
 }
 
+// BenchmarkScanObservability pits the default nil-hook path against an
+// engine with tracing and metrics on — the "off" variant must match
+// BenchmarkEngineScan within noise (±2%), since disabled hooks are
+// nil-receiver no-ops.
+func BenchmarkScanObservability(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts *ObservabilityOptions
+	}{
+		{"off", nil},
+		{"on", &ObservabilityOptions{Trace: true, Metrics: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng := MustCompile([]string{"fox|dog", "qu[a-z]+k", "l.zy"},
+				&Options{CTAs: 3, Observability: cfg.opts})
+			b.SetBytes(int64(len(benchInput)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.CountOnly(benchInput); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTranspose measures the S2P transform.
 func BenchmarkTranspose(b *testing.B) {
 	b.SetBytes(int64(len(benchInput)))

@@ -40,6 +40,7 @@ import (
 	"bitgen/internal/engine"
 	"bitgen/internal/gpusim"
 	"bitgen/internal/lower"
+	"bitgen/internal/obs"
 	"bitgen/internal/resilience"
 	"bitgen/internal/rx"
 )
@@ -79,6 +80,11 @@ type Options struct {
 	// always runs the bitstream engine. See ResilienceOptions and
 	// Engine.Health.
 	Resilience *ResilienceOptions
+	// Observability, when non-nil, enables scan tracing and/or metrics
+	// collection (see ObservabilityOptions, Engine.WriteTrace,
+	// Engine.MetricsSnapshot, Engine.WritePrometheus). Nil — the default
+	// — compiles every instrumentation hook down to a pointer check.
+	Observability *ObservabilityOptions
 }
 
 // Default resource limits, applied when the corresponding Limits field is
@@ -172,6 +178,11 @@ type Result struct {
 	// (BackendBitstream, BackendHybrid or BackendNFA). Empty when
 	// resilience is disabled.
 	Backend string
+	// Profile is the per-scan profile artifact joining the cost-model
+	// time breakdown with observed per-kernel counters. Non-nil only
+	// when Options.Observability enables metrics and the bitstream
+	// engine served the call.
+	Profile *Profile
 }
 
 // Engine is a compiled multi-pattern matcher. A compiled Engine is
@@ -190,6 +201,9 @@ type Engine struct {
 	// ladder is the self-healing backend ladder; nil when
 	// Options.Resilience was not set.
 	ladder *resilience.Ladder
+	// obs carries the tracer and metrics registry; nil when
+	// Options.Observability was not set (every hook is nil-safe).
+	obs *obs.Observer
 }
 
 // Compile parses and compiles the patterns. A nil opts selects defaults.
@@ -230,9 +244,13 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 	if limits.MaxPatterns > 0 && len(patterns) > limits.MaxPatterns {
 		return nil, &LimitError{Limit: "patterns", Value: int64(len(patterns)), Max: int64(limits.MaxPatterns)}
 	}
+	observer := opts.Observability.observer()
+	cspan := observer.Span("compile", "compile", 0).Arg("patterns", len(patterns))
+	defer cspan.End()
 	regexes := make([]lower.Regex, len(patterns))
 	maxLen := 0
 	var unbounded []string
+	pspan := observer.Span("compile", "parse", 0)
 	for i, p := range patterns {
 		if err := ctx.Err(); err != nil {
 			return nil, bgerr.Canceled(err)
@@ -249,6 +267,7 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 			maxLen = l
 		}
 	}
+	pspan.End()
 	cfg := engine.BitGenDefault()
 	cfg.KeepOutputs = true
 	cfg.Device = dev
@@ -279,6 +298,7 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 	if limits.MaxDeviceMemoryBytes > 0 {
 		cfg.MemoryBudgetBytes = limits.MaxDeviceMemoryBytes
 	}
+	cfg.Obs = observer
 	inner, err := engine.CompileContext(ctx, regexes, cfg)
 	if err != nil {
 		return nil, err
@@ -288,6 +308,7 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 		patterns: patterns,
 		limits:   limits,
 		maxLen:   maxLen, unbounded: unbounded,
+		obs: observer,
 	}
 	if opts.Resilience != nil {
 		asts := make([]rx.Node, len(regexes))
@@ -350,6 +371,7 @@ func toResult(inner *engine.Result) *Result {
 		RecomputePercent: total.RecomputePercent(),
 		GuardSkips:       total.GuardSkips,
 	}
+	res.Profile = inner.Profile
 	return res
 }
 
@@ -368,6 +390,22 @@ func (e *Engine) RunContext(ctx context.Context, input []byte) (*Result, error) 
 	if err := e.checkInput(input); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	span := e.obs.Span("scan", "run", 0).Arg("input_bytes", len(input))
+	res, err := e.runContext(ctx, input)
+	if err != nil {
+		span.Arg("error", err.Error()).End()
+		e.observeScan(start, len(input), 0, err)
+		return nil, err
+	}
+	span.Arg("matches", len(res.Matches)).End()
+	e.observeScan(start, len(input), len(res.Matches), nil)
+	return res, nil
+}
+
+// runContext dispatches one scan to the ladder or directly to the
+// bitstream engine.
+func (e *Engine) runContext(ctx context.Context, input []byte) (*Result, error) {
 	if e.ladder != nil {
 		return e.runLadder(ctx, input)
 	}
@@ -394,6 +432,24 @@ func (e *Engine) CountOnlyContext(ctx context.Context, input []byte) (map[string
 	if err := e.checkInput(input); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	span := e.obs.Span("scan", "count-only", 0).Arg("input_bytes", len(input))
+	counts, err := e.countOnlyContext(ctx, input)
+	if err != nil {
+		span.Arg("error", err.Error()).End()
+		e.observeScan(start, len(input), 0, err)
+		return nil, err
+	}
+	matches := 0
+	for _, n := range counts {
+		matches += n
+	}
+	span.Arg("matches", matches).End()
+	e.observeScan(start, len(input), matches, nil)
+	return counts, nil
+}
+
+func (e *Engine) countOnlyContext(ctx context.Context, input []byte) (map[string]int, error) {
 	if e.ladder != nil {
 		res, err := e.runLadder(ctx, input)
 		if err != nil {

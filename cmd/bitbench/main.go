@@ -37,6 +37,12 @@ type renderable interface {
 	CSV() string
 }
 
+// jsonRenderable is implemented by artifacts that also emit a structured
+// JSON form (written under the -json directory).
+type jsonRenderable interface {
+	JSON() ([]byte, error)
+}
+
 var artifacts = []artifact{
 	{"table1", func(s *experiments.Suite) (renderable, error) { return s.Table1() }},
 	{"fig11", func(s *experiments.Suite) (renderable, error) { return s.Table2Figure11() }},
@@ -64,6 +70,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload generation seed")
 	hsThreads := flag.Int("hs-threads", 8, "HS-MT goroutine count")
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
+	jsonDir := flag.String("json", "", "directory to also write JSON artifacts into (artifacts that support it)")
 	backend := flag.String("backend", "", cli.BackendUsage)
 	flag.Parse()
 
@@ -82,17 +89,27 @@ func main() {
 	if canonical, ok := aliases[name]; ok {
 		name = canonical
 	}
-	// The ladder artifact exercises the public resilience API rather than
-	// the experiment harness; it is opt-in and not part of "all".
-	ladderArtifact := artifact{"ladder", func(s *experiments.Suite) (renderable, error) {
-		return runLadder(s, *backend)
-	}}
+	// The ladder and profile artifacts exercise the public API rather
+	// than the experiment harness; they are opt-in and not part of "all".
+	extraArtifacts := []artifact{
+		{"ladder", func(s *experiments.Suite) (renderable, error) {
+			return runLadder(s, *backend)
+		}},
+		{"profile", func(s *experiments.Suite) (renderable, error) {
+			return runProfile(s)
+		}},
+	}
 	var selected []artifact
 	if name == "all" {
 		selected = artifacts
-	} else if name == ladderArtifact.name {
-		selected = []artifact{ladderArtifact}
 	} else {
+		for _, a := range extraArtifacts {
+			if a.name == name {
+				selected = []artifact{a}
+			}
+		}
+	}
+	if selected == nil {
 		for _, a := range artifacts {
 			if a.name == name {
 				selected = []artifact{a}
@@ -120,6 +137,28 @@ func main() {
 			}
 			path := filepath.Join(*csvDir, a.name+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "bitbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("    wrote %s\n", path)
+		}
+		if *jsonDir != "" {
+			jr, ok := res.(jsonRenderable)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bitbench: %s has no JSON form, skipping\n", a.name)
+				continue
+			}
+			buf, err := jr.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bitbench:", err)
+				os.Exit(1)
+			}
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "bitbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, a.name+".json")
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "bitbench:", err)
 				os.Exit(1)
 			}

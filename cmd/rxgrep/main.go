@@ -30,6 +30,9 @@ func main() {
 	foldCase := flag.Bool("i", false, "case-insensitive")
 	quiet := flag.Bool("q", false, "suppress match lines; print only the summary")
 	backend := flag.String("backend", "", cli.BackendUsage)
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print Prometheus text exposition of the scan's metrics to stdout")
+	profilePath := flag.String("profile", "", "write the per-scan profile artifact (JSON) to this file ('-' for stdout)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -51,9 +54,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	var obsOpts *bitgen.ObservabilityOptions
+	if *tracePath != "" || *metrics || *profilePath != "" {
+		obsOpts = &bitgen.ObservabilityOptions{
+			Trace:   *tracePath != "",
+			Metrics: *metrics || *profilePath != "",
+		}
+	}
 	eng, err := bitgen.Compile(pats, &bitgen.Options{
-		FoldCase:   *foldCase,
-		Resilience: cli.Resilience(*backend),
+		FoldCase:      *foldCase,
+		Resilience:    cli.Resilience(*backend),
+		Observability: obsOpts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rxgrep:", cli.Describe(err))
@@ -110,6 +121,44 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rxgrep: %d matching lines, %d matches via %s, %.1f MB/s modeled\n",
 		len(lines), len(res.Matches), served, res.Stats.ThroughputMBs)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = eng.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rxgrep: writing trace:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rxgrep: trace written to %s\n", *tracePath)
+	}
+	if *profilePath != "" {
+		if res.Profile == nil {
+			fmt.Fprintln(os.Stderr, "rxgrep: no profile (a fallback backend served the scan)")
+		} else {
+			buf, err := res.Profile.JSON()
+			if err == nil {
+				if *profilePath == "-" {
+					_, err = os.Stdout.Write(buf)
+				} else {
+					err = os.WriteFile(*profilePath, buf, 0o644)
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rxgrep: writing profile:", err)
+				os.Exit(2)
+			}
+		}
+	}
+	if *metrics {
+		if err := eng.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rxgrep: writing metrics:", err)
+			os.Exit(2)
+		}
+	}
 	if len(lines) == 0 {
 		os.Exit(1)
 	}

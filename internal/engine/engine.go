@@ -21,6 +21,7 @@ import (
 	"bitgen/internal/ir"
 	"bitgen/internal/kernel"
 	"bitgen/internal/lower"
+	"bitgen/internal/obs"
 	"bitgen/internal/passes"
 	"bitgen/internal/transpose"
 )
@@ -74,6 +75,11 @@ type Config struct {
 	MemoryBudgetBytes int64
 	// Inject is an optional fault injector (tests only). Nil never fires.
 	Inject *faultinject.Injector
+	// Obs, when non-nil, records compile and launch spans, aggregates
+	// kernel counters into the metrics registry, and attaches a per-scan
+	// Profile to every Result. Nil (the default) compiles to pointer
+	// checks on the instrumented paths.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +163,9 @@ type Result struct {
 	// fit the device — Section 3.2's reason for excluding sequential
 	// execution from the paper's baseline comparison.
 	ExceedsDeviceMemory bool
+	// Profile joins the cost model with the per-kernel counters; non-nil
+	// only when Config.Obs is set.
+	Profile *gpusim.Profile
 }
 
 // Compile lowers and optimizes a regex set under the configuration.
@@ -208,7 +217,10 @@ func compileGroup(regexes []lower.Regex, names []string, gi int, cfg Config, ps 
 			}
 		}
 	}()
-	prog, err = lower.Group(regexes, lower.Options{})
+	gspan := cfg.Obs.Span("compile", "compile-group", 0).
+		Arg("group", gi).Arg("patterns", len(names))
+	defer gspan.End()
+	prog, err = lower.Group(regexes, lower.Options{Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -216,21 +228,26 @@ func compileGroup(regexes []lower.Regex, names []string, gi int, cfg Config, ps 
 		return nil, fmt.Errorf("engine: group %d: %w", gi,
 			&bgerr.LimitError{Limit: "program-instructions", Value: int64(n), Max: int64(cfg.MaxProgramInstructions)})
 	}
+	pspan := cfg.Obs.Span("compile", "passes", 0).Arg("group", gi)
 	if cfg.ShiftRebalancing {
 		r := passes.Rebalance(prog, passes.RebalanceOptions{})
 		ps.Rewrites += r.Rewrites
+		pspan.Arg("rewrites", r.Rewrites)
 	}
 	if cfg.MergeSize > 0 {
 		ms := clampMergeSize(cfg)
 		sched := passes.MergeBarriers(prog, passes.MergeOptions{MergeSize: ms})
 		ps.MergedGroups += len(sched.Groups)
 		ps.DedupedCopies += sched.DedupedCopies
+		pspan.Arg("merged_groups", len(sched.Groups))
 	}
 	if cfg.ZeroBlockSkipping {
 		z := passes.InsertGuards(prog, passes.ZBSOptions{Interval: cfg.IntervalSize})
 		ps.ZeroPaths += z.PathsFound
 		ps.GuardsInserted += z.GuardsInserted
+		pspan.Arg("guards_inserted", z.GuardsInserted)
 	}
+	pspan.End()
 	if err := ir.Validate(prog); err != nil {
 		return nil, fmt.Errorf("engine: pass pipeline produced invalid program: %w", err)
 	}
@@ -329,7 +346,9 @@ func (e *Engine) RunCounts(ctx context.Context, input []byte) (*Result, error) {
 }
 
 func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Result, error) {
+	tspan := e.cfg.Obs.Span("scan", "transpose", 0).Arg("input_bytes", len(input))
 	basis := transpose.Transpose(input)
+	tspan.End()
 	share := e.cfg.TransposeShare
 	if share == 0 {
 		share = 1
@@ -391,10 +410,26 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 				outs[gi] = groupOut{nil, fmt.Errorf("engine: group %d: %w", gi, err)}
 				return
 			}
-			run, err := kernel.RunContext(ctx, e.groups[gi].Program, basis, kcfg)
+			// One trace lane per CTA group: concurrent launches render as
+			// parallel tracks in the trace viewer.
+			lane := 1 + gi
+			e.cfg.Obs.NameLane(lane, fmt.Sprintf("kernel/group-%d", gi))
+			lspan := e.cfg.Obs.Span("scan", "kernel-launch", lane).
+				Arg("group", gi).Arg("patterns", len(e.groups[gi].Names))
+			gcfg := kcfg
+			gcfg.Obs = e.cfg.Obs
+			gcfg.TraceLane = lane
+			run, err := kernel.RunContext(ctx, e.groups[gi].Program, basis, gcfg)
 			if err != nil {
 				err = fmt.Errorf("engine: group %d: %w", gi, err)
+				lspan.Arg("error", err.Error())
+			} else {
+				lspan.Arg("windows", run.Stats.Windows).
+					Arg("dram_bytes", run.Stats.DRAMReadBytes+run.Stats.DRAMWriteBytes).
+					Arg("barriers", run.Stats.Barriers).
+					Arg("guard_skips", run.Stats.GuardSkips)
 			}
+			lspan.End()
 			outs[gi] = groupOut{run, err}
 		}(gi)
 	}
@@ -426,8 +461,10 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 			}
 		}
 	}
+	espan := e.cfg.Obs.Span("scan", "estimate", 0)
 	res.Time = gpusim.EstimateTime(e.cfg.Device, e.cfg.Grid, &res.Stats)
 	res.ThroughputMBs = gpusim.ThroughputMBs(res.Stats.InputBytes, res.Time.TotalSec)
+	espan.Arg("modeled_sec", res.Time.TotalSec).End()
 	for i := range res.Stats.PerCTA {
 		res.IntermediateFootprintBytes += gpusim.IntermediateFootprintBytes(
 			res.Stats.PerCTA[i].IntermediateStreams, int64(len(input)))
@@ -438,6 +475,14 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 			Limit: "device-memory-bytes",
 			Value: res.IntermediateFootprintBytes, Max: e.cfg.MemoryBudgetBytes,
 		}
+	}
+	if e.cfg.Obs.Enabled() {
+		gpusim.RecordKernelStats(e.cfg.Obs.Reg(), &res.Stats, res.Time)
+		names := make([][]string, len(e.groups))
+		for gi := range e.groups {
+			names[gi] = e.groups[gi].Names
+		}
+		res.Profile = gpusim.BuildProfile(e.cfg.Device, &res.Stats, res.Time, res.ThroughputMBs, names)
 	}
 	return res, nil
 }

@@ -3,18 +3,44 @@ package gpusim
 // TimeBreakdown decomposes the estimated kernel time.
 type TimeBreakdown struct {
 	// ComputeSec is integer-pipeline time.
-	ComputeSec float64
+	ComputeSec float64 `json:"compute_sec"`
 	// DRAMSec is global-memory time (aggregate bandwidth bound).
-	DRAMSec float64
+	DRAMSec float64 `json:"dram_sec"`
 	// SMemSec is shared-memory time.
-	SMemSec float64
+	SMemSec float64 `json:"smem_sec"`
 	// BarrierSec is synchronization stall time.
-	BarrierSec float64
+	BarrierSec float64 `json:"barrier_sec"`
 	// TotalSec is the modeled kernel time.
-	TotalSec float64
+	TotalSec float64 `json:"total_sec"`
 	// BarrierStallPercent is BarrierSec / TotalSec (Table 6's
 	// "Barrier Stall %").
-	BarrierStallPercent float64
+	BarrierStallPercent float64 `json:"barrier_stall_percent"`
+}
+
+// CTATime is one CTA's (one kernel launch's) modeled time components —
+// the same formulas EstimateTime serializes per SM, exposed so the
+// profile report and the bitbench artifacts quote identical numbers.
+type CTATime struct {
+	// ComputeSec, SMemSec and BarrierSec serialize within the CTA.
+	ComputeSec float64 `json:"compute_sec"`
+	SMemSec    float64 `json:"smem_sec"`
+	BarrierSec float64 `json:"barrier_sec"`
+	// DRAMSec is this CTA's share of the device-wide DRAM bound (its
+	// traffic at achieved bandwidth; the transpose kernel's charge is
+	// launch-wide and excluded here).
+	DRAMSec float64 `json:"dram_sec"`
+}
+
+// PerCTATime computes one CTA's time components on a device.
+func PerCTATime(d Device, c *CTAStats) CTATime {
+	opsPerSecSM := d.TIOPS * 1e12 / float64(d.SMs) * computeEfficiency
+	smemBytesPerSec := d.SMemBandwidthGBs * 1e9
+	return CTATime{
+		ComputeSec: float64(c.UnitOps) / opsPerSecSM,
+		SMemSec:    float64(c.SMemReadBytes+c.SMemWriteBytes) / smemBytesPerSec,
+		BarrierSec: float64(c.Barriers) * d.BarrierSec(),
+		DRAMSec:    float64(c.DRAMReadBytes+c.DRAMWriteBytes) / (d.BandwidthGBs * 1e9 * dramEfficiency),
+	}
 }
 
 // computeEfficiency reflects achieved vs peak integer throughput for
@@ -44,9 +70,6 @@ func EstimateTime(d Device, g Grid, ks *KernelStats) TimeBreakdown {
 	if len(ks.PerCTA) == 0 {
 		return tb
 	}
-	// Per-SM integer throughput in ops/sec (W-bit ops).
-	opsPerSecSM := d.TIOPS * 1e12 / float64(d.SMs) * computeEfficiency
-	smemBytesPerSec := d.SMemBandwidthGBs * 1e9
 	// Assign CTAs to SMs round-robin (one resident CTA per SM: the
 	// bitstream kernels are register- and smem-heavy, limiting occupancy).
 	smTime := make([]float64, d.SMs)
@@ -54,14 +77,12 @@ func EstimateTime(d Device, g Grid, ks *KernelStats) TimeBreakdown {
 	var maxCompute, maxSMem, maxBarrier float64
 	for i := range ks.PerCTA {
 		c := &ks.PerCTA[i]
-		compute := float64(c.UnitOps) / opsPerSecSM
-		smem := float64(c.SMemReadBytes+c.SMemWriteBytes) / smemBytesPerSec
-		barrier := float64(c.Barriers) * d.BarrierSec()
-		smTime[i%d.SMs] += compute + smem + barrier
+		ct := PerCTATime(d, c)
+		smTime[i%d.SMs] += ct.ComputeSec + ct.SMemSec + ct.BarrierSec
 		totalDRAM += float64(c.DRAMReadBytes + c.DRAMWriteBytes)
-		maxCompute += compute
-		maxSMem += smem
-		maxBarrier += barrier
+		maxCompute += ct.ComputeSec
+		maxSMem += ct.SMemSec
+		maxBarrier += ct.BarrierSec
 	}
 	serial := 0.0
 	for _, t := range smTime {

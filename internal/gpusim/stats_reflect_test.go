@@ -1,0 +1,62 @@
+package gpusim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCTAStatsAddCoversEveryField asserts, by reflection, that Add
+// propagates every CTAStats field: a newly added counter that is not
+// wired into Add would arrive at the aggregate as zero and fail here, so
+// the hand-maintained field list in Add can never silently drop one.
+func TestCTAStatsAddCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(CTAStats{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			t.Fatalf("CTAStats.%s is %s; this test assumes int64 counters — extend it", f.Name, f.Type)
+		}
+		other := CTAStats{}
+		v := int64(100 + i) // distinct nonzero per field
+		reflect.ValueOf(&other).Elem().Field(i).SetInt(v)
+
+		var sum CTAStats
+		sum.Add(other)
+		got := reflect.ValueOf(sum).Field(i).Int()
+		if got != v {
+			t.Errorf("CTAStats.Add drops field %s: aggregate = %d, want %d", f.Name, got, v)
+		}
+		// No cross-talk: every other field stays zero.
+		for j := 0; j < typ.NumField(); j++ {
+			if j == i {
+				continue
+			}
+			if x := reflect.ValueOf(sum).Field(j).Int(); x != 0 {
+				t.Errorf("adding %s leaked into %s (= %d)", f.Name, typ.Field(j).Name, x)
+			}
+		}
+		// Second Add must keep the field nonzero under either semantics
+		// (2v for accumulating counters, v for max-style fields).
+		sum.Add(other)
+		got2 := reflect.ValueOf(sum).Field(i).Int()
+		if got2 != v && got2 != 2*v {
+			t.Errorf("CTAStats.Add field %s: second add = %d, want %d (max) or %d (sum)", f.Name, got2, v, 2*v)
+		}
+	}
+}
+
+// TestKernelStatsTotalMatchesManualSum pins Total to a straight per-field
+// aggregation over PerCTA.
+func TestKernelStatsTotalMatchesManualSum(t *testing.T) {
+	ks := KernelStats{PerCTA: []CTAStats{
+		{UnitOps: 1, DRAMReadBytes: 10, Barriers: 3, DynDeltaMax: 5, SMemPeakBytes: 7},
+		{UnitOps: 2, DRAMReadBytes: 20, Barriers: 4, DynDeltaMax: 2, SMemPeakBytes: 9},
+	}}
+	tot := ks.Total()
+	if tot.UnitOps != 3 || tot.DRAMReadBytes != 30 || tot.Barriers != 7 {
+		t.Fatalf("Total sums wrong: %+v", tot)
+	}
+	if tot.DynDeltaMax != 5 || tot.SMemPeakBytes != 9 {
+		t.Fatalf("Total max-fields wrong: %+v", tot)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
 	"bitgen/internal/nfa"
+	"bitgen/internal/obs"
 	"bitgen/internal/rx"
 )
 
@@ -25,6 +26,9 @@ type Options struct {
 	// confirmation; longer or unbounded patterns take the general NFA
 	// path. Zero means 256.
 	MaxRegionLen int
+	// Obs, when non-nil, records a span per ScanContext call with the
+	// scan's Stats as arguments. Nil is free.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -181,7 +185,12 @@ func (e *Engine) ScanContext(ctx context.Context, input []byte) (*ScanResult, er
 			return nil, bgerr.Canceled(err)
 		}
 	}
+	span := e.opts.Obs.Span("hybrid", "hybrid-scan", 0).Arg("input_bytes", len(input))
 	res := e.Scan(input)
+	span.Arg("literal_hits", res.Stats.LiteralHits).
+		Arg("confirmed_bytes", res.Stats.ConfirmedBytes).
+		Arg("general_bytes", res.Stats.GeneralBytes).
+		End()
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, bgerr.Canceled(err)

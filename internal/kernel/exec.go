@@ -11,6 +11,7 @@ import (
 	"bitgen/internal/faultinject"
 	"bitgen/internal/gpusim"
 	"bitgen/internal/ir"
+	"bitgen/internal/obs"
 	"bitgen/internal/transpose"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	MaxWhileIterations int
 	// Inject is an optional fault injector (tests only). Nil never fires.
 	Inject *faultinject.Injector
+	// Obs, when non-nil, records one span per execution attempt and an
+	// instant event per overlap fallback. Nil compiles to pointer checks.
+	Obs *obs.Observer
+	// TraceLane is the trace lane (Chrome tid) spans land on; the engine
+	// assigns 1+group so concurrent launches render as parallel tracks.
+	TraceLane int
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -103,13 +110,17 @@ func RunContext(ctx context.Context, p *ir.Program, basis *transpose.Basis, cfg 
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
+		span := cfg.Obs.Span("kernel", "kernel-attempt", cfg.TraceLane).Arg("attempt", attempt)
 		res, err := runOnce(ctx, p, basis, cfg, materialize)
+		span.End()
 		var ovf *overflowError
 		fusedMode := cfg.Mode == ModeDTM || cfg.Mode == ModeDTMStatic
 		if errors.As(err, &ovf) && fusedMode && ovf.stmt != nil && !materialize[ovf.stmt] && attempt < 1+len(p.Stmts) {
 			// Section 8.2 fallback: execute the offending loop or carry
 			// sequentially (materialized) and re-run interleaved around it.
 			materialize[ovf.stmt] = true
+			cfg.Obs.Instant("kernel", "overlap-fallback", cfg.TraceLane, obs.A("need_bits", ovf.need))
+			cfg.Obs.Reg().Counter(obs.MOverlapFallback, obs.HOverlapFallback).Inc()
 			continue
 		}
 		if err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"bitgen/internal/charclass"
 	"bitgen/internal/ir"
+	"bitgen/internal/obs"
 	"bitgen/internal/rx"
 )
 
@@ -32,6 +33,8 @@ type Options struct {
 	// repetition per regex; zero means the default of 4096 expanded
 	// sub-lowerings.
 	MaxUnroll int
+	// Obs, when non-nil, records a span per lowered group. Nil is free.
+	Obs *obs.Observer
 }
 
 const defaultMaxUnroll = 4096
@@ -44,6 +47,8 @@ func Group(regexes []Regex, opts Options) (*ir.Program, error) {
 	if opts.MaxUnroll == 0 {
 		opts.MaxUnroll = defaultMaxUnroll
 	}
+	span := opts.Obs.Span("compile", "lower-group", 0).Arg("regexes", len(regexes))
+	defer span.End()
 	b := ir.NewBuilder()
 	// Normalize ASTs first: alternations of classes merge into single
 	// classes, degenerate repetitions collapse — smaller programs, same
@@ -75,6 +80,7 @@ func Group(regexes []Regex, opts Options) (*ir.Program, error) {
 	if err := ir.Validate(p); err != nil {
 		return nil, fmt.Errorf("lower: generated invalid program: %w", err)
 	}
+	span.Arg("instructions", ir.CollectStats(p).Total())
 	return p, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
+	"bitgen/internal/obs"
 )
 
 // SimStats counts the dynamic work of an NFA simulation — the quantities
@@ -63,6 +64,24 @@ func Simulate(n *NFA, input []byte) *SimResult {
 // of the resilience backend ladder (see internal/resilience.Backend).
 func SimulateContext(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
 	return simulate(ctx, n, input)
+}
+
+// SimulateObserved is SimulateContext wrapped in an "nfa-simulate" span
+// carrying the SimStats work counters as arguments. A nil observer adds
+// nothing to the scan path.
+func SimulateObserved(ctx context.Context, o *obs.Observer, n *NFA, input []byte) (*SimResult, error) {
+	span := o.Span("nfa", "nfa-simulate", 0).Arg("input_bytes", len(input))
+	res, err := simulate(ctx, n, input)
+	if err != nil {
+		span.Arg("error", err.Error()).End()
+		return res, err
+	}
+	span.Arg("activations", res.Stats.Activations).
+		Arg("follow_fetches", res.Stats.FollowFetches).
+		Arg("max_frontier", res.Stats.MaxFrontier).
+		Arg("matches", res.Stats.Matches).
+		End()
+	return res, err
 }
 
 func simulate(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {

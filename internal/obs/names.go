@@ -1,0 +1,121 @@
+package obs
+
+// Canonical metric names. Every instrumented package registers through
+// these constants so the exposition is drift-free: the golden metric-name
+// test at the repo root renders the full exposition and compares it
+// against testdata/metrics.golden — adding or renaming a metric must
+// update both, deliberately.
+const (
+	// Scan-level (recorded by the public Engine per Run/CountOnly call).
+	MScans          = "bitgen_scans_total"
+	MScanErrors     = "bitgen_scan_errors_total"
+	MScanInputBytes = "bitgen_scan_input_bytes_total"
+	MMatches        = "bitgen_matches_total"
+	MScanHostSecs   = "bitgen_scan_host_seconds"
+
+	// Modeled-kernel counters (aggregated from gpusim.KernelStats; these
+	// are the Nsight-equivalent quantities of the paper's Tables 4-6).
+	MKernelLaunches  = "bitgen_kernel_launches_total"
+	MModeledSecs     = "bitgen_modeled_kernel_seconds_total"
+	MDRAMReadBytes   = "bitgen_dram_read_bytes_total"
+	MDRAMWriteBytes  = "bitgen_dram_write_bytes_total"
+	MSMemReadBytes   = "bitgen_smem_read_bytes_total"
+	MSMemWriteBytes  = "bitgen_smem_write_bytes_total"
+	MBarriers        = "bitgen_barriers_total"
+	MShiftBarriers   = "bitgen_shift_barriers_total"
+	MUnitOps         = "bitgen_unit_ops_total"
+	MWindows         = "bitgen_windows_total"
+	MGuardChecks     = "bitgen_guard_checks_total"
+	MGuardSkips      = "bitgen_guard_skips_total"
+	MSkippedStmts    = "bitgen_skipped_stmts_total"
+	MCommittedBits   = "bitgen_committed_bits_total"
+	MRecomputedBits  = "bitgen_recomputed_bits_total"
+	MTransposeBytes  = "bitgen_transpose_bytes_total"
+	MZBSSkipRatio    = "bitgen_zero_block_skip_ratio"
+	MOverlapFallback = "bitgen_overlap_fallbacks_total"
+
+	// Resilience ladder (mirrors internal/resilience counters).
+	MLadderCalls       = "bitgen_ladder_calls_total"
+	MLadderFallbacks   = "bitgen_ladder_fallbacks_total"
+	MLadderRetries     = "bitgen_ladder_retries_total"
+	MLadderCrossChecks = "bitgen_ladder_crosschecks_total"
+	MLadderMismatches  = "bitgen_ladder_mismatches_total"
+	MBackendServed     = "bitgen_backend_served_total"
+	MBackendFailures   = "bitgen_backend_failures_total"
+	MBreakerFlips      = "bitgen_breaker_transitions_total"
+)
+
+// Help strings, exposed so registration sites stay consistent.
+const (
+	HScans          = "Scans served through the public Engine (Run, CountOnly, ScanReader chunks)."
+	HScanErrors     = "Scans that returned an error."
+	HScanInputBytes = "Input bytes scanned."
+	HMatches        = "Match end positions reported."
+	HScanHostSecs   = "Host wall-clock seconds per scan (simulator time, not modeled GPU time)."
+
+	HKernelLaunches  = "Simulated kernel launches (one per CTA group per scan)."
+	HModeledSecs     = "Modeled GPU kernel seconds (calibrated cost model)."
+	HDRAMReadBytes   = "Modeled global-memory read bytes."
+	HDRAMWriteBytes  = "Modeled global-memory write bytes."
+	HSMemReadBytes   = "Modeled shared-memory read bytes."
+	HSMemWriteBytes  = "Modeled shared-memory write bytes."
+	HBarriers        = "CTA-wide synchronization barriers."
+	HShiftBarriers   = "Barriers caused by SHIFT instructions."
+	HUnitOps         = "W-bit integer unit operations."
+	HWindows         = "Block-window iterations executed."
+	HGuardChecks     = "Zero-block-skipping guards evaluated."
+	HGuardSkips      = "Zero-block-skipping guards taken."
+	HSkippedStmts    = "Statements skipped by taken guards."
+	HCommittedBits   = "Output bits committed (dependency-aware thread-data mapping)."
+	HRecomputedBits  = "Overlap bits recomputed (DTM overhead)."
+	HTransposeBytes  = "Bytes moved by the S2P transpose preprocessing kernel."
+	HZBSSkipRatio    = "Taken/evaluated guard ratio of the most recent scan (why block-skipping was or was not effective)."
+	HOverlapFallback = "Loops or carries that overflowed the overlap limit and were materialized stream-wise."
+
+	HLadderCalls       = "Resilience ladder invocations."
+	HLadderFallbacks   = "Calls served by a rung other than the first."
+	HLadderRetries     = "Transient-fault retries across all rungs."
+	HLadderCrossChecks = "Sampled differential cross-checks executed."
+	HLadderMismatches  = "Cross-checks that caught a wrong match set."
+	HBackendServed     = "Calls served, per ladder rung."
+	HBackendFailures   = "Failover-class failures, per ladder rung."
+	HBreakerFlips      = "Circuit-breaker state transitions, per rung and destination state."
+)
+
+// ScanSecondsBuckets are the histogram bounds for per-scan host latency:
+// 100µs to 10s, wide enough for both micro-inputs and full-corpus scans.
+var ScanSecondsBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// RegisterBase eagerly registers every scan-level and modeled-kernel
+// family, so a scrape taken before the first scan (or before the first
+// rare event, like an overlap fallback) still exposes the full schema.
+// The resilience families are registered by resilience.New, which knows
+// the backend label values. Nil-safe on r.
+func RegisterBase(r *Registry) {
+	r.Counter(MScans, HScans)
+	r.Counter(MScanErrors, HScanErrors)
+	r.Counter(MScanInputBytes, HScanInputBytes)
+	r.Counter(MMatches, HMatches)
+	r.Histogram(MScanHostSecs, HScanHostSecs, ScanSecondsBuckets)
+	r.Counter(MKernelLaunches, HKernelLaunches)
+	r.Counter(MModeledSecs, HModeledSecs)
+	r.Counter(MDRAMReadBytes, HDRAMReadBytes)
+	r.Counter(MDRAMWriteBytes, HDRAMWriteBytes)
+	r.Counter(MSMemReadBytes, HSMemReadBytes)
+	r.Counter(MSMemWriteBytes, HSMemWriteBytes)
+	r.Counter(MBarriers, HBarriers)
+	r.Counter(MShiftBarriers, HShiftBarriers)
+	r.Counter(MUnitOps, HUnitOps)
+	r.Counter(MWindows, HWindows)
+	r.Counter(MGuardChecks, HGuardChecks)
+	r.Counter(MGuardSkips, HGuardSkips)
+	r.Counter(MSkippedStmts, HSkippedStmts)
+	r.Counter(MCommittedBits, HCommittedBits)
+	r.Counter(MRecomputedBits, HRecomputedBits)
+	r.Counter(MTransposeBytes, HTransposeBytes)
+	r.Gauge(MZBSSkipRatio, HZBSSkipRatio)
+	r.Counter(MOverlapFallback, HOverlapFallback)
+}

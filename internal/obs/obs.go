@@ -1,0 +1,61 @@
+// Package obs is the zero-dependency observability core: a span tracer
+// (hierarchical spans over a lock-cheap ring buffer, exportable as Chrome
+// trace_event JSON for chrome://tracing / Perfetto), a metrics registry
+// (counters, gauges, histograms with a Prometheus text-exposition writer
+// and an expvar bridge), and the Observer that carries both through the
+// pipeline.
+//
+// Every hook is nil-safe: instrumented packages call methods on a possibly
+// nil *Observer / *Span / *Counter, and a nil receiver compiles down to a
+// single pointer check — when observability is disabled (the default) the
+// instrumented paths do no allocation, take no lock and record nothing.
+// obs imports only the standard library.
+package obs
+
+// Observer bundles the two observability sinks threaded through the
+// pipeline. Either field may be nil to enable only tracing or only
+// metrics; a nil *Observer disables both.
+type Observer struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// Enabled reports whether any sink is attached.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Tracer != nil || o.Metrics != nil)
+}
+
+// Span starts a span on the observer's tracer; nil-safe (returns a nil
+// span that ignores End/Arg when tracing is off).
+func (o *Observer) Span(cat, name string, lane int) *Span {
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	return o.Tracer.Start(cat, name, lane)
+}
+
+// Instant records a zero-duration event; nil-safe.
+func (o *Observer) Instant(cat, name string, lane int, args ...Arg) {
+	if o == nil || o.Tracer == nil {
+		return
+	}
+	o.Tracer.Instant(cat, name, lane, args...)
+}
+
+// Reg returns the metrics registry, or nil when metrics are off. Registry
+// accessors and instrument mutators are themselves nil-safe, so call
+// sites chain freely: o.Reg().Counter(...).Add(1).
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// NameLane labels a trace lane; nil-safe.
+func (o *Observer) NameLane(lane int, name string) {
+	if o == nil || o.Tracer == nil {
+		return
+	}
+	o.Tracer.NameLane(lane, name)
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per call, giving deterministic spans.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newTestTracer(capacity int) *Tracer {
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	return NewTracer(TracerConfig{Capacity: capacity, Now: clk.now})
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("c", "n", 0)
+	if sp != nil {
+		t.Fatalf("nil tracer Start = %v, want nil", sp)
+	}
+	sp.Arg("k", 1)
+	sp.End()
+	tr.Instant("c", "n", 0)
+	tr.NameLane(1, "x")
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer reports enabled")
+	}
+	o.Span("c", "n", 0).Arg("k", 1).End()
+	o.Instant("c", "n", 0)
+	if o.Reg() != nil {
+		t.Fatal("nil observer Reg() != nil")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := newTestTracer(16)
+	sp := tr.Start("compile", "lower-group", 0).Arg("group", 3)
+	tr.Instant("resilience", "failover", 0, A("from", "bitstream"))
+	sp.End()
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// The instant was recorded first (spans record at End).
+	if evs[0].Ph != 'i' || evs[0].Name != "failover" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Ph != 'X' || evs[1].Name != "lower-group" || evs[1].Dur <= 0 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if len(evs[1].Args) != 1 || evs[1].Args[0].Key != "group" {
+		t.Fatalf("span args = %+v", evs[1].Args)
+	}
+}
+
+func TestRingWrapKeepsNewestAndCountsDropped(t *testing.T) {
+	tr := newTestTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("t", "e", i)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if ev.Lane != 6+i {
+			t.Fatalf("event %d lane = %d, want %d (oldest-first order)", i, ev.Lane, 6+i)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := newTestTracer(64)
+	tr.NameLane(1, "kernel/group-0")
+	outer := tr.Start("scan", "scan", 0)
+	inner := tr.Start("scan", "kernel-launch", 1).Arg("group", 0).Arg("windows", 12)
+	inner.End()
+	outer.End()
+	tr.Instant("resilience", "breaker", 0, A("to", "open"))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Unit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	var sawProcess, sawLaneName, sawSpan, sawInstant bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "process_name" {
+				sawProcess = true
+			}
+			if args, ok := ev["args"].(map[string]any); ok && args["name"] == "kernel/group-0" {
+				sawLaneName = true
+			}
+		case "X":
+			sawSpan = true
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("X event without ts: %v", ev)
+			}
+		case "i":
+			sawInstant = true
+			if ev["s"] != "t" {
+				t.Fatalf("instant without scope: %v", ev)
+			}
+		}
+	}
+	if !sawProcess || !sawLaneName || !sawSpan || !sawInstant {
+		t.Fatalf("export missing record kinds: process=%v lane=%v span=%v instant=%v",
+			sawProcess, sawLaneName, sawSpan, sawInstant)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 1 << 10})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("t", "work", g)
+				tr.Instant("t", "tick", g)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 1600 {
+		t.Fatalf("recorded %d events, want 1600", got)
+	}
+}

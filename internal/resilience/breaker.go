@@ -45,6 +45,10 @@ type breaker struct {
 	// match set. Only an explicit Reset clears it — a backend caught
 	// lying must not silently rejoin the ladder.
 	quarantined bool
+	// onState, when non-nil, observes every state transition. It is
+	// invoked outside the breaker's lock (observability sinks must never
+	// nest under it) and must itself be safe for concurrent use.
+	onState func(from, to State)
 
 	consecFails int
 	attempts    uint64
@@ -55,35 +59,48 @@ type breaker struct {
 	lastFailure string
 }
 
+// notify reports a state change to the observer hook, outside the lock.
+func (b *breaker) notify(from, to State) {
+	if from != to && b.onState != nil {
+		b.onState(from, to)
+	}
+}
+
 // allow reports whether an attempt may proceed now. A true return in
 // half-open state claims the single probe slot; the caller must report
 // the outcome via success or failure (or release via abandon).
 func (b *breaker) allow(now time.Time) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.quarantined {
 		b.skips++
+		b.mu.Unlock()
 		return false
 	}
+	from := b.state
 	switch b.state {
 	case Closed:
 		b.attempts++
+		b.mu.Unlock()
 		return true
 	case Open:
 		if now.Sub(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
 			b.probing = true
 			b.attempts++
+			b.mu.Unlock()
+			b.notify(from, HalfOpen)
 			return true
 		}
 	case HalfOpen:
 		if !b.probing {
 			b.probing = true
 			b.attempts++
+			b.mu.Unlock()
 			return true
 		}
 	}
 	b.skips++
+	b.mu.Unlock()
 	return false
 }
 
@@ -91,26 +108,34 @@ func (b *breaker) allow(now time.Time) bool {
 // streak resets.
 func (b *breaker) success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.successes++
 	b.consecFails = 0
+	from := b.state
 	b.state = Closed
 	b.probing = false
+	b.mu.Unlock()
+	b.notify(from, Closed)
 }
 
 // failure records a failover-class failure; the breaker opens when the
 // streak reaches the threshold or when a half-open probe fails.
 func (b *breaker) failure(now time.Time, err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.failures++
 	b.consecFails++
 	b.lastFailure = err.Error()
+	from := b.state
 	wasProbe := b.state == HalfOpen
 	b.probing = false
+	opened := false
 	if wasProbe || (b.threshold > 0 && b.consecFails >= b.threshold) {
 		b.state = Open
 		b.openedAt = now
+		opened = true
+	}
+	b.mu.Unlock()
+	if opened {
+		b.notify(from, Open)
 	}
 }
 
@@ -118,32 +143,39 @@ func (b *breaker) failure(now time.Time, err error) {
 // attempt aborted for caller-side reasons, e.g. cancellation).
 func (b *breaker) abandon() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	if b.state == HalfOpen {
 		b.state = Open
 	}
 	b.probing = false
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
 }
 
 // quarantine pins the breaker open until reset.
 func (b *breaker) quarantine(now time.Time, reason string) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.quarantined = true
 	b.state = Open
 	b.openedAt = now
 	b.probing = false
 	b.lastFailure = reason
+	b.mu.Unlock()
+	b.notify(from, Open)
 }
 
 // reset closes the breaker and clears quarantine and the failure streak.
 func (b *breaker) reset() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.quarantined = false
 	b.state = Closed
 	b.probing = false
 	b.consecFails = 0
+	b.mu.Unlock()
+	b.notify(from, Closed)
 }
 
 // snapshot copies the observable state into a BackendHealth (Name is

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"bitgen/internal/bgerr"
+	"bitgen/internal/obs"
 )
 
 // Class is the resilience disposition of an error.
@@ -135,6 +136,10 @@ type Config struct {
 	// Now and Sleep are test hooks; nil selects time.Now / time.Sleep.
 	Now   func() time.Time
 	Sleep func(time.Duration)
+	// Obs, when non-nil, receives ladder spans (rung attempts, failover
+	// and breaker transitions, cross-checks) and mirrors the Health
+	// counters into the metrics registry. Nil is free.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -205,12 +210,22 @@ type Ladder struct {
 	backends []Backend
 	breakers []*breaker
 	cfg      Config
+	m        ladderMetrics
 
 	calls       atomic.Uint64
 	fallbacks   atomic.Uint64
 	crossChecks atomic.Uint64
 	mismatches  atomic.Uint64
 	ctr         atomic.Uint64 // jitter + sampling decision counter
+}
+
+// ladderMetrics holds pre-registered counter handles mirroring the
+// Health counters into the metrics registry. All fields are nil when
+// metrics are off; *obs.Counter methods are nil-safe, so Run updates
+// them unconditionally.
+type ladderMetrics struct {
+	calls, fallbacks, retries, crossChecks, mismatches *obs.Counter
+	served, failures                                   []*obs.Counter // per rung, ladder order
 }
 
 // New builds a ladder over the backends, first-to-last in preference
@@ -221,11 +236,43 @@ func New(backends []Backend, cfg Config) (*Ladder, error) {
 	}
 	cfg = cfg.withDefaults()
 	l := &Ladder{backends: backends, cfg: cfg}
-	for range backends {
-		l.breakers = append(l.breakers, &breaker{
+	// Register every series eagerly — including all breaker destination
+	// states — so a scrape before the first failover still exposes the
+	// full schema and golden tests see a stable name set. reg and the
+	// counters it returns are nil-safe, so this is free when metrics are
+	// off.
+	reg := cfg.Obs.Reg()
+	l.m = ladderMetrics{
+		calls:       reg.Counter(obs.MLadderCalls, obs.HLadderCalls),
+		fallbacks:   reg.Counter(obs.MLadderFallbacks, obs.HLadderFallbacks),
+		retries:     reg.Counter(obs.MLadderRetries, obs.HLadderRetries),
+		crossChecks: reg.Counter(obs.MLadderCrossChecks, obs.HLadderCrossChecks),
+		mismatches:  reg.Counter(obs.MLadderMismatches, obs.HLadderMismatches),
+	}
+	for _, b := range backends {
+		name := b.Name()
+		br := &breaker{
 			threshold: cfg.BreakerThreshold,
 			cooldown:  cfg.BreakerCooldown,
-		})
+		}
+		l.m.served = append(l.m.served,
+			reg.Counter(obs.MBackendServed, obs.HBackendServed, obs.L("backend", name)))
+		l.m.failures = append(l.m.failures,
+			reg.Counter(obs.MBackendFailures, obs.HBackendFailures, obs.L("backend", name)))
+		for _, to := range []State{Closed, Open, HalfOpen} {
+			reg.Counter(obs.MBreakerFlips, obs.HBreakerFlips,
+				obs.L("backend", name), obs.L("to", to.String()))
+		}
+		if cfg.Obs.Enabled() {
+			o := cfg.Obs
+			br.onState = func(from, to State) {
+				o.Instant("resilience", "breaker:"+name, 0,
+					obs.A("from", from.String()), obs.A("to", to.String()))
+				o.Reg().Counter(obs.MBreakerFlips, obs.HBreakerFlips,
+					obs.L("backend", name), obs.L("to", to.String())).Inc()
+			}
+		}
+		l.breakers = append(l.breakers, br)
 	}
 	return l, nil
 }
@@ -244,45 +291,71 @@ func (l *Ladder) Backends() []string {
 // differential cross-checks against the reference rung.
 func (l *Ladder) Run(ctx context.Context, input []byte) (*Outcome, error) {
 	l.calls.Add(1)
+	l.m.calls.Inc()
+	rspan := l.cfg.Obs.Span("resilience", "ladder-run", 0).Arg("input_bytes", len(input))
+	defer rspan.End()
 	ref := len(l.backends) - 1
 	attempts := 0
 	var lastErr error
 	for i, b := range l.backends {
 		br := l.breakers[i]
 		if !br.allow(l.cfg.Now()) {
+			l.cfg.Obs.Instant("resilience", "rung-skipped", 0, obs.A("backend", b.Name()))
 			continue
 		}
+		aspan := l.cfg.Obs.Span("resilience", "rung:"+b.Name(), 0)
 		pos, aux, err := l.attempt(ctx, i, input, &attempts)
 		if err == nil {
+			aspan.End()
 			out := &Outcome{Backend: b.Name(), Positions: pos, Aux: aux, Attempts: attempts}
 			if i != ref && l.sampleCrossCheck() {
 				out.CrossChecked = true
 				l.crossChecks.Add(1)
+				l.m.crossChecks.Inc()
+				cspan := l.cfg.Obs.Span("resilience", "cross-check", 0).
+					Arg("serving", b.Name()).Arg("reference", l.backends[ref].Name())
 				refPos, _, refErr := l.backends[ref].Run(ctx, input)
 				if refErr == nil && !Equal(pos, refPos) {
+					cspan.Arg("mismatch", true).End()
 					l.mismatches.Add(1)
+					l.m.mismatches.Inc()
 					br.quarantine(l.cfg.Now(), fmt.Sprintf(
 						"differential cross-check mismatch vs %s", l.backends[ref].Name()))
 					l.fallbacks.Add(1)
+					l.m.fallbacks.Inc()
+					l.m.failures[i].Inc()
+					l.m.served[ref].Inc()
+					rspan.Arg("backend", l.backends[ref].Name())
 					return &Outcome{
 						Backend: l.backends[ref].Name(), Positions: refPos,
 						CrossChecked: true, Mismatch: true, Attempts: attempts + 1,
 					}, nil
 				}
+				cspan.Arg("mismatch", false).End()
 			}
 			br.success()
 			if i != 0 {
 				l.fallbacks.Add(1)
+				l.m.fallbacks.Inc()
 			}
+			l.m.served[i].Inc()
+			rspan.Arg("backend", b.Name()).Arg("attempts", attempts)
 			return out, nil
 		}
 		if Classify(err) == ClassAbort {
+			aspan.Arg("error", "abort").End()
 			br.abandon()
+			rspan.Arg("error", err.Error())
 			return nil, err
 		}
+		aspan.Arg("error", "failover").End()
+		l.cfg.Obs.Instant("resilience", "failover", 0,
+			obs.A("from", b.Name()), obs.A("error", err.Error()))
+		l.m.failures[i].Inc()
 		br.failure(l.cfg.Now(), err)
 		lastErr = err
 	}
+	rspan.Arg("error", "no-backend")
 	if lastErr != nil {
 		return nil, fmt.Errorf("%w: last failure: %w", ErrNoBackend, lastErr)
 	}
@@ -306,6 +379,9 @@ func (l *Ladder) attempt(ctx context.Context, i int, input []byte, attempts *int
 		l.breakers[i].mu.Lock()
 		l.breakers[i].retries++
 		l.breakers[i].mu.Unlock()
+		l.m.retries.Inc()
+		l.cfg.Obs.Instant("resilience", "retry", 0,
+			obs.A("backend", b.Name()), obs.A("try", try))
 		l.cfg.Sleep(l.backoff(try))
 		if ctx != nil && ctx.Err() != nil {
 			return nil, nil, bgerr.Canceled(ctx.Err())

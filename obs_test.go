@@ -1,0 +1,314 @@
+package bitgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bitgen/internal/faultinject"
+	"bitgen/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestMetricsEqualKernelStats is the ISSUE's acceptance invariant: after
+// one scan, the registry's modeled-kernel totals exactly equal the summed
+// per-kernel gpusim.KernelStats of that scan (surfaced on Result.Stats
+// and Result.Profile).
+func TestMetricsEqualKernelStats(t *testing.T) {
+	eng, err := Compile(ladderPatterns, &Options{
+		Observability: &ObservabilityOptions{Metrics: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run([]byte(ladderInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("metrics enabled but Result.Profile is nil")
+	}
+	snap := eng.MetricsSnapshot()
+	tot := res.Profile.Totals
+	checks := []struct {
+		metric string
+		want   float64
+	}{
+		{obs.MDRAMReadBytes, float64(tot.DRAMReadBytes)},
+		{obs.MDRAMWriteBytes, float64(tot.DRAMWriteBytes)},
+		{obs.MSMemReadBytes, float64(tot.SMemReadBytes)},
+		{obs.MSMemWriteBytes, float64(tot.SMemWriteBytes)},
+		{obs.MBarriers, float64(tot.Barriers)},
+		{obs.MShiftBarriers, float64(tot.ShiftBarriers)},
+		{obs.MUnitOps, float64(tot.UnitOps)},
+		{obs.MGuardSkips, float64(tot.GuardSkips)},
+		{obs.MKernelLaunches, float64(len(res.Profile.Kernels))},
+		{obs.MTransposeBytes, float64(res.Profile.TransposeBytes)},
+		{obs.MModeledSecs, res.Profile.Time.TotalSec},
+		{obs.MScanInputBytes, float64(len(ladderInput))},
+		{obs.MMatches, float64(len(res.Matches))},
+		{obs.MScans, 1},
+	}
+	for _, c := range checks {
+		if got := snap.Counter(c.metric); got != c.want {
+			t.Errorf("%s = %g, want %g", c.metric, got, c.want)
+		}
+	}
+	// The profile's totals must also agree with the per-kernel sum and
+	// with the public Stats — the exporter and the bench artifacts quote
+	// the same numbers.
+	var dram int64
+	for _, k := range res.Profile.Kernels {
+		dram += k.Stats.DRAMReadBytes
+	}
+	if dram != tot.DRAMReadBytes {
+		t.Errorf("sum of per-kernel DRAM reads %d != totals %d", dram, tot.DRAMReadBytes)
+	}
+	if res.Stats.DRAMReadBytes != tot.DRAMReadBytes || res.Stats.Barriers != tot.Barriers {
+		t.Errorf("Result.Stats (%d, %d) disagrees with Profile.Totals (%d, %d)",
+			res.Stats.DRAMReadBytes, res.Stats.Barriers, tot.DRAMReadBytes, tot.Barriers)
+	}
+}
+
+// TestTraceContainsPipelineSpans drives a full compile + scan + failover
+// with tracing on and asserts the exported Chrome trace carries spans for
+// the compile phases, the kernel launch, and the ladder rung transitions.
+func TestTraceContainsPipelineSpans(t *testing.T) {
+	eng, err := Compile(ladderPatterns, &Options{
+		Observability: &ObservabilityOptions{Trace: true, Metrics: true},
+		Resilience:    &ResilienceOptions{RetryBaseDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First scan: served by the bitstream rung. Then persistent kernel
+	// panics force failovers to the hybrid rung until the bitstream
+	// breaker opens (threshold 3) — the rung-transition spans and the
+	// breaker instant all land in the trace.
+	if _, err := eng.Run([]byte(ladderInput)); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1).Arm(faultinject.KernelPanic, faultinject.Spec{Nth: 1, Repeat: true})
+	eng.inner = eng.inner.WithInjector(inj)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Run([]byte(ladderInput)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := eng.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{
+		"compile", "parse", "compile-group", "lower-group", "passes", // compile phases
+		"run", "transpose", "kernel-launch", "kernel-attempt", "estimate", // scan + kernel launches
+		"ladder-run", "rung:bitstream", "rung:hybrid", "hybrid-scan", // ladder rungs
+		"failover", "breaker:bitstream", // rung transition events
+	} {
+		if !seen[want] {
+			t.Errorf("trace is missing span/event %q (have %v)", want, keys(seen))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestHealthUnderConcurrentScans hammers a failing-over engine from many
+// goroutines while concurrently snapshotting Health, asserting (under
+// -race) that successive snapshots are monotone and internally
+// consistent even mid-failover.
+func TestHealthUnderConcurrentScans(t *testing.T) {
+	eng, err := Compile(ladderPatterns, &Options{
+		Observability: &ObservabilityOptions{Metrics: true},
+		Resilience:    &ResilienceOptions{BreakerThreshold: 3, RetryBaseDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistent kernel panic: every scan fails over bitstream → hybrid.
+	inj := faultinject.New(7).Arm(faultinject.KernelPanic, faultinject.Spec{Nth: 1, Repeat: true})
+	eng.inner = eng.inner.WithInjector(inj)
+
+	const scanners = 8
+	const scansPer = 25
+	var samplerWG, scanWG sync.WaitGroup
+	stop := make(chan struct{})
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		prev := eng.Health()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h := eng.Health()
+			if h.Calls < prev.Calls || h.Fallbacks < prev.Fallbacks ||
+				h.CrossChecks < prev.CrossChecks || h.Mismatches < prev.Mismatches {
+				t.Errorf("ladder counters went backwards: %+v -> %+v", prev, h)
+				return
+			}
+			if h.Fallbacks > h.Calls {
+				t.Errorf("fallbacks %d > calls %d", h.Fallbacks, h.Calls)
+				return
+			}
+			for i, b := range h.Backends {
+				p := prev.Backends[i]
+				if b.Attempts < p.Attempts || b.Successes < p.Successes ||
+					b.Failures < p.Failures || b.Retries < p.Retries || b.Skips < p.Skips {
+					t.Errorf("backend %s counters went backwards: %+v -> %+v", b.Name, p, b)
+					return
+				}
+				if b.Successes > b.Attempts || b.Failures > b.Attempts {
+					t.Errorf("backend %s inconsistent: %+v", b.Name, b)
+					return
+				}
+			}
+			prev = h
+		}
+	}()
+	for g := 0; g < scanners; g++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			for i := 0; i < scansPer; i++ {
+				res, err := eng.Run([]byte(ladderInput))
+				if err != nil {
+					t.Errorf("concurrent run: %v", err)
+					return
+				}
+				if res.Backend != BackendHybrid {
+					t.Errorf("served by %q, want %q", res.Backend, BackendHybrid)
+					return
+				}
+			}
+		}()
+	}
+	scanWG.Wait()
+	close(stop)
+	samplerWG.Wait()
+
+	h := eng.Health()
+	if h.Calls != scanners*scansPer {
+		t.Fatalf("calls = %d, want %d", h.Calls, scanners*scansPer)
+	}
+	if h.Fallbacks != h.Calls {
+		t.Fatalf("every scan should have fallen over: fallbacks %d, calls %d", h.Fallbacks, h.Calls)
+	}
+	gpu := h.Backends[0]
+	if gpu.Failures == 0 || gpu.Skips == 0 {
+		t.Fatalf("GPU rung should have failures and breaker skips: %+v", gpu)
+	}
+	// Metrics mirror: ladder counters in the registry agree with Health.
+	snap := eng.MetricsSnapshot()
+	if got := snap.Counter(obs.MLadderCalls); got != float64(h.Calls) {
+		t.Errorf("%s = %g, want %d", obs.MLadderCalls, got, h.Calls)
+	}
+	if got := snap.Counter(obs.MLadderFallbacks); got != float64(h.Fallbacks) {
+		t.Errorf("%s = %g, want %d", obs.MLadderFallbacks, got, h.Fallbacks)
+	}
+}
+
+// TestPrometheusGoldenMetricNames renders the full exposition of an
+// engine with metrics and resilience enabled and compares the `# TYPE`
+// schema lines against the checked-in golden list. Adding or renaming a
+// metric must update testdata/metrics.golden deliberately (run with
+// -update-golden).
+func TestPrometheusGoldenMetricNames(t *testing.T) {
+	eng, err := Compile(ladderPatterns, &Options{
+		Observability: &ObservabilityOptions{Metrics: true},
+		Resilience:    &ResilienceOptions{CrossCheckFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run([]byte(ladderInput)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var schema []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			schema = append(schema, line)
+		}
+	}
+	got := strings.Join(schema, "\n") + "\n"
+	const golden = "testdata/metrics.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test -run Golden -update-golden` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric schema drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestDisabledObservabilityIsInert: with Options.Observability nil, the
+// accessors are safe no-ops and results carry no profile.
+func TestDisabledObservabilityIsInert(t *testing.T) {
+	eng, err := Compile(ladderPatterns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run([]byte(ladderInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Fatal("observability disabled but Result.Profile is set")
+	}
+	snap := eng.MetricsSnapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatalf("disabled engine has counters: %v", snap.Counters)
+	}
+	var buf bytes.Buffer
+	if err := eng.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("disabled WritePrometheus wrote %q, err %v", buf.String(), err)
+	}
+	buf.Reset()
+	if err := eng.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("disabled WriteTrace is not valid JSON: %v", err)
+	}
+	if eng.PublishExpvar("bitgen-disabled-test") {
+		t.Fatal("disabled engine published expvar")
+	}
+}

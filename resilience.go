@@ -12,6 +12,7 @@ import (
 	"bitgen/internal/engine"
 	"bitgen/internal/hybrid"
 	"bitgen/internal/nfa"
+	"bitgen/internal/obs"
 	"bitgen/internal/resilience"
 	"bitgen/internal/rx"
 )
@@ -101,7 +102,7 @@ func (e *Engine) ResetBackend(name string) bool {
 // buildLadder compiles the fallback backends from the already-parsed
 // patterns and assembles the resilience ladder.
 func buildLadder(e *Engine, asts []rx.Node, ropts *ResilienceOptions) error {
-	hybEngine, err := hybrid.Compile(e.patterns, asts, hybrid.Options{})
+	hybEngine, err := hybrid.Compile(e.patterns, asts, hybrid.Options{Obs: e.obs})
 	if err != nil {
 		return fmt.Errorf("bitgen: resilience: compiling hybrid backend: %w", err)
 	}
@@ -112,7 +113,7 @@ func buildLadder(e *Engine, asts []rx.Node, ropts *ResilienceOptions) error {
 	backends := []resilience.Backend{
 		&gpuBackend{e: e},
 		&hybridBackend{h: hybEngine},
-		&nfaBackend{n: autom, names: e.patterns},
+		&nfaBackend{n: autom, names: e.patterns, obs: e.obs},
 	}
 	if ropts.ForceBackend != "" {
 		var forced resilience.Backend
@@ -133,6 +134,7 @@ func buildLadder(e *Engine, asts []rx.Node, ropts *ResilienceOptions) error {
 		BreakerCooldown:    ropts.BreakerCooldown,
 		CrossCheckFraction: ropts.CrossCheckFraction,
 		Seed:               ropts.Seed,
+		Obs:                e.obs,
 	})
 	if err != nil {
 		return err
@@ -225,6 +227,7 @@ func (b *hybridBackend) Run(ctx context.Context, input []byte) (pos map[string][
 type nfaBackend struct {
 	n     *nfa.NFA
 	names []string
+	obs   *obs.Observer
 }
 
 func (b *nfaBackend) Name() string { return BackendNFA }
@@ -236,7 +239,7 @@ func (b *nfaBackend) Run(ctx context.Context, input []byte) (pos map[string][]in
 			err = &bgerr.InternalError{Op: "nfa-simulate", Group: -1, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	res, err := nfa.SimulateContext(ctx, b.n, input)
+	res, err := nfa.SimulateObserved(ctx, b.obs, b.n, input)
 	if err != nil {
 		return nil, nil, err
 	}
