@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fault fuzz ci bench obs-smoke
+.PHONY: build test race vet fault fuzz ci bench bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -44,8 +44,23 @@ obs-smoke:
 	rm -rf $$tmp
 
 # ci is the tier-1 verification gate: vet, build, the full suite under the
-# race detector, the fault-injection suite, and the observability smoke.
-ci: vet build race fault obs-smoke
+# race detector, the fault-injection suite, and the observability and
+# bench smokes.
+ci: vet build race fault obs-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke is the fast perf gate: short runs of the streaming-scan and
+# bitstream hot-path benchmarks (catching gross regressions and alloc
+# creep in the pipelined scanner), then a real pipelined streaming scan
+# with tracing on, its trace validated by obscheck (the pipeline stage
+# lanes ride the same schema the whole-input scan does).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'ScanReader|TransposeInto|IntoOps|NextSetBitSweep|Positions' \
+		-benchtime 100ms . ./internal/bitstream ./internal/transpose
+	@tmp=$$(mktemp -d) && \
+	i=0; while [ $$i -lt 2000 ]; do echo "error: timeout after 30ms on line $$i; retry ok"; i=$$((i+1)); done > $$tmp/input.txt && \
+	$(GO) run ./cmd/rxgrep -q -stream 4096 -trace $$tmp/trace.json 'error|fatal' $$tmp/input.txt && \
+	$(GO) run ./cmd/obscheck -trace $$tmp/trace.json && \
+	rm -rf $$tmp

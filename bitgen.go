@@ -36,6 +36,7 @@ import (
 	"sort"
 	"time"
 
+	"bitgen/internal/arena"
 	"bitgen/internal/bgerr"
 	"bitgen/internal/engine"
 	"bitgen/internal/gpusim"
@@ -85,6 +86,11 @@ type Options struct {
 	// Engine.MetricsSnapshot, Engine.WritePrometheus). Nil — the default
 	// — compiles every instrumentation hook down to a pointer check.
 	Observability *ObservabilityOptions
+	// ScanWorkers sets how many chunk workers the pipelined ScanReader
+	// runs concurrently (default GOMAXPROCS). Even one worker pipelines:
+	// the reader stays a chunk ahead of execution. Ignored when
+	// Resilience is set (ladder scans run chunk-at-a-time).
+	ScanWorkers int
 }
 
 // Default resource limits, applied when the corresponding Limits field is
@@ -204,6 +210,11 @@ type Engine struct {
 	// obs carries the tracer and metrics registry; nil when
 	// Options.Observability was not set (every hook is nil-safe).
 	obs *obs.Observer
+	// scanWorkers is Options.ScanWorkers; <=0 means GOMAXPROCS.
+	scanWorkers int
+	// scanArena overrides the pipelined scanner's buffer pool; nil selects
+	// arena.Default. Tests set it to assert get/put balance.
+	scanArena *arena.Arena
 }
 
 // Compile parses and compiles the patterns. A nil opts selects defaults.
@@ -308,7 +319,8 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 		patterns: patterns,
 		limits:   limits,
 		maxLen:   maxLen, unbounded: unbounded,
-		obs: observer,
+		obs:         observer,
+		scanWorkers: opts.ScanWorkers,
 	}
 	if opts.Resilience != nil {
 		asts := make([]rx.Node, len(regexes))

@@ -30,6 +30,8 @@ import (
 type artifact struct {
 	name string
 	run  func(*experiments.Suite) (renderable, error)
+	// file overrides the artifact's output base name (default: name).
+	file string
 }
 
 type renderable interface {
@@ -44,16 +46,16 @@ type jsonRenderable interface {
 }
 
 var artifacts = []artifact{
-	{"table1", func(s *experiments.Suite) (renderable, error) { return s.Table1() }},
-	{"fig11", func(s *experiments.Suite) (renderable, error) { return s.Table2Figure11() }},
-	{"fig12", func(s *experiments.Suite) (renderable, error) { return s.Figure12Breakdown() }},
-	{"table4", func(s *experiments.Suite) (renderable, error) { return s.Table4Memory() }},
-	{"table5", func(s *experiments.Suite) (renderable, error) { return s.Table5Recompute() }},
-	{"fig13", func(s *experiments.Suite) (renderable, error) { return s.Figure13MergeSize() }},
-	{"fig14", func(s *experiments.Suite) (renderable, error) { return s.Figure14Interval() }},
-	{"fig15", func(s *experiments.Suite) (renderable, error) { return s.Figure15Portability() }},
-	{"extras", func(s *experiments.Suite) (renderable, error) { return s.AblationExtras() }},
-	{"ctasweep", func(s *experiments.Suite) (renderable, error) { return s.CTASweep() }},
+	{name: "table1", run: func(s *experiments.Suite) (renderable, error) { return s.Table1() }},
+	{name: "fig11", run: func(s *experiments.Suite) (renderable, error) { return s.Table2Figure11() }},
+	{name: "fig12", run: func(s *experiments.Suite) (renderable, error) { return s.Figure12Breakdown() }},
+	{name: "table4", run: func(s *experiments.Suite) (renderable, error) { return s.Table4Memory() }},
+	{name: "table5", run: func(s *experiments.Suite) (renderable, error) { return s.Table5Recompute() }},
+	{name: "fig13", run: func(s *experiments.Suite) (renderable, error) { return s.Figure13MergeSize() }},
+	{name: "fig14", run: func(s *experiments.Suite) (renderable, error) { return s.Figure14Interval() }},
+	{name: "fig15", run: func(s *experiments.Suite) (renderable, error) { return s.Figure15Portability() }},
+	{name: "extras", run: func(s *experiments.Suite) (renderable, error) { return s.AblationExtras() }},
+	{name: "ctasweep", run: func(s *experiments.Suite) (renderable, error) { return s.CTASweep() }},
 }
 
 var aliases = map[string]string{
@@ -92,12 +94,13 @@ func main() {
 	// The ladder and profile artifacts exercise the public API rather
 	// than the experiment harness; they are opt-in and not part of "all".
 	extraArtifacts := []artifact{
-		{"ladder", func(s *experiments.Suite) (renderable, error) {
+		{name: "ladder", run: func(s *experiments.Suite) (renderable, error) {
 			return runLadder(s, *backend)
 		}},
-		{"profile", func(s *experiments.Suite) (renderable, error) {
+		{name: "profile", run: func(s *experiments.Suite) (renderable, error) {
 			return runProfile(s)
 		}},
+		{name: "bench", run: runBench, file: "BENCH_scan"},
 	}
 	var selected []artifact
 	if name == "all" {
@@ -123,6 +126,9 @@ func main() {
 	}
 
 	for _, a := range selected {
+		if a.file == "" {
+			a.file = a.name
+		}
 		start := time.Now()
 		res, err := a.run(suite)
 		if err != nil {
@@ -135,7 +141,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "bitbench:", err)
 				os.Exit(1)
 			}
-			path := filepath.Join(*csvDir, a.name+".csv")
+			path := filepath.Join(*csvDir, a.file+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "bitbench:", err)
 				os.Exit(1)
@@ -157,7 +163,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "bitbench:", err)
 				os.Exit(1)
 			}
-			path := filepath.Join(*jsonDir, a.name+".json")
+			path := filepath.Join(*jsonDir, a.file+".json")
 			if err := os.WriteFile(path, buf, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "bitbench:", err)
 				os.Exit(1)

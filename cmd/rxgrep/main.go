@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "print Prometheus text exposition of the scan's metrics to stdout")
 	profilePath := flag.String("profile", "", "write the per-scan profile artifact (JSON) to this file ('-' for stdout)")
+	streamChunk := flag.Int("stream", 0, "scan via the pipelined streaming reader in chunks of this many bytes (0: one whole-input run)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -70,7 +72,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rxgrep:", cli.Describe(err))
 		os.Exit(2)
 	}
-	res, err := eng.Run(input)
+	var matches []bitgen.Match
+	var res *bitgen.Result
+	if *streamChunk > 0 {
+		err = eng.ScanReader(bytes.NewReader(input), *streamChunk, func(m bitgen.Match) {
+			matches = append(matches, m)
+		})
+	} else {
+		res, err = eng.Run(input)
+		if res != nil {
+			matches = res.Matches
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rxgrep:", cli.Describe(err))
 		os.Exit(2)
@@ -88,7 +101,7 @@ func main() {
 		}
 	}
 	hits := make(map[int]map[string]bool)
-	for _, m := range res.Matches {
+	for _, m := range matches {
 		ln := lineOf[m.End]
 		if hits[ln] == nil {
 			hits[ln] = make(map[string]bool)
@@ -115,12 +128,17 @@ func main() {
 				strings.TrimRight(string(input[lineStart[ln]:end]), "\r\n"))
 		}
 	}
-	served := res.Backend
-	if served == "" {
-		served = "bitstream (direct)"
+	if res != nil {
+		served := res.Backend
+		if served == "" {
+			served = "bitstream (direct)"
+		}
+		fmt.Fprintf(os.Stderr, "rxgrep: %d matching lines, %d matches via %s, %.1f MB/s modeled\n",
+			len(lines), len(matches), served, res.Stats.ThroughputMBs)
+	} else {
+		fmt.Fprintf(os.Stderr, "rxgrep: %d matching lines, %d matches via pipelined stream (%dB chunks)\n",
+			len(lines), len(matches), *streamChunk)
 	}
-	fmt.Fprintf(os.Stderr, "rxgrep: %d matching lines, %d matches via %s, %.1f MB/s modeled\n",
-		len(lines), len(res.Matches), served, res.Stats.ThroughputMBs)
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err == nil {
@@ -136,7 +154,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rxgrep: trace written to %s\n", *tracePath)
 	}
 	if *profilePath != "" {
-		if res.Profile == nil {
+		if res == nil || res.Profile == nil {
 			fmt.Fprintln(os.Stderr, "rxgrep: no profile (a fallback backend served the scan)")
 		} else {
 			buf, err := res.Profile.JSON()

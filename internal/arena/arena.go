@@ -1,0 +1,171 @@
+// Package arena provides sync.Pool-backed scratch buffer pools for the
+// engine's hot paths: transpose basis words, kernel stream and window
+// scratch, carry buffers, and the streaming scanner's chunk byte buffers.
+//
+// Buffers are pooled by power-of-two size class, so a steady-state scan of
+// a long stream — where every chunk has the same size — recycles the same
+// handful of buffers and performs zero heap allocations per chunk.
+//
+// The API hands out *Words / *Bytes handles rather than bare slices: a
+// sync.Pool stores interface values, so pooling a slice directly would box
+// its header on every Put. The handle is part of the pooled object, making
+// Get/Put allocation-free in steady state.
+//
+// Every Get and Put is counted. Tests assert Gets == Puts after a scan
+// completes (including cancelled ones) to prove no pooled buffer leaks.
+package arena
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// maxClass bounds the size classes: class c holds buffers of capacity
+// 1<<c elements, up to 1<<31.
+const maxClass = 32
+
+// Words is a pooled []uint64 scratch buffer. W is sized to the requested
+// length; its capacity is the size class. Do not grow W past cap.
+type Words struct {
+	W     []uint64
+	class int8
+}
+
+// Bytes is a pooled []byte scratch buffer. B is sized to the requested
+// length; its capacity is the size class. Do not grow B past cap.
+type Bytes struct {
+	B     []byte
+	class int8
+}
+
+// Arena is a set of size-classed buffer pools. The zero value is ready to
+// use. An Arena may be shared by any number of goroutines.
+type Arena struct {
+	words [maxClass]sync.Pool
+	bytes [maxClass]sync.Pool
+	gets  atomic.Int64
+	puts  atomic.Int64
+}
+
+// Default is the process-wide arena used when no explicit arena is wired.
+var Default = &Arena{}
+
+// classFor returns the smallest power-of-two class holding n elements.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetWords returns a word buffer with len(h.W) == n. Contents are
+// unspecified; call Zero for a cleared buffer.
+func (a *Arena) GetWords(n int) *Words {
+	c := classFor(n)
+	a.gets.Add(1)
+	if h, _ := a.words[c].Get().(*Words); h != nil {
+		h.W = h.W[:n]
+		return h
+	}
+	return &Words{W: make([]uint64, n, 1<<c), class: int8(c)}
+}
+
+// PutWords returns h to its pool. h must not be used afterwards.
+func (a *Arena) PutWords(h *Words) {
+	if h == nil {
+		return
+	}
+	a.puts.Add(1)
+	a.words[h.class].Put(h)
+}
+
+// Zero clears the buffer in place and returns it.
+func (h *Words) Zero() *Words {
+	clear(h.W)
+	return h
+}
+
+// GetBytes returns a byte buffer with len(h.B) == n. Contents are
+// unspecified.
+func (a *Arena) GetBytes(n int) *Bytes {
+	c := classFor(n)
+	a.gets.Add(1)
+	if h, _ := a.bytes[c].Get().(*Bytes); h != nil {
+		h.B = h.B[:n]
+		return h
+	}
+	return &Bytes{B: make([]byte, n, 1<<c), class: int8(c)}
+}
+
+// PutBytes returns h to its pool. h must not be used afterwards.
+func (a *Arena) PutBytes(h *Bytes) {
+	if h == nil {
+		return
+	}
+	a.puts.Add(1)
+	a.bytes[h.class].Put(h)
+}
+
+// Stats reports the cumulative Get and Put counts. A balanced arena
+// (gets == puts) holds no outstanding buffers.
+func (a *Arena) Stats() (gets, puts int64) {
+	return a.gets.Load(), a.puts.Load()
+}
+
+// CheckBalanced returns an error naming the imbalance when outstanding
+// buffers exist — the leak assertion used by the streaming tests.
+func (a *Arena) CheckBalanced() error {
+	gets, puts := a.Stats()
+	if gets != puts {
+		return fmt.Errorf("arena: %d buffers outstanding (%d gets, %d puts)", gets-puts, gets, puts)
+	}
+	return nil
+}
+
+// Tracker accumulates handles so a component can release everything it
+// borrowed with one Close — the ownership pattern the kernel sessions use
+// for their long-lived scratch.
+type Tracker struct {
+	a     *Arena
+	words []*Words
+	bytes []*Bytes
+}
+
+// NewTracker returns a tracker borrowing from a (Default when nil).
+func NewTracker(a *Arena) *Tracker {
+	if a == nil {
+		a = Default
+	}
+	return &Tracker{a: a}
+}
+
+// Words borrows a word buffer of length n, released at Close.
+func (t *Tracker) Words(n int) []uint64 {
+	h := t.a.GetWords(n)
+	t.words = append(t.words, h)
+	return h.W
+}
+
+// Bytes borrows a byte buffer of length n, released at Close.
+func (t *Tracker) Bytes(n int) []byte {
+	h := t.a.GetBytes(n)
+	t.bytes = append(t.bytes, h)
+	return h.B
+}
+
+// Close returns every borrowed buffer to the arena. The tracker may be
+// reused afterwards.
+func (t *Tracker) Close() {
+	for i, h := range t.words {
+		t.a.PutWords(h)
+		t.words[i] = nil
+	}
+	t.words = t.words[:0]
+	for i, h := range t.bytes {
+		t.a.PutBytes(h)
+		t.bytes[i] = nil
+	}
+	t.bytes = t.bytes[:0]
+}

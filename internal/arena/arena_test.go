@@ -1,0 +1,123 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 64: 6, 65: 7, 1 << 20: 20}
+	for n, want := range cases {
+		if got := classFor(n); got != want {
+			t.Errorf("classFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	a := &Arena{}
+	w := a.GetWords(100)
+	if len(w.W) != 100 || cap(w.W) != 128 {
+		t.Fatalf("GetWords(100): len=%d cap=%d", len(w.W), cap(w.W))
+	}
+	w.W[0] = 42
+	a.PutWords(w)
+	// Same class is recycled; a different length re-slices the same buffer.
+	w2 := a.GetWords(70)
+	if len(w2.W) != 70 {
+		t.Fatalf("GetWords(70): len=%d", len(w2.W))
+	}
+	a.PutWords(w2)
+	b := a.GetBytes(1000)
+	if len(b.B) != 1000 || cap(b.B) != 1024 {
+		t.Fatalf("GetBytes(1000): len=%d cap=%d", len(b.B), cap(b.B))
+	}
+	a.PutBytes(b)
+	if err := a.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckBalancedReportsLeak(t *testing.T) {
+	a := &Arena{}
+	h := a.GetWords(8)
+	if err := a.CheckBalanced(); err == nil {
+		t.Fatal("expected imbalance error")
+	}
+	a.PutWords(h)
+	if err := a.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZero(t *testing.T) {
+	a := &Arena{}
+	w := a.GetWords(16)
+	for i := range w.W {
+		w.W[i] = ^uint64(0)
+	}
+	w.Zero()
+	for i, x := range w.W {
+		if x != 0 {
+			t.Fatalf("word %d not cleared", i)
+		}
+	}
+	a.PutWords(w)
+}
+
+func TestTracker(t *testing.T) {
+	a := &Arena{}
+	tr := NewTracker(a)
+	_ = tr.Words(64)
+	_ = tr.Words(128)
+	_ = tr.Bytes(32)
+	if err := a.CheckBalanced(); err == nil {
+		t.Fatal("tracker buffers should be outstanding before Close")
+	}
+	tr.Close()
+	if err := a.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	// Tracker is reusable.
+	_ = tr.Words(64)
+	tr.Close()
+	if err := a.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	a := &Arena{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w := a.GetWords(512)
+				w.W[0] = uint64(i)
+				b := a.GetBytes(4096)
+				b.B[0] = byte(i)
+				a.PutBytes(b)
+				a.PutWords(w)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := a.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGetPut proves steady-state Get/Put allocates nothing.
+func BenchmarkGetPut(b *testing.B) {
+	a := &Arena{}
+	// Warm the pool.
+	a.PutWords(a.GetWords(1 << 12))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := a.GetWords(1 << 12)
+		a.PutWords(w)
+	}
+}

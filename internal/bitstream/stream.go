@@ -153,9 +153,11 @@ func (s *Stream) Any() bool {
 	return false
 }
 
-// Positions returns the indices of all set bits in ascending order.
+// Positions returns the indices of all set bits in ascending order. The
+// result is presized from Popcount, so extraction never reallocates while
+// appending.
 func (s *Stream) Positions() []int {
-	out := make([]int, 0, 16)
+	out := make([]int, 0, s.Popcount())
 	for wi, w := range s.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
@@ -441,4 +443,156 @@ func ShiftWords(dst, src []uint64, k int) {
 	} else {
 		LookbackWords(dst, src, -k)
 	}
+}
+
+// ---------- in-place operations ----------
+//
+// The *Into variants write their result into a caller-supplied destination
+// stream instead of allocating a new one; they are the allocation-free hot
+// path of the streaming scanner. Every elementwise op (And/Or/Xor/AndNot/
+// Not/Copy/Add/MatchStar) permits dst to alias any operand: dst[i] is
+// written only after the operands' word i is read. ShiftInto/AdvanceInto/
+// LookbackInto move words between indices and therefore require dst not to
+// alias src (except for a zero shift). All variants panic on a length
+// mismatch, mask the tail, and return dst for chaining.
+
+// Reinit re-points s at words[:WordsFor(n)] holding n bits, clearing tail
+// bits beyond n. It lets a long-lived Stream header be retargeted at pooled
+// backing storage without allocating. The slice is used directly, as in
+// FromWords.
+func (s *Stream) Reinit(words []uint64, n int) {
+	if len(words) < WordsFor(n) {
+		panic(fmt.Sprintf("bitstream: %d words cannot hold %d bits", len(words), n))
+	}
+	s.words = words[:WordsFor(n)]
+	s.n = n
+	s.maskTail()
+}
+
+func (s *Stream) checkInto(t, dst *Stream) {
+	s.checkSameLen(t)
+	s.checkSameLen(dst)
+}
+
+// AndInto sets dst = s & t.
+func (s *Stream) AndInto(t, dst *Stream) *Stream {
+	s.checkInto(t, dst)
+	for i := range s.words {
+		dst.words[i] = s.words[i] & t.words[i]
+	}
+	return dst
+}
+
+// OrInto sets dst = s | t.
+func (s *Stream) OrInto(t, dst *Stream) *Stream {
+	s.checkInto(t, dst)
+	for i := range s.words {
+		dst.words[i] = s.words[i] | t.words[i]
+	}
+	return dst
+}
+
+// XorInto sets dst = s ^ t.
+func (s *Stream) XorInto(t, dst *Stream) *Stream {
+	s.checkInto(t, dst)
+	for i := range s.words {
+		dst.words[i] = s.words[i] ^ t.words[i]
+	}
+	return dst
+}
+
+// AndNotInto sets dst = s &^ t.
+func (s *Stream) AndNotInto(t, dst *Stream) *Stream {
+	s.checkInto(t, dst)
+	for i := range s.words {
+		dst.words[i] = s.words[i] &^ t.words[i]
+	}
+	return dst
+}
+
+// NotInto sets dst = ^s (bounded by Len).
+func (s *Stream) NotInto(dst *Stream) *Stream {
+	s.checkSameLen(dst)
+	for i := range s.words {
+		dst.words[i] = ^s.words[i]
+	}
+	dst.maskTail()
+	return dst
+}
+
+// CopyInto sets dst = s.
+func (s *Stream) CopyInto(dst *Stream) *Stream {
+	s.checkSameLen(dst)
+	copy(dst.words, s.words)
+	return dst
+}
+
+// AddInto sets dst = s + t (see Add). dst may alias s or t.
+func (s *Stream) AddInto(t, dst *Stream) *Stream {
+	s.checkInto(t, dst)
+	AddWords(dst.words, s.words, t.words)
+	dst.maskTail()
+	return dst
+}
+
+// AdvanceInto sets dst = s advanced by k (paper >>). dst must not alias s
+// unless k == 0.
+func (s *Stream) AdvanceInto(k int, dst *Stream) *Stream {
+	s.checkSameLen(dst)
+	AdvanceWords(dst.words, s.words, k)
+	dst.maskTail()
+	return dst
+}
+
+// LookbackInto sets dst = s looked back by k (paper <<). dst must not alias
+// s unless k == 0.
+func (s *Stream) LookbackInto(k int, dst *Stream) *Stream {
+	s.checkSameLen(dst)
+	LookbackWords(dst.words, s.words, k)
+	return dst
+}
+
+// ShiftInto applies a signed paper-style shift into dst: k > 0 advances,
+// k < 0 looks back. dst must not alias s unless k == 0.
+func (s *Stream) ShiftInto(k int, dst *Stream) *Stream {
+	if k >= 0 {
+		return s.AdvanceInto(k, dst)
+	}
+	return s.LookbackInto(-k, dst)
+}
+
+// ZeroInto clears every bit of s in place.
+func (s *Stream) ZeroInto() *Stream {
+	clear(s.words)
+	return s
+}
+
+// OnesInto sets every bit of s in place.
+func (s *Stream) OnesInto() *Stream {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+	return s
+}
+
+// MatchStarInto computes MatchStar(m, c) into dst using the two scratch
+// word buffers tmpT and tmpS (each at least as long as the streams' word
+// count). dst may alias m or c; the scratch buffers must alias nothing.
+func MatchStarInto(dst, m, c *Stream, tmpT, tmpS []uint64) *Stream {
+	m.checkInto(c, dst)
+	nw := len(m.words)
+	tT, tS := tmpT[:nw], tmpS[:nw]
+	// T = (M >> 1) & C
+	AdvanceWords(tT, m.words, 1)
+	for i := range tT {
+		tT[i] &= c.words[i]
+	}
+	// result = ((((T + C) ^ C) | T) & C) | M
+	AddWords(tS, tT, c.words)
+	for i := range dst.words {
+		dst.words[i] = ((tS[i]^c.words[i])|tT[i])&c.words[i] | m.words[i]
+	}
+	dst.maskTail()
+	return dst
 }

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"slices"
+	"strings"
+
+	"bitgen/internal/arena"
+	"bitgen/internal/bgerr"
+	"bitgen/internal/bitstream"
+	"bitgen/internal/gpusim"
+	"bitgen/internal/kernel"
+	"bitgen/internal/transpose"
+)
+
+// ScanMatch is one match found by a ScanSession: Pattern matched ending at
+// absolute stream offset End (inclusive).
+type ScanMatch struct {
+	Pattern string
+	End     int64
+}
+
+// ScanSession is a reusable chunk executor for streaming scans: it owns a
+// pooled transpose basis and one kernel session per CTA group, so a
+// steady-state scan of same-sized chunks performs zero heap allocations per
+// chunk. One session serves one goroutine (the scanner runs one per
+// pipeline worker); concurrency comes from running several sessions over
+// different chunks.
+//
+// Unlike Engine.Run, the groups of one chunk execute sequentially in the
+// calling goroutine: the pipeline parallelizes across chunks, not across
+// groups, which keeps the per-chunk path allocation-free (no goroutine or
+// channel churn) while still scaling on multi-core hosts.
+type ScanSession struct {
+	e     *Engine
+	basis *transpose.Basis
+	sess  []*kernel.Session
+	tr    *arena.Tracker
+	lane  int
+}
+
+// NewScanSession builds a session for chunks up to maxChunkBytes (larger
+// chunks still work; they just grow the buffers once). Buffers are borrowed
+// from a (nil selects arena.Default) and released by Close. lane is the
+// trace lane the session's kernel spans land on.
+func (e *Engine) NewScanSession(maxChunkBytes int, a *arena.Arena, lane int) (*ScanSession, error) {
+	ss := &ScanSession{
+		e:     e,
+		basis: &transpose.Basis{},
+		tr:    arena.NewTracker(a),
+		lane:  lane,
+	}
+	// Basis backing from the arena: one bit per input byte, eight planes.
+	nw := bitstream.WordsFor(maxChunkBytes)
+	if nw > 0 {
+		for j := 0; j < transpose.NumBasis; j++ {
+			ss.basis.SetWords(j, ss.tr.Words(nw))
+		}
+	}
+	kcfg := kernel.Config{
+		Grid:               e.cfg.Grid,
+		Mode:               e.cfg.Mode,
+		HonorGuards:        e.cfg.ZeroBlockSkipping,
+		SharedInputCTAs:    len(e.groups),
+		MaxWhileIterations: e.cfg.MaxWhileIterations,
+		Inject:             e.cfg.Inject,
+		Obs:                e.cfg.Obs,
+		TraceLane:          lane,
+	}
+	for gi := range e.groups {
+		ks, err := kernel.NewSession(e.groups[gi].Program, kcfg, a)
+		if err != nil {
+			ss.Close()
+			return nil, fmt.Errorf("engine: group %d: %w", gi, err)
+		}
+		ss.sess = append(ss.sess, ks)
+	}
+	return ss, nil
+}
+
+// Scan runs every CTA group over chunk and appends each match whose
+// absolute end offset is >= newFrom to dst, sorted by (End, Pattern) — the
+// exact order and dedup semantics of the sequential per-chunk path. base is
+// chunk[0]'s absolute stream offset. The returned slice reuses dst's
+// backing array (steady state appends allocate nothing once the capacity
+// has stabilized).
+func (ss *ScanSession) Scan(ctx context.Context, chunk []byte, base, newFrom int64, dst []ScanMatch) ([]ScanMatch, error) {
+	e := ss.e
+	// Arg boxes its value even on a nil span; keep the hot path free of it.
+	if e.cfg.Obs.Enabled() {
+		tspan := e.cfg.Obs.Span("scan", "transpose", ss.lane).Arg("input_bytes", len(chunk))
+		transpose.TransposeInto(ss.basis, chunk)
+		tspan.End()
+	} else {
+		transpose.TransposeInto(ss.basis, chunk)
+	}
+	start := len(dst)
+	var footprint int64
+	for gi := range ss.sess {
+		stats, err := ss.scanGroup(ctx, gi, base, newFrom, &dst)
+		if err != nil {
+			return dst[:start], err
+		}
+		footprint += gpusim.IntermediateFootprintBytes(stats.IntermediateStreams, int64(len(chunk)))
+	}
+	if e.cfg.MemoryBudgetBytes > 0 && footprint > e.cfg.MemoryBudgetBytes {
+		return dst[:start], &bgerr.LimitError{
+			Limit: "device-memory-bytes",
+			Value: footprint, Max: e.cfg.MemoryBudgetBytes,
+		}
+	}
+	added := dst[start:]
+	slices.SortFunc(added, func(a, b ScanMatch) int {
+		if a.End != b.End {
+			if a.End < b.End {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.Pattern, b.Pattern)
+	})
+	return dst, nil
+}
+
+// scanGroup executes one CTA group over the current basis, appending its
+// filtered matches. A panic inside the kernel is contained as a typed
+// internal error, mirroring Engine.Run's per-group containment.
+func (ss *ScanSession) scanGroup(ctx context.Context, gi int, base, newFrom int64, dst *[]ScanMatch) (st gpusim.CTAStats, err error) {
+	e := ss.e
+	defer func() {
+		if r := recover(); r != nil {
+			err = &bgerr.InternalError{
+				Op: "scan", Group: gi, Patterns: e.groups[gi].Names,
+				Value: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if err := gpusim.CheckLaunch(e.cfg.Inject, gi); err != nil {
+		return st, fmt.Errorf("engine: group %d: %w", gi, err)
+	}
+	outs, stats, err := ss.sess[gi].Run(ctx, ss.basis)
+	if err != nil {
+		return st, fmt.Errorf("engine: group %d: %w", gi, err)
+	}
+	prog := e.groups[gi].Program
+	for i, s := range outs {
+		name := prog.Outputs[i].Name
+		for p := s.NextSetBit(0); p >= 0; p = s.NextSetBit(p + 1) {
+			abs := base + int64(p)
+			// Positions inside the carried-over overlap were already
+			// reported by the previous chunk.
+			if abs < newFrom {
+				continue
+			}
+			*dst = append(*dst, ScanMatch{Pattern: name, End: abs})
+		}
+	}
+	return stats, nil
+}
+
+// Close releases every pooled buffer the session borrowed. The session must
+// not be used afterwards.
+func (ss *ScanSession) Close() {
+	for _, ks := range ss.sess {
+		ks.Close()
+	}
+	ss.sess = nil
+	ss.tr.Close()
+}

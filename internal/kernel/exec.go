@@ -143,23 +143,34 @@ func ctxErr(ctx context.Context) error {
 }
 
 type ctaExec struct {
-	ctx     context.Context
-	cfg     Config
-	prog    *ir.Program
-	basis   *transpose.Basis
-	n       int // input bits
-	nWords  int
-	stats   gpusim.CTAStats
+	ctx    context.Context
+	cfg    Config
+	prog   *ir.Program
+	basis  *transpose.Basis
+	n      int // input bits
+	nWords int
+	stats  gpusim.CTAStats
+	// globals holds each variable's materialized stream for THIS run; nil
+	// means not yet written (reads as zero). bufs retains the backing
+	// streams across runs of a reused executor so the steady state of a
+	// streaming scan allocates nothing.
 	globals []*bitstream.Stream
-	isMat   []bool
-	isOut   []bool
-	regs    *regFile
+	bufs    []*bitstream.Stream
+	// zero is a shared read-only all-zero stream returned for never-written
+	// reads; it is never stored into globals and never written.
+	zero  *bitstream.Stream
+	isMat []bool
+	isOut []bool
+	regs  *regFile
+	// alloc provides word buffers for stream backing storage; nil means
+	// plain make. Sessions wire it to a pooled arena tracker.
+	alloc func(n int) []uint64
 	// unitsPerWord converts 64-bit simulation words into the device's
 	// W-bit accounting units.
 	unitsPerWord int64
 	// current fused-segment state
 	curAnalysis *dfg.Analysis
-	// scratch buffers for StarThru
+	// scratch buffers for StarThru and for aliased whole-stream shifts
 	tmpT, tmpS []uint64
 	// window state
 	ws, cs, ce, weBits int
@@ -172,8 +183,92 @@ type ctaExec struct {
 	groupOf    map[*ir.Assign]int
 	groupFirst map[int]*ir.Assign
 	groupSrcs  map[int]map[ir.VarID]bool
-	// per-window group tracking
-	windowGroupsCharged map[int]bool
+	// per-window group tracking: gid was charged this window iff
+	// wgChargedAt[gid] == wgGen (epoch tagging, no per-window map).
+	wgGen       uint32
+	wgChargedAt []uint32
+}
+
+// newExec builds the per-program executor state (allocated once; reusable
+// across runs via reset).
+func newExec(p *ir.Program, cfg Config) *ctaExec {
+	ex := &ctaExec{
+		prog:    p,
+		globals: make([]*bitstream.Stream, p.NumVars),
+		bufs:    make([]*bitstream.Stream, p.NumVars),
+		isOut:   make([]bool, p.NumVars),
+		regs:    newRegFile(p.NumVars),
+	}
+	for _, o := range p.Outputs {
+		ex.isOut[o.Var] = true
+	}
+	ex.buildBarrierSchedule()
+	if n := len(ex.groupSrcs); n > 0 {
+		maxGid := 0
+		for gid := range ex.groupSrcs {
+			if gid > maxGid {
+				maxGid = gid
+			}
+		}
+		ex.wgChargedAt = make([]uint32, maxGid+1)
+	}
+	_ = cfg
+	return ex
+}
+
+// reset prepares the executor for one run over basis. Buffers retained in
+// bufs, regs and the scratch slices are reused; only the n-dependent
+// headers are re-pointed when the input size changes.
+func (ex *ctaExec) reset(ctx context.Context, basis *transpose.Basis, cfg Config) {
+	ex.ctx = ctx
+	ex.cfg = cfg
+	ex.basis = basis
+	ex.n = basis.N
+	ex.nWords = bitstream.WordsFor(basis.N)
+	ex.stats = gpusim.CTAStats{}
+	ex.unitsPerWord = int64(64 / cfg.Grid.UnitBits)
+	clear(ex.globals)
+	ex.regs.alloc = ex.alloc
+	if ex.zero == nil || ex.zero.Len() != ex.n {
+		ex.zero = ex.reinitStream(ex.zero, ex.n)
+		ex.zero.ZeroInto()
+	}
+}
+
+// newWords allocates a word buffer through the configured allocator.
+func (ex *ctaExec) newWords(n int) []uint64 {
+	if ex.alloc != nil {
+		return ex.alloc(n)
+	}
+	return make([]uint64, n)
+}
+
+// reinitStream re-points s at an n-bit view of its own backing words,
+// allocating fresh storage only when the capacity is insufficient (or s is
+// nil). Contents are unspecified; callers fully overwrite.
+func (ex *ctaExec) reinitStream(s *bitstream.Stream, n int) *bitstream.Stream {
+	nw := bitstream.WordsFor(n)
+	if s != nil {
+		if w := s.Words(); cap(w) >= nw {
+			s.Reinit(w[:cap(w)], n)
+			return s
+		}
+	}
+	return bitstream.FromWords(ex.newWords(nw), n)
+}
+
+// ensureGlobal returns variable v's stream for writing, reusing the
+// retained buffer when possible. The returned stream is registered in
+// globals; its previous contents are unspecified and the caller must
+// overwrite the range it commits.
+func (ex *ctaExec) ensureGlobal(v ir.VarID) *bitstream.Stream {
+	if s := ex.globals[v]; s != nil {
+		return s
+	}
+	s := ex.reinitStream(ex.bufs[v], ex.n)
+	ex.bufs[v] = s
+	ex.globals[v] = s
+	return s
 }
 
 func runOnce(ctx context.Context, p *ir.Program, basis *transpose.Basis, cfg Config, materialize map[ir.Stmt]bool) (*RunResult, error) {
@@ -181,28 +276,14 @@ func runOnce(ctx context.Context, p *ir.Program, basis *transpose.Basis, cfg Con
 		panic("faultinject: injected kernel panic")
 	}
 	pl := buildPlan(p.Stmts, cfg.Mode, materialize)
-	ex := &ctaExec{
-		ctx:          ctx,
-		cfg:          cfg,
-		prog:         p,
-		basis:        basis,
-		n:            basis.N,
-		nWords:       bitstream.WordsFor(basis.N),
-		globals:      make([]*bitstream.Stream, p.NumVars),
-		isOut:        make([]bool, p.NumVars),
-		regs:         newRegFile(p.NumVars),
-		unitsPerWord: int64(64 / cfg.Grid.UnitBits),
-	}
-	for _, o := range p.Outputs {
-		ex.isOut[o.Var] = true
-	}
+	ex := newExec(p, cfg)
+	ex.reset(ctx, basis, cfg)
 	var intermediates int
 	ex.isMat, intermediates = liveness(pl, p)
 	ex.stats.Loops = int64(pl.countLoops())
 	ex.stats.IntermediateStreams = int64(intermediates)
 	progAn := dfg.Analyze(p)
 	ex.stats.StaticDelta = int64(progAn.StaticDelta)
-	ex.buildBarrierSchedule()
 
 	if err := ex.execPlan(pl); err != nil {
 		return nil, err
@@ -278,13 +359,15 @@ func (ex *ctaExec) streamBytes() int64 { return int64(ex.nWords) * 8 }
 // streamUnits is the op count of one full-stream pass.
 func (ex *ctaExec) streamUnits() int64 { return int64(ex.nWords) * ex.unitsPerWord }
 
-// globalStream returns the materialized stream for v, or an all-zero stream
-// for a variable that was never written on the taken path.
+// globalStream returns the materialized stream for v, or the shared
+// read-only zero stream for a variable that was never written on the taken
+// path. The shared zero is never registered in globals, so a later write to
+// v gets its own buffer.
 func (ex *ctaExec) globalStream(v ir.VarID) *bitstream.Stream {
 	if s := ex.globals[v]; s != nil {
 		return s
 	}
-	return bitstream.New(ex.n)
+	return ex.zero
 }
 
 // chargeStreamRead charges a full-stream DRAM read of variable v.
@@ -324,54 +407,84 @@ func (ex *ctaExec) execCtl(c *ctlSeg) error {
 }
 
 // execStream executes one instruction over the whole stream, block by
-// block in order (shift neighborhoods and carries forward exactly).
+// block in order (shift neighborhoods and carries forward exactly). All
+// results are written in place into the destination variable's retained
+// buffer: the elementwise ops tolerate dst aliasing an operand, and the
+// shift (which does not) detours through scratch when dst is its own
+// source.
 func (ex *ctaExec) execStream(a *ir.Assign) {
 	read := func(v ir.VarID) *bitstream.Stream {
 		ex.chargeStreamRead()
 		return ex.globalStream(v)
 	}
-	var out *bitstream.Stream
 	opFactor := int64(1)
 	switch e := a.Expr.(type) {
 	case ir.Zero:
-		out = bitstream.New(ex.n)
+		ex.ensureGlobal(a.Dst).ZeroInto()
 	case ir.Ones:
-		out = bitstream.NewOnes(ex.n)
+		ex.ensureGlobal(a.Dst).OnesInto()
 	case ir.Copy:
-		out = read(e.Src).Clone()
+		src := read(e.Src)
+		if dst := ex.ensureGlobal(a.Dst); dst != src {
+			src.CopyInto(dst)
+		}
 	case ir.Not:
-		out = read(e.Src).Not()
+		read(e.Src).NotInto(ex.ensureGlobal(a.Dst))
 	case ir.Bin:
 		x, y := read(e.X), read(e.Y)
+		dst := ex.ensureGlobal(a.Dst)
 		switch e.Op {
 		case ir.OpAnd:
-			out = x.And(y)
+			x.AndInto(y, dst)
 		case ir.OpOr:
-			out = x.Or(y)
+			x.OrInto(y, dst)
 		case ir.OpXor:
-			out = x.Xor(y)
+			x.XorInto(y, dst)
 		case ir.OpAndNot:
-			out = x.AndNot(y)
+			x.AndNotInto(y, dst)
 		}
 	case ir.Shift:
-		out = read(e.Src).Shift(e.K)
+		src := read(e.Src)
+		dst := ex.ensureGlobal(a.Dst)
+		if dst == src && e.K != 0 {
+			// Word-moving op on an aliased destination: shift through
+			// scratch, then copy back (the scratch is retained, so the
+			// steady state still allocates nothing).
+			ex.ensureScratch(ex.nWords)
+			bitstream.ShiftWords(ex.tmpT[:ex.nWords], src.Words(), e.K)
+			copy(dst.Words(), ex.tmpT[:ex.nWords])
+			maskStreamTail(dst)
+		} else {
+			src.ShiftInto(e.K, dst)
+		}
 		opFactor = 2
 		// Sequential shifts read the adjacent block too (Figure 5 (b)).
 		ex.stats.DRAMReadBytes += ex.streamBytes() / int64(max(1, ex.n/ex.cfg.Grid.BlockBits()))
 	case ir.Add:
-		out = read(e.X).Add(read(e.Y))
+		read(e.X).AddInto(read(e.Y), ex.ensureGlobal(a.Dst))
 		opFactor = 3
 	case ir.StarThru:
-		out = bitstream.MatchStar(read(e.M), read(e.C))
+		m, c := read(e.M), read(e.C)
+		ex.ensureScratch(ex.nWords)
+		bitstream.MatchStarInto(ex.ensureGlobal(a.Dst), m, c, ex.tmpT, ex.tmpS)
 		opFactor = 7
 	case ir.MatchBasis:
-		out = ex.basis.Bit(e.Bit).Clone()
+		ex.basis.Bit(e.Bit).CopyInto(ex.ensureGlobal(a.Dst))
 		ex.stats.DRAMReadBytes += ex.streamBytes() / int64(ex.cfg.SharedInputCTAs)
 	}
-	ex.globals[a.Dst] = out
 	ex.stats.UnitOps += opFactor * ex.streamUnits()
 	ex.stats.DRAMWriteBytes += ex.streamBytes()
 	ex.stats.Barriers++ // inter-loop dependency barrier (Figure 5)
+}
+
+// ensureScratch guarantees tmpT and tmpS hold at least n words.
+func (ex *ctaExec) ensureScratch(n int) {
+	if cap(ex.tmpT) < n {
+		ex.tmpT = ex.newWords(n)
+		ex.tmpS = ex.newWords(n)
+	}
+	ex.tmpT = ex.tmpT[:cap(ex.tmpT)]
+	ex.tmpS = ex.tmpS[:cap(ex.tmpS)]
 }
 
 // ---------- fused (windowed) execution ----------
@@ -382,7 +495,11 @@ func align64(bits int) int { return (bits + 63) &^ 63 }
 // Thread-Data Mapping: each window covers its commit range plus overlap
 // margins; all segment values are recomputed inside the window.
 func (ex *ctaExec) execFused(seg *fusedSeg) error {
-	an := dfg.AnalyzeBody(seg.stmts, ex.prog.NumVars)
+	an := seg.an
+	if an == nil {
+		an = dfg.AnalyzeBody(seg.stmts, ex.prog.NumVars)
+		seg.an = an
+	}
 	ex.curAnalysis = an
 	blockBits := ex.cfg.Grid.BlockBits()
 	dynamic := an.HasDynamic || an.HasCarry
@@ -390,7 +507,11 @@ func (ex *ctaExec) execFused(seg *fusedSeg) error {
 	baseDR := align64(-an.StaticMinOffset)
 
 	// liveOut: variables this segment must commit to global memory.
-	liveOut := ex.segmentLiveOut(seg)
+	if !seg.liveOutSet {
+		seg.liveOut = ex.segmentLiveOut(seg)
+		seg.liveOutSet = true
+	}
+	liveOut := seg.liveOut
 
 	if ex.n == 0 {
 		return nil
@@ -664,11 +785,7 @@ func (ex *ctaExec) commitWindow(liveOut []ir.VarID, cs, ce int) {
 	toWord := (ce + 63) / 64
 	wsWord := ex.ws / 64
 	for _, v := range liveOut {
-		g := ex.globals[v]
-		if g == nil {
-			g = bitstream.New(ex.n)
-			ex.globals[v] = g
-		}
+		g := ex.ensureGlobal(v)
 		reg := ex.regs.get(v)
 		if reg == nil {
 			// Variable not computed this window (e.g. guarded off):
@@ -710,11 +827,8 @@ func (ex *ctaExec) execWindowOnce(seg *fusedSeg, cs, ce, dl, dr int, saturate, c
 	ex.culprit = nil
 	ex.loopRan = false
 	ex.saturate = saturate
-	ex.windowGroupsCharged = make(map[int]bool)
-	if cap(ex.tmpT) < ex.ww {
-		ex.tmpT = make([]uint64, ex.ww)
-		ex.tmpS = make([]uint64, ex.ww)
-	}
+	ex.wgGen++ // invalidates wgChargedAt without clearing
+	ex.ensureScratch(ex.ww)
 	ex.tmpT = ex.tmpT[:ex.ww]
 	ex.tmpS = ex.tmpS[:ex.ww]
 	return ex.execStmtsWindowed(seg.stmts, charge)
@@ -1046,8 +1160,8 @@ func (ex *ctaExec) chargeShift(a *ir.Assign, units int64) {
 		ex.trackSMemPeak(1)
 		return
 	}
-	if !ex.windowGroupsCharged[gid] {
-		ex.windowGroupsCharged[gid] = true
+	if ex.wgChargedAt[gid] != ex.wgGen {
+		ex.wgChargedAt[gid] = ex.wgGen
 		ex.stats.Barriers += 2
 		ex.stats.ShiftBarriers += 2
 		// One shared-memory store per distinct source in the group

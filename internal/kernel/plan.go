@@ -14,6 +14,7 @@ package kernel
 import (
 	"fmt"
 
+	"bitgen/internal/dfg"
 	"bitgen/internal/ir"
 )
 
@@ -56,8 +57,15 @@ type planNode interface{ isPlanNode() }
 
 // fusedSeg is a run of statements executed in one fused block-wise loop.
 // Under ModeDTM it may contain nested control flow, executed window-locally.
+//
+// an and liveOut cache the segment's dataflow analysis and live-out set:
+// both depend only on the statements, so a session reusing a plan across
+// chunks computes them once instead of per run.
 type fusedSeg struct {
-	stmts []ir.Stmt
+	stmts      []ir.Stmt
+	an         *dfg.Analysis
+	liveOut    []ir.VarID
+	liveOutSet bool
 }
 
 // ctlSeg is an if or while whose condition is evaluated globally (on a

@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bitgen/internal/arena"
+	"bitgen/internal/lower"
+	"bitgen/internal/transpose"
+)
+
+// TestSessionMatchesRunContext pins the reusable session to the one-shot
+// path: same outputs, same stats, across repeated runs over fresh inputs.
+func TestSessionMatchesRunContext(t *testing.T) {
+	cases := []struct {
+		pattern string
+		inputs  []string
+	}{
+		{"cat|dog", []string{
+			strings.Repeat("the cat sat on the dog ", 12),
+			strings.Repeat("no animals in this one. ", 12),
+			strings.Repeat("catdogcat ", 25),
+		}},
+		{"a(bc)*d", []string{
+			"ad " + strings.Repeat("abcbcd ", 15),
+			strings.Repeat("abcd", 40),
+		}},
+		{"x.?y", []string{
+			strings.Repeat("xy xay xaby ", 10),
+			strings.Repeat("zzz", 40) + "xy",
+		}},
+	}
+	for _, mode := range allModes {
+		for _, c := range cases {
+			p := lower.MustSingle("re", c.pattern)
+			cfg := Config{Grid: tinyGrid, Mode: mode}
+			a := &arena.Arena{}
+			sess, err := NewSession(p, cfg, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, input := range c.inputs {
+				basis := transpose.Transpose([]byte(input))
+				want, err := RunContext(context.Background(), p, basis, cfg)
+				if err != nil {
+					t.Fatalf("%v RunContext %q: %v", mode, c.pattern, err)
+				}
+				outs, stats, err := sess.Run(context.Background(), basis)
+				if err != nil {
+					t.Fatalf("%v session %q: %v", mode, c.pattern, err)
+				}
+				for i, o := range p.Outputs {
+					if !outs[i].Equal(want.Outputs[o.Name]) {
+						t.Fatalf("%v %q input %q: output %s diverges from RunContext",
+							mode, c.pattern, input, o.Name)
+					}
+				}
+				if stats != want.Stats {
+					t.Errorf("%v %q: session stats %+v != one-shot stats %+v",
+						mode, c.pattern, stats, want.Stats)
+				}
+			}
+			sess.Close()
+			if err := a.CheckBalanced(); err != nil {
+				t.Fatalf("%v %q: %v", mode, c.pattern, err)
+			}
+		}
+	}
+}
+
+// TestSessionFallbackPersistsExact drives a carry chain past the overlap
+// cap: the session takes the materialization fallback, stays exact, and
+// keeps the fallback (and exactness) on subsequent runs.
+func TestSessionFallbackPersistsExact(t *testing.T) {
+	p := lower.MustSingle("re", "ab*c")
+	cfg := Config{Grid: tinyGrid, Mode: ModeDTM}
+	sess, err := NewSession(p, cfg, &arena.Arena{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	inputs := []string{
+		"a" + strings.Repeat("b", 2000) + "c",
+		"abc abbbc " + strings.Repeat("x", 300),
+		"a" + strings.Repeat("b", 1500) + "c",
+	}
+	for i, input := range inputs {
+		basis := transpose.Transpose([]byte(input))
+		want := interpRef(t, p, basis)["re"]
+		outs, _, err := sess.Run(context.Background(), basis)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !outs[0].Equal(want) {
+			t.Fatalf("run %d: session output diverges after fallback", i)
+		}
+	}
+	if sess.Fallbacks() == 0 {
+		t.Fatal("expected a materialized fallback segment")
+	}
+}
+
+// TestSessionSteadyStateZeroAllocs is the arena contract: once warmed, a
+// session run over a same-sized chunk allocates nothing.
+func TestSessionSteadyStateZeroAllocs(t *testing.T) {
+	p := lower.MustSingle("re", "cat|dog")
+	cfg := Config{Grid: tinyGrid, Mode: ModeDTM, HonorGuards: true}
+	sess, err := NewSession(p, cfg, &arena.Arena{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	input := []byte(strings.Repeat("the cat sat on the dog ", 40))
+	basis := transpose.Transpose(input)
+	ctx := context.Background()
+	// Warm every retained buffer.
+	if _, _, err := sess.Run(ctx, basis); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := sess.Run(ctx, basis); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state session Run allocates %v per run, want 0", allocs)
+	}
+}

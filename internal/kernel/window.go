@@ -13,6 +13,9 @@ type regFile struct {
 	epoch []uint32
 	cur   uint32
 	ww    int // words per window
+	// alloc provides backing storage for register buffers; nil means plain
+	// make. Sessions wire it to a pooled arena tracker.
+	alloc func(n int) []uint64
 }
 
 func newRegFile(numVars int) *regFile {
@@ -38,7 +41,11 @@ func (r *regFile) has(v ir.VarID) bool {
 func (r *regFile) buf(v ir.VarID) []uint64 {
 	b := r.bufs[v]
 	if cap(b) < r.ww {
-		b = make([]uint64, r.ww)
+		if r.alloc != nil {
+			b = r.alloc(r.ww)
+		} else {
+			b = make([]uint64, r.ww)
+		}
 		r.bufs[v] = b
 	}
 	b = b[:r.ww]

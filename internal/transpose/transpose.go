@@ -6,9 +6,15 @@
 // 01100001 for 'a' sets b_1, b_2 and b_7 at that position). The transpose is
 // the preprocessing kernel the paper runs on the GPU before bitstream
 // execution; here it is a pure CPU routine that the simulator charges for.
+//
+// The transform is computed word-parallel: each run of 8 input bytes is an
+// 8×8 bit matrix transposed with the Hacker's Delight shuffle (the same
+// trick Parabix's s2p kernel uses), so the hot loop touches whole 64-bit
+// words instead of scattering individual bits.
 package transpose
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"bitgen/internal/bitstream"
@@ -19,32 +25,115 @@ const NumBasis = 8
 
 // Basis holds the eight transposed bitstreams of an input. Basis[0] is the
 // most significant bit of each byte.
+//
+// A Basis produced by TransposeInto owns reusable backing buffers: passing
+// it to TransposeInto again overwrites them in place with no allocation
+// (provided the input does not outgrow the buffers' capacity), which is the
+// steady state of the streaming scanner.
 type Basis struct {
 	Streams [NumBasis]*bitstream.Stream
 	N       int // input length in bytes == stream length in bits
+
+	// words are the owned backing buffers the Streams point into; headers
+	// hold the eight Stream values so reuse allocates nothing.
+	words   [NumBasis][]uint64
+	headers [NumBasis]bitstream.Stream
 }
 
 // Transpose computes the serial-to-parallel transform of text.
 func Transpose(text []byte) *Basis {
+	return TransposeInto(nil, text)
+}
+
+// TransposeInto computes the serial-to-parallel transform of text into dst,
+// reusing dst's backing buffers when their capacity suffices. A nil dst
+// allocates a fresh Basis. It returns the basis written.
+func TransposeInto(dst *Basis, text []byte) *Basis {
 	n := len(text)
-	b := &Basis{N: n}
-	words := make([][]uint64, NumBasis)
 	nw := bitstream.WordsFor(n)
-	for j := range words {
-		words[j] = make([]uint64, nw)
+	if dst == nil {
+		dst = &Basis{}
 	}
-	for i, c := range text {
-		wi, bit := i/bitstream.WordBits, uint64(1)<<(uint(i)%bitstream.WordBits)
+	dst.N = n
+	for j := 0; j < NumBasis; j++ {
+		if cap(dst.words[j]) < nw {
+			dst.words[j] = make([]uint64, nw)
+		}
+		dst.words[j] = dst.words[j][:nw]
+	}
+	transposeWords(&dst.words, text)
+	for j := 0; j < NumBasis; j++ {
+		dst.headers[j].Reinit(dst.words[j], n)
+		dst.Streams[j] = &dst.headers[j]
+	}
+	return dst
+}
+
+// SetWords points basis stream j at the caller-supplied backing words for n
+// bits without copying; used by callers that manage stream storage in an
+// arena. The words are overwritten by the next TransposeInto.
+func (b *Basis) SetWords(j int, words []uint64) {
+	b.words[j] = words
+}
+
+// transpose8 transposes an 8×8 bit matrix held row-major in x: byte k of x
+// is row k, and bit j of row k becomes bit k of row j. Hacker's Delight
+// figure 7-3, the three-exchange network.
+func transpose8(x uint64) uint64 {
+	t := (x ^ (x >> 7)) & 0x00AA00AA00AA00AA
+	x = x ^ t ^ (t << 7)
+	t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCC
+	x = x ^ t ^ (t << 14)
+	t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0
+	return x ^ t ^ (t << 28)
+}
+
+// transposeWords fills the eight basis word vectors from text, 64 input
+// bytes per output word. Rows of each 8-byte group become the group's bit
+// columns: after transpose8, output byte p holds bit position p of each of
+// the 8 input bytes, so basis stream j (MSB-first convention) is byte 7-j.
+func transposeWords(words *[NumBasis][]uint64, text []byte) {
+	n := len(text)
+	full := n &^ 63 // bytes covered by complete 64-byte blocks
+	for base := 0; base < full; base += 64 {
+		blk := text[base : base+64 : base+64]
+		w := base >> 6
+		var acc [NumBasis]uint64
+		for g := 0; g < 8; g++ {
+			y := transpose8(binary.LittleEndian.Uint64(blk[g*8:]))
+			sh := uint(8 * g)
+			acc[0] |= (y >> 56) & 0xff << sh
+			acc[1] |= (y >> 48) & 0xff << sh
+			acc[2] |= (y >> 40) & 0xff << sh
+			acc[3] |= (y >> 32) & 0xff << sh
+			acc[4] |= (y >> 24) & 0xff << sh
+			acc[5] |= (y >> 16) & 0xff << sh
+			acc[6] |= (y >> 8) & 0xff << sh
+			acc[7] |= y & 0xff << sh
+		}
 		for j := 0; j < NumBasis; j++ {
-			if c&(0x80>>uint(j)) != 0 {
-				words[j][wi] |= bit
-			}
+			words[j][w] = acc[j]
 		}
 	}
-	for j := range words {
-		b.Streams[j] = bitstream.FromWords(words[j], n)
+	if full == n {
+		return
 	}
-	return b
+	// Tail: pad the final partial block with zeros and run the same path.
+	var pad [64]byte
+	copy(pad[:], text[full:])
+	var acc [NumBasis]uint64
+	for g := 0; g < 8; g++ {
+		y := transpose8(binary.LittleEndian.Uint64(pad[g*8:]))
+		sh := uint(8 * g)
+		for j := 0; j < NumBasis; j++ {
+			acc[j] |= (y >> uint(8*(7-j))) & 0xff << sh
+		}
+	}
+	w := full >> 6
+	for j := 0; j < NumBasis; j++ {
+		words[j][w] = acc[j]
+		// Words past the last are absent: nw == w+1 for a partial tail.
+	}
 }
 
 // Inverse reconstructs the byte stream from the basis (parallel-to-serial).

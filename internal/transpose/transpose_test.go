@@ -63,3 +63,113 @@ func TestBytesMoved(t *testing.T) {
 		t.Fatalf("BytesMoved = %d, want 2000", got)
 	}
 }
+
+// naiveTranspose is the per-byte bit-scatter reference the word-parallel
+// implementation replaced; the differential tests pin them together.
+func naiveTranspose(text []byte) *Basis {
+	n := len(text)
+	b := &Basis{N: n}
+	words := make([][]uint64, NumBasis)
+	nw := (n + 63) / 64
+	for j := range words {
+		words[j] = make([]uint64, nw)
+	}
+	for i, c := range text {
+		wi, bit := i/64, uint64(1)<<(uint(i)%64)
+		for j := 0; j < NumBasis; j++ {
+			if c&(0x80>>uint(j)) != 0 {
+				words[j][wi] |= bit
+			}
+		}
+	}
+	for j := range words {
+		b.headers[j].Reinit(words[j], n)
+		b.Streams[j] = &b.headers[j]
+	}
+	return b
+}
+
+// TestWordParallelMatchesNaive differentially checks the 8×8 block
+// transpose against the scalar reference at sizes straddling every word and
+// block boundary.
+func TestWordParallelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sizes := []int{0, 1, 7, 8, 9, 63, 64, 65, 127, 128, 129, 192, 1000, 4096, 4097}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		rng.Read(data)
+		got, want := Transpose(data), naiveTranspose(data)
+		for j := 0; j < NumBasis; j++ {
+			if !got.Bit(j).Equal(want.Bit(j)) {
+				t.Fatalf("n=%d basis %d mismatch:\ngot  %s\nwant %s",
+					n, j, got.Bit(j), want.Bit(j))
+			}
+		}
+	}
+}
+
+// TestQuickWordParallelMatchesNaive fuzzes the differential.
+func TestQuickWordParallelMatchesNaive(t *testing.T) {
+	f := func(data []byte) bool {
+		got, want := Transpose(data), naiveTranspose(data)
+		for j := 0; j < NumBasis; j++ {
+			if !got.Bit(j).Equal(want.Bit(j)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransposeIntoReuse verifies that reusing a Basis overwrites it fully
+// (no stale bits from a previous, larger input) and allocates nothing in
+// steady state.
+func TestTransposeIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	long := make([]byte, 1000)
+	for i := range long {
+		long[i] = 0xff
+	}
+	b := TransposeInto(nil, long)
+	short := make([]byte, 130)
+	rng.Read(short)
+	TransposeInto(b, short)
+	want := naiveTranspose(short)
+	for j := 0; j < NumBasis; j++ {
+		if !b.Bit(j).Equal(want.Bit(j)) {
+			t.Fatalf("reused basis %d mismatch", j)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		TransposeInto(b, short)
+	})
+	if allocs != 0 {
+		t.Fatalf("TransposeInto reuse allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkTransposeInto(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(5)).Read(data)
+	dst := TransposeInto(nil, data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TransposeInto(dst, data)
+	}
+}
+
+func BenchmarkTransposeNaive(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(5)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveTranspose(data)
+	}
+}

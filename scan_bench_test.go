@@ -1,0 +1,74 @@
+package bitgen
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// chunkSource serves an endless repetition of data capped at limit bytes —
+// a zero-allocation way to feed a benchmark exactly b.N chunks without
+// materializing gigabytes.
+type chunkSource struct {
+	data  []byte
+	pos   int
+	limit int64
+}
+
+func (r *chunkSource) Read(p []byte) (int, error) {
+	if r.limit <= 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	if int64(n) > r.limit {
+		n = int(r.limit)
+	}
+	r.pos += n
+	if r.pos == len(r.data) {
+		r.pos = 0
+	}
+	r.limit -= int64(n)
+	return n, nil
+}
+
+var scanBenchPatterns = []string{"fox|dog", "qu[a-z]{2,6}k", "l.zy", "0\\d{3}"}
+
+// BenchmarkScanReader measures the pipelined streaming scanner. One op is
+// one 256KiB chunk, so per-call setup (sessions, channels, goroutines)
+// amortizes over b.N and allocs/op reports the steady-state chunk loop —
+// which must be zero.
+func BenchmarkScanReader(b *testing.B) {
+	eng := MustCompile(scanBenchPatterns, &Options{CTAs: 4})
+	const chunk = 256 << 10
+	src := &chunkSource{data: benchInput, limit: int64(b.N) * chunk}
+	matches := 0
+	b.SetBytes(chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := eng.ScanReader(src, chunk, func(Match) { matches++ }); err != nil {
+		b.Fatal(err)
+	}
+	if matches == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+// BenchmarkScanReaderSequential measures the retained chunk-at-a-time
+// reference path (what every scan was before pipelining, and what
+// ladder-enabled scans still use) over the identical stream, for a direct
+// speedup readout against BenchmarkScanReader.
+func BenchmarkScanReaderSequential(b *testing.B) {
+	eng := MustCompile(scanBenchPatterns, &Options{CTAs: 4})
+	const chunk = 256 << 10
+	src := &chunkSource{data: benchInput, limit: int64(b.N) * chunk}
+	matches := 0
+	b.SetBytes(chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := eng.scanSequential(context.Background(), src, chunk, eng.maxLen, func(Match) { matches++ }); err != nil {
+		b.Fatal(err)
+	}
+	if matches == 0 {
+		b.Fatal("no matches")
+	}
+}

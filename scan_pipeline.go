@@ -1,0 +1,232 @@
+package bitgen
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"bitgen/internal/arena"
+	"bitgen/internal/bgerr"
+	"bitgen/internal/engine"
+	"bitgen/internal/obs"
+)
+
+// Trace lanes for the pipeline stages: each stage renders as its own track
+// so reads, chunk executions and emission are visibly overlapped. Kernel
+// spans from worker i land on that worker's lane.
+const (
+	scanLaneEmit   = 100
+	scanLaneReader = 101
+	scanLaneWorker = 102 // worker i uses scanLaneWorker + i
+)
+
+// scanJob is one chunk moving through the pipeline. The job struct, its
+// match slice and its pooled byte buffer are recycled through a fixed-size
+// freelist, so the steady-state chunk loop allocates nothing.
+type scanJob struct {
+	seq     int64
+	buf     *arena.Bytes       // pooled chunk storage (overlap prefix + new bytes)
+	data    []byte             // valid view of buf.B
+	offset  int64              // absolute stream offset of data[0]
+	newFrom int64              // first absolute offset not yet emitted
+	matches []engine.ScanMatch // worker output, sorted (End, Pattern)
+	err     error
+}
+
+// scanPipelined is the bounded three-stage streaming scanner:
+//
+//	reader ──work──▶ workers (transpose + kernels) ──results──▶ in-order emit
+//
+// The reader fills pooled chunk buffers and carries the overlap; each
+// worker owns an engine.ScanSession (pooled basis + per-group kernel
+// sessions) and scans whole chunks; the emit stage reorders completed
+// chunks by sequence number so matches appear in exactly the sequential
+// path's order. Chunk N+1 is being read and scanned while chunk N's
+// matches are emitted. All stages shut down — and every pooled buffer is
+// returned — before the call returns, on success, error and cancellation
+// alike.
+func (e *Engine) scanPipelined(ctx context.Context, r io.Reader, chunkSize, maxLen int, emit func(Match)) error {
+	overlap := maxLen - 1
+	workers := e.scanWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ar := e.scanArena
+	if ar == nil {
+		ar = arena.Default
+	}
+	depth := workers + 2 // bounded look-ahead: jobs in flight at once
+
+	e.obs.NameLane(scanLaneEmit, "scan/emit")
+	e.obs.NameLane(scanLaneReader, "scan/reader")
+
+	free := make(chan *scanJob, depth)
+	work := make(chan *scanJob, depth)
+	results := make(chan *scanJob, depth)
+	for i := 0; i < depth; i++ {
+		free <- &scanJob{}
+	}
+
+	// pctx stops the reader and interrupts in-flight kernels once the
+	// outcome is decided (terminal error or all input consumed).
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+
+	// readerErr is written by the reader goroutine before it closes work,
+	// and read by this goroutine only after results closes — the channel
+	// closes order the accesses.
+	var readerErr error
+	traced := e.obs.Enabled()
+
+	go func() { // stage 1: reader
+		defer close(work)
+		carryBuf := make([]byte, overlap)
+		carry := carryBuf[:0]
+		var pos int64 // total bytes consumed from r
+		var seq int64
+		for {
+			var j *scanJob
+			select {
+			case j = <-free:
+			case <-pctx.Done():
+				readerErr = bgerr.Canceled(pctx.Err())
+				return
+			}
+			j.buf = ar.GetBytes(overlap + chunkSize)
+			b := j.buf.B
+			copy(b, carry)
+			var rspan *obs.Span
+			if traced {
+				rspan = e.obs.Span("scan", "read-chunk", scanLaneReader).Arg("seq", seq)
+			}
+			n, err := io.ReadFull(r, b[len(carry):len(carry)+chunkSize])
+			if traced {
+				rspan.Arg("bytes", n).End()
+			}
+			data := b[:len(carry)+n]
+			eof := err == io.EOF || err == io.ErrUnexpectedEOF
+			if err != nil && !eof {
+				// The failed read began right after the bytes consumed so
+				// far; fully-read chunks before it still emit.
+				readerErr = &ReadError{Offset: pos + int64(n), Err: err}
+				ar.PutBytes(j.buf)
+				j.buf = nil
+				return
+			}
+			if n == 0 {
+				// Pure EOF: the carried overlap was already scanned.
+				ar.PutBytes(j.buf)
+				j.buf = nil
+				return
+			}
+			j.seq, j.data, j.err = seq, data, nil
+			j.offset = pos - int64(len(carry))
+			j.newFrom = pos
+			pos += int64(n)
+			keep := overlap
+			if keep > len(data) {
+				keep = len(data)
+			}
+			carry = carryBuf[:keep]
+			copy(carry, data[len(data)-keep:])
+			seq++
+			work <- j // never blocks: at most depth jobs exist
+			if eof {
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup // stage 2: transpose + kernel workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := scanLaneWorker + w
+			e.obs.NameLane(lane, "scan/worker")
+			ss, ssErr := e.inner.NewScanSession(overlap+chunkSize, ar, lane)
+			if ss != nil {
+				defer ss.Close()
+			}
+			for j := range work {
+				start := time.Now()
+				var cspan *obs.Span
+				if traced {
+					cspan = e.obs.Span("scan", "scan-chunk", lane).
+						Arg("seq", j.seq).Arg("bytes", len(j.data))
+				}
+				j.scan(pctx, ss, ssErr)
+				if traced {
+					cspan.Arg("matches", len(j.matches)).End()
+				}
+				e.observeScan(start, len(j.data), len(j.matches), j.err)
+				ar.PutBytes(j.buf)
+				j.buf = nil
+				results <- j // never blocks: at most depth jobs exist
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Stage 3: in-order emit. Jobs complete out of order; a ring keyed by
+	// seq modulo depth (in-flight seqs always span < depth) restores the
+	// sequential order. The earliest failing chunk decides the returned
+	// error, exactly as the sequential path — which never scans past its
+	// first failure — would.
+	ring := make([]*scanJob, depth)
+	next := int64(0)
+	var termErr error
+	for j := range results {
+		ring[j.seq%int64(depth)] = j
+		for {
+			k := ring[next%int64(depth)]
+			if k == nil {
+				break
+			}
+			ring[next%int64(depth)] = nil
+			if termErr == nil {
+				if k.err != nil {
+					termErr = k.err
+					pcancel() // stop reading; interrupt later chunks
+				} else {
+					for _, m := range k.matches {
+						emit(Match{Pattern: m.Pattern, End: int(m.End)})
+					}
+					if traced {
+						e.obs.Instant("scan", "emit-chunk", scanLaneEmit,
+							obs.A("seq", k.seq), obs.A("matches", len(k.matches)))
+					}
+				}
+			}
+			next++
+			free <- k // never blocks: freelist capacity is depth
+		}
+	}
+	if termErr != nil {
+		return termErr
+	}
+	// All dispatched chunks emitted; surface how the reader stopped.
+	return readerErr
+}
+
+// scan runs the job's chunk through the worker's session, containing any
+// panic as a typed internal error (mirroring Run's containment) so one
+// poisoned chunk cannot take down the pipeline.
+func (j *scanJob) scan(ctx context.Context, ss *engine.ScanSession, ssErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.err = &bgerr.InternalError{Op: "scan", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if ssErr != nil {
+		j.matches, j.err = j.matches[:0], ssErr
+		return
+	}
+	j.matches, j.err = ss.Scan(ctx, j.data, j.offset, j.newFrom, j.matches[:0])
+}

@@ -1,0 +1,196 @@
+package bitgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bitgen/internal/arena"
+)
+
+// TestScanPipelinedMatchesSequential is the pipeline's differential oracle:
+// over a spread of chunk sizes straddling the overlap boundary and several
+// worker counts, the pipelined scanner must emit a byte-identical match
+// sequence — order included — to the sequential chunk-at-a-time path, and
+// return every pooled buffer it borrowed.
+func TestScanPipelinedMatchesSequential(t *testing.T) {
+	patterns := []string{"fox|dog", "qu[a-z]{2,6}k", "l.zy", "0\\d{3}"}
+	eng := MustCompile(patterns, &Options{CTAs: 2, Threads: 64})
+	maxLen := eng.maxLen
+	if maxLen < 4 {
+		t.Fatalf("maxLen = %d, test assumes longer patterns", maxLen)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	words := []string{"fox", "dog", "quik", "quxyzk", "lazy", "l zy", "0123", "0999", "xx", " ", "quak"}
+	var sb strings.Builder
+	for sb.Len() < 20_000 {
+		sb.WriteString(words[rng.Intn(len(words))])
+	}
+	input := []byte(sb.String())
+
+	// Chunk sizes hugging the minimum legal size (overlap+2 bytes of buffer)
+	// exercise carries that are nearly the whole chunk; larger ones exercise
+	// the steady state. A few random sizes widen the net.
+	chunkSizes := []int{maxLen + 1, maxLen + 2, 2*maxLen - 1, 2 * maxLen, 97, 1024}
+	for i := 0; i < 3; i++ {
+		chunkSizes = append(chunkSizes, maxLen+1+rng.Intn(300))
+	}
+
+	for _, cs := range chunkSizes {
+		var want []Match
+		err := eng.scanSequential(context.Background(), bytes.NewReader(input), cs, maxLen,
+			func(m Match) { want = append(want, m) })
+		if err != nil {
+			t.Fatalf("chunk %d: sequential: %v", cs, err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("chunk %d: degenerate corpus, no matches", cs)
+		}
+		for _, workers := range []int{1, 3} {
+			a := &arena.Arena{}
+			eng.scanArena, eng.scanWorkers = a, workers
+			var got []Match
+			err := eng.ScanReader(bytes.NewReader(input), cs, func(m Match) { got = append(got, m) })
+			eng.scanArena, eng.scanWorkers = nil, 0
+			if err != nil {
+				t.Fatalf("chunk %d workers %d: pipelined: %v", cs, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("chunk %d workers %d: pipelined emitted %d matches, sequential %d",
+					cs, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("chunk %d workers %d: match %d = %+v, sequential emitted %+v",
+						cs, workers, i, got[i], want[i])
+				}
+			}
+			if err := a.CheckBalanced(); err != nil {
+				t.Fatalf("chunk %d workers %d: %v", cs, workers, err)
+			}
+		}
+	}
+}
+
+// trickleReader serves an endless repetition of unit, one unit per Read,
+// pausing briefly so cancellation has room to land mid-stream.
+type trickleReader struct {
+	unit []byte
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	time.Sleep(100 * time.Microsecond)
+	return copy(p, r.unit), nil
+}
+
+// TestScanPipelinedCancellation cancels the context from the emit callback
+// while the reader still has endless input: the scan must return
+// ErrCanceled promptly and hand back every pooled buffer (run under -race
+// this also shakes out reader/worker/emit data races).
+func TestScanPipelinedCancellation(t *testing.T) {
+	eng := MustCompile([]string{"cat"}, &Options{CTAs: 1, Threads: 32})
+	for _, workers := range []int{1, 4} {
+		a := &arena.Arena{}
+		eng.scanArena, eng.scanWorkers = a, workers
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		emitted := 0
+		err := eng.ScanReaderContext(ctx, &trickleReader{unit: []byte("the cat sat ")}, 1024,
+			func(Match) {
+				emitted++
+				once.Do(cancel)
+			})
+		eng.scanArena, eng.scanWorkers = nil, 0
+		cancel()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers %d: err = %v, want ErrCanceled", workers, err)
+		}
+		if emitted == 0 {
+			t.Fatalf("workers %d: canceled before anything was emitted", workers)
+		}
+		if err := a.CheckBalanced(); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+	}
+}
+
+// TestScanPipelinedReadFailureReturnsBuffers drives the mid-stream
+// read-failure path (semantics are pinned by TestScanReaderMidStreamReadFailure)
+// and asserts the failure leaks no pooled buffers.
+func TestScanPipelinedReadFailureReturnsBuffers(t *testing.T) {
+	eng := MustCompile([]string{"cat"}, &Options{CTAs: 1, Threads: 32})
+	a := &arena.Arena{}
+	eng.scanArena, eng.scanWorkers = a, 2
+	input := []byte(strings.Repeat("xxcatxxx", 400))
+	err := eng.ScanReader(&brokenReader{data: input, fail: 2500}, 1000, func(Match) {})
+	eng.scanArena, eng.scanWorkers = nil, 0
+	var re *ReadError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *ReadError", err)
+	}
+	if err := a.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanPipelinedSteadyStateAllocs pins the arena contract end to end:
+// scanning more chunks must not allocate more. Per-call setup (goroutines,
+// channels, sessions) is constant, so the alloc delta between a short and a
+// long stream, normalized per extra chunk, must be ~zero. The strict
+// zero-allocs/op proof is BenchmarkScanReader, where setup amortizes away.
+func TestScanPipelinedSteadyStateAllocs(t *testing.T) {
+	eng := MustCompile([]string{"cat|dog"}, &Options{CTAs: 1, Threads: 32})
+	unit := []byte(strings.Repeat("the cat sat on the dog ", 180)) // ~4KB ≈ one chunk
+	const chunk = 4096
+	allocsFor := func(chunks int) float64 {
+		data := bytes.Repeat(unit, chunks)
+		return testing.AllocsPerRun(5, func() {
+			n := 0
+			if err := eng.ScanReader(bytes.NewReader(data), chunk, func(Match) { n++ }); err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Fatal("no matches")
+			}
+		})
+	}
+	short, long := allocsFor(4), allocsFor(24)
+	perChunk := (long - short) / 20
+	// Allow a sliver of slack: a GC pass during the long run can empty the
+	// sync.Pool classes and force a handful of refills.
+	if perChunk > 2 {
+		t.Fatalf("pipelined scan allocates %.1f per steady-state chunk (short=%v long=%v), want ~0",
+			perChunk, short, long)
+	}
+}
+
+// TestScanWorkersOption pins that Options.ScanWorkers reaches the scanner
+// and that any worker count produces identical output.
+func TestScanWorkersOption(t *testing.T) {
+	input := []byte(strings.Repeat("a cat, a dog. ", 2000))
+	var want []Match
+	for _, workers := range []int{0, 1, 2, 8} {
+		eng := MustCompile([]string{"cat|dog"}, &Options{CTAs: 1, Threads: 32, ScanWorkers: workers})
+		if eng.scanWorkers != workers {
+			t.Fatalf("scanWorkers = %d, want %d", eng.scanWorkers, workers)
+		}
+		var got []Match
+		if err := eng.ScanReader(bytes.NewReader(input), 1024, func(m Match) { got = append(got, m) }); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d diverges from workers=0", workers)
+		}
+	}
+}

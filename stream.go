@@ -44,6 +44,13 @@ func (e *Engine) ScanReader(r io.Reader, chunkSize int, emit func(Match)) error 
 
 // ScanReaderContext is ScanReader honoring a context, checked before each
 // chunk scan and inside the per-chunk run (see RunContext).
+//
+// Without resilience enabled, chunks flow through a bounded three-stage
+// pipeline (read → transpose+kernel workers → in-order emit) whose workers
+// reuse pooled scratch buffers, so the steady-state chunk loop performs no
+// heap allocation; matches are emitted in exactly the order the sequential
+// per-chunk path would produce. With Options.Resilience set, chunks ride
+// the backend ladder sequentially.
 func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize int, emit func(Match)) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -67,6 +74,18 @@ func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize i
 	if e.limits.MaxInputBytes > 0 && int64(chunkSize+maxLen-1) > e.limits.MaxInputBytes {
 		return &LimitError{Limit: "input-bytes", Value: int64(chunkSize + maxLen - 1), Max: e.limits.MaxInputBytes}
 	}
+	if e.ladder == nil {
+		return e.scanPipelined(ctx, r, chunkSize, maxLen, emit)
+	}
+	return e.scanSequential(ctx, r, chunkSize, maxLen, emit)
+}
+
+// scanSequential is the chunk-at-a-time scanner: read a chunk, run it
+// through the full engine (or the resilience ladder), emit, carry the
+// overlap. It is the reference implementation the pipelined scanner is
+// differentially tested against, and the path every ladder-enabled scan
+// takes.
+func (e *Engine) scanSequential(ctx context.Context, r io.Reader, chunkSize, maxLen int, emit func(Match)) error {
 	overlap := maxLen - 1
 	buf := make([]byte, 0, chunkSize+overlap)
 	var offset int64 // stream offset of buf[0]
