@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fault fuzz ci bench bench-smoke obs-smoke
+.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,23 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# lint and vuln gate on tool presence: CI installs staticcheck and
+# govulncheck, local runs without them skip with a notice instead of
+# failing (no network installs from the Makefile).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # The fault-injection, hardening and resilience suites, race-exercised:
 # typed error paths, panic containment, cancellation, chunk-boundary
@@ -43,10 +60,17 @@ obs-smoke:
 	$(GO) run ./cmd/obscheck -trace $$tmp/trace.json -metrics $$tmp/metrics.txt && \
 	rm -rf $$tmp
 
-# ci is the tier-1 verification gate: vet, build, the full suite under the
-# race detector, the fault-injection suite, and the observability and
-# bench smokes.
-ci: vet build race fault obs-smoke bench-smoke
+# serve-smoke boots the bitgend matching service in-process and exercises
+# the full request surface: cold compile + warm cache hit (no recompile),
+# duplicate and nullable patterns through the wire format, streaming NDJSON
+# scan across chunk boundaries, serve + per-set metrics, graceful drain.
+serve-smoke:
+	$(GO) run ./cmd/bitgend -selftest
+
+# ci is the tier-1 verification gate: vet, lint/vuln (when the tools are
+# installed), build, the full suite under the race detector, the
+# fault-injection suite, and the observability, bench and service smokes.
+ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

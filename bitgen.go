@@ -32,6 +32,9 @@ package bitgen
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"time"
@@ -145,11 +148,16 @@ func (l Limits) withDefaults(dev gpusim.Device) Limits {
 	return l
 }
 
-// Match reports one match: Pattern matched the input ending at byte
-// offset End (inclusive). All-match semantics: every distinct end
-// position of every pattern is reported once.
+// Match reports one match: the pattern at Index in Engine.Patterns()
+// matched the input ending at byte offset End (inclusive; a nullable
+// pattern's empty match at end-of-input reports End == len(input)).
+// All-match semantics: every distinct end position of every pattern entry
+// is reported once. Duplicate pattern strings in the compiled set are
+// distinct entries — each duplicate reports its own Match, distinguished
+// by Index; Pattern carries the source string for compatibility.
 type Match struct {
 	Pattern string
+	Index   int
 	End     int
 }
 
@@ -172,10 +180,15 @@ type Stats struct {
 // Result is the outcome of Engine.Run.
 type Result struct {
 	// Matches lists every (pattern, end-position) pair, ordered by end
-	// position then pattern.
+	// position, then pattern, then pattern index.
 	Matches []Match
-	// Counts maps each pattern to its number of match end positions.
+	// Counts maps each pattern string to its number of match end
+	// positions, summed across duplicate entries of the same string.
 	Counts map[string]int
+	// IndexCounts maps each pattern index (into Engine.Patterns()) to its
+	// number of match end positions — the per-entry view that keeps
+	// duplicate patterns distinguishable.
+	IndexCounts []int
 	// Stats is the modeled execution summary. Zero when a resilience
 	// fallback rung served the call: only the bitstream engine models
 	// GPU execution.
@@ -198,6 +211,18 @@ type Result struct {
 type Engine struct {
 	inner    *engine.Engine
 	patterns []string
+	// unique lists the distinct pattern strings actually compiled, in
+	// first-occurrence order; duplicate entries in patterns share one
+	// compiled regex (identical pattern strings always have identical
+	// match sets) and results fan back out per public index.
+	unique []string
+	// indexesOf maps each unique pattern string to its public indexes in
+	// patterns, ascending.
+	indexesOf map[string][]int
+	// nullable lists the unique patterns that match the empty string;
+	// ScanReader refuses them (an empty match "ends" at every stream
+	// offset, which has no useful streaming semantics).
+	nullable []string
 	limits   Limits
 	// maxLen is the longest possible match length across all patterns,
 	// computed once at compile time for ScanReader's overlap; unbounded
@@ -258,24 +283,38 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 	observer := opts.Observability.observer()
 	cspan := observer.Span("compile", "compile", 0).Arg("patterns", len(patterns))
 	defer cspan.End()
-	regexes := make([]lower.Regex, len(patterns))
+	// Duplicate pattern strings compile once: identical patterns always
+	// have identical match sets, so the engine runs the unique set and
+	// results fan back out to every public index afterwards.
+	regexes := make([]lower.Regex, 0, len(patterns))
+	var unique, unbounded, nullable []string
+	indexesOf := make(map[string][]int, len(patterns))
 	maxLen := 0
-	var unbounded []string
 	pspan := observer.Span("compile", "parse", 0)
 	for i, p := range patterns {
 		if err := ctx.Err(); err != nil {
 			return nil, bgerr.Canceled(err)
 		}
+		if _, seen := indexesOf[p]; seen {
+			indexesOf[p] = append(indexesOf[p], i)
+			continue
+		}
+		indexesOf[p] = []int{i}
+		unique = append(unique, p)
 		ast, err := rx.ParseWith(p, rx.Options{FoldCase: opts.FoldCase})
 		if err != nil {
 			return nil, err
 		}
-		regexes[i] = lower.Regex{Name: p, AST: ast}
-		// Cache the streaming bound now — ScanReader must not re-parse.
+		regexes = append(regexes, lower.Regex{Name: p, AST: ast})
+		// Cache the streaming bound and nullability now — ScanReader must
+		// not re-parse.
 		if l := patternMaxLen(ast); l == rx.Unbounded {
 			unbounded = append(unbounded, p)
 		} else if l > maxLen {
 			maxLen = l
+		}
+		if rx.MatchesEmpty(ast) {
+			nullable = append(nullable, p)
 		}
 	}
 	pspan.End()
@@ -317,8 +356,9 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 	e := &Engine{
 		inner:    inner,
 		patterns: patterns,
-		limits:   limits,
-		maxLen:   maxLen, unbounded: unbounded,
+		unique:   unique, indexesOf: indexesOf, nullable: nullable,
+		limits: limits,
+		maxLen: maxLen, unbounded: unbounded,
 		obs:         observer,
 		scanWorkers: opts.ScanWorkers,
 	}
@@ -332,6 +372,48 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 		}
 	}
 	return e, nil
+}
+
+// PatternSetKey returns a canonical content hash identifying a compiled
+// pattern set: duplicate pattern strings collapse, pattern order is
+// irrelevant, and every Options field that changes the compiled engine
+// (syntax flags, device, launch geometry, optimization toggles, limits) is
+// folded in. Two (patterns, opts) pairs with equal keys compile to engines
+// with identical match behavior, so serving layers use the key to share
+// one cached *Engine across equivalent requests.
+func PatternSetKey(patterns []string, opts *Options) string {
+	if opts == nil {
+		opts = &Options{}
+	}
+	uniq := make([]string, 0, len(patterns))
+	seen := make(map[string]bool, len(patterns))
+	for _, p := range patterns {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	h := sha256.New()
+	field := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	field("bitgen-pattern-set-v1")
+	for _, p := range uniq {
+		field(p)
+	}
+	field(fmt.Sprintf("%t|%s|%d|%d|%t|%t|%d|%d|%d",
+		opts.FoldCase, opts.Device, opts.CTAs, opts.Threads,
+		opts.DisableShiftRebalancing, opts.DisableZeroBlockSkipping,
+		opts.MergeSize, opts.IntervalSize, opts.ScanWorkers))
+	field(fmt.Sprintf("%d|%d|%d|%d|%d",
+		opts.Limits.MaxInputBytes, opts.Limits.MaxPatterns,
+		opts.Limits.MaxProgramInstructions, opts.Limits.MaxWhileIterations,
+		opts.Limits.MaxDeviceMemoryBytes))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // MustCompile is Compile that panics on error, for static pattern tables.
@@ -359,20 +441,49 @@ func (e *Engine) checkInput(input []byte) error {
 	return nil
 }
 
-// toResult converts an internal run result to the public form.
-func toResult(inner *engine.Result) *Result {
-	res := &Result{Counts: inner.MatchCounts}
-	for pattern, stream := range inner.Outputs {
-		for _, end := range stream.Positions() {
-			res.Matches = append(res.Matches, Match{Pattern: pattern, End: end})
+// sortMatches orders matches by end position, then pattern, then index.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].End != ms[j].End {
+			return ms[i].End < ms[j].End
+		}
+		if ms[i].Pattern != ms[j].Pattern {
+			return ms[i].Pattern < ms[j].Pattern
+		}
+		return ms[i].Index < ms[j].Index
+	})
+}
+
+// fanOutCounts expands per-unique-pattern match counts into the public
+// views: the per-string map sums across duplicate entries of the same
+// pattern, the per-index slice keeps each entry's own count.
+func (e *Engine) fanOutCounts(inner map[string]int) (map[string]int, []int) {
+	counts := make(map[string]int, len(inner))
+	idxCounts := make([]int, len(e.patterns))
+	for name, c := range inner {
+		idxs := e.indexesOf[name]
+		counts[name] = c * len(idxs)
+		for _, idx := range idxs {
+			idxCounts[idx] = c
 		}
 	}
-	sort.Slice(res.Matches, func(i, j int) bool {
-		if res.Matches[i].End != res.Matches[j].End {
-			return res.Matches[i].End < res.Matches[j].End
+	return counts, idxCounts
+}
+
+// toResult converts an internal run result to the public form, fanning
+// each unique pattern's matches out to every duplicate index.
+func (e *Engine) toResult(inner *engine.Result) *Result {
+	res := &Result{}
+	res.Counts, res.IndexCounts = e.fanOutCounts(inner.MatchCounts)
+	for pattern, stream := range inner.Outputs {
+		idxs := e.indexesOf[pattern]
+		for _, end := range stream.Positions() {
+			for _, idx := range idxs {
+				res.Matches = append(res.Matches, Match{Pattern: pattern, Index: idx, End: end})
+			}
 		}
-		return res.Matches[i].Pattern < res.Matches[j].Pattern
-	})
+	}
+	sortMatches(res.Matches)
 	total := inner.Stats.Total()
 	res.Stats = Stats{
 		ModeledTime:      time.Duration(inner.Time.TotalSec * float64(time.Second)),
@@ -425,7 +536,7 @@ func (e *Engine) runContext(ctx context.Context, input []byte) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return toResult(inner), nil
+	return e.toResult(inner), nil
 }
 
 // CountOnly scans the input and returns only per-pattern match counts.
@@ -473,7 +584,8 @@ func (e *Engine) countOnlyContext(ctx context.Context, input []byte) (map[string
 	if err != nil {
 		return nil, err
 	}
-	return res.MatchCounts, nil
+	counts, _ := e.fanOutCounts(res.MatchCounts)
+	return counts, nil
 }
 
 // MultiResult is the outcome of RunMulti: per-stream results plus the
@@ -511,7 +623,7 @@ func (e *Engine) RunMultiContext(ctx context.Context, inputs [][]byte) (*MultiRe
 		ThroughputMBs: inner.ThroughputMBs,
 	}
 	for _, r := range inner.PerStream {
-		out.PerStream = append(out.PerStream, toResult(r))
+		out.PerStream = append(out.PerStream, e.toResult(r))
 	}
 	return out, nil
 }

@@ -1,0 +1,96 @@
+// Command bitgend serves multi-pattern regex matching over HTTP/JSON:
+// a multi-tenant front end over the bitgen engine with a compiled-engine
+// LRU cache, bounded admission, same-engine batch coalescing through
+// RunMulti, and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/match   {"patterns":[...],"input":"..."} → matches JSON
+//	POST /v1/scan    ?pattern=...&chunk=N, body streamed → NDJSON matches
+//	GET  /v1/sets    cached pattern-set keys
+//	GET  /healthz    200 ok / 503 draining
+//	GET  /metrics    serve-layer Prometheus; ?set=<key> for one engine
+//	GET  /trace      ?set=<key> Chrome trace_event JSON for one engine
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bitgen"
+	"bitgen/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8377", "listen address")
+		cacheSize  = flag.Int("cache", 32, "max cached compiled engines (LRU)")
+		maxQueue   = flag.Int("queue", 64, "max requests waiting for an execution slot")
+		maxConc    = flag.Int("concurrency", 0, "max requests executing at once (0 = 2*GOMAXPROCS)")
+		maxBatch   = flag.Int("batch", 16, "max match requests coalesced into one RunMulti launch")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		maxBody    = flag.Int64("max-body", 8<<20, "max /v1/match body bytes")
+		device     = flag.String("device", "", "GPU profile for the cost model (default RTX 3090)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		selftest   = flag.Bool("selftest", false, "boot on a loopback port, exercise match/scan/metrics/drain, exit")
+	)
+	flag.Parse()
+
+	if *selftest {
+		if err := serve.SelfTest(context.Background(), os.Stdout); err != nil {
+			log.Fatalf("selftest failed: %v", err)
+		}
+		return
+	}
+
+	srv := serve.New(serve.Config{
+		MaxCachedEngines: *cacheSize,
+		MaxQueue:         *maxQueue,
+		MaxConcurrent:    *maxConc,
+		MaxBatch:         *maxBatch,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		Engine:           bitgen.Options{Device: *device},
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("bitgend listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case got := <-sig:
+		log.Printf("received %s, draining (up to %s)", got, *drainWait)
+	}
+
+	// Drain first: /healthz flips to 503 so load balancers stop routing,
+	// in-flight matches and scans run to completion, batch loops stop.
+	// Then shut the listener down.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	log.Printf("bitgend stopped")
+}

@@ -3,6 +3,7 @@ package bitgen
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"bitgen/internal/rx"
@@ -52,14 +53,26 @@ func FuzzBackendsAgree(f *testing.F) {
 	f.Add(uint64(7), []byte("jjjjiihhaa gggff"))
 	f.Add(uint64(42), []byte{})
 	f.Add(uint64(1234), []byte("the quick brown fox abca"))
+	// Seeds chosen to exercise the match-semantics edge cases: nullable
+	// patterns (the generator emits Star/Opt freely), end-of-input
+	// positions, empty inputs, and — via the appended duplicate below —
+	// duplicate-pattern index fan-out.
+	f.Add(uint64(99), []byte("a"))
 	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
 		patterns := fuzzPatterns(seed, 4)
 		if len(patterns) == 0 {
 			t.Skip("generator produced no usable patterns")
 		}
+		// Every fuzz set carries a duplicate entry so index fan-out is
+		// differentially checked on all backends.
+		patterns = append(patterns, patterns[0])
 		input := fuzzInput(data)
 
-		results := make(map[string][]Match, 3)
+		type outcome struct {
+			matches     []Match
+			indexCounts []int
+		}
+		results := make(map[string]outcome, 3)
 		for _, backend := range []string{BackendBitstream, BackendHybrid, BackendNFA} {
 			e, err := Compile(patterns, &Options{
 				Resilience: &ResilienceOptions{ForceBackend: backend},
@@ -77,21 +90,25 @@ func FuzzBackendsAgree(f *testing.F) {
 			if err != nil {
 				t.Fatalf("%s run: %v", backend, err)
 			}
-			results[backend] = res.Matches
+			results[backend] = outcome{res.Matches, res.IndexCounts}
 		}
 
 		ref := results[BackendNFA]
 		for _, backend := range []string{BackendBitstream, BackendHybrid} {
 			got := results[backend]
-			if len(got) != len(ref) {
+			if len(got.matches) != len(ref.matches) {
 				t.Fatalf("patterns %v: %s found %d matches, nfa reference %d\n%s: %v\nnfa: %v",
-					patterns, backend, len(got), len(ref), backend, got, ref)
+					patterns, backend, len(got.matches), len(ref.matches), backend, got.matches, ref.matches)
 			}
-			for i := range got {
-				if got[i] != ref[i] {
+			for i := range got.matches {
+				if got.matches[i] != ref.matches[i] {
 					t.Fatalf("patterns %v: %s match %d = %+v, nfa reference %+v",
-						patterns, backend, i, got[i], ref[i])
+						patterns, backend, i, got.matches[i], ref.matches[i])
 				}
+			}
+			if !reflect.DeepEqual(got.indexCounts, ref.indexCounts) {
+				t.Fatalf("patterns %v: %s IndexCounts %v, nfa reference %v",
+					patterns, backend, got.indexCounts, ref.indexCounts)
 			}
 		}
 	})

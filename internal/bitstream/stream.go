@@ -98,6 +98,19 @@ func FromPositions(n int, positions ...int) *Stream {
 // Len returns the number of valid bits.
 func (s *Stream) Len() int { return s.n }
 
+// Extend returns a copy of s lengthened by extra zero bits. Match streams
+// use it to append the end-of-input position: a pattern that matches the
+// empty string also matches at offset Len() (after the last byte), one
+// position past what a one-bit-per-input-byte stream can hold.
+func (s *Stream) Extend(extra int) *Stream {
+	if extra < 0 {
+		panic(fmt.Sprintf("bitstream: Extend(%d) negative", extra))
+	}
+	out := New(s.n + extra)
+	copy(out.words, s.words)
+	return out
+}
+
 // Words exposes the backing words. The final word's bits beyond Len() are
 // always zero. Callers must not change the slice length.
 func (s *Stream) Words() []uint64 { return s.words }

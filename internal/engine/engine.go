@@ -452,12 +452,30 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 	for gi, out := range outs {
 		res.Stats.PerCTA[gi] = out.run.Stats
 		res.Fallbacks += out.run.FallbackSegments
-		for name, s := range out.run.Outputs {
+		// Walk the program's output table rather than the kernel's result
+		// map: the table carries the Nullable flag, and nullable regexes own
+		// one extra match — the empty match at the end-of-input offset,
+		// which sits one position past the kernel's input-length streams.
+		for _, o := range e.groups[gi].Program.Outputs {
+			s := out.run.Outputs[o.Name]
+			if s == nil {
+				continue
+			}
 			n := s.Popcount()
-			res.MatchCounts[name] = n
+			if o.Nullable {
+				n++
+			}
+			res.MatchCounts[o.Name] = n
 			res.TotalMatches += int64(n)
 			if keepOutputs {
-				res.Outputs[name] = s
+				if o.Nullable {
+					// Extend copies; kernel sessions pool and reuse their
+					// output buffers, so never grow them in place.
+					ext := s.Extend(1)
+					ext.Set(ext.Len() - 1)
+					s = ext
+				}
+				res.Outputs[o.Name] = s
 			}
 		}
 	}

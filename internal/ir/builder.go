@@ -153,6 +153,12 @@ func (b *Builder) Output(name string, v VarID) {
 	b.prog.Outputs = append(b.prog.Outputs, Output{Name: name, Var: v})
 }
 
+// OutputNullable registers a named output stream whose regex matches the
+// empty string; executors append the end-of-input empty match to it.
+func (b *Builder) OutputNullable(name string, v VarID) {
+	b.prog.Outputs = append(b.prog.Outputs, Output{Name: name, Var: v, Nullable: true})
+}
+
 // Program finalizes and returns the built program.
 func (b *Builder) Program() *Program {
 	if len(b.stack) != 1 {

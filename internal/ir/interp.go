@@ -74,9 +74,38 @@ func Interpret(p *Program, basis *transpose.Basis, opts InterpOptions) (*Result,
 		if s == nil {
 			return nil, fmt.Errorf("ir: output %q (S%d) never assigned", o.Name, o.Var)
 		}
+		if o.Nullable {
+			// The empty match at end-of-input lives one position past the
+			// input-length stream; report it on an extended copy.
+			ext := s.Extend(1)
+			ext.Set(n)
+			s = ext
+		}
 		res.Outputs[o.Name] = s
 	}
 	return res, nil
+}
+
+// ExtendNullableOutputs applies the nullable end-of-input extension to raw
+// executor outputs: block-wise executors produce input-length streams, and
+// the extra empty-match position of a nullable regex (the empty match after
+// the last input byte) is appended here. Input streams are copied before
+// growth, never mutated in place — executor sessions pool their buffers.
+func ExtendNullableOutputs(p *Program, outs map[string]*bitstream.Stream) map[string]*bitstream.Stream {
+	done := make(map[string]*bitstream.Stream, len(outs))
+	for _, o := range p.Outputs {
+		s := outs[o.Name]
+		if s == nil {
+			continue
+		}
+		if o.Nullable {
+			ext := s.Extend(1)
+			ext.Set(ext.Len() - 1)
+			s = ext
+		}
+		done[o.Name] = s
+	}
+	return done
 }
 
 type interpEnv struct {

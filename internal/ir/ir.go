@@ -156,6 +156,11 @@ func (*Guard) isStmt()  {}
 type Output struct {
 	Name string // e.g. the source regex
 	Var  VarID
+	// Nullable marks regexes that match the empty string. Executors report
+	// one extra match end for them at the end-of-input offset (position
+	// Len(input)): the empty match after the last byte, which the
+	// one-bit-per-input-byte stream cannot carry itself.
+	Nullable bool
 }
 
 // Program is a complete bitstream program.

@@ -44,7 +44,7 @@ func checkAllModes(t *testing.T, pattern, input string, grid gpusim.Grid) {
 		if err != nil {
 			t.Fatalf("%v on %q input %q: %v", mode, pattern, input, err)
 		}
-		if got := res.Outputs["re"]; !got.Equal(want) {
+		if got := ir.ExtendNullableOutputs(p, res.Outputs)["re"]; !got.Equal(want) {
 			t.Errorf("%v on %q input len %d:\n got  %s\n want %s",
 				mode, pattern, len(input), got, want)
 		}
@@ -154,8 +154,9 @@ func TestMultiOutputGroup(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
+		got := ir.ExtendNullableOutputs(p, res.Outputs)
 		for name, w := range want {
-			if !res.Outputs[name].Equal(w) {
+			if !got[name].Equal(w) {
 				t.Errorf("%v output %s diverges", mode, name)
 			}
 		}
@@ -186,7 +187,7 @@ func TestQuickRandomProgramsAllModes(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d %v on %q: %v", trial, mode, ast.String(), err)
 			}
-			if got := res.Outputs["re"]; !got.Equal(want) {
+			if got := ir.ExtendNullableOutputs(p, res.Outputs)["re"]; !got.Equal(want) {
 				t.Fatalf("trial %d %v on %q input %q:\n got  %s\n want %s",
 					trial, mode, ast.String(), input, got, want)
 			}

@@ -74,7 +74,14 @@ func Group(regexes []Regex, opts Options) (*ir.Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lower %q: %w", re.Name, err)
 		}
-		b.Output(re.Name, l.materialize(m))
+		v := l.materialize(m)
+		if rx.MatchesEmpty(simplified[i]) {
+			// A nullable regex also matches the empty string at the
+			// end-of-input offset; executors add that extra position.
+			b.OutputNullable(re.Name, v)
+		} else {
+			b.Output(re.Name, v)
+		}
 	}
 	p := b.Program()
 	if err := ir.Validate(p); err != nil {

@@ -13,21 +13,31 @@ import (
 
 // oracleEnds computes, byte-at-a-time via Go's regexp, the all-match end
 // positions: bit j set iff some i <= j+1 exists with pattern matching
-// input[i:j+1] exactly (i == j+1 is the empty match ending at j).
+// input[i:j+1] exactly (i == j+1 is the empty match ending at j). Nullable
+// patterns own one extra position — the empty match at end-of-input — so
+// their oracle stream is len(input)+1 bits with the last bit set.
 func oracleEnds(t *testing.T, ast rx.Node, input []byte) *bitstream.Stream {
 	t.Helper()
 	re, err := regexp.Compile("^(?:" + rx.ToGoRegexp(ast) + ")$")
 	if err != nil {
 		t.Fatalf("oracle compile of %q: %v", rx.ToGoRegexp(ast), err)
 	}
-	out := bitstream.New(len(input))
-	for j := 0; j < len(input); j++ {
+	n := len(input)
+	size := n
+	if rx.MatchesEmpty(ast) {
+		size = n + 1
+	}
+	out := bitstream.New(size)
+	for j := 0; j < n; j++ {
 		for i := 0; i <= j+1; i++ {
 			if re.Match(input[i : j+1]) {
 				out.Set(j)
 				break
 			}
 		}
+	}
+	if size > n {
+		out.Set(n)
 	}
 	return out
 }
@@ -152,11 +162,12 @@ func TestLowerMultiRegexGroupResults(t *testing.T) {
 }
 
 func TestLowerEmptyMatchingPatterns(t *testing.T) {
-	// Patterns that can match empty must mark every position.
+	// Patterns that can match empty must mark every position, including the
+	// end-of-input offset: 4 positions for a 3-byte input.
 	for _, pattern := range []string{"a*", "a?", "(ab)*", "a{0,3}"} {
 		got := lowerAndRun(t, rx.MustParse(pattern), []byte("xyz"))
-		if got.Popcount() != 3 {
-			t.Errorf("%q on xyz = %s, want all ones", pattern, got)
+		if got.Len() != 4 || got.Popcount() != 4 {
+			t.Errorf("%q on xyz = %s, want all ones incl. end-of-input", pattern, got)
 		}
 	}
 }

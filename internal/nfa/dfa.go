@@ -122,13 +122,12 @@ func (d *DFA) step(idx int32, c byte) (int32, error) {
 func (d *DFA) Run(input []byte) *SimResult {
 	res := &SimResult{Outputs: make([]*bitstream.Stream, d.nfa.NumRegex)}
 	for r := range res.Outputs {
-		res.Outputs[r] = bitstream.New(len(input))
-	}
-	for r, nullable := range d.nfa.NullableOf {
-		if nullable {
-			for i := 0; i < len(input); i++ {
-				res.Outputs[r].Set(i)
-			}
+		if d.nfa.NullableOf[r] {
+			// Same n+1-position convention as Simulate: nullable regexes
+			// also match the empty string at the end-of-input offset.
+			res.Outputs[r] = bitstream.NewOnes(len(input) + 1)
+		} else {
+			res.Outputs[r] = bitstream.New(len(input))
 		}
 	}
 	cur := int32(0)

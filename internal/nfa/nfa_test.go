@@ -45,9 +45,11 @@ func TestSimulateKleene(t *testing.T) {
 }
 
 func TestSimulateNullablePattern(t *testing.T) {
+	// A nullable pattern matches the empty string at every offset including
+	// end-of-input: 4 positions for a 3-byte input.
 	res := simulatePattern(t, "a*", "xyz")
-	if res.Outputs[0].Popcount() != 3 {
-		t.Fatalf("a* on xyz = %s, want all positions", res.Outputs[0])
+	if res.Outputs[0].Len() != 4 || res.Outputs[0].Popcount() != 4 {
+		t.Fatalf("a* on xyz = %s, want all positions incl. end-of-input", res.Outputs[0])
 	}
 }
 

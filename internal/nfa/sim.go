@@ -89,7 +89,13 @@ func simulate(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
 	words := (numStates + 63) / 64
 	res := &SimResult{Outputs: make([]*bitstream.Stream, n.NumRegex)}
 	for r := range res.Outputs {
-		res.Outputs[r] = bitstream.New(len(input))
+		if n.NullableOf[r] {
+			// A nullable regex matches the empty string at every offset,
+			// including end-of-input: n+1 end positions for n input bytes.
+			res.Outputs[r] = bitstream.NewOnes(len(input) + 1)
+		} else {
+			res.Outputs[r] = bitstream.New(len(input))
+		}
 	}
 	// Precompute byte-class masks: byteMask[b] has bit s set iff state s
 	// consumes byte b.
@@ -119,15 +125,6 @@ func simulate(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
 	for s := 0; s < numStates; s++ {
 		if len(n.AcceptOf[s]) > 0 {
 			acceptAny[s/64] |= 1 << (uint(s) % 64)
-		}
-	}
-
-	// Nullable regexes match (length zero) at every position.
-	for r, nullable := range n.NullableOf {
-		if nullable {
-			for i := 0; i < len(input); i++ {
-				res.Outputs[r].Set(i)
-			}
 		}
 	}
 

@@ -34,6 +34,21 @@ const (
 	MZBSSkipRatio    = "bitgen_zero_block_skip_ratio"
 	MOverlapFallback = "bitgen_overlap_fallbacks_total"
 
+	// Serving layer (registered by internal/serve, not RegisterBase: the
+	// exposition of a library-only process carries no serve families).
+	MServeRequests        = "bitgen_serve_requests_total"
+	MServeErrors          = "bitgen_serve_errors_total"
+	MServeRejected        = "bitgen_serve_rejected_total"
+	MServeInFlight        = "bitgen_serve_in_flight"
+	MServeQueueDepth      = "bitgen_serve_queue_depth"
+	MServeCacheHits       = "bitgen_serve_engine_cache_hits_total"
+	MServeCacheMisses     = "bitgen_serve_engine_cache_misses_total"
+	MServeCacheEvictions  = "bitgen_serve_engine_cache_evictions_total"
+	MServeCompiles        = "bitgen_serve_engine_compiles_total"
+	MServeBatches         = "bitgen_serve_batches_total"
+	MServeBatchedRequests = "bitgen_serve_batched_requests_total"
+	MServeDrains          = "bitgen_serve_drains_total"
+
 	// Resilience ladder (mirrors internal/resilience counters).
 	MLadderCalls       = "bitgen_ladder_calls_total"
 	MLadderFallbacks   = "bitgen_ladder_fallbacks_total"
@@ -71,6 +86,19 @@ const (
 	HTransposeBytes  = "Bytes moved by the S2P transpose preprocessing kernel."
 	HZBSSkipRatio    = "Taken/evaluated guard ratio of the most recent scan (why block-skipping was or was not effective)."
 	HOverlapFallback = "Loops or carries that overflowed the overlap limit and were materialized stream-wise."
+
+	HServeRequests        = "HTTP requests admitted, per endpoint."
+	HServeErrors          = "HTTP requests that returned an error status, per endpoint."
+	HServeRejected        = "Requests rejected at admission (queue full or draining)."
+	HServeInFlight        = "Requests currently executing."
+	HServeQueueDepth      = "Requests queued at admission, waiting for an execution slot."
+	HServeCacheHits       = "Engine-cache lookups served by an already-compiled engine."
+	HServeCacheMisses     = "Engine-cache lookups that had to compile (or wait for a compile)."
+	HServeCacheEvictions  = "Compiled engines evicted from the LRU cache."
+	HServeCompiles        = "Pattern-set compilations executed (singleflight: concurrent first requests share one)."
+	HServeBatches         = "Coalesced same-engine batches executed through RunMulti."
+	HServeBatchedRequests = "Match requests served through a coalesced batch."
+	HServeDrains          = "Graceful drains initiated."
 
 	HLadderCalls       = "Resilience ladder invocations."
 	HLadderFallbacks   = "Calls served by a rung other than the first."

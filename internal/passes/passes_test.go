@@ -259,9 +259,9 @@ func TestFullPipelineRandomEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d (%q): executor: %v", trial, ast.String(), err)
 		}
-		if res.Outputs["re"].String() != want["re"] {
+		if got := ir.ExtendNullableOutputs(p, res.Outputs)["re"]; got.String() != want["re"] {
 			t.Fatalf("trial %d (%q) input %q: executor diverges:\n got  %s\n want %s",
-				trial, ast.String(), input, res.Outputs["re"], want["re"])
+				trial, ast.String(), input, got, want["re"])
 		}
 	}
 }

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"bitgen"
+	"bitgen/internal/bgerr"
+	"bitgen/internal/obs"
+)
+
+// batchReq is one /v1/match request waiting to ride a coalesced batch.
+type batchReq struct {
+	input []byte
+	done  chan batchOut
+}
+
+// batchOut is one request's share of a batch outcome.
+type batchOut struct {
+	res *bitgen.Result
+	err error
+}
+
+// batcher coalesces same-engine match requests into RunMulti launches:
+// while one batch executes, every request that arrives for the same
+// engine queues up and rides the next launch together — the MIMD
+// multi-stream execution of the paper's Section 3.1, driven by live
+// traffic instead of a fixed corpus. One goroutine per cached engine,
+// started lazily on the engine's first match request.
+type batcher struct {
+	run      func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error)
+	queue    chan *batchReq
+	maxBatch int
+	reg      *obs.Registry
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+// newBatcher starts the batch loop. ctx is the server's lifetime context:
+// it outlives individual requests so an in-flight batch is never killed by
+// one rider's deadline, and it is canceled only after drain completes.
+func newBatcher(ctx context.Context, maxBatch, queueDepth int,
+	reg *obs.Registry,
+	run func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error)) *batcher {
+	b := &batcher{
+		run:      run,
+		queue:    make(chan *batchReq, queueDepth),
+		maxBatch: maxBatch,
+		reg:      reg,
+		stopped:  make(chan struct{}),
+	}
+	go b.loop(ctx)
+	return b
+}
+
+// submit rides one input through the batcher. The request's own ctx
+// bounds the wait; the batch itself runs under the server context.
+func (b *batcher) submit(ctx context.Context, input []byte) (*bitgen.Result, error) {
+	req := &batchReq{input: input, done: make(chan batchOut, 1)}
+	select {
+	case b.queue <- req:
+	case <-b.stopped:
+		return nil, bgerr.Canceled(context.Canceled)
+	case <-ctx.Done():
+		return nil, bgerr.Canceled(ctx.Err())
+	}
+	select {
+	case out := <-req.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The batch still runs; this rider just stops waiting.
+		return nil, bgerr.Canceled(ctx.Err())
+	}
+}
+
+// loop gathers whatever queued since the previous launch — at least one
+// request, at most maxBatch — and executes the batch.
+func (b *batcher) loop(ctx context.Context) {
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.queue:
+		case <-b.stopped:
+			b.failPending(bgerr.Canceled(context.Canceled))
+			return
+		case <-ctx.Done():
+			b.failPending(bgerr.Canceled(ctx.Err()))
+			return
+		}
+		reqs := []*batchReq{first}
+	gather:
+		for len(reqs) < b.maxBatch {
+			select {
+			case r := <-b.queue:
+				reqs = append(reqs, r)
+			default:
+				break gather
+			}
+		}
+		b.runBatch(ctx, reqs)
+	}
+}
+
+// runBatch executes one coalesced launch and distributes per-stream
+// results back to the riders.
+func (b *batcher) runBatch(ctx context.Context, reqs []*batchReq) {
+	inputs := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		inputs[i] = r.input
+	}
+	b.reg.Counter(obs.MServeBatches, obs.HServeBatches).Inc()
+	b.reg.Counter(obs.MServeBatchedRequests, obs.HServeBatchedRequests).AddInt(int64(len(reqs)))
+	mres, err := b.run(ctx, inputs)
+	for i, r := range reqs {
+		if err != nil {
+			r.done <- batchOut{nil, err}
+			continue
+		}
+		r.done <- batchOut{mres.PerStream[i], nil}
+	}
+}
+
+// failPending drains queued requests with err during shutdown.
+func (b *batcher) failPending(err error) {
+	for {
+		select {
+		case r := <-b.queue:
+			r.done <- batchOut{nil, err}
+		default:
+			return
+		}
+	}
+}
+
+// stop ends the loop after the current batch; queued requests fail with a
+// cancellation error.
+func (b *batcher) stop() {
+	b.stopOnce.Do(func() { close(b.stopped) })
+}

@@ -1,0 +1,188 @@
+// Package serve is the multi-tenant matching service behind cmd/bitgend:
+// an HTTP/JSON front end over the bitgen library with a compiled-engine
+// LRU cache (singleflight compilation per canonical pattern-set key),
+// bounded request admission, same-engine batch coalescing through
+// RunMulti, and graceful drain. It depends only on the standard library
+// and the bitgen module itself.
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"bitgen"
+	"bitgen/internal/bgerr"
+	"bitgen/internal/obs"
+)
+
+// registry is the compiled-engine cache: pattern sets are keyed by
+// bitgen.PatternSetKey, concurrent first requests for the same key share
+// one compilation (singleflight), and completed engines are evicted
+// least-recently-used beyond the capacity. Engines are immutable, so a
+// request holding an engine that gets evicted mid-flight simply finishes
+// on it; eviction only drops the cache reference.
+type registry struct {
+	cap     int
+	compile func(ctx context.Context, patterns []string, foldCase bool) (*bitgen.Engine, error)
+	reg     *obs.Registry
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	tick    int64 // recency clock: bumped on every touch
+}
+
+// entry is one cached pattern set. ready closes when compilation finishes;
+// until then eng/err are unreadable. A failed compilation is removed from
+// the cache before ready closes, so the next request retries.
+type entry struct {
+	key      string
+	patterns []string
+	foldCase bool
+	ready    chan struct{}
+	eng      *bitgen.Engine
+	err      error
+	lastUse  int64
+	batcher  *batcher
+}
+
+func newRegistry(capacity int, reg *obs.Registry,
+	compile func(ctx context.Context, patterns []string, foldCase bool) (*bitgen.Engine, error)) *registry {
+	return &registry{
+		cap:     capacity,
+		compile: compile,
+		reg:     reg,
+		entries: make(map[string]*entry),
+	}
+}
+
+// get returns the cached entry for key, compiling the unique patterns on
+// first request. hit reports whether an already-compiled (or compiling)
+// entry served the lookup. The caller's context bounds only its own wait:
+// a compilation started on behalf of several waiters finishes even if the
+// first caller gives up.
+func (r *registry) get(ctx context.Context, key string, patterns []string, foldCase bool) (e *entry, hit bool, err error) {
+	r.mu.Lock()
+	r.tick++
+	if e := r.entries[key]; e != nil {
+		e.lastUse = r.tick
+		r.mu.Unlock()
+		r.reg.Counter(obs.MServeCacheHits, obs.HServeCacheHits).Inc()
+		if err := e.wait(ctx); err != nil {
+			return nil, true, err
+		}
+		return e, true, nil
+	}
+	e = &entry{
+		key:      key,
+		patterns: append([]string(nil), patterns...),
+		foldCase: foldCase,
+		ready:    make(chan struct{}),
+		lastUse:  r.tick,
+	}
+	r.entries[key] = e
+	r.evictLocked()
+	r.mu.Unlock()
+	r.reg.Counter(obs.MServeCacheMisses, obs.HServeCacheMisses).Inc()
+	r.reg.Counter(obs.MServeCompiles, obs.HServeCompiles).Inc()
+
+	// Compile outside the lock — other keys stay servable — and detach
+	// from the caller's context: waiters queued behind this singleflight
+	// get the engine even if the initiating request times out first.
+	e.eng, e.err = r.compile(context.WithoutCancel(ctx), e.patterns, e.foldCase)
+	if e.err != nil {
+		r.mu.Lock()
+		if r.entries[key] == e {
+			delete(r.entries, key)
+		}
+		r.mu.Unlock()
+	}
+	close(e.ready)
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return e, false, nil
+}
+
+// wait blocks until the entry's compilation finishes or ctx expires.
+func (e *entry) wait(ctx context.Context) error {
+	select {
+	case <-e.ready:
+		return e.err
+	case <-ctx.Done():
+		return bgerr.Canceled(ctx.Err())
+	}
+}
+
+// evictLocked drops least-recently-used completed entries beyond cap.
+// In-flight compilations are never evicted (their waiters hold the entry).
+func (r *registry) evictLocked() {
+	for r.cap > 0 && len(r.entries) > r.cap {
+		var victim *entry
+		for _, e := range r.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still compiling
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(r.entries, victim.key)
+		if victim.batcher != nil {
+			victim.batcher.stop()
+		}
+		r.reg.Counter(obs.MServeCacheEvictions, obs.HServeCacheEvictions).Inc()
+	}
+}
+
+// lookup returns the completed entry for key without compiling, for the
+// /metrics?set= and /trace?set= endpoints.
+func (r *registry) lookup(key string) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[key]
+	if e == nil {
+		return nil
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return nil
+		}
+		return e
+	default:
+		return nil
+	}
+}
+
+// keys lists the cached, completed pattern-set keys.
+func (r *registry) keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for k, e := range r.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, k)
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// stopAll stops every entry's batcher (drain shutdown).
+func (r *registry) stopAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.batcher != nil {
+			e.batcher.stop()
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// SelfTest boots a Server on a loopback listener and exercises the full
+// request surface in-process: match (cold compile, then warm cache hit,
+// duplicate patterns, nullable end-of-input), streaming scan, metrics,
+// and graceful drain. It is the engine behind `bitgend -selftest` and
+// `make serve-smoke` — a deployment smoke that needs no curl and no
+// fixed port.
+func SelfTest(ctx context.Context, out io.Writer) error {
+	srv := New(Config{MaxBatch: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer hs.Close()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(path, contentType, body string) (int, []byte, error) {
+		resp, err := client.Post(base+path, contentType, strings.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+
+	// 1. Cold match: compiles the set. Duplicate pattern + nullable
+	// pattern exercise both semantics fixes through the wire format.
+	reqBody := `{"patterns":["abc","a?","abc"],"input":"zabcz"}`
+	code, body, err := post("/v1/match", "application/json", reqBody)
+	if err != nil {
+		return fmt.Errorf("match: %w", err)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("match: status %d: %s", code, body)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		return fmt.Errorf("match: decode: %w", err)
+	}
+	if mr.Cache != "miss" {
+		return fmt.Errorf("match: first request should miss the cache, got %q", mr.Cache)
+	}
+	// "abc" at indexes 0 and 2 ends at 3 (twice); "a?" matches the empty
+	// string at every offset 0..5 plus position 2 via 'a' (end set is
+	// {0,1,2,3,4,5}); index_counts = [1, 6, 1].
+	wantIdx := []int{1, 6, 1}
+	if len(mr.IndexCounts) != 3 || mr.IndexCounts[0] != wantIdx[0] || mr.IndexCounts[1] != wantIdx[1] || mr.IndexCounts[2] != wantIdx[2] {
+		return fmt.Errorf("match: index_counts = %v, want %v", mr.IndexCounts, wantIdx)
+	}
+	eofSeen := false
+	for _, m := range mr.Matches {
+		if m.Pattern == "a?" && m.End == 5 {
+			eofSeen = true
+		}
+	}
+	if !eofSeen {
+		return fmt.Errorf("match: nullable end-of-input match (a? at end 5) missing: %v", mr.Matches)
+	}
+	fmt.Fprintf(out, "match ok: %d matches, set %s\n", len(mr.Matches), mr.Set[:12])
+
+	// 2. Warm match: same set must hit the cache (no recompile).
+	code, body, err = post("/v1/match", "application/json", reqBody)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("warm match: status %d err %v: %s", code, err, body)
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		return err
+	}
+	if mr.Cache != "hit" {
+		return fmt.Errorf("warm match: want cache hit, got %q", mr.Cache)
+	}
+	snap := srv.Metrics().Snapshot()
+	if got := snap.Counter("bitgen_serve_engine_compiles_total"); got != 1 {
+		return fmt.Errorf("warm cache should not recompile: compiles = %v, want 1", got)
+	}
+	fmt.Fprintln(out, "warm cache ok: 1 compile, second request hit")
+
+	// 3. Streaming scan: NDJSON lines plus a done trailer.
+	code, body, err = post("/v1/scan?pattern=needle&chunk=7", "application/octet-stream",
+		"hayneedlehay needle tail")
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("scan: status %d: %s", code, body)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) != 3 {
+		return fmt.Errorf("scan: want 2 match lines + trailer, got %d lines: %s", len(lines), body)
+	}
+	var tr scanTrailer
+	if err := json.Unmarshal(lines[len(lines)-1], &tr); err != nil {
+		return fmt.Errorf("scan: trailer: %w", err)
+	}
+	if !tr.Done || tr.Matches != 2 {
+		return fmt.Errorf("scan: trailer %+v, want done with 2 matches", tr)
+	}
+	fmt.Fprintln(out, "scan ok: 2 matches streamed across chunk boundaries")
+
+	// 4. Metrics: serve families and the per-set engine exposition.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"bitgen_serve_requests_total", "bitgen_serve_batches_total"} {
+		if !bytes.Contains(metricsBody, []byte(want)) {
+			return fmt.Errorf("/metrics missing %s", want)
+		}
+	}
+	resp, err = client.Get(base + "/metrics?set=" + mr.Set)
+	if err != nil {
+		return err
+	}
+	setBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(setBody, []byte("bitgen_scans_total")) {
+		return fmt.Errorf("/metrics?set=: status %d, body %.120s", resp.StatusCode, setBody)
+	}
+	fmt.Fprintln(out, "metrics ok: serve + per-set expositions")
+
+	// 5. Graceful drain: healthz flips to 503, in-flight work finishes,
+	// new requests are rejected.
+	drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	resp, err = client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("healthz after drain: status %d, want 503", resp.StatusCode)
+	}
+	code, _, err = post("/v1/match", "application/json", reqBody)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusServiceUnavailable {
+		return fmt.Errorf("match after drain: status %d, want 503", code)
+	}
+	fmt.Fprintln(out, "drain ok: healthz 503, new requests rejected")
+	fmt.Fprintln(out, "selftest passed")
+	return nil
+}

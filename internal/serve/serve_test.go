@@ -1,0 +1,503 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bitgen"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func postMatch(t *testing.T, url string, body string) (int, matchResponse, errorResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/match", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/match: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	var mr matchResponse
+	var er errorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &mr); err != nil {
+			t.Fatalf("decode match response %q: %v", raw, err)
+		}
+	} else if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("decode error response %q: %v", raw, err)
+	}
+	return resp.StatusCode, mr, er
+}
+
+// TestMatchEndpoint drives both semantics fixes through the HTTP layer:
+// duplicate patterns fan out per index and a nullable pattern reports its
+// end-of-input match.
+func TestMatchEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	code, mr, _ := postMatch(t, hs.URL, `{"patterns":["abc","abc"],"input":"zabcz"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if mr.Cache != "miss" {
+		t.Errorf("first request cache = %q, want miss", mr.Cache)
+	}
+	want := []jsonMatch{{"abc", 0, 3}, {"abc", 1, 3}}
+	if len(mr.Matches) != 2 || mr.Matches[0] != want[0] || mr.Matches[1] != want[1] {
+		t.Errorf("Matches = %v, want %v", mr.Matches, want)
+	}
+	if mr.Counts["abc"] != 2 {
+		t.Errorf("Counts[abc] = %d, want 2", mr.Counts["abc"])
+	}
+	if len(mr.IndexCounts) != 2 || mr.IndexCounts[0] != 1 || mr.IndexCounts[1] != 1 {
+		t.Errorf("IndexCounts = %v, want [1 1]", mr.IndexCounts)
+	}
+
+	code, mr, _ = postMatch(t, hs.URL, `{"patterns":["a{0}"],"input":"aaa"}`)
+	if code != http.StatusOK {
+		t.Fatalf("nullable status = %d", code)
+	}
+	var ends []int
+	for _, m := range mr.Matches {
+		ends = append(ends, m.End)
+	}
+	if len(ends) != 4 || ends[3] != 3 {
+		t.Errorf("nullable ends = %v, want [0 1 2 3] including end-of-input", ends)
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	code, _, er := postMatch(t, hs.URL, `{"patterns":["a["],"input":"x"}`)
+	if code != http.StatusBadRequest || er.Class != "parse" {
+		t.Errorf("bad pattern: status %d class %q, want 400 parse", code, er.Class)
+	}
+	code, _, er = postMatch(t, hs.URL, `{"patterns":[],"input":"x"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("empty patterns: status %d, want 400", code)
+	}
+	code, _, er = postMatch(t, hs.URL, `not json`)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad json: status %d, want 400", code)
+	}
+	resp, err := http.Get(hs.URL + "/v1/match")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCacheSingleflight launches N concurrent first requests for the same
+// pattern set and requires exactly one compilation.
+func TestCacheSingleflight(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, _ = postMatch(t, hs.URL, `{"patterns":["foo|bar","baz"],"input":"foobazbar"}`)
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counter("bitgen_serve_engine_compiles_total"); got != 1 {
+		t.Errorf("compiles = %v, want 1 (singleflight)", got)
+	}
+	hits := snap.Counter("bitgen_serve_engine_cache_hits_total")
+	misses := snap.Counter("bitgen_serve_engine_cache_misses_total")
+	if hits+misses != n || misses != 1 {
+		t.Errorf("hits=%v misses=%v, want %d lookups with 1 miss", hits, misses, n)
+	}
+}
+
+// TestCacheEviction fills the LRU past capacity and checks eviction.
+func TestCacheEviction(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxCachedEngines: 2})
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"patterns":["p%dq"],"input":"x"}`, i)
+		if code, _, _ := postMatch(t, hs.URL, body); code != http.StatusOK {
+			t.Fatalf("request %d failed", i)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counter("bitgen_serve_engine_cache_evictions_total"); got != 2 {
+		t.Errorf("evictions = %v, want 2", got)
+	}
+	if keys := s.cache.keys(); len(keys) != 2 {
+		t.Errorf("cached sets = %d, want 2", len(keys))
+	}
+}
+
+// TestBatchCoalescing gates the batch executor so queued requests pile up
+// behind a running batch, then verifies they ride one RunMulti launch.
+func TestBatchCoalescing(t *testing.T) {
+	s := New(Config{MaxBatch: 8, MaxConcurrent: 16})
+	defer s.Close()
+
+	gate := make(chan struct{})
+	var launches atomic.Int64
+	var maxBatch atomic.Int64
+	s.batchRun = func(eng *bitgen.Engine) func(context.Context, [][]byte) (*bitgen.MultiResult, error) {
+		return func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error) {
+			<-gate
+			launches.Add(1)
+			if n := int64(len(inputs)); n > maxBatch.Load() {
+				maxBatch.Store(n)
+			}
+			return eng.RunMultiContext(ctx, inputs)
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// First request occupies the batch loop at the gate; the rest queue
+	// behind it and must coalesce into the second launch.
+	const riders = 5
+	var wg sync.WaitGroup
+	results := make([]matchResponse, 1+riders)
+	codes := make([]int, 1+riders)
+	launch := func(i int) {
+		defer wg.Done()
+		codes[i], results[i], _ = postMatch(t, hs.URL, `{"patterns":["ab"],"input":"abab"}`)
+	}
+	wg.Add(1)
+	go launch(0)
+
+	// Wait until the first request is inside the (gated) batch executor.
+	deadline := time.After(5 * time.Second)
+	for s.Metrics().Snapshot().Counter("bitgen_serve_batches_total") < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("first batch never launched")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	for i := 1; i <= riders; i++ {
+		wg.Add(1)
+		go launch(i)
+	}
+	// Let the riders reach the queue, then open the gate.
+	for {
+		s.cache.mu.Lock()
+		var queued int
+		for _, e := range s.cache.entries {
+			if e.batcher != nil {
+				queued = len(e.batcher.queue)
+			}
+		}
+		s.cache.mu.Unlock()
+		if queued == riders {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("riders never queued (have %d)", queued)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+		if got := results[i].Counts["ab"]; got != 2 {
+			t.Fatalf("request %d: Counts[ab] = %d, want 2", i, got)
+		}
+	}
+	if got := launches.Load(); got != 2 {
+		t.Errorf("launches = %d, want 2 (first alone, riders coalesced)", got)
+	}
+	if got := maxBatch.Load(); got != riders {
+		t.Errorf("largest batch = %d, want %d", got, riders)
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counter("bitgen_serve_batches_total"); got != 2 {
+		t.Errorf("serve batches metric = %v, want 2", got)
+	}
+	if got := snap.Counter("bitgen_serve_batched_requests_total"); got != 1+riders {
+		t.Errorf("batched requests metric = %v, want %d", got, 1+riders)
+	}
+}
+
+// TestScanEndpoint streams a body through /v1/scan and checks NDJSON
+// output, duplicate-pattern fan-out, and the done trailer.
+func TestScanEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+
+	resp, err := http.Post(hs.URL+"/v1/scan?pattern=ab&pattern=ab&chunk=3",
+		"application/octet-stream", strings.NewReader("xxabxxabxx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d (%q), want 4 matches + trailer", len(lines), raw)
+	}
+	var ms []jsonMatch
+	for _, l := range lines[:4] {
+		var m jsonMatch
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		ms = append(ms, m)
+	}
+	want := []jsonMatch{{"ab", 0, 3}, {"ab", 1, 3}, {"ab", 0, 7}, {"ab", 1, 7}}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Errorf("match %d = %v, want %v", i, ms[i], want[i])
+		}
+	}
+	var tr scanTrailer
+	if err := json.Unmarshal([]byte(lines[4]), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Matches != 4 {
+		t.Errorf("trailer = %+v, want done with 4 matches", tr)
+	}
+
+	// Nullable patterns are refused for streaming, mapped to 400.
+	resp, err = http.Post(hs.URL+"/v1/scan?pattern=a%3F", "application/octet-stream",
+		strings.NewReader("aaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("nullable scan: status = %d, want 400", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Class != "unsupported" {
+		t.Errorf("nullable scan class = %q, want unsupported", er.Class)
+	}
+}
+
+// TestAdmissionQueueFull rejects with 429 once MaxQueue requests wait.
+func TestAdmissionQueueFull(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 1})
+	defer s.Close()
+
+	// Occupy the only slot and fill the queue directly.
+	relA, _, err := s.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		relB, _, err := s.admit(context.Background())
+		if err == nil {
+			relB()
+		}
+		close(done)
+	}()
+	deadline := time.After(5 * time.Second)
+	for s.Metrics().Snapshot().Gauges["bitgen_serve_queue_depth"] < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	_, status, err := s.admit(context.Background())
+	if err == nil || status != http.StatusTooManyRequests {
+		t.Errorf("overflow admit: status %d err %v, want 429", status, err)
+	}
+	if got := s.Metrics().Snapshot().Counter("bitgen_serve_rejected_total"); got != 1 {
+		t.Errorf("rejected = %v, want 1", got)
+	}
+	relA()
+	<-done
+}
+
+// TestDrain verifies the drain contract: in-flight requests finish with
+// their full match sets, new requests get 503, healthz flips.
+func TestDrain(t *testing.T) {
+	s := New(Config{MaxBatch: 4})
+	gate := make(chan struct{})
+	s.batchRun = func(eng *bitgen.Engine) func(context.Context, [][]byte) (*bitgen.MultiResult, error) {
+		return func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error) {
+			<-gate
+			return eng.RunMultiContext(ctx, inputs)
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Close()
+
+	var code int
+	var mr matchResponse
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		code, mr, _ = postMatch(t, hs.URL, `{"patterns":["ab"],"input":"abxab"}`)
+	}()
+	deadline := time.After(5 * time.Second)
+	for s.Metrics().Snapshot().Gauges["bitgen_serve_in_flight"] < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("request never became in-flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.Drain(ctx)
+	}()
+	// Drain must flip health and rejections immediately, while the gated
+	// request is still in flight.
+	for !s.Draining() {
+		select {
+		case <-deadline:
+			t.Fatal("drain flag never flipped")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+	if c, _, er := postMatch(t, hs.URL, `{"patterns":["ab"],"input":"ab"}`); c != http.StatusServiceUnavailable {
+		t.Errorf("new request during drain: %d (%+v), want 503", c, er)
+	}
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain finished while a request was in flight: %v", err)
+	default:
+	}
+
+	// Release the in-flight request: it must complete with its matches,
+	// and only then may drain finish.
+	close(gate)
+	<-reqDone
+	if code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d", code)
+	}
+	if len(mr.Matches) != 2 {
+		t.Errorf("drained request dropped matches: %v", mr.Matches)
+	}
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never finished after requests completed")
+	}
+	if got := s.Metrics().Snapshot().Counter("bitgen_serve_drains_total"); got != 1 {
+		t.Errorf("drains = %v, want 1", got)
+	}
+}
+
+// TestLoadSmoke is the ISSUE's load smoke: concurrent mixed traffic on a
+// warm cache must compile each set exactly once and coalesce at least
+// some batches. Run under -race in CI.
+func TestLoadSmoke(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxBatch: 8})
+
+	sets := []string{
+		`{"patterns":["abc","a?","abc"],"input":"zabczabc"}`,
+		`{"patterns":["foo|bar"],"input":"xfooybarz"}`,
+	}
+	// Warm both sets.
+	for _, b := range sets {
+		if code, _, _ := postMatch(t, hs.URL, b); code != http.StatusOK {
+			t.Fatalf("warmup failed: %d", code)
+		}
+	}
+	const workers = 16
+	const perWorker = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := sets[(w+i)%len(sets)]
+				code, mr, er := postMatch(t, hs.URL, body)
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d: status %d (%+v)", w, code, er)
+					return
+				}
+				if mr.Cache != "hit" {
+					errs <- fmt.Errorf("worker %d: cache %q on warm set", w, mr.Cache)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counter("bitgen_serve_engine_compiles_total"); got != float64(len(sets)) {
+		t.Errorf("compiles = %v, want %d (warm cache compiles nothing)", got, len(sets))
+	}
+	batches := snap.Counter("bitgen_serve_batches_total")
+	ridden := snap.Counter("bitgen_serve_batched_requests_total")
+	if ridden <= batches {
+		t.Logf("note: no coalescing observed under this scheduling (batches=%v requests=%v)", batches, ridden)
+	}
+	if ridden != float64(len(sets)+workers*perWorker) {
+		t.Errorf("batched requests = %v, want %d", ridden, len(sets)+workers*perWorker)
+	}
+}
+
+// TestSelfTest runs the bitgend -selftest path in-process.
+func TestSelfTest(t *testing.T) {
+	if err := SelfTest(context.Background(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

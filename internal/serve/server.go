@@ -1,0 +1,621 @@
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"bitgen"
+	"bitgen/internal/cli"
+	"bitgen/internal/obs"
+)
+
+// Config tunes one Server. Zero fields take the documented defaults.
+type Config struct {
+	// MaxCachedEngines bounds the compiled-engine LRU cache (default 32).
+	MaxCachedEngines int
+	// MaxQueue bounds how many admitted requests may wait for an
+	// execution slot before new ones are rejected with 429 (default 64).
+	MaxQueue int
+	// MaxConcurrent bounds requests executing at once (default
+	// 2*GOMAXPROCS).
+	MaxConcurrent int
+	// MaxBatch bounds how many same-engine match requests one RunMulti
+	// launch coalesces (default 16).
+	MaxBatch int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 10s); MaxTimeout caps client-requested timeouts
+	// (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes caps a /v1/match request body (default 8 MiB).
+	// /v1/scan bodies stream unbounded; the engine's per-chunk
+	// Limits.MaxInputBytes still applies to every chunk.
+	MaxBodyBytes int64
+	// Engine is the base bitgen.Options every compiled engine starts
+	// from; per-request knobs (fold_case) overlay it and Observability
+	// is always enabled so /metrics?set= and /trace?set= have data.
+	Engine bitgen.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCachedEngines <= 0 {
+		c.MaxCachedEngines = 32
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the multi-tenant matching service: engine cache, bounded
+// admission, batch coalescing, graceful drain. Create with New, mount
+// Handler on an http.Server, call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *registry
+	mux   *http.ServeMux
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	slots chan struct{}
+
+	mu         sync.Mutex
+	waiting    int
+	active     int
+	draining   bool
+	idleClosed bool
+	idle       chan struct{}
+
+	inFlight   *obs.Gauge
+	queueDepth *obs.Gauge
+
+	// batchRun, when non-nil, replaces an engine's RunMultiContext as the
+	// batch executor — a test seam for deterministic coalescing.
+	batchRun func(eng *bitgen.Engine) func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error)
+}
+
+// New builds a Server. The returned server owns a background context for
+// batch loops and singleflight compiles; Drain (or Close) releases it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		reg:     obs.NewRegistry(),
+		mux:     http.NewServeMux(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		idle:    make(chan struct{}),
+	}
+	s.cache = newRegistry(cfg.MaxCachedEngines, s.reg, s.compileEngine)
+
+	// Register every serve family eagerly so a scrape before the first
+	// request still exposes the full schema.
+	for _, ep := range []string{"match", "scan"} {
+		s.reg.Counter(obs.MServeRequests, obs.HServeRequests, obs.L("endpoint", ep))
+		s.reg.Counter(obs.MServeErrors, obs.HServeErrors, obs.L("endpoint", ep))
+	}
+	s.reg.Counter(obs.MServeRejected, obs.HServeRejected)
+	s.inFlight = s.reg.Gauge(obs.MServeInFlight, obs.HServeInFlight)
+	s.queueDepth = s.reg.Gauge(obs.MServeQueueDepth, obs.HServeQueueDepth)
+	s.reg.Counter(obs.MServeCacheHits, obs.HServeCacheHits)
+	s.reg.Counter(obs.MServeCacheMisses, obs.HServeCacheMisses)
+	s.reg.Counter(obs.MServeCacheEvictions, obs.HServeCacheEvictions)
+	s.reg.Counter(obs.MServeCompiles, obs.HServeCompiles)
+	s.reg.Counter(obs.MServeBatches, obs.HServeBatches)
+	s.reg.Counter(obs.MServeBatchedRequests, obs.HServeBatchedRequests)
+	s.reg.Counter(obs.MServeDrains, obs.HServeDrains)
+
+	s.mux.HandleFunc("/v1/match", s.handleMatch)
+	s.mux.HandleFunc("/v1/scan", s.handleScan)
+	s.mux.HandleFunc("/v1/sets", s.handleSets)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the serve-layer registry (for tests and expvar export).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+func (s *Server) compileEngine(ctx context.Context, patterns []string, foldCase bool) (*bitgen.Engine, error) {
+	o := s.engineOptions(foldCase)
+	return bitgen.CompileContext(ctx, patterns, &o)
+}
+
+func (s *Server) engineOptions(foldCase bool) bitgen.Options {
+	o := s.cfg.Engine
+	o.FoldCase = foldCase
+	o.Observability = &bitgen.ObservabilityOptions{Metrics: true, Trace: true}
+	return o
+}
+
+// batcherFor lazily starts the entry's batch loop; the test seam
+// batchRun substitutes the executor when set.
+func (s *Server) batcherFor(e *entry) *batcher {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	if e.batcher == nil {
+		run := e.eng.RunMultiContext
+		if s.batchRun != nil {
+			run = s.batchRun(e.eng)
+		}
+		e.batcher = newBatcher(s.baseCtx, s.cfg.MaxBatch, s.cfg.MaxQueue, s.reg, run)
+	}
+	return e.batcher
+}
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain starts a graceful drain: new requests are rejected with 503 (and
+// /healthz flips to 503, so load balancers stop routing), in-flight
+// requests run to completion, then batch loops stop and the server
+// context is canceled. Returns ctx.Err() if ctx expires first; the drain
+// state persists either way.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.reg.Counter(obs.MServeDrains, obs.HServeDrains).Inc()
+	}
+	s.maybeIdleLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-s.idle:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.cache.stopAll()
+	s.cancel()
+	return nil
+}
+
+// Close releases the server immediately without waiting for in-flight
+// requests (tests; production should Drain).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.maybeIdleLocked()
+	s.mu.Unlock()
+	s.cache.stopAll()
+	s.cancel()
+}
+
+func (s *Server) maybeIdleLocked() {
+	if s.draining && s.active == 0 && !s.idleClosed {
+		s.idleClosed = true
+		close(s.idle)
+	}
+}
+
+var (
+	errDraining  = errors.New("server is draining")
+	errQueueFull = errors.New("admission queue is full")
+)
+
+// admit applies the bounded admission queue: reject while draining,
+// reject when MaxQueue requests already wait, otherwise wait for one of
+// MaxConcurrent execution slots. On success the returned release func
+// must be called exactly once.
+func (s *Server) admit(ctx context.Context) (release func(), status int, err error) {
+	rejected := func() { s.reg.Counter(obs.MServeRejected, obs.HServeRejected).Inc() }
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		rejected()
+		return nil, http.StatusServiceUnavailable, errDraining
+	}
+	if s.waiting >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		rejected()
+		return nil, http.StatusTooManyRequests, errQueueFull
+	}
+	s.waiting++
+	s.queueDepth.Set(float64(s.waiting))
+	s.mu.Unlock()
+
+	var acquired bool
+	select {
+	case s.slots <- struct{}{}:
+		acquired = true
+	case <-ctx.Done():
+	case <-s.baseCtx.Done():
+	}
+
+	s.mu.Lock()
+	s.waiting--
+	s.queueDepth.Set(float64(s.waiting))
+	if acquired && s.draining {
+		// Drained while waiting for a slot: give it back and reject.
+		<-s.slots
+		acquired = false
+		s.mu.Unlock()
+		rejected()
+		return nil, http.StatusServiceUnavailable, errDraining
+	}
+	if !acquired {
+		s.mu.Unlock()
+		if s.baseCtx.Err() != nil {
+			rejected()
+			return nil, http.StatusServiceUnavailable, errDraining
+		}
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("timed out waiting for an execution slot: %w", ctx.Err())
+	}
+	s.active++
+	s.mu.Unlock()
+	s.inFlight.Add(1)
+	return func() {
+		<-s.slots
+		s.inFlight.Add(-1)
+		s.mu.Lock()
+		s.active--
+		s.maybeIdleLocked()
+		s.mu.Unlock()
+	}, 0, nil
+}
+
+// requestCtx derives the per-request deadline from timeout_ms, bounded
+// by MaxTimeout, defaulting to DefaultTimeout.
+func (s *Server) requestCtx(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// ---- wire types ----
+
+type matchRequest struct {
+	// Patterns is the pattern set; duplicates are legal and report
+	// per-index results, exactly like the library.
+	Patterns []string `json:"patterns"`
+	// Input is the text to scan; InputBase64 carries binary input and
+	// wins when both are set.
+	Input       string `json:"input"`
+	InputBase64 string `json:"input_base64"`
+	FoldCase    bool   `json:"fold_case"`
+	TimeoutMS   int    `json:"timeout_ms"`
+	CountOnly   bool   `json:"count_only"`
+}
+
+type jsonMatch struct {
+	Pattern string `json:"pattern"`
+	Index   int    `json:"index"`
+	End     int    `json:"end"`
+}
+
+type matchResponse struct {
+	Set         string         `json:"set"`
+	Cache       string         `json:"cache"` // "hit" or "miss"
+	Backend     string         `json:"backend,omitempty"`
+	Matches     []jsonMatch    `json:"matches"`
+	Counts      map[string]int `json:"counts"`
+	IndexCounts []int          `json:"index_counts"`
+}
+
+type scanTrailer struct {
+	Done    bool   `json:"done"`
+	Matches int    `json:"matches"`
+	Error   string `json:"error,omitempty"`
+}
+
+type errorResponse struct {
+	Error  string `json:"error"`
+	Class  string `json:"class"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// classOf maps the bitgen error taxonomy to a stable wire token.
+func classOf(err error, compileStage bool) string {
+	switch {
+	case errors.Is(err, bitgen.ErrLimit):
+		return "limit"
+	case errors.Is(err, bitgen.ErrUnsupported):
+		return "unsupported"
+	case errors.Is(err, bitgen.ErrCanceled):
+		return "canceled"
+	case errors.As(err, new(*bitgen.InternalError)):
+		return "internal"
+	case compileStage:
+		return "parse"
+	default:
+		return "internal"
+	}
+}
+
+// statusOf maps the taxonomy to HTTP statuses: limit→413,
+// unsupported/parse→400, canceled/deadline→504, internal→500.
+func statusOf(err error, compileStage bool) int {
+	switch classOf(err, compileStage) {
+	case "limit":
+		return http.StatusRequestEntityTooLarge
+	case "unsupported", "parse":
+		return http.StatusBadRequest
+	case "canceled":
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// fail reports a request error: counts it, then writes the JSON error
+// body with the taxonomy class and the human description the CLI uses.
+func (s *Server) fail(w http.ResponseWriter, endpoint string, status int, err error, compileStage bool) {
+	s.reg.Counter(obs.MServeErrors, obs.HServeErrors, obs.L("endpoint", endpoint)).Inc()
+	writeJSON(w, status, errorResponse{
+		Error:  err.Error(),
+		Class:  classOf(err, compileStage),
+		Detail: cli.Describe(err),
+	})
+}
+
+// reject writes an admission rejection (queue full or draining); admit
+// already counted it in MServeRejected.
+func (s *Server) reject(w http.ResponseWriter, endpoint string, status int, err error) {
+	s.reg.Counter(obs.MServeErrors, obs.HServeErrors, obs.L("endpoint", endpoint)).Inc()
+	class := "rejected"
+	if errors.Is(err, bitgen.ErrCanceled) || status == http.StatusGatewayTimeout {
+		class = "canceled"
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Class: class})
+}
+
+// ---- handlers ----
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter(obs.MServeRequests, obs.HServeRequests, obs.L("endpoint", "match")).Inc()
+	if r.Method != http.MethodPost {
+		s.fail(w, "match", http.StatusMethodNotAllowed, errors.New("POST required"), false)
+		return
+	}
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		s.reject(w, "match", status, err)
+		return
+	}
+	defer release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		st := http.StatusBadRequest
+		if errors.As(err, new(*http.MaxBytesError)) {
+			st = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, "match", st, err, false)
+		return
+	}
+	var req matchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, "match", http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err), false)
+		return
+	}
+	if len(req.Patterns) == 0 {
+		s.fail(w, "match", http.StatusBadRequest, errors.New("patterns must be non-empty"), false)
+		return
+	}
+	input := []byte(req.Input)
+	if req.InputBase64 != "" {
+		input, err = base64.StdEncoding.DecodeString(req.InputBase64)
+		if err != nil {
+			s.fail(w, "match", http.StatusBadRequest, fmt.Errorf("invalid input_base64: %w", err), false)
+			return
+		}
+	}
+
+	ctx, cancel := s.requestCtx(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	opts := s.engineOptions(req.FoldCase)
+	key := bitgen.PatternSetKey(req.Patterns, &opts)
+	e, hit, err := s.cache.get(ctx, key, req.Patterns, req.FoldCase)
+	if err != nil {
+		s.fail(w, "match", statusOf(err, true), err, true)
+		return
+	}
+
+	res, err := s.batcherFor(e).submit(ctx, input)
+	if err != nil {
+		s.fail(w, "match", statusOf(err, false), err, false)
+		return
+	}
+
+	resp := matchResponse{
+		Set:         key,
+		Cache:       "miss",
+		Backend:     res.Backend,
+		Counts:      res.Counts,
+		IndexCounts: res.IndexCounts,
+	}
+	if hit {
+		resp.Cache = "hit"
+	}
+	if !req.CountOnly {
+		resp.Matches = make([]jsonMatch, len(res.Matches))
+		for i, m := range res.Matches {
+			resp.Matches[i] = jsonMatch{Pattern: m.Pattern, Index: m.Index, End: m.End}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter(obs.MServeRequests, obs.HServeRequests, obs.L("endpoint", "scan")).Inc()
+	if r.Method != http.MethodPost {
+		s.fail(w, "scan", http.StatusMethodNotAllowed, errors.New("POST required"), false)
+		return
+	}
+	q := r.URL.Query()
+	patterns := q["pattern"]
+	if len(patterns) == 0 {
+		s.fail(w, "scan", http.StatusBadRequest, errors.New("at least one ?pattern= is required"), false)
+		return
+	}
+	chunk := 64 << 10
+	if v := q.Get("chunk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.fail(w, "scan", http.StatusBadRequest, fmt.Errorf("invalid chunk %q", v), false)
+			return
+		}
+		chunk = n
+	}
+	foldCase := q.Get("fold_case") == "1" || q.Get("fold_case") == "true"
+	timeoutMS := 0
+	if v := q.Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, "scan", http.StatusBadRequest, fmt.Errorf("invalid timeout_ms %q", v), false)
+			return
+		}
+		timeoutMS = n
+	}
+
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		s.reject(w, "scan", status, err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.requestCtx(r.Context(), timeoutMS)
+	defer cancel()
+
+	opts := s.engineOptions(foldCase)
+	key := bitgen.PatternSetKey(patterns, &opts)
+	e, _, err := s.cache.get(ctx, key, patterns, foldCase)
+	if err != nil {
+		s.fail(w, "scan", statusOf(err, true), err, true)
+		return
+	}
+
+	// Stream matches as NDJSON while the body is still being read. Once
+	// the first line is written the status is committed, so a mid-stream
+	// failure is reported in the trailer instead.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	count := 0
+	var encErr error
+	scanErr := e.eng.ScanReaderContext(ctx, r.Body, chunk, func(m bitgen.Match) {
+		if encErr != nil {
+			return
+		}
+		wrote = true
+		count++
+		encErr = enc.Encode(jsonMatch{Pattern: m.Pattern, Index: m.Index, End: m.End})
+		if flusher != nil && count%128 == 0 {
+			flusher.Flush()
+		}
+	})
+	if scanErr == nil {
+		scanErr = encErr
+	}
+	if scanErr != nil && !wrote {
+		s.fail(w, "scan", statusOf(scanErr, false), scanErr, false)
+		return
+	}
+	trailer := scanTrailer{Done: scanErr == nil, Matches: count}
+	if scanErr != nil {
+		s.reg.Counter(obs.MServeErrors, obs.HServeErrors, obs.L("endpoint", "scan")).Inc()
+		trailer.Error = scanErr.Error()
+	}
+	_ = enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sets": s.cache.keys()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the serve-layer registry by default; ?set=<key>
+// serves that cached engine's own exposition (scan counters, modeled
+// kernel counters) via Engine.WritePrometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if key := r.URL.Query().Get("set"); key != "" {
+		e := s.cache.lookup(key)
+		if e == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown pattern set " + key, Class: "not_found"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = e.eng.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves a cached engine's span trace (Chrome trace_event
+// JSON) via Engine.WriteTrace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("set")
+	if key == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "?set=<pattern-set-key> is required", Class: "bad_request"})
+		return
+	}
+	e := s.cache.lookup(key)
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown pattern set " + key, Class: "not_found"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = e.eng.WriteTrace(w)
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
-	"sort"
 	"time"
 
 	"bitgen/internal/bgerr"
@@ -100,20 +99,21 @@ func (e *Engine) ResetBackend(name string) bool {
 }
 
 // buildLadder compiles the fallback backends from the already-parsed
-// patterns and assembles the resilience ladder.
+// unique patterns (duplicates were deduplicated at Compile) and assembles
+// the resilience ladder.
 func buildLadder(e *Engine, asts []rx.Node, ropts *ResilienceOptions) error {
-	hybEngine, err := hybrid.Compile(e.patterns, asts, hybrid.Options{Obs: e.obs})
+	hybEngine, err := hybrid.Compile(e.unique, asts, hybrid.Options{Obs: e.obs})
 	if err != nil {
 		return fmt.Errorf("bitgen: resilience: compiling hybrid backend: %w", err)
 	}
-	autom, err := nfa.Build(e.patterns, asts)
+	autom, err := nfa.Build(e.unique, asts)
 	if err != nil {
 		return fmt.Errorf("bitgen: resilience: building NFA backend: %w", err)
 	}
 	backends := []resilience.Backend{
 		&gpuBackend{e: e},
 		&hybridBackend{h: hybEngine},
-		&nfaBackend{n: autom, names: e.patterns, obs: e.obs},
+		&nfaBackend{n: autom, names: e.unique, obs: e.obs},
 	}
 	if ropts.ForceBackend != "" {
 		var forced resilience.Backend
@@ -154,21 +154,23 @@ func (e *Engine) runLadder(ctx context.Context, input []byte) (*Result, error) {
 	}
 	var res *Result
 	if inner, ok := out.Aux.(*engine.Result); ok {
-		res = toResult(inner)
+		res = e.toResult(inner)
 	} else {
-		res = &Result{Counts: make(map[string]int, len(out.Positions))}
+		innerCounts := make(map[string]int, len(out.Positions))
 		for name, pos := range out.Positions {
-			res.Counts[name] = len(pos)
+			innerCounts[name] = len(pos)
+		}
+		res = &Result{}
+		res.Counts, res.IndexCounts = e.fanOutCounts(innerCounts)
+		for name, pos := range out.Positions {
+			idxs := e.indexesOf[name]
 			for _, end := range pos {
-				res.Matches = append(res.Matches, Match{Pattern: name, End: end})
+				for _, idx := range idxs {
+					res.Matches = append(res.Matches, Match{Pattern: name, Index: idx, End: end})
+				}
 			}
 		}
-		sort.Slice(res.Matches, func(i, j int) bool {
-			if res.Matches[i].End != res.Matches[j].End {
-				return res.Matches[i].End < res.Matches[j].End
-			}
-			return res.Matches[i].Pattern < res.Matches[j].Pattern
-		})
+		sortMatches(res.Matches)
 	}
 	res.Backend = out.Backend
 	return res, nil

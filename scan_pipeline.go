@@ -196,7 +196,12 @@ func (e *Engine) scanPipelined(ctx context.Context, r io.Reader, chunkSize, maxL
 					pcancel() // stop reading; interrupt later chunks
 				} else {
 					for _, m := range k.matches {
-						emit(Match{Pattern: m.Pattern, End: int(m.End)})
+						// Fan each unique pattern's match out to every
+						// duplicate index, ascending — the same order the
+						// sequential path's sorted Matches produce.
+						for _, idx := range e.indexesOf[m.Pattern] {
+							emit(Match{Pattern: m.Pattern, Index: idx, End: int(m.End)})
+						}
 					}
 					if traced {
 						e.obs.Instant("scan", "emit-chunk", scanLaneEmit,

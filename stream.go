@@ -64,6 +64,15 @@ func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize i
 			Patterns: append([]string(nil), e.unbounded...),
 		}
 	}
+	if len(e.nullable) > 0 {
+		// An empty-matchable pattern matches at every stream offset — an
+		// unbounded firehose of empty matches with no chunk-stable
+		// semantics. Run handles them; streaming refuses them.
+		return &UnsupportedError{
+			Feature:  "streaming patterns that match the empty string",
+			Patterns: append([]string(nil), e.nullable...),
+		}
+	}
 	maxLen := e.maxLen
 	if maxLen == 0 {
 		return &UnsupportedError{Feature: "streaming empty patterns"}
@@ -106,7 +115,7 @@ func (e *Engine) scanSequential(ctx context.Context, r io.Reader, chunkSize, max
 			if abs <= emittedThrough {
 				continue
 			}
-			emit(Match{Pattern: m.Pattern, End: int(abs)})
+			emit(Match{Pattern: m.Pattern, Index: m.Index, End: int(abs)})
 		}
 		last := offset + int64(len(buf)) - 1
 		if final {
