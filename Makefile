@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke
+.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke cluster-smoke bench-serve
 
 build:
 	$(GO) build ./...
@@ -67,10 +67,27 @@ obs-smoke:
 serve-smoke:
 	$(GO) run ./cmd/bitgend -selftest
 
+# cluster-smoke boots a 3-replica loopback cluster and runs the full
+# fault-injection acceptance: consistent-hash routing (every replica
+# answers every key identically to a single-node server), an abrupt
+# replica kill with ZERO failed requests once the victim's breakers
+# settle, a network partition that forces degraded local serves
+# (cluster.degraded_serves > 0) with differentially-correct answers, and
+# breaker recovery within one cooldown window after the partition heals.
+cluster-smoke:
+	$(GO) run ./cmd/bitgend -cluster-selftest
+
+# bench-serve regenerates results/BENCH_serve.json: a 1-node baseline vs
+# a 3-node cluster with a mid-run replica kill, reporting p50/p99
+# latency, saturation throughput, and post-kill recovery time.
+bench-serve:
+	$(GO) run ./cmd/bitload -selfcluster -clients 1024 -duration 3s -sets 24 -out results/BENCH_serve.json
+
 # ci is the tier-1 verification gate: vet, lint/vuln (when the tools are
 # installed), build, the full suite under the race detector, the
-# fault-injection suite, and the observability, bench and service smokes.
-ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke
+# fault-injection suite, and the observability, bench, service and
+# cluster smokes.
+ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke cluster-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -8,9 +8,19 @@
 //	POST /v1/match   {"patterns":[...],"input":"..."} → matches JSON
 //	POST /v1/scan    ?pattern=...&chunk=N, body streamed → NDJSON matches
 //	GET  /v1/sets    cached pattern-set keys
+//	GET  /v1/cluster ring membership + per-peer breaker health
 //	GET  /healthz    200 ok / 503 draining
 //	GET  /metrics    serve-layer Prometheus; ?set=<key> for one engine
-//	GET  /trace      ?set=<key> Chrome trace_event JSON for one engine
+//	GET  /trace      ?set=<key> Chrome trace_event JSON for one engine;
+//	                 ?cluster=1 the cluster layer's per-forward spans
+//
+// Cluster mode: pass -peers with every replica's base URL (the same set,
+// in any order, on every replica) and -advertise with this replica's own
+// URL. Pattern-set keys route across replicas on a consistent-hash ring;
+// each key has a deterministic owner plus its ring successor as a warm
+// standby, guarded by per-peer circuit breakers with hedged retry. When
+// no candidate is reachable the replica compiles locally and serves
+// (degraded, never down).
 package main
 
 import (
@@ -21,10 +31,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"bitgen"
+	"bitgen/internal/cluster"
 	"bitgen/internal/serve"
 )
 
@@ -36,17 +48,31 @@ func main() {
 		maxConc    = flag.Int("concurrency", 0, "max requests executing at once (0 = 2*GOMAXPROCS)")
 		maxBatch   = flag.Int("batch", 16, "max match requests coalesced into one RunMulti launch")
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
-		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		maxTimeout = flag.Duration("max-timeout", 30*time.Second, "cap on client-requested (and peer-propagated) deadlines")
 		maxBody    = flag.Int64("max-body", 8<<20, "max /v1/match body bytes")
 		device     = flag.String("device", "", "GPU profile for the cost model (default RTX 3090)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		selftest   = flag.Bool("selftest", false, "boot on a loopback port, exercise match/scan/metrics/drain, exit")
+
+		peers        = flag.String("peers", "", "comma-separated replica base URLs (every replica, same set everywhere) — enables cluster mode")
+		advertise    = flag.String("advertise", "", "this replica's base URL as peers reach it (default http://<addr>)")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+		hedge        = flag.Duration("hedge", 25*time.Millisecond, "delay before hedging a forward to the warm standby (negative disables)")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive peer failures before its breaker opens")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe (jittered)")
+		clusterTest  = flag.Bool("cluster-selftest", false, "boot a 3-replica loopback cluster, inject faults (kill, partition), verify zero failures, exit")
 	)
 	flag.Parse()
 
 	if *selftest {
 		if err := serve.SelfTest(context.Background(), os.Stdout); err != nil {
 			log.Fatalf("selftest failed: %v", err)
+		}
+		return
+	}
+	if *clusterTest {
+		if err := serve.ClusterSelfTest(context.Background(), os.Stdout); err != nil {
+			log.Fatalf("cluster selftest failed: %v", err)
 		}
 		return
 	}
@@ -61,6 +87,31 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		Engine:           bitgen.Options{Device: *device},
 	})
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + *addr
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		err := srv.EnableCluster(cluster.Config{
+			Self:             self,
+			Peers:            peerList,
+			VNodes:           *vnodes,
+			HedgeDelay:       *hedge,
+			BreakerThreshold: *brkThreshold,
+			BreakerCooldown:  *brkCooldown,
+			Seed:             uint64(time.Now().UnixNano()),
+		})
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		log.Printf("cluster mode: %d replicas, self %s", len(srv.Cluster().Ring().Nodes()), self)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,330 @@
+// Command bitload is the bitgend cluster load generator: it drives many
+// concurrent closed-loop clients of mixed /v1/match and /v1/scan traffic
+// and reports latency percentiles, saturation throughput, and — when a
+// replica is killed mid-run — the recovery time until the error rate
+// returns to zero.
+//
+// Two modes:
+//
+//	bitload -targets http://a:8377,http://b:8377   # external cluster
+//	bitload -selfcluster -out results/BENCH_serve.json
+//
+// -selfcluster boots in-process replicas on loopback listeners and runs
+// the full benchmark matrix: a 1-node baseline phase, then a 3-node
+// phase that kills one replica at the midpoint. The JSON report contrasts
+// the two so routing overhead and failover cost are visible side by side.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitgen/internal/serve"
+)
+
+type phaseStats struct {
+	Requests      int64   `json:"requests"`
+	Served        int64   `json:"served"`
+	Rejected      int64   `json:"rejected"` // 429/503 admission pushback
+	Failed        int64   `json:"failed"`   // transport errors and 5xx
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+type killStats struct {
+	RecoveryMS        float64 `json:"recovery_ms"`
+	FailuresAfterKill int64   `json:"failures_after_kill"`
+	DegradedServes    float64 `json:"degraded_serves"`
+	StandbyServes     float64 `json:"standby_serves"`
+	ReceivedForwards  float64 `json:"received_forwards"`
+}
+
+type report struct {
+	Generated string      `json:"generated"`
+	Clients   int         `json:"clients"`
+	DurationS float64     `json:"duration_s"`
+	ScanFrac  float64     `json:"scan_frac"`
+	OneNode   *phaseStats `json:"one_node,omitempty"`
+	ThreeNode *phaseStats `json:"three_node,omitempty"`
+	Kill      *killStats  `json:"kill,omitempty"`
+	External  *phaseStats `json:"external,omitempty"`
+	Targets   []string    `json:"targets,omitempty"`
+}
+
+// workload is the fixed request mix: precomputed match bodies and scan
+// payloads over a spread of pattern sets, so every phase (and every run)
+// issues identical traffic.
+type workload struct {
+	matchBodies []string
+	scanPaths   []string
+	scanBody    []byte
+	scanFrac    float64
+}
+
+func newWorkload(sets int, scanFrac float64) *workload {
+	w := &workload{scanFrac: scanFrac}
+	for i := 0; i < sets; i++ {
+		pat := fmt.Sprintf("load%dset", i)
+		input := strings.Repeat("x"+pat+"y", 4)
+		body, _ := json.Marshal(map[string]any{
+			"patterns": []string{pat, "zz" + pat},
+			"input":    input,
+		})
+		w.matchBodies = append(w.matchBodies, string(body))
+		w.scanPaths = append(w.scanPaths, "/v1/scan?pattern="+pat)
+	}
+	w.scanBody = bytes.Repeat([]byte("abcload0setdef"), 256) // ~3.5 KiB
+	return w
+}
+
+// sample is one request outcome: latency and wall-clock completion time.
+type sample struct {
+	lat  time.Duration
+	done time.Time
+	kind byte // 's' served, 'r' rejected, 'f' failed
+}
+
+// run drives clients closed-loop against targets for d. onMid (optional)
+// fires once when half the duration has elapsed — the replica-kill hook.
+// Dead targets are dropped from rotation when markDead reports them.
+func run(w *workload, targets []string, clients int, d time.Duration, onMid func() (deadTarget string)) (phaseStats, []sample) {
+	var (
+		alive   atomic.Value // []string
+		samples = make([][]sample, clients)
+		wg      sync.WaitGroup
+	)
+	alive.Store(targets)
+	stop := make(chan struct{})
+	time.AfterFunc(d, func() { close(stop) })
+	if onMid != nil {
+		time.AfterFunc(d/2, func() {
+			dead := onMid()
+			if dead == "" {
+				return
+			}
+			var next []string
+			for _, t := range targets {
+				if t != dead {
+					next = append(next, t)
+				}
+			}
+			// Model a load balancer noticing the dead health check: stop
+			// routing to the victim a moment after the kill.
+			time.AfterFunc(150*time.Millisecond, func() { alive.Store(next) })
+		})
+	}
+
+	client := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: clients},
+	}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := samples[c][:0]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					samples[c] = mine
+					return
+				default:
+				}
+				ts := alive.Load().([]string)
+				target := ts[(c+i)%len(ts)]
+				set := (c*7 + i) % len(w.matchBodies)
+				scan := w.scanFrac > 0 && float64(i%100)/100 < w.scanFrac
+
+				t0 := time.Now()
+				var resp *http.Response
+				var err error
+				if scan {
+					resp, err = client.Post(target+w.scanPaths[set],
+						"application/octet-stream", bytes.NewReader(w.scanBody))
+				} else {
+					resp, err = client.Post(target+"/v1/match",
+						"application/json", strings.NewReader(w.matchBodies[set]))
+				}
+				s := sample{lat: time.Since(t0), done: time.Now(), kind: 'f'}
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusOK:
+						s.kind = 's'
+					case resp.StatusCode == http.StatusTooManyRequests ||
+						resp.StatusCode == http.StatusServiceUnavailable:
+						s.kind = 'r'
+						// Honor Retry-After (capped so a drain hint does
+						// not idle the generator).
+						if ra, _ := strconv.Atoi(resp.Header.Get("Retry-After")); ra > 0 {
+							back := time.Duration(ra) * time.Second
+							if back > 100*time.Millisecond {
+								back = 100 * time.Millisecond
+							}
+							time.Sleep(back)
+						}
+					}
+				}
+				s.lat = time.Since(t0)
+				mine = append(mine, s)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	st := phaseStats{}
+	var lats []time.Duration
+	for _, ms := range samples {
+		for _, s := range ms {
+			st.Requests++
+			switch s.kind {
+			case 's':
+				st.Served++
+				lats = append(lats, s.lat)
+			case 'r':
+				st.Rejected++
+			default:
+				st.Failed++
+			}
+			all = append(all, s)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.P50MS = pctMS(lats, 0.50)
+	st.P99MS = pctMS(lats, 0.99)
+	st.ThroughputRPS = float64(st.Served) / elapsed.Seconds()
+	return st, all
+}
+
+func pctMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func main() {
+	var (
+		targets     = flag.String("targets", "", "comma-separated bitgend base URLs (external mode)")
+		selfcluster = flag.Bool("selfcluster", false, "boot in-process replicas and run the 1-node vs 3-node benchmark matrix")
+		clients     = flag.Int("clients", 128, "concurrent closed-loop clients")
+		duration    = flag.Duration("duration", 2*time.Second, "duration of each phase")
+		scanFrac    = flag.Float64("scan-frac", 0.15, "fraction of requests that are streaming scans")
+		sets        = flag.Int("sets", 12, "distinct pattern sets in the mix")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if !*selfcluster && *targets == "" {
+		log.Fatal("pass -targets or -selfcluster")
+	}
+
+	w := newWorkload(*sets, *scanFrac)
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Clients:   *clients,
+		DurationS: duration.Seconds(),
+		ScanFrac:  *scanFrac,
+	}
+
+	if *targets != "" {
+		var ts []string
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				ts = append(ts, t)
+			}
+		}
+		rep.Targets = ts
+		st, _ := run(w, ts, *clients, *duration, nil)
+		rep.External = &st
+		log.Printf("external: %d served, p50 %.2fms p99 %.2fms, %.0f rps, %d failed",
+			st.Served, st.P50MS, st.P99MS, st.ThroughputRPS, st.Failed)
+	}
+
+	if *selfcluster {
+		// Phase 1: single replica baseline.
+		one, err := serve.BootCluster(1, serve.Config{}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st1, _ := run(w, []string{one[0].URL}, *clients, *duration, nil)
+		one[0].Kill()
+		rep.OneNode = &st1
+		log.Printf("1-node: %d served, p50 %.2fms p99 %.2fms, %.0f rps, %d failed, %d rejected",
+			st1.Served, st1.P50MS, st1.P99MS, st1.ThroughputRPS, st1.Failed, st1.Rejected)
+
+		// Phase 2: three replicas; kill one at the midpoint and measure
+		// how long failures persist afterwards.
+		nodes, err := serve.BootCluster(3, serve.Config{}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		urls := []string{nodes[0].URL, nodes[1].URL, nodes[2].URL}
+		var killedAt atomic.Int64
+		st3, samples := run(w, urls, *clients, *duration, func() string {
+			killedAt.Store(time.Now().UnixNano())
+			nodes[2].Kill()
+			log.Printf("killed replica %s", nodes[2].URL)
+			return nodes[2].URL
+		})
+		rep.ThreeNode = &st3
+
+		kt := time.Unix(0, killedAt.Load())
+		ks := killStats{}
+		for _, s := range samples {
+			if s.kind == 'f' && s.done.After(kt) {
+				ks.FailuresAfterKill++
+				if ms := float64(s.done.Sub(kt)) / float64(time.Millisecond); ms > ks.RecoveryMS {
+					ks.RecoveryMS = ms
+				}
+			}
+		}
+		for _, nd := range nodes[:2] {
+			snap := nd.Server.Metrics().Snapshot()
+			ks.DegradedServes += snap.Counter("bitgen_cluster_degraded_serves_total")
+			ks.StandbyServes += snap.Counter("bitgen_cluster_standby_serves_total")
+			ks.ReceivedForwards += snap.Counter("bitgen_cluster_received_forwards_total")
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			nd.Shutdown(ctx)
+			cancel()
+		}
+		rep.Kill = &ks
+		log.Printf("3-node: %d served, p50 %.2fms p99 %.2fms, %.0f rps, %d failed, %d rejected",
+			st3.Served, st3.P50MS, st3.P99MS, st3.ThroughputRPS, st3.Failed, st3.Rejected)
+		log.Printf("kill: recovery %.0fms, %d failures after kill, standby %.0f degraded %.0f",
+			ks.RecoveryMS, ks.FailuresAfterKill, ks.StandbyServes, ks.DegradedServes)
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -1,0 +1,475 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"bitgen/internal/faultinject"
+	"bitgen/internal/obs"
+	"bitgen/internal/resilience"
+)
+
+// Config parameterizes a Router. Self and Peers are replica base URLs
+// (scheme://host:port); Self must appear in Peers.
+type Config struct {
+	// Self is this replica's advertised base URL.
+	Self string
+	// Peers lists every replica's base URL, including Self. Every replica
+	// must be configured with the same set (order-independent) so all
+	// ring views agree.
+	Peers []string
+	// VNodes is the virtual nodes per replica on the hash ring
+	// (default DefaultVNodes, clamped to MaxVNodes).
+	VNodes int
+	// BreakerThreshold / BreakerCooldown parameterize the per-peer health
+	// ladder (defaults 3 failures / 5s), with cooldowns jittered
+	// deterministically from Seed.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HedgeDelay is how long a forward waits on the owner before
+	// launching a hedged duplicate to the successor (default 25ms;
+	// negative disables hedging — failover stays sequential).
+	HedgeDelay time.Duration
+	// ForwardTimeout caps one buffered forward attempt (default 5s).
+	// Streaming forwards are bounded by the request deadline instead.
+	ForwardTimeout time.Duration
+	// Seed drives breaker-cooldown jitter.
+	Seed uint64
+	// Inject arms deterministic network faults on the transport.
+	Inject *faultinject.Injector
+	// Transport is the base RoundTripper under the fault layer (nil
+	// means http.DefaultTransport). SlowDelay tunes the PeerSlow fault;
+	// DropAfter tunes PeerDrop's cut point in response-body bytes.
+	Transport http.RoundTripper
+	SlowDelay time.Duration
+	DropAfter int64
+	// Now is the breaker clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Route is the ring's placement decision for one key.
+type Route struct {
+	Key string
+	// Owner and Successor are replica base URLs; Successor is "" on a
+	// one-node ring.
+	Owner, Successor string
+	// SelfOwner: this node owns the key — serve locally, no forward.
+	// SelfStandby: this node is the key's warm standby.
+	SelfOwner, SelfStandby bool
+}
+
+// peer is one remote replica: its breaker plus metric handles.
+type peer struct {
+	url   string
+	host  string
+	br    *resilience.Breaker
+	fwd   *obs.Counter
+	fails *obs.Counter
+	skips *obs.Counter
+}
+
+// Router places keys on the ring and forwards requests to their owners,
+// guarded by per-peer breakers with hedged retry to the successor. It is
+// safe for concurrent use.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	peers  map[string]*peer // keyed by base URL, remote replicas only
+	client *http.Client
+	ob     *obs.Observer
+	now    func() time.Time
+
+	local    *obs.Counter
+	hedges   *obs.Counter
+	degraded *obs.Counter
+	standby  *obs.Counter
+	received *obs.Counter
+}
+
+// New builds a Router. ob carries the serve-layer registry (for the
+// cluster.* metric families) and optionally a tracer for per-forward
+// spans; a nil ob disables both.
+func New(cfg Config, ob *obs.Observer) (*Router, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self is required")
+	}
+	if _, err := url.Parse(cfg.Self); err != nil {
+		return nil, fmt.Errorf("cluster: bad Self %q: %w", cfg.Self, err)
+	}
+	ring, err := NewRing(append(append([]string(nil), cfg.Peers...), cfg.Self), cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = 25 * time.Millisecond
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	base := cfg.Transport
+	if base == nil {
+		// http.DefaultTransport keeps only 2 idle connections per host —
+		// a replica forwarding a saturating load to its handful of peers
+		// would churn a fresh TCP connection per request. Pool generously:
+		// peers are few and long-lived.
+		base = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	r := &Router{
+		cfg:   cfg,
+		ring:  ring,
+		peers: make(map[string]*peer),
+		ob:    ob,
+		now:   cfg.Now,
+		client: &http.Client{Transport: &Transport{
+			Base:      base,
+			Inject:    cfg.Inject,
+			SlowDelay: cfg.SlowDelay,
+			DropAfter: cfg.DropAfter,
+		}},
+	}
+	reg := ob.Reg()
+	reg.Gauge(obs.MClusterPeers, obs.HClusterPeers).Set(float64(len(ring.Nodes())))
+	r.local = reg.Counter(obs.MClusterLocalServes, obs.HClusterLocalServes)
+	r.hedges = reg.Counter(obs.MClusterHedges, obs.HClusterHedges)
+	r.degraded = reg.Counter(obs.MClusterDegradedServes, obs.HClusterDegradedServes)
+	r.standby = reg.Counter(obs.MClusterStandbyServes, obs.HClusterStandbyServes)
+	r.received = reg.Counter(obs.MClusterReceivedForwards, obs.HClusterReceivedForwards)
+	for _, n := range ring.Nodes() {
+		if n == cfg.Self {
+			continue
+		}
+		u, err := url.Parse(n)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad peer URL %q", n)
+		}
+		host := u.Host
+		p := &peer{
+			url:   n,
+			host:  host,
+			fwd:   reg.Counter(obs.MClusterForwards, obs.HClusterForwards, obs.L("peer", host)),
+			fails: reg.Counter(obs.MClusterForwardErrors, obs.HClusterForwardErrors, obs.L("peer", host)),
+			skips: reg.Counter(obs.MClusterPeerSkips, obs.HClusterPeerSkips, obs.L("peer", host)),
+		}
+		for _, to := range []resilience.State{resilience.Closed, resilience.Open, resilience.HalfOpen} {
+			reg.Counter(obs.MClusterPeerFlips, obs.HClusterPeerFlips,
+				obs.L("peer", host), obs.L("to", to.String()))
+		}
+		p.br = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold:  cfg.BreakerThreshold,
+			Cooldown:   cfg.BreakerCooldown,
+			JitterSeed: cfg.Seed ^ hashKey(n),
+			OnState: func(from, to resilience.State) {
+				ob.Instant("cluster", "breaker:"+host, 0,
+					obs.A("from", from.String()), obs.A("to", to.String()))
+				reg.Counter(obs.MClusterPeerFlips, obs.HClusterPeerFlips,
+					obs.L("peer", host), obs.L("to", to.String())).Inc()
+			},
+		})
+		r.peers[n] = p
+	}
+	return r, nil
+}
+
+// Ring exposes the router's ring (read-only).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Self returns this replica's advertised URL.
+func (r *Router) Self() string { return r.cfg.Self }
+
+// Route places a key.
+func (r *Router) Route(key string) Route {
+	owner, succ := r.ring.OwnerSuccessor(key)
+	return Route{
+		Key:         key,
+		Owner:       owner,
+		Successor:   succ,
+		SelfOwner:   owner == r.cfg.Self,
+		SelfStandby: succ == r.cfg.Self,
+	}
+}
+
+// NoteLocal counts a locally-served key this node owns.
+func (r *Router) NoteLocal() { r.local.Inc() }
+
+// NoteReceivedForward counts a forwarded request received from a peer.
+func (r *Router) NoteReceivedForward() { r.received.Inc() }
+
+// PeerHealth is one peer's breaker snapshot.
+type PeerHealth struct {
+	URL string
+	resilience.BackendHealth
+}
+
+// Health snapshots every remote peer's breaker, in ring order.
+func (r *Router) Health() []PeerHealth {
+	var out []PeerHealth
+	for _, n := range r.ring.Nodes() {
+		p := r.peers[n]
+		if p == nil {
+			continue
+		}
+		h := p.br.Snapshot()
+		h.Name = p.host
+		out = append(out, PeerHealth{URL: n, BackendHealth: h})
+	}
+	return out
+}
+
+// ForwardResult carries a peer's response back to the serving layer.
+type ForwardResult struct {
+	Status      int
+	ContentType string
+	// Body holds a buffered response; Stream a streaming one (exactly
+	// one is set). The caller must Close a Stream.
+	Body   []byte
+	Stream io.ReadCloser
+	Peer   string // base URL of the replica that served
+}
+
+// relayable reports whether a peer status is an answer to relay to the
+// client (2xx and request-shaped 4xx) rather than a sign the peer cannot
+// serve right now (429 overload, 503 draining, any 5xx).
+func relayable(status int) bool {
+	return status < 500 && status != http.StatusTooManyRequests &&
+		status != http.StatusServiceUnavailable
+}
+
+// errPeerStatus is a non-relayable peer response.
+type errPeerStatus struct {
+	peer   string
+	status int
+}
+
+func (e *errPeerStatus) Error() string {
+	return fmt.Sprintf("cluster: peer %s answered %d", e.peer, e.status)
+}
+
+// Forward routes one request for key to its owner replica, hedging to
+// the successor when the owner is slow, breaker-blocked, or failing.
+// body must be the complete request payload (it is replayed across
+// attempts); stream selects a streaming response (the caller relays
+// res.Stream) versus a buffered one.
+//
+// ok=false means no remote candidate could serve: the caller must
+// execute locally. Forward has already counted the outcome (standby
+// serve when this node is the key's warm standby, degraded serve
+// otherwise) — graceful degradation is the contract, so Forward never
+// returns an error.
+func (r *Router) Forward(ctx context.Context, route Route, path, contentType string, body []byte, stream bool) (res *ForwardResult, ok bool) {
+	span := r.ob.Span("cluster", "forward", 0).
+		Arg("key", short(route.Key)).Arg("owner", route.Owner).Arg("path", path)
+	defer func() {
+		if res != nil {
+			span.Arg("served_by", res.Peer).Arg("status", res.Status)
+		} else if route.SelfStandby {
+			span.Arg("outcome", "standby-local")
+		} else {
+			span.Arg("outcome", "degraded-local")
+		}
+		span.End()
+	}()
+
+	var candidates []*peer
+	if p := r.peers[route.Owner]; p != nil {
+		candidates = append(candidates, p)
+	}
+	if p := r.peers[route.Successor]; p != nil && route.Successor != route.Owner {
+		candidates = append(candidates, p)
+	}
+
+	if res := r.race(ctx, candidates, path, contentType, body, stream); res != nil {
+		return res, true
+	}
+	if route.SelfStandby {
+		r.standby.Inc()
+	} else {
+		r.degraded.Inc()
+		r.ob.Instant("cluster", "degraded-serve", 0, obs.A("key", short(route.Key)))
+	}
+	return nil, false
+}
+
+// race runs the candidate attempts: the first candidate launches
+// immediately, the next after HedgeDelay (or as soon as the previous
+// attempt fails). First relayable response wins; losers are canceled.
+func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType string, body []byte, stream bool) *ForwardResult {
+	if len(candidates) == 0 {
+		return nil
+	}
+	type outcome struct {
+		res    *ForwardResult
+		err    error
+		p      *peer
+		cancel context.CancelFunc
+	}
+	resc := make(chan outcome, len(candidates))
+	inflight := 0
+	next := 0
+	pending := make(map[*peer]context.CancelFunc, len(candidates))
+	launch := func(hedged bool) {
+		for next < len(candidates) {
+			p := candidates[next]
+			next++
+			if !p.br.Allow(r.now()) {
+				p.skips.Inc()
+				continue
+			}
+			if hedged {
+				r.hedges.Inc()
+				r.ob.Instant("cluster", "hedge", 0, obs.A("to", p.host))
+			}
+			p.fwd.Inc()
+			actx, cancel := context.WithCancel(ctx)
+			if !stream {
+				actx, cancel = context.WithTimeout(ctx, r.cfg.ForwardTimeout)
+			}
+			pending[p] = cancel
+			inflight++
+			go func() {
+				res, err := r.attempt(actx, p, path, contentType, body, stream)
+				resc <- outcome{res: res, err: err, p: p, cancel: cancel}
+			}()
+			return
+		}
+	}
+
+	launch(false)
+	if inflight == 0 {
+		return nil // every candidate breaker-blocked
+	}
+	var hedgeTimer <-chan time.Time
+	if r.cfg.HedgeDelay > 0 && next < len(candidates) {
+		t := time.NewTimer(r.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+	for inflight > 0 {
+		select {
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			launch(true)
+		case o := <-resc:
+			inflight--
+			delete(pending, o.p)
+			if o.err != nil {
+				if ctx.Err() != nil {
+					// Caller gave up: don't judge the peer.
+					o.p.br.Abandon()
+				} else {
+					o.p.fails.Inc()
+					o.p.br.Failure(r.now(), o.err)
+					r.ob.Instant("cluster", "forward-error", 0,
+						obs.A("peer", o.p.host), obs.A("error", o.err.Error()))
+				}
+				o.cancel()
+				launch(false) // immediate failover if a candidate remains
+				continue
+			}
+			// Winner: cancel the losers and drain their outcomes
+			// off-thread so a slow loser never delays the response.
+			o.p.br.Success()
+			for _, cancel := range pending {
+				cancel()
+			}
+			if remaining := inflight; remaining > 0 {
+				go func() {
+					for i := 0; i < remaining; i++ {
+						lo := <-resc
+						if lo.err != nil {
+							// We canceled it — no verdict on the peer.
+							lo.p.br.Abandon()
+						} else {
+							lo.p.br.Success()
+							if lo.res.Stream != nil {
+								lo.res.Stream.Close()
+							}
+						}
+						lo.cancel()
+					}
+				}()
+			}
+			if o.res.Stream != nil {
+				// The stream stays open past this call: tie the attempt
+				// context's release to Close.
+				o.res.Stream = &cancelOnClose{ReadCloser: o.res.Stream, cancel: o.cancel}
+			} else {
+				o.cancel()
+			}
+			return o.res
+		}
+	}
+	return nil
+}
+
+// attempt executes one forward to one peer.
+func (r *Router) attempt(ctx context.Context, p *peer, path, contentType string, body []byte, stream bool) (*ForwardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderForwarded, "1")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if !relayable(resp.StatusCode) {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		return nil, &errPeerStatus{peer: p.host, status: resp.StatusCode}
+	}
+	res := &ForwardResult{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Peer:        p.url,
+	}
+	if stream {
+		res.Stream = resp.Body
+		return res, nil
+	}
+	defer resp.Body.Close()
+	res.Body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err // mid-read drop: transient, candidate failed
+	}
+	return res, nil
+}
+
+// cancelOnClose releases an attempt context when the relayed stream is
+// closed.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// short abbreviates a pattern-set key for span args.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

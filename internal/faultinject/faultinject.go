@@ -37,7 +37,34 @@ const (
 	// WhileCap trips the global while-iteration cap regardless of the
 	// configured bound.
 	WhileCap Point = "while-cap"
+
+	// Network-level points, consulted by the cluster transport
+	// (internal/cluster). Each is usually scoped to one peer with For:
+	// in.ArmNth(faultinject.PeerRefuse.For("127.0.0.1:9001"), 1).
+	// The unscoped point applies to every peer.
+
+	// PeerRefuse fails a peer dial/request before any bytes are exchanged
+	// — the connection-refused shape of a crashed replica.
+	PeerRefuse Point = "peer-refuse"
+	// PeerSlow delays a peer request by the transport's configured
+	// SlowDelay before it proceeds — a congested or GC-pausing replica.
+	PeerSlow Point = "peer-slow"
+	// PeerDrop cuts a peer response mid-stream after a deterministic
+	// number of body bytes — a connection reset during an NDJSON relay.
+	PeerDrop Point = "peer-drop"
+	// PeerPartition models a network partition: every request to the
+	// partitioned peer fails as if unroutable. Distinct from PeerRefuse
+	// so tests can arm a persistent partition (Repeat) alongside
+	// one-shot refusals.
+	PeerPartition Point = "peer-partition"
 )
+
+// For scopes a point to one target (a peer address): the returned point is
+// independent of the unscoped one — arm either or both. The cluster
+// transport consults both the scoped and unscoped variants.
+func (p Point) For(target string) Point {
+	return p + ":" + Point(target)
+}
 
 // ErrInjected is the identity of every injected fault: tests and callers
 // classify with errors.Is(err, ErrInjected).

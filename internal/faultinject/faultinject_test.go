@@ -159,3 +159,21 @@ func TestConcurrentFireIsSafe(t *testing.T) {
 		t.Fatalf("fired = %d, want 751", got)
 	}
 }
+
+func TestScopedPointIsIndependent(t *testing.T) {
+	in := New(11).Arm(PeerPartition.For("10.0.0.2:8377"), Spec{Nth: 1, Repeat: true})
+	if in.Fire(PeerPartition) {
+		t.Fatal("unscoped point fired when only the scoped one is armed")
+	}
+	if in.Fire(PeerPartition.For("10.0.0.3:8377")) {
+		t.Fatal("a differently-scoped point fired")
+	}
+	for i := 0; i < 3; i++ {
+		if !in.Fire(PeerPartition.For("10.0.0.2:8377")) {
+			t.Fatalf("armed scoped point did not fire on hit %d", i+1)
+		}
+	}
+	if got := in.Fired(PeerPartition.For("10.0.0.2:8377")); got != 3 {
+		t.Fatalf("scoped Fired = %d, want 3", got)
+	}
+}

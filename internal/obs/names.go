@@ -49,6 +49,19 @@ const (
 	MServeBatchedRequests = "bitgen_serve_batched_requests_total"
 	MServeDrains          = "bitgen_serve_drains_total"
 
+	// Cluster layer (registered by internal/cluster into the serve
+	// registry; absent from library-only expositions).
+	MClusterPeers            = "bitgen_cluster_peers"
+	MClusterLocalServes      = "bitgen_cluster_local_serves_total"
+	MClusterForwards         = "bitgen_cluster_forwards_total"
+	MClusterForwardErrors    = "bitgen_cluster_forward_errors_total"
+	MClusterHedges           = "bitgen_cluster_hedges_total"
+	MClusterDegradedServes   = "bitgen_cluster_degraded_serves_total"
+	MClusterStandbyServes    = "bitgen_cluster_standby_serves_total"
+	MClusterReceivedForwards = "bitgen_cluster_received_forwards_total"
+	MClusterPeerSkips        = "bitgen_cluster_peer_skips_total"
+	MClusterPeerFlips        = "bitgen_cluster_peer_breaker_transitions_total"
+
 	// Resilience ladder (mirrors internal/resilience counters).
 	MLadderCalls       = "bitgen_ladder_calls_total"
 	MLadderFallbacks   = "bitgen_ladder_fallbacks_total"
@@ -99,6 +112,17 @@ const (
 	HServeBatches         = "Coalesced same-engine batches executed through RunMulti."
 	HServeBatchedRequests = "Match requests served through a coalesced batch."
 	HServeDrains          = "Graceful drains initiated."
+
+	HClusterPeers            = "Replicas on the consistent-hash ring (including this node)."
+	HClusterLocalServes      = "Requests for keys this node owns, served locally."
+	HClusterForwards         = "Requests forwarded to a peer, per peer."
+	HClusterForwardErrors    = "Forwards that failed (network fault, 5xx, or deadline), per peer."
+	HClusterHedges           = "Hedged secondary forwards launched to the successor replica."
+	HClusterDegradedServes   = "Keys served by local compile because every live owner was unreachable."
+	HClusterStandbyServes    = "Keys served locally by the warm-standby successor while the owner was down."
+	HClusterReceivedForwards = "Forwarded requests received from peers (served locally, never re-forwarded)."
+	HClusterPeerSkips        = "Forward attempts skipped by an open peer breaker, per peer."
+	HClusterPeerFlips        = "Peer breaker state transitions, per peer and destination state."
 
 	HLadderCalls       = "Resilience ladder invocations."
 	HLadderFallbacks   = "Calls served by a rung other than the first."

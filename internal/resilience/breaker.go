@@ -40,6 +40,13 @@ type breaker struct {
 	cooldown  time.Duration // open duration before a half-open probe
 	openedAt  time.Time
 	probing   bool // a half-open probe is in flight
+	// jitterSeed, when non-zero, scales each open's effective cooldown by
+	// a deterministic factor in [0.5, 1.5) derived from (seed, opens) —
+	// de-synchronizing half-open probe storms when many breakers (one per
+	// cluster peer) open at the same instant.
+	jitterSeed  uint64
+	opens       uint64
+	effCooldown time.Duration // cooldown chosen at the most recent open
 	// quarantined pins the breaker open with no probes: set when a
 	// differential cross-check catches the backend returning a wrong
 	// match set. Only an explicit Reset clears it — a backend caught
@@ -83,7 +90,7 @@ func (b *breaker) allow(now time.Time) bool {
 		b.mu.Unlock()
 		return true
 	case Open:
-		if now.Sub(b.openedAt) >= b.cooldown {
+		if now.Sub(b.openedAt) >= b.effCooldown {
 			b.state = HalfOpen
 			b.probing = true
 			b.attempts++
@@ -131,6 +138,7 @@ func (b *breaker) failure(now time.Time, err error) {
 	if wasProbe || (b.threshold > 0 && b.consecFails >= b.threshold) {
 		b.state = Open
 		b.openedAt = now
+		b.setCooldownLocked()
 		opened = true
 	}
 	b.mu.Unlock()
@@ -160,6 +168,7 @@ func (b *breaker) quarantine(now time.Time, reason string) {
 	b.quarantined = true
 	b.state = Open
 	b.openedAt = now
+	b.setCooldownLocked()
 	b.probing = false
 	b.lastFailure = reason
 	b.mu.Unlock()
@@ -176,6 +185,18 @@ func (b *breaker) reset() {
 	b.consecFails = 0
 	b.mu.Unlock()
 	b.notify(from, Closed)
+}
+
+// setCooldownLocked picks the effective cooldown for an open that just
+// happened: the configured cooldown, jittered by [0.5, 1.5) when a jitter
+// seed is set. Callers hold b.mu.
+func (b *breaker) setCooldownLocked() {
+	b.opens++
+	b.effCooldown = b.cooldown
+	if b.jitterSeed != 0 {
+		u := float64(splitmix(b.jitterSeed^0x3c6ef372fe94f82b, b.opens)) / float64(^uint64(0))
+		b.effCooldown = time.Duration(float64(b.cooldown) * (0.5 + u))
+	}
 }
 
 // snapshot copies the observable state into a BackendHealth (Name is

@@ -1,0 +1,81 @@
+package resilience
+
+import "time"
+
+// BreakerConfig parameterizes an exported Breaker. The zero value gives
+// the same defaults the ladder uses (threshold 3, cooldown 5s).
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// Zero means 3; negative disables opening on failure counts.
+	Threshold int
+	// Cooldown is how long an open breaker rejects attempts before
+	// admitting a half-open probe. Zero means 5s.
+	Cooldown time.Duration
+	// JitterSeed, when non-zero, scales each open's effective cooldown by
+	// a deterministic factor in [0.5, 1.5) derived from (seed, open
+	// count). When many breakers open at the same instant — every peer of
+	// a partitioned cluster node — jitter spreads their half-open probes
+	// instead of synchronizing a probe storm.
+	JitterSeed uint64
+	// OnState, when non-nil, observes every state transition. It is
+	// invoked outside the breaker's lock and must be safe for concurrent
+	// use.
+	OnState func(from, to State)
+}
+
+// Breaker is the ladder's circuit breaker exported for reuse outside the
+// backend ladder — internal/cluster runs one per peer to gate request
+// forwarding. All methods are safe for concurrent use; time is supplied
+// by the caller so tests control it.
+type Breaker struct {
+	b breaker
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Threshold < 0 {
+		cfg.Threshold = 0
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	return &Breaker{b: breaker{
+		threshold:  cfg.Threshold,
+		cooldown:   cfg.Cooldown,
+		jitterSeed: cfg.JitterSeed,
+		onState:    cfg.OnState,
+	}}
+}
+
+// Allow reports whether an attempt may proceed now. A true return in
+// half-open state claims the single probe slot; the caller must report
+// the outcome via Success or Failure (or release it via Abandon).
+func (x *Breaker) Allow(now time.Time) bool { return x.b.allow(now) }
+
+// Success records a served attempt: the breaker closes and the failure
+// streak resets.
+func (x *Breaker) Success() { x.b.success() }
+
+// Failure records a failed attempt; the breaker opens when the streak
+// reaches the threshold or when a half-open probe fails.
+func (x *Breaker) Failure(now time.Time, err error) { x.b.failure(now, err) }
+
+// Abandon releases a claimed probe slot without judging the peer (the
+// attempt aborted for caller-side reasons, e.g. cancellation).
+func (x *Breaker) Abandon() { x.b.abandon() }
+
+// Reset closes the breaker and clears the failure streak.
+func (x *Breaker) Reset() { x.b.reset() }
+
+// State returns the breaker's current position.
+func (x *Breaker) State() State {
+	x.b.mu.Lock()
+	defer x.b.mu.Unlock()
+	return x.b.state
+}
+
+// Snapshot copies the observable state (Name is left for the caller).
+func (x *Breaker) Snapshot() BackendHealth { return x.b.snapshot() }

@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestExportedBreakerLifecycle walks the exported Breaker through
+// closed → open → half-open → closed with a controlled clock.
+func TestExportedBreakerLifecycle(t *testing.T) {
+	var flips []string
+	br := NewBreaker(BreakerConfig{
+		Threshold: 2,
+		Cooldown:  time.Second,
+		OnState: func(from, to State) {
+			flips = append(flips, from.String()+">"+to.String())
+		},
+	})
+	now := time.Unix(1000, 0)
+	boom := errors.New("boom")
+
+	if !br.Allow(now) {
+		t.Fatal("closed breaker rejected an attempt")
+	}
+	br.Failure(now, boom)
+	if br.State() != Closed {
+		t.Fatalf("state after 1 failure = %v, want closed", br.State())
+	}
+	if !br.Allow(now) {
+		t.Fatal("breaker under threshold rejected an attempt")
+	}
+	br.Failure(now, boom)
+	if br.State() != Open {
+		t.Fatalf("state after threshold failures = %v, want open", br.State())
+	}
+	if br.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+	if !br.Allow(now.Add(1100 * time.Millisecond)) {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if br.State() != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", br.State())
+	}
+	// Only one probe is admitted.
+	if br.Allow(now.Add(1200 * time.Millisecond)) {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	br.Success()
+	if br.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", br.State())
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(flips) != len(want) {
+		t.Fatalf("flips = %v, want %v", flips, want)
+	}
+	for i := range want {
+		if flips[i] != want[i] {
+			t.Fatalf("flips = %v, want %v", flips, want)
+		}
+	}
+}
+
+// TestExportedBreakerJitter proves a jittered cooldown stays within
+// [0.5, 1.5) of the configured cooldown, varies across opens, and
+// reproduces exactly for a fixed seed.
+func TestExportedBreakerJitter(t *testing.T) {
+	cooldowns := func(seed uint64, opens int) []time.Duration {
+		br := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, JitterSeed: seed})
+		now := time.Unix(2000, 0)
+		var out []time.Duration
+		if !br.Allow(now) {
+			t.Fatal("closed breaker refused")
+		}
+		br.Failure(now, errors.New("x")) // first open
+		for i := 0; i < opens; i++ {
+			// Measure this open's effective cooldown by stepping the clock
+			// until a half-open probe is admitted, then fail the probe to
+			// re-open with a fresh jittered cooldown.
+			step := 10 * time.Millisecond
+			var waited time.Duration
+			for !br.Allow(now.Add(waited)) {
+				waited += step
+				if waited > 2*time.Second {
+					t.Fatal("cooldown exceeded the jitter upper bound")
+				}
+			}
+			out = append(out, waited)
+			now = now.Add(waited)
+			br.Failure(now, errors.New("x"))
+		}
+		return out
+	}
+	a := cooldowns(42, 6)
+	b := cooldowns(42, 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+		}
+		if a[i] < 500*time.Millisecond || a[i] >= 1510*time.Millisecond {
+			t.Fatalf("open %d cooldown %v outside [0.5s, 1.5s)", i, a[i])
+		}
+	}
+	distinct := map[time.Duration]bool{}
+	for _, d := range a {
+		distinct[d] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("jitter produced no variation across opens: %v", a)
+	}
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bitgen"
+	"bitgen/internal/arena"
+	"bitgen/internal/cluster"
+)
+
+// TestRetryAfterHeaders: 429 (queue full) and 503 (draining) rejections
+// carry Retry-After so clients back off instead of hammering.
+func TestRetryAfterHeaders(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+
+	// Occupy the only execution slot and fill the one queue position.
+	release, _, err := s.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		if rel, _, err := s.admit(context.Background()); err == nil {
+			rel()
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for s.Metrics().Snapshot().Gauges["bitgen_serve_queue_depth"] < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	resp, err := http.Post(hs.URL+"/v1/match", "application/json",
+		strings.NewReader(`{"patterns":["ab"],"input":"ab"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterQueueFull {
+		t.Errorf("429 Retry-After = %q, want %q", got, retryAfterQueueFull)
+	}
+	release()
+	<-waiterDone
+
+	// Drain: every new request is 503 with the drain back-off.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(hs.URL+"/v1/match", "application/json",
+		strings.NewReader(`{"patterns":["ab"],"input":"ab"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterDraining {
+		t.Errorf("503 Retry-After = %q, want %q", got, retryAfterDraining)
+	}
+}
+
+// TestMaxTimeoutClamp: the server-side MaxTimeout caps client-requested
+// timeouts and peer-propagated deadlines alike.
+func TestMaxTimeoutClamp(t *testing.T) {
+	s := New(Config{MaxTimeout: 80 * time.Millisecond})
+	defer s.Close()
+
+	check := func(name string, r *http.Request, timeoutMS int, want time.Duration) {
+		t.Helper()
+		start := time.Now()
+		ctx, cancel := s.requestCtx(r, timeoutMS)
+		defer cancel()
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Fatalf("%s: no deadline", name)
+		}
+		got := dl.Sub(start)
+		if got > want+20*time.Millisecond || got < want/2 {
+			t.Errorf("%s: deadline in %v, want ~%v", name, got, want)
+		}
+	}
+
+	r := httptest.NewRequest(http.MethodPost, "/v1/match", nil)
+	check("client asks 60s, clamped", r, 60_000, 80*time.Millisecond)
+	check("client asks 10ms, honored", r, 10, 10*time.Millisecond)
+
+	fwd := httptest.NewRequest(http.MethodPost, "/v1/match", nil)
+	fwd.Header.Set(cluster.HeaderDeadlineMS, "15")
+	check("peer deadline tightens", fwd, 60_000, 15*time.Millisecond)
+	fwd.Header.Set(cluster.HeaderDeadlineMS, "600000")
+	check("peer deadline clamped too", fwd, 0, 80*time.Millisecond)
+}
+
+// TestMaxTimeoutClampEndToEnd: a request asking for a 60s budget against
+// a 50ms MaxTimeout server comes back 504 promptly.
+func TestMaxTimeoutClampEndToEnd(t *testing.T) {
+	s := New(Config{MaxTimeout: 50 * time.Millisecond})
+	s.batchRun = func(eng *bitgen.Engine) func(context.Context, [][]byte) (*bitgen.MultiResult, error) {
+		return func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error) {
+			<-ctx.Done()
+			return nil, bitgen.ErrCanceled
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Close()
+
+	start := time.Now()
+	code, _, er := postMatch(t, hs.URL, `{"patterns":["ab"],"input":"ab","timeout_ms":60000}`)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%+v), want 504", code, er)
+	}
+	if er.Class != "canceled" {
+		t.Errorf("class = %q, want canceled", er.Class)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("request took %v: MaxTimeout did not clamp the 60s budget", elapsed)
+	}
+}
+
+// TestScanClientDisconnect: a client that vanishes mid-NDJSON-stream must
+// release its execution slot and return every pooled arena buffer — the
+// leak assertion the streaming layer is built around. Run under -race.
+func TestScanClientDisconnect(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+
+	pr, pw := io.Pipe()
+	feederStop := make(chan struct{})
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		chunk := []byte(strings.Repeat("ab", 512))
+		for {
+			select {
+			case <-feederStop:
+				pw.Close()
+				return
+			default:
+			}
+			if _, err := pw.Write(chunk); err != nil {
+				return
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		hs.URL+"/v1/scan?pattern=ab&chunk=256", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one record so the scan is demonstrably mid-stream, then vanish.
+	buf := make([]byte, 64)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+	close(feederStop)
+	<-feederDone
+
+	// The slot must come back and the arena must balance once the
+	// aborted scan unwinds.
+	deadline := time.After(10 * time.Second)
+	for {
+		inFlight := s.Metrics().Snapshot().Gauges["bitgen_serve_in_flight"]
+		balanced := arena.Default.CheckBalanced()
+		if inFlight == 0 && balanced == nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("after disconnect: in_flight=%v, arena=%v", inFlight, balanced)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

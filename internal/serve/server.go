@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/json"
@@ -15,6 +17,7 @@ import (
 
 	"bitgen"
 	"bitgen/internal/cli"
+	"bitgen/internal/cluster"
 	"bitgen/internal/obs"
 )
 
@@ -32,14 +35,19 @@ type Config struct {
 	// launch coalesces (default 16).
 	MaxBatch int
 	// DefaultTimeout applies when a request carries no timeout_ms
-	// (default 10s); MaxTimeout caps client-requested timeouts
-	// (default 60s).
+	// (default 10s); MaxTimeout caps client-requested timeouts (default
+	// 30s) so no request — local or forwarded from a peer — can pin an
+	// execution slot indefinitely.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
 	// MaxBodyBytes caps a /v1/match request body (default 8 MiB).
 	// /v1/scan bodies stream unbounded; the engine's per-chunk
 	// Limits.MaxInputBytes still applies to every chunk.
 	MaxBodyBytes int64
+	// MaxScanForwardBytes bounds how much of a /v1/scan body is buffered
+	// for cluster forwarding (default 1 MiB): buffered bodies can be
+	// replayed across hedged attempts, larger streams are served locally.
+	MaxScanForwardBytes int64
 	// Engine is the base bitgen.Options every compiled engine starts
 	// from; per-request knobs (fold_case) overlay it and Observability
 	// is always enabled so /metrics?set= and /trace?set= have data.
@@ -63,10 +71,13 @@ func (c Config) withDefaults() Config {
 		c.DefaultTimeout = 10 * time.Second
 	}
 	if c.MaxTimeout <= 0 {
-		c.MaxTimeout = 60 * time.Second
+		c.MaxTimeout = 30 * time.Second
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxScanForwardBytes <= 0 {
+		c.MaxScanForwardBytes = 1 << 20
 	}
 	return c
 }
@@ -94,6 +105,11 @@ type Server struct {
 
 	inFlight   *obs.Gauge
 	queueDepth *obs.Gauge
+
+	// cluster, when non-nil, routes pattern-set keys across replicas;
+	// ctrace records the cluster layer's per-forward spans.
+	cluster *cluster.Router
+	ctrace  *obs.Tracer
 
 	// batchRun, when non-nil, replaces an engine's RunMultiContext as the
 	// batch executor — a test seam for deterministic coalescing.
@@ -136,11 +152,30 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/match", s.handleMatch)
 	s.mux.HandleFunc("/v1/scan", s.handleScan)
 	s.mux.HandleFunc("/v1/sets", s.handleSets)
+	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	return s
 }
+
+// EnableCluster wires consistent-hash routing across the configured
+// replicas. Call once, before serving traffic. The router registers its
+// cluster.* families into this server's registry and records per-forward
+// spans on a dedicated tracer (exported via /trace?cluster=1).
+func (s *Server) EnableCluster(cc cluster.Config) error {
+	s.ctrace = obs.NewTracer(obs.TracerConfig{})
+	r, err := cluster.New(cc, &obs.Observer{Tracer: s.ctrace, Metrics: s.reg})
+	if err != nil {
+		s.ctrace = nil
+		return err
+	}
+	s.cluster = r
+	return nil
+}
+
+// Cluster returns the router, or nil when cluster mode is off.
+func (s *Server) Cluster() *cluster.Router { return s.cluster }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -290,17 +325,26 @@ func (s *Server) admit(ctx context.Context) (release func(), status int, err err
 	}, 0, nil
 }
 
-// requestCtx derives the per-request deadline from timeout_ms, bounded
-// by MaxTimeout, defaulting to DefaultTimeout.
-func (s *Server) requestCtx(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+// requestCtx derives the per-request deadline: the client's timeout_ms
+// (default DefaultTimeout), tightened by a peer-propagated deadline on
+// forwarded requests, and always capped at MaxTimeout — a forwarded
+// request can never pin a cluster slot longer than the server allows.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
 	d := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
-		if d > s.cfg.MaxTimeout {
-			d = s.cfg.MaxTimeout
+	}
+	if h := r.Header.Get(cluster.HeaderDeadlineMS); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			if hd := time.Duration(ms) * time.Millisecond; hd < d || timeoutMS <= 0 {
+				d = hd
+			}
 		}
 	}
-	return context.WithTimeout(parent, d)
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
 }
 
 // ---- wire types ----
@@ -396,13 +440,30 @@ func (s *Server) fail(w http.ResponseWriter, endpoint string, status int, err er
 	})
 }
 
+// Back-off hints for rejected requests: a full queue usually clears
+// within a batch launch or two (1s), a drain means this replica is going
+// away and clients should re-resolve (5s). Clients and bitload honor
+// Retry-After; the cluster router fails straight over to the successor
+// instead of waiting.
+const (
+	retryAfterQueueFull = "1"
+	retryAfterDraining  = "5"
+)
+
 // reject writes an admission rejection (queue full or draining); admit
-// already counted it in MServeRejected.
+// already counted it in MServeRejected. 429 and 503 carry a Retry-After
+// header so well-behaved clients back off instead of hammering.
 func (s *Server) reject(w http.ResponseWriter, endpoint string, status int, err error) {
 	s.reg.Counter(obs.MServeErrors, obs.HServeErrors, obs.L("endpoint", endpoint)).Inc()
 	class := "rejected"
 	if errors.Is(err, bitgen.ErrCanceled) || status == http.StatusGatewayTimeout {
 		class = "canceled"
+	}
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", retryAfterQueueFull)
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", retryAfterDraining)
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error(), Class: class})
 }
@@ -415,13 +476,6 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "match", http.StatusMethodNotAllowed, errors.New("POST required"), false)
 		return
 	}
-	release, status, err := s.admit(r.Context())
-	if err != nil {
-		s.reject(w, "match", status, err)
-		return
-	}
-	defer release()
-
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		st := http.StatusBadRequest
@@ -449,11 +503,47 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	ctx, cancel := s.requestCtx(r.Context(), req.TimeoutMS)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
 	opts := s.engineOptions(req.FoldCase)
 	key := bitgen.PatternSetKey(req.Patterns, &opts)
+
+	// Cluster routing happens BEFORE admission: forwarding proxies I/O,
+	// not engine work, so it must never hold an execution slot — a
+	// saturated cluster whose slots are all held by forwards waiting in
+	// each other's admission queues starves itself. Only requests that
+	// execute locally (owned keys, received forwards, degraded fallbacks)
+	// pass through admit.
+	if s.cluster != nil {
+		if r.Header.Get(cluster.HeaderForwarded) == "1" {
+			// A peer already routed this here: serve it, never re-forward.
+			s.cluster.NoteReceivedForward()
+		} else if route := s.cluster.Route(key); route.SelfOwner {
+			s.cluster.NoteLocal()
+		} else if s.Draining() {
+			s.reg.Counter(obs.MServeRejected, obs.HServeRejected).Inc()
+			s.reject(w, "match", http.StatusServiceUnavailable, errDraining)
+			return
+		} else if res, ok := s.cluster.Forward(ctx, route, "/v1/match", "application/json", body, false); ok {
+			if res.ContentType != "" {
+				w.Header().Set("Content-Type", res.ContentType)
+			}
+			w.WriteHeader(res.Status)
+			_, _ = w.Write(res.Body)
+			return
+		}
+		// Forward exhausted every remote candidate (counted as a standby
+		// or degraded serve): fall through and compile locally.
+	}
+
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		s.reject(w, "match", status, err)
+		return
+	}
+	defer release()
+
 	e, hit, err := s.cache.get(ctx, key, req.Patterns, req.FoldCase)
 	if err != nil {
 		s.fail(w, "match", statusOf(err, true), err, true)
@@ -517,6 +607,44 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		timeoutMS = n
 	}
 
+	ctx, cancel := s.requestCtx(r, timeoutMS)
+	defer cancel()
+
+	opts := s.engineOptions(foldCase)
+	key := bitgen.PatternSetKey(patterns, &opts)
+
+	// As in handleMatch: route before admission, so a forwarded scan
+	// never pins a local execution slot while the owner does the work.
+	var input io.Reader = r.Body
+	if s.cluster != nil {
+		if r.Header.Get(cluster.HeaderForwarded) == "1" {
+			s.cluster.NoteReceivedForward()
+		} else if route := s.cluster.Route(key); route.SelfOwner {
+			s.cluster.NoteLocal()
+		} else if s.Draining() {
+			s.reg.Counter(obs.MServeRejected, obs.HServeRejected).Inc()
+			s.reject(w, "scan", http.StatusServiceUnavailable, errDraining)
+			return
+		} else {
+			// Buffer up to MaxScanForwardBytes so hedged attempts can
+			// replay the body; larger streams are served locally instead.
+			buf, rerr := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxScanForwardBytes+1))
+			if rerr != nil {
+				s.fail(w, "scan", http.StatusBadRequest, rerr, false)
+				return
+			}
+			if int64(len(buf)) <= s.cfg.MaxScanForwardBytes {
+				if res, ok := s.cluster.Forward(ctx, route, r.URL.RequestURI(), "application/octet-stream", buf, true); ok {
+					s.relayScan(w, res)
+					return
+				}
+				input = bytes.NewReader(buf)
+			} else {
+				input = io.MultiReader(bytes.NewReader(buf), r.Body)
+			}
+		}
+	}
+
 	release, status, err := s.admit(r.Context())
 	if err != nil {
 		s.reject(w, "scan", status, err)
@@ -524,11 +652,6 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	ctx, cancel := s.requestCtx(r.Context(), timeoutMS)
-	defer cancel()
-
-	opts := s.engineOptions(foldCase)
-	key := bitgen.PatternSetKey(patterns, &opts)
 	e, _, err := s.cache.get(ctx, key, patterns, foldCase)
 	if err != nil {
 		s.fail(w, "scan", statusOf(err, true), err, true)
@@ -544,7 +667,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	wrote := false
 	count := 0
 	var encErr error
-	scanErr := e.eng.ScanReaderContext(ctx, r.Body, chunk, func(m bitgen.Match) {
+	scanErr := e.eng.ScanReaderContext(ctx, input, chunk, func(m bitgen.Match) {
 		if encErr != nil {
 			return
 		}
@@ -571,6 +694,91 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// relayScan copies a peer's NDJSON scan response line-by-line. Relaying
+// whole lines means a connection that drops mid-record never leaks a
+// truncated JSON object to the client — the partial line is discarded
+// and a clean error trailer is emitted instead.
+func (s *Server) relayScan(w http.ResponseWriter, res *cluster.ForwardResult) {
+	defer res.Stream.Close()
+	ct := res.ContentType
+	if ct == "" {
+		ct = "application/x-ndjson"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(res.Status)
+	flusher, _ := w.(http.Flusher)
+	br := bufio.NewReader(res.Stream)
+	lines := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == nil {
+			if _, werr := w.Write(line); werr != nil {
+				return // client went away; nothing left to report to
+			}
+			lines++
+			if flusher != nil && lines%128 == 0 {
+				flusher.Flush()
+			}
+			continue
+		}
+		// A complete peer response always ends with the trailer's newline,
+		// so leftover un-terminated bytes (or any non-EOF error) mean the
+		// connection dropped: discard the torn record, emit a trailer.
+		if err != io.EOF || len(line) > 0 {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			s.reg.Counter(obs.MServeErrors, obs.HServeErrors, obs.L("endpoint", "scan")).Inc()
+			_ = json.NewEncoder(w).Encode(scanTrailer{Done: false, Error: "cluster relay interrupted: " + err.Error()})
+		}
+		break
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleCluster reports this replica's cluster view: ring membership,
+// per-peer breaker health, and (with ?key=) the placement of one key.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "cluster mode is not enabled", Class: "not_found"})
+		return
+	}
+	type peerJSON struct {
+		URL       string `json:"url"`
+		State     string `json:"state"`
+		Failures  int    `json:"consecutive_failures"`
+		Attempts  uint64 `json:"attempts"`
+		Successes uint64 `json:"successes"`
+		Skips     uint64 `json:"skips"`
+		LastError string `json:"last_error,omitempty"`
+	}
+	health := s.cluster.Health()
+	peers := make([]peerJSON, 0, len(health))
+	for _, p := range health {
+		peers = append(peers, peerJSON{
+			URL: p.URL, State: p.State.String(), Failures: p.ConsecutiveFailures,
+			Attempts: p.Attempts, Successes: p.Successes, Skips: p.Skips,
+			LastError: p.LastFailure,
+		})
+	}
+	resp := map[string]any{
+		"self":   s.cluster.Self(),
+		"nodes":  s.cluster.Ring().Nodes(),
+		"vnodes": s.cluster.Ring().VNodes(),
+		"peers":  peers,
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		rt := s.cluster.Route(key)
+		resp["route"] = map[string]any{
+			"key": rt.Key, "owner": rt.Owner, "successor": rt.Successor,
+			"self_owner": rt.SelfOwner, "self_standby": rt.SelfStandby,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
@@ -604,8 +812,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves a cached engine's span trace (Chrome trace_event
-// JSON) via Engine.WriteTrace.
+// JSON) via Engine.WriteTrace, or the cluster layer's per-forward spans
+// with ?cluster=1.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("cluster"); v == "1" || v == "true" {
+		if s.ctrace == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "cluster mode is not enabled", Class: "not_found"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.ctrace.WriteChromeTrace(w)
+		return
+	}
 	key := r.URL.Query().Get("set")
 	if key == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "?set=<pattern-set-key> is required", Class: "bad_request"})
