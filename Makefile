@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke cluster-smoke bench-serve
+.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke cluster-smoke snapshot-smoke bench-serve
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz '^FuzzBackendsAgree$$' -fuzztime $(FUZZTIME) -run '^FuzzBackendsAgree$$' .
 	$(GO) test -fuzz '^FuzzScanReaderChunkBoundaries$$' -fuzztime $(FUZZTIME) -run '^FuzzScanReaderChunkBoundaries$$' .
+	$(GO) test -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime $(FUZZTIME) -run '^FuzzSnapshotRoundTrip$$' .
 
 # obs-smoke runs a real scan with tracing and metrics on and validates
 # the exported artifacts: the Chrome trace_event JSON schema (loadable in
@@ -77,6 +78,16 @@ serve-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/bitgend -cluster-selftest
 
+# snapshot-smoke runs the persistence acceptance: save a compiled engine,
+# flip a byte, and require the restarted server to detect the corruption,
+# quarantine the file to a .bad sidecar, and serve the request by
+# recompiling; then warm start (zero compiles), torn write (crash before
+# rename leaves no file), stale format version refused as version-mismatch,
+# short read refused as truncated, and the background scrubber catching
+# resting corruption.
+snapshot-smoke:
+	$(GO) run ./cmd/bitgend -snapshot-selftest
+
 # bench-serve regenerates results/BENCH_serve.json: a 1-node baseline vs
 # a 3-node cluster with a mid-run replica kill, reporting p50/p99
 # latency, saturation throughput, and post-kill recovery time.
@@ -87,7 +98,7 @@ bench-serve:
 # installed), build, the full suite under the race detector, the
 # fault-injection suite, and the observability, bench, service and
 # cluster smokes.
-ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke cluster-smoke
+ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke cluster-smoke snapshot-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -240,6 +240,11 @@ type Engine struct {
 	// scanArena overrides the pipelined scanner's buffer pool; nil selects
 	// arena.Default. Tests set it to assert get/put balance.
 	scanArena *arena.Arena
+	// foldCase and optsHash record the compile-time options for snapshot
+	// persistence: SaveEngine embeds them so LoadEngine can refuse a
+	// snapshot compiled under a different configuration.
+	foldCase bool
+	optsHash string
 }
 
 // Compile parses and compiles the patterns. A nil opts selects defaults.
@@ -266,15 +271,9 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("bitgen: no patterns")
 	}
-	var dev gpusim.Device
-	if opts.Device != "" {
-		d, err := gpusim.DeviceByName(opts.Device)
-		if err != nil {
-			return nil, &UnsupportedError{Feature: fmt.Sprintf("device %q", opts.Device)}
-		}
-		dev = d
-	} else {
-		dev = gpusim.RTX3090
+	dev, err := resolveDevice(opts)
+	if err != nil {
+		return nil, err
 	}
 	limits := opts.Limits.withDefaults(dev)
 	if limits.MaxPatterns > 0 && len(patterns) > limits.MaxPatterns {
@@ -318,6 +317,50 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 		}
 	}
 	pspan.End()
+	cfg := buildEngineConfig(opts, dev, limits, observer)
+	inner, err := engine.CompileContext(ctx, regexes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		inner:    inner,
+		patterns: patterns,
+		unique:   unique, indexesOf: indexesOf, nullable: nullable,
+		limits: limits,
+		maxLen: maxLen, unbounded: unbounded,
+		obs:         observer,
+		scanWorkers: opts.ScanWorkers,
+		foldCase:    opts.FoldCase,
+		optsHash:    optionsHash(opts),
+	}
+	if opts.Resilience != nil {
+		asts := make([]rx.Node, len(regexes))
+		for i := range regexes {
+			asts[i] = regexes[i].AST
+		}
+		if err := buildLadder(e, asts, opts.Resilience); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// resolveDevice maps Options.Device to a simulator profile.
+func resolveDevice(opts *Options) (gpusim.Device, error) {
+	if opts.Device == "" {
+		return gpusim.RTX3090, nil
+	}
+	d, err := gpusim.DeviceByName(opts.Device)
+	if err != nil {
+		return gpusim.Device{}, &UnsupportedError{Feature: fmt.Sprintf("device %q", opts.Device)}
+	}
+	return d, nil
+}
+
+// buildEngineConfig translates public Options into the internal engine
+// configuration. CompileContext and LoadEngine share it, so a loaded
+// snapshot executes under exactly the configuration a fresh compile would.
+func buildEngineConfig(opts *Options, dev gpusim.Device, limits Limits, observer *obs.Observer) engine.Config {
 	cfg := engine.BitGenDefault()
 	cfg.KeepOutputs = true
 	cfg.Device = dev
@@ -349,29 +392,7 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 		cfg.MemoryBudgetBytes = limits.MaxDeviceMemoryBytes
 	}
 	cfg.Obs = observer
-	inner, err := engine.CompileContext(ctx, regexes, cfg)
-	if err != nil {
-		return nil, err
-	}
-	e := &Engine{
-		inner:    inner,
-		patterns: patterns,
-		unique:   unique, indexesOf: indexesOf, nullable: nullable,
-		limits: limits,
-		maxLen: maxLen, unbounded: unbounded,
-		obs:         observer,
-		scanWorkers: opts.ScanWorkers,
-	}
-	if opts.Resilience != nil {
-		asts := make([]rx.Node, len(regexes))
-		for i := range regexes {
-			asts[i] = regexes[i].AST
-		}
-		if err := buildLadder(e, asts, opts.Resilience); err != nil {
-			return nil, err
-		}
-	}
-	return e, nil
+	return cfg
 }
 
 // PatternSetKey returns a canonical content hash identifying a compiled

@@ -8,6 +8,7 @@
 //	POST /v1/match   {"patterns":[...],"input":"..."} → matches JSON
 //	POST /v1/scan    ?pattern=...&chunk=N, body streamed → NDJSON matches
 //	GET  /v1/sets    cached pattern-set keys
+//	GET  /v1/snapshot ?set=<key> persisted engine snapshot bytes (peers)
 //	GET  /v1/cluster ring membership + per-peer breaker health
 //	GET  /healthz    200 ok / 503 draining
 //	GET  /metrics    serve-layer Prometheus; ?set=<key> for one engine
@@ -36,8 +37,10 @@ import (
 	"time"
 
 	"bitgen"
+	"bitgen/internal/cli"
 	"bitgen/internal/cluster"
 	"bitgen/internal/serve"
+	"bitgen/internal/snapshot"
 )
 
 func main() {
@@ -52,7 +55,11 @@ func main() {
 		maxBody    = flag.Int64("max-body", 8<<20, "max /v1/match body bytes")
 		device     = flag.String("device", "", "GPU profile for the cost model (default RTX 3090)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
-		selftest   = flag.Bool("selftest", false, "boot on a loopback port, exercise match/scan/metrics/drain, exit")
+		selftest   = flag.Bool("selftest", false, "boot on a loopback port, exercise match/scan/metrics/drain/warm-start, exit")
+
+		snapDir   = flag.String("snapshot-dir", "", "directory for compiled-engine snapshots: engines persist there write-behind and the cache warm-starts from it at boot (created if missing; empty disables persistence)")
+		snapScrub = flag.Duration("snapshot-scrub-interval", time.Minute, "how often the background scrubber re-verifies resting snapshots and quarantines corrupt ones (negative disables)")
+		snapTest  = flag.Bool("snapshot-selftest", false, "exercise the persistence fault matrix (corruption, torn write, short read, stale version) against a temp snapshot dir, exit")
 
 		peers        = flag.String("peers", "", "comma-separated replica base URLs (every replica, same set everywhere) — enables cluster mode")
 		advertise    = flag.String("advertise", "", "this replica's base URL as peers reach it (default http://<addr>)")
@@ -76,17 +83,38 @@ func main() {
 		}
 		return
 	}
+	if *snapTest {
+		if err := serve.SnapshotSelfTest(context.Background(), os.Stdout); err != nil {
+			log.Fatalf("snapshot selftest failed: %v", err)
+		}
+		return
+	}
 
-	srv := serve.New(serve.Config{
-		MaxCachedEngines: *cacheSize,
-		MaxQueue:         *maxQueue,
-		MaxConcurrent:    *maxConc,
-		MaxBatch:         *maxBatch,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		MaxBodyBytes:     *maxBody,
-		Engine:           bitgen.Options{Device: *device},
+	if *snapDir != "" {
+		// Fail fast at boot: a server that cannot persist where it was told
+		// to should not come up and discover that on the first write-behind.
+		if err := snapshot.ValidateDir(*snapDir); err != nil {
+			fmt.Fprintln(os.Stderr, "bitgend:", cli.Describe(err))
+			os.Exit(2)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		MaxCachedEngines:      *cacheSize,
+		MaxQueue:              *maxQueue,
+		MaxConcurrent:         *maxConc,
+		MaxBatch:              *maxBatch,
+		DefaultTimeout:        *timeout,
+		MaxTimeout:            *maxTimeout,
+		MaxBodyBytes:          *maxBody,
+		Engine:                bitgen.Options{Device: *device},
+		SnapshotDir:           *snapDir,
+		SnapshotScrubInterval: *snapScrub,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bitgend:", cli.Describe(err))
+		os.Exit(2)
+	}
 	if *peers != "" {
 		self := *advertise
 		if self == "" {

@@ -54,6 +54,21 @@ type killStats struct {
 	ReceivedForwards  float64 `json:"received_forwards"`
 }
 
+// warmStats contrasts a cold boot (every set compiled) against a warm
+// start from the same snapshot directory (every set loaded, zero
+// compiles). Times are measured from just before boot, so they include
+// the warm-start scan itself.
+type warmStats struct {
+	Sets           int     `json:"sets"`
+	ColdFirst200MS float64 `json:"cold_first_200_ms"`
+	ColdAllSetsMS  float64 `json:"cold_all_sets_ms"`
+	ColdCompiles   float64 `json:"cold_compiles"`
+	WarmFirst200MS float64 `json:"warm_first_200_ms"`
+	WarmAllSetsMS  float64 `json:"warm_all_sets_ms"`
+	WarmCompiles   float64 `json:"warm_compiles"`
+	WarmLoads      float64 `json:"warm_loads"`
+}
+
 type report struct {
 	Generated string      `json:"generated"`
 	Clients   int         `json:"clients"`
@@ -62,6 +77,7 @@ type report struct {
 	OneNode   *phaseStats `json:"one_node,omitempty"`
 	ThreeNode *phaseStats `json:"three_node,omitempty"`
 	Kill      *killStats  `json:"kill,omitempty"`
+	WarmStart *warmStats  `json:"warm_start,omitempty"`
 	External  *phaseStats `json:"external,omitempty"`
 	Targets   []string    `json:"targets,omitempty"`
 }
@@ -312,6 +328,62 @@ func main() {
 			st3.Served, st3.P50MS, st3.P99MS, st3.ThroughputRPS, st3.Failed, st3.Rejected)
 		log.Printf("kill: recovery %.0fms, %d failures after kill, standby %.0f degraded %.0f",
 			ks.RecoveryMS, ks.FailuresAfterKill, ks.StandbyServes, ks.DegradedServes)
+
+		// Phase 3: cold vs warm start. Boot a replica on a snapshot
+		// directory and drive every set once (cold: all compiled,
+		// persisted write-behind); restart it on the same directory and
+		// drive again (warm: loaded from snapshots, zero compiles).
+		snapDir, err := os.MkdirTemp("", "bitload-snap-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(snapDir)
+		scfg := serve.Config{SnapshotDir: snapDir, SnapshotScrubInterval: -1}
+		drive := func() (first200, allSets time.Duration, compiles, warmLoads float64) {
+			t0 := time.Now()
+			nodes, err := serve.BootCluster(1, scfg, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i, body := range w.matchBodies {
+				resp, err := client.Post(nodes[0].URL+"/v1/match", "application/json", strings.NewReader(body))
+				if err != nil {
+					log.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					log.Fatalf("warm-start phase: status %d", resp.StatusCode)
+				}
+				if i == 0 {
+					first200 = time.Since(t0)
+				}
+			}
+			allSets = time.Since(t0)
+			snap := nodes[0].Server.Metrics().Snapshot()
+			compiles = snap.Counter("bitgen_serve_engine_compiles_total")
+			warmLoads = snap.Counter("bitgen_snapshot_warm_starts_total")
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			nodes[0].Shutdown(ctx)
+			cancel()
+			return first200, allSets, compiles, warmLoads
+		}
+		cf, ca, cc, _ := drive()
+		wf, wa, wc, wl := drive()
+		ws := warmStats{
+			Sets:           len(w.matchBodies),
+			ColdFirst200MS: float64(cf) / float64(time.Millisecond),
+			ColdAllSetsMS:  float64(ca) / float64(time.Millisecond),
+			ColdCompiles:   cc,
+			WarmFirst200MS: float64(wf) / float64(time.Millisecond),
+			WarmAllSetsMS:  float64(wa) / float64(time.Millisecond),
+			WarmCompiles:   wc,
+			WarmLoads:      wl,
+		}
+		rep.WarmStart = &ws
+		log.Printf("warm start: cold first-200 %.1fms (%.0f compiles), warm first-200 %.1fms (%.0f compiles, %.0f loaded)",
+			ws.ColdFirst200MS, ws.ColdCompiles, ws.WarmFirst200MS, ws.WarmCompiles, ws.WarmLoads)
 	}
 
 	enc, _ := json.MarshalIndent(rep, "", "  ")

@@ -28,11 +28,17 @@ import "bitgen/internal/bgerr"
 //     the recovered stack for reporting.
 //   - errors.As(&*ReadError): ScanReader's input reader failed mid-stream;
 //     the error carries the absolute stream offset for resumption.
+//   - errors.Is(err, ErrSnapshot): a persisted engine snapshot was refused
+//     by LoadEngine (corrupt, truncated, wrong format version, compiled
+//     under different options) or the snapshot store failed.
+//     errors.As(&*SnapshotError) carries the reason and file path; the
+//     correct response is always to fall back to Compile.
 var (
 	ErrLimit       = bgerr.ErrLimit
 	ErrUnsupported = bgerr.ErrUnsupported
 	ErrCanceled    = bgerr.ErrCanceled
 	ErrTransient   = bgerr.ErrTransient
+	ErrSnapshot    = bgerr.ErrSnapshot
 )
 
 // LimitError reports which resource limit was exceeded (see Limits).
@@ -47,3 +53,9 @@ type UnsupportedError = bgerr.UnsupportedError
 // crashing the process. Group and Patterns identify the poisoned CTA
 // group so the offending input can be quarantined.
 type InternalError = bgerr.InternalError
+
+// SnapshotError reports why LoadEngine (or the snapshot store) refused a
+// persisted engine snapshot. Reason is a stable token — "corrupt",
+// "truncated", "version-mismatch", "options-mismatch", "key-mismatch",
+// "store-io" — and Path names the offending file when there is one.
+type SnapshotError = bgerr.SnapshotError

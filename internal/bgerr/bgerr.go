@@ -115,6 +115,43 @@ func Transient(cause error) error {
 	return &transientError{cause: cause}
 }
 
+// ErrSnapshot is the identity of every engine-snapshot persistence
+// failure: a snapshot that could not be decoded (corrupt, truncated),
+// was written by an incompatible format version, or was compiled under
+// different options than the loader's. Callers classify with
+// errors.Is(err, ErrSnapshot) and fall back to recompilation — a bad
+// snapshot is never served.
+var ErrSnapshot = errors.New("bitgen: snapshot rejected")
+
+// SnapshotError reports why a snapshot was refused at load (or save).
+type SnapshotError struct {
+	// Reason is a stable token: "corrupt", "truncated",
+	// "version-mismatch", "options-mismatch", "key-mismatch" or
+	// "store-io". Corrupt/truncated snapshots are quarantine candidates;
+	// version/options mismatches leave the file intact (it may be valid
+	// for another build or configuration).
+	Reason string
+	// Detail is the human-readable specifics (which section, which CRC).
+	Detail string
+	// Path names the snapshot file when the failure is tied to one.
+	Path string
+}
+
+func (e *SnapshotError) Error() string {
+	var b strings.Builder
+	b.WriteString("bitgen: snapshot rejected (" + e.Reason + ")")
+	if e.Path != "" {
+		b.WriteString(" " + e.Path)
+	}
+	if e.Detail != "" {
+		b.WriteString(": " + e.Detail)
+	}
+	return b.String()
+}
+
+// Is makes errors.Is(err, ErrSnapshot) true for every *SnapshotError.
+func (e *SnapshotError) Is(target error) bool { return target == ErrSnapshot }
+
 // InternalError is a contained engine panic: an invariant violation that
 // was caught at an execution boundary and converted into an error instead
 // of crashing the process.

@@ -37,6 +37,15 @@ func Describe(err error) string {
 		return fmt.Sprintf("canceled: %v", err)
 	case errors.Is(err, bitgen.ErrTransient):
 		return fmt.Sprintf("transient fault (retry may succeed): %v", err)
+	case errors.Is(err, bitgen.ErrSnapshot):
+		var se *bitgen.SnapshotError
+		if errors.As(err, &se) && se.Path != "" {
+			return fmt.Sprintf("snapshot rejected (%s): %s: %s", se.Reason, se.Path, se.Detail)
+		}
+		if errors.As(err, &se) {
+			return fmt.Sprintf("snapshot rejected (%s): %s", se.Reason, se.Detail)
+		}
+		return fmt.Sprintf("snapshot rejected: %v", err)
 	default:
 		var ie *bitgen.InternalError
 		if errors.As(err, &ie) {

@@ -417,6 +417,94 @@ func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType
 	return nil
 }
 
+// maxSnapshotFetchBytes bounds one peer snapshot transfer; anything
+// larger than this is not a plausible engine snapshot.
+const maxSnapshotFetchBytes = 64 << 20
+
+// FetchSnapshot asks the key's ring owner (then its successor) for a
+// persisted engine snapshot, under the same per-peer breaker rules as
+// request forwarding. data == nil with err == nil means no remote
+// candidate had one — every candidate is this node, breaker-blocked, or
+// answered 404 — which is a normal cache miss, not a fault. A non-nil err
+// means attempts were made and all failed; the caller decides whether
+// that is worth a metric. The returned bytes are NOT verified here: the
+// serve layer decodes and checksums them before trusting anything.
+func (r *Router) FetchSnapshot(ctx context.Context, key string) (data []byte, from string, err error) {
+	span := r.ob.Span("cluster", "snapshot-fetch", 0).Arg("key", short(key))
+	defer func() {
+		span.Arg("from", from).End()
+	}()
+	route := r.Route(key)
+	var candidates []*peer
+	if p := r.peers[route.Owner]; p != nil {
+		candidates = append(candidates, p)
+	}
+	if p := r.peers[route.Successor]; p != nil && route.Successor != route.Owner {
+		candidates = append(candidates, p)
+	}
+	var lastErr error
+	for _, p := range candidates {
+		if !p.br.Allow(r.now()) {
+			p.skips.Inc()
+			continue
+		}
+		b, status, aerr := r.fetchSnapshotFrom(ctx, p, key)
+		if aerr != nil {
+			if ctx.Err() != nil {
+				// Caller gave up mid-fetch: no verdict on the peer.
+				p.br.Abandon()
+				return nil, "", aerr
+			}
+			p.br.Failure(r.now(), aerr)
+			r.ob.Instant("cluster", "snapshot-fetch-error", 0,
+				obs.A("peer", p.host), obs.A("error", aerr.Error()))
+			lastErr = aerr
+			continue
+		}
+		p.br.Success()
+		if status == http.StatusOK {
+			return b, p.url, nil
+		}
+		// 404: the peer is healthy but has no snapshot — try the next.
+	}
+	return nil, "", lastErr
+}
+
+// fetchSnapshotFrom executes one snapshot GET against one peer. A 404 is
+// a successful answer (status returned, nil error); anything else
+// non-200 is a peer fault.
+func (r *Router) fetchSnapshotFrom(ctx context.Context, p *peer, key string) ([]byte, int, error) {
+	actx, cancel := context.WithTimeout(ctx, r.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, p.url+"/v1/snapshot?set="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set(HeaderForwarded, "1")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotFetchBytes+1))
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(b) > maxSnapshotFetchBytes {
+			return nil, 0, fmt.Errorf("cluster: peer %s snapshot for %s exceeds %d bytes", p.host, short(key), maxSnapshotFetchBytes)
+		}
+		return b, resp.StatusCode, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, resp.StatusCode, nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, 0, &errPeerStatus{peer: p.host, status: resp.StatusCode}
+	}
+}
+
 // attempt executes one forward to one peer.
 func (r *Router) attempt(ctx context.Context, p *peer, path, contentType string, body []byte, stream bool) (*ForwardResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+path, bytes.NewReader(body))

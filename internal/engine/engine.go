@@ -205,6 +205,30 @@ func CompileContext(ctx context.Context, regexes []lower.Regex, cfg Config) (*En
 	return e, nil
 }
 
+// Restore reconstructs an Engine from previously compiled groups — the
+// snapshot-load path. No lowering or passes run; the groups carry their
+// already-transformed programs. Every program is re-validated so a decoded
+// snapshot that passed checksums but violates IR invariants is still
+// refused before it can execute.
+func Restore(cfg Config, groups []Group, ps PassStats) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("engine: no groups")
+	}
+	for i, g := range groups {
+		if g.Program == nil {
+			return nil, fmt.Errorf("engine: group %d has no program", i)
+		}
+		if err := ir.Validate(g.Program); err != nil {
+			return nil, fmt.Errorf("engine: restored group %d invalid: %w", i, err)
+		}
+	}
+	return &Engine{cfg: cfg, groups: groups, PassStats: ps}, nil
+}
+
 // compileGroup lowers and optimizes one CTA group's regexes, converting
 // any panic in the pipeline into a typed internal error.
 func compileGroup(regexes []lower.Regex, names []string, gi int, cfg Config, ps *PassStats) (prog *ir.Program, err error) {

@@ -57,6 +57,24 @@ const (
 	// so tests can arm a persistent partition (Repeat) alongside
 	// one-shot refusals.
 	PeerPartition Point = "peer-partition"
+
+	// Persistence points, consulted by the engine-snapshot store
+	// (internal/snapshot). Each can be scoped to one pattern-set key
+	// with For; the unscoped point applies to every snapshot.
+
+	// SnapTornWrite truncates a snapshot mid-write before it reaches its
+	// final path — the on-disk shape of a crash during persistence.
+	SnapTornWrite Point = "snap-torn-write"
+	// SnapBitFlip flips one byte of a snapshot as it is written — silent
+	// media corruption that only checksums can catch.
+	SnapBitFlip Point = "snap-bit-flip"
+	// SnapShortRead returns only a prefix of the snapshot at load — an
+	// interrupted read or a concurrently truncated file.
+	SnapShortRead Point = "snap-short-read"
+	// SnapStaleVersion stamps a snapshot with a future format version at
+	// write — the shape of a rollback serving snapshots written by a
+	// newer build.
+	SnapStaleVersion Point = "snap-stale-version"
 )
 
 // For scopes a point to one target (a peer address): the returned point is

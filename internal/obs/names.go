@@ -48,6 +48,20 @@ const (
 	MServeBatches         = "bitgen_serve_batches_total"
 	MServeBatchedRequests = "bitgen_serve_batched_requests_total"
 	MServeDrains          = "bitgen_serve_drains_total"
+	MServeResidentBytes   = "bitgen_serve_engine_cache_resident_bytes"
+
+	// Snapshot persistence (registered by internal/snapshot and
+	// internal/serve into the serve registry; absent from library-only
+	// expositions).
+	MSnapSaves           = "bitgen_snapshot_saves_total"
+	MSnapSaveErrors      = "bitgen_snapshot_save_errors_total"
+	MSnapLoads           = "bitgen_snapshot_loads_total"
+	MSnapWarmStarts      = "bitgen_snapshot_warm_starts_total"
+	MSnapVerifyFailures  = "bitgen_snapshot_verify_failures_total"
+	MSnapQuarantines     = "bitgen_snapshot_quarantines_total"
+	MSnapScrubRuns       = "bitgen_snapshot_scrub_runs_total"
+	MSnapPeerFetches     = "bitgen_snapshot_peer_fetches_total"
+	MSnapPeerFetchErrors = "bitgen_snapshot_peer_fetch_errors_total"
 
 	// Cluster layer (registered by internal/cluster into the serve
 	// registry; absent from library-only expositions).
@@ -112,6 +126,17 @@ const (
 	HServeBatches         = "Coalesced same-engine batches executed through RunMulti."
 	HServeBatchedRequests = "Match requests served through a coalesced batch."
 	HServeDrains          = "Graceful drains initiated."
+	HServeResidentBytes   = "Snapshot-encoded bytes of the engines resident in the LRU cache (memory-pressure proxy; decremented on evict)."
+
+	HSnapSaves           = "Engine snapshots persisted (atomic write-rename)."
+	HSnapSaveErrors      = "Snapshot persistence attempts that failed (I/O or injected fault)."
+	HSnapLoads           = "Engines successfully restored from a verified snapshot."
+	HSnapWarmStarts      = "Engines warm-started into the serve cache from the snapshot dir or a peer at boot."
+	HSnapVerifyFailures  = "Snapshots refused at load, per reason (corrupt, truncated, version-mismatch, options-mismatch, key-mismatch)."
+	HSnapQuarantines     = "Corrupt or truncated snapshots renamed to a .bad sidecar."
+	HSnapScrubRuns       = "Background integrity-scrub passes over the snapshot store."
+	HSnapPeerFetches     = "Snapshots fetched from a ring owner/successor on cache miss."
+	HSnapPeerFetchErrors = "Peer snapshot fetches that failed or returned no snapshot."
 
 	HClusterPeers            = "Replicas on the consistent-hash ring (including this node)."
 	HClusterLocalServes      = "Requests for keys this node owns, served locally."

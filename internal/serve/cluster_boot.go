@@ -66,7 +66,16 @@ func BootCluster(n int, cfg Config, mutate func(i int, cc *cluster.Config)) ([]*
 	}
 	nodes := make([]*ClusterNode, n)
 	for i := range nodes {
-		s := New(cfg)
+		s, err := New(cfg)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			for _, nd := range nodes[:i] {
+				nd.Server.Close()
+			}
+			return nil, err
+		}
 		cc := cluster.Config{Self: urls[i], Peers: urls}
 		if mutate != nil {
 			mutate(i, &cc)
@@ -124,7 +133,10 @@ func ClusterSelfTest(ctx context.Context, out io.Writer) error {
 	}()
 
 	// A single-node reference server answers every differential check.
-	ref := New(Config{})
+	ref, err := New(Config{})
+	if err != nil {
+		return err
+	}
 	defer ref.Close()
 	refLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

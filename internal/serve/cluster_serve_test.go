@@ -27,7 +27,7 @@ func bootCluster(t *testing.T, n int, mutate func(i int, cc *cluster.Config)) ([
 	urls := make([]string, n)
 	injs := make([]*faultinject.Injector, n)
 	for i := range servers {
-		servers[i] = New(Config{})
+		servers[i] = mustNew(t, Config{})
 		https[i] = httptest.NewServer(servers[i].Handler())
 		urls[i] = https[i].URL
 		injs[i] = faultinject.New(uint64(1000 + i))

@@ -22,9 +22,16 @@ import (
 // request holding an engine that gets evicted mid-flight simply finishes
 // on it; eviction only drops the cache reference.
 type registry struct {
-	cap     int
-	compile func(ctx context.Context, patterns []string, foldCase bool) (*bitgen.Engine, error)
-	reg     *obs.Registry
+	cap int
+	// build produces the engine for a key on miss — compile, or a
+	// snapshot load/peer fetch when the server has persistence wired. It
+	// also reports the engine's snapshot-encoded size, the cache's
+	// resident-bytes accounting unit.
+	build func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error)
+	reg   *obs.Registry
+	// resident tracks the snapshot-encoded bytes of completed cached
+	// engines, decremented on evict — the memory-pressure gauge.
+	resident *obs.Gauge
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -41,17 +48,20 @@ type entry struct {
 	ready    chan struct{}
 	eng      *bitgen.Engine
 	err      error
-	lastUse  int64
-	batcher  *batcher
+	// bytes is the engine's snapshot-encoded size (resident accounting).
+	bytes   int64
+	lastUse int64
+	batcher *batcher
 }
 
 func newRegistry(capacity int, reg *obs.Registry,
-	compile func(ctx context.Context, patterns []string, foldCase bool) (*bitgen.Engine, error)) *registry {
+	build func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error)) *registry {
 	return &registry{
-		cap:     capacity,
-		compile: compile,
-		reg:     reg,
-		entries: make(map[string]*entry),
+		cap:      capacity,
+		build:    build,
+		reg:      reg,
+		resident: reg.Gauge(obs.MServeResidentBytes, obs.HServeResidentBytes),
+		entries:  make(map[string]*entry),
 	}
 }
 
@@ -83,18 +93,19 @@ func (r *registry) get(ctx context.Context, key string, patterns []string, foldC
 	r.evictLocked()
 	r.mu.Unlock()
 	r.reg.Counter(obs.MServeCacheMisses, obs.HServeCacheMisses).Inc()
-	r.reg.Counter(obs.MServeCompiles, obs.HServeCompiles).Inc()
 
-	// Compile outside the lock — other keys stay servable — and detach
+	// Build outside the lock — other keys stay servable — and detach
 	// from the caller's context: waiters queued behind this singleflight
 	// get the engine even if the initiating request times out first.
-	e.eng, e.err = r.compile(context.WithoutCancel(ctx), e.patterns, e.foldCase)
+	e.eng, e.bytes, e.err = r.build(context.WithoutCancel(ctx), key, e.patterns, e.foldCase)
 	if e.err != nil {
 		r.mu.Lock()
 		if r.entries[key] == e {
 			delete(r.entries, key)
 		}
 		r.mu.Unlock()
+	} else {
+		r.resident.Add(float64(e.bytes))
 	}
 	close(e.ready)
 	if e.err != nil {
@@ -135,8 +146,37 @@ func (r *registry) evictLocked() {
 		if victim.batcher != nil {
 			victim.batcher.stop()
 		}
+		if victim.err == nil {
+			r.resident.Add(-float64(victim.bytes))
+		}
 		r.reg.Counter(obs.MServeCacheEvictions, obs.HServeCacheEvictions).Inc()
 	}
+}
+
+// insertReady installs an already-built engine (snapshot warm start at
+// boot). Existing entries win: a concurrent request may have compiled
+// first, and replacing its entry would orphan the batcher waiters.
+func (r *registry) insertReady(key string, patterns []string, foldCase bool, eng *bitgen.Engine, bytes int64) bool {
+	e := &entry{
+		key:      key,
+		patterns: append([]string(nil), patterns...),
+		foldCase: foldCase,
+		ready:    make(chan struct{}),
+		eng:      eng,
+		bytes:    bytes,
+	}
+	close(e.ready)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.entries[key]; exists {
+		return false
+	}
+	r.tick++
+	e.lastUse = r.tick
+	r.entries[key] = e
+	r.resident.Add(float64(bytes))
+	r.evictLocked()
+	return true
 }
 
 // lookup returns the completed entry for key without compiling, for the

@@ -78,7 +78,7 @@ func TestRetryAfterHeaders(t *testing.T) {
 // TestMaxTimeoutClamp: the server-side MaxTimeout caps client-requested
 // timeouts and peer-propagated deadlines alike.
 func TestMaxTimeoutClamp(t *testing.T) {
-	s := New(Config{MaxTimeout: 80 * time.Millisecond})
+	s := mustNew(t, Config{MaxTimeout: 80 * time.Millisecond})
 	defer s.Close()
 
 	check := func(name string, r *http.Request, timeoutMS int, want time.Duration) {
@@ -110,7 +110,7 @@ func TestMaxTimeoutClamp(t *testing.T) {
 // TestMaxTimeoutClampEndToEnd: a request asking for a 60s budget against
 // a 50ms MaxTimeout server comes back 504 promptly.
 func TestMaxTimeoutClampEndToEnd(t *testing.T) {
-	s := New(Config{MaxTimeout: 50 * time.Millisecond})
+	s := mustNew(t, Config{MaxTimeout: 50 * time.Millisecond})
 	s.batchRun = func(eng *bitgen.Engine) func(context.Context, [][]byte) (*bitgen.MultiResult, error) {
 		return func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error) {
 			<-ctx.Done()

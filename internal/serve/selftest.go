@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 )
@@ -15,11 +16,20 @@ import (
 // SelfTest boots a Server on a loopback listener and exercises the full
 // request surface in-process: match (cold compile, then warm cache hit,
 // duplicate patterns, nullable end-of-input), streaming scan, metrics,
-// and graceful drain. It is the engine behind `bitgend -selftest` and
-// `make serve-smoke` — a deployment smoke that needs no curl and no
-// fixed port.
+// graceful drain, and a snapshot warm start — a second server booted on
+// the same snapshot directory must answer with zero compiles. It is the
+// engine behind `bitgend -selftest` and `make serve-smoke` — a deployment
+// smoke that needs no curl and no fixed port.
 func SelfTest(ctx context.Context, out io.Writer) error {
-	srv := New(Config{MaxBatch: 4})
+	snapDir, err := os.MkdirTemp("", "bitgen-selftest-snap-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(snapDir)
+	srv, err := New(Config{MaxBatch: 4, SnapshotDir: snapDir, SnapshotScrubInterval: -1})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -162,6 +172,49 @@ func SelfTest(ctx context.Context, out io.Writer) error {
 		return fmt.Errorf("match after drain: status %d, want 503", code)
 	}
 	fmt.Fprintln(out, "drain ok: healthz 503, new requests rejected")
+
+	// 6. Warm start: a second server booted on the same snapshot directory
+	// must serve the set from the persisted snapshot — zero compiles, the
+	// first request is already a cache hit.
+	srv2, err := New(Config{MaxBatch: 4, SnapshotDir: snapDir, SnapshotScrubInterval: -1})
+	if err != nil {
+		return fmt.Errorf("warm start: boot: %w", err)
+	}
+	defer srv2.Close()
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs2 := &http.Server{Handler: srv2.Handler()}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+	base2 := "http://" + ln2.Addr().String()
+	resp, err = client.Post(base2+"/v1/match", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		return fmt.Errorf("warm start: match: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("warm start: match status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		return err
+	}
+	if mr.Cache != "hit" {
+		return fmt.Errorf("warm start: first request cache = %q, want hit (snapshot pre-populates)", mr.Cache)
+	}
+	if len(mr.IndexCounts) != 3 || mr.IndexCounts[0] != wantIdx[0] || mr.IndexCounts[1] != wantIdx[1] || mr.IndexCounts[2] != wantIdx[2] {
+		return fmt.Errorf("warm start: index_counts = %v, want %v", mr.IndexCounts, wantIdx)
+	}
+	warmSnap := srv2.Metrics().Snapshot()
+	if got := warmSnap.Counter("bitgen_serve_engine_compiles_total"); got != 0 {
+		return fmt.Errorf("warm start: compiles = %v, want 0", got)
+	}
+	if got := warmSnap.Counter("bitgen_snapshot_warm_starts_total"); got < 1 {
+		return fmt.Errorf("warm start: warm_starts = %v, want >= 1", got)
+	}
+	fmt.Fprintln(out, "warm start ok: restarted server answered identically with zero compiles")
 	fmt.Fprintln(out, "selftest passed")
 	return nil
 }

@@ -16,9 +16,18 @@ import (
 	"bitgen"
 )
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -165,7 +174,7 @@ func TestCacheEviction(t *testing.T) {
 // TestBatchCoalescing gates the batch executor so queued requests pile up
 // behind a running batch, then verifies they ride one RunMulti launch.
 func TestBatchCoalescing(t *testing.T) {
-	s := New(Config{MaxBatch: 8, MaxConcurrent: 16})
+	s := mustNew(t, Config{MaxBatch: 8, MaxConcurrent: 16})
 	defer s.Close()
 
 	gate := make(chan struct{})
@@ -317,7 +326,7 @@ func TestScanEndpoint(t *testing.T) {
 
 // TestAdmissionQueueFull rejects with 429 once MaxQueue requests wait.
 func TestAdmissionQueueFull(t *testing.T) {
-	s := New(Config{MaxConcurrent: 1, MaxQueue: 1})
+	s := mustNew(t, Config{MaxConcurrent: 1, MaxQueue: 1})
 	defer s.Close()
 
 	// Occupy the only slot and fill the queue directly.
@@ -355,7 +364,7 @@ func TestAdmissionQueueFull(t *testing.T) {
 // TestDrain verifies the drain contract: in-flight requests finish with
 // their full match sets, new requests get 503, healthz flips.
 func TestDrain(t *testing.T) {
-	s := New(Config{MaxBatch: 4})
+	s := mustNew(t, Config{MaxBatch: 4})
 	gate := make(chan struct{})
 	s.batchRun = func(eng *bitgen.Engine) func(context.Context, [][]byte) (*bitgen.MultiResult, error) {
 		return func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error) {

@@ -18,7 +18,9 @@ import (
 	"bitgen"
 	"bitgen/internal/cli"
 	"bitgen/internal/cluster"
+	"bitgen/internal/faultinject"
 	"bitgen/internal/obs"
+	"bitgen/internal/snapshot"
 )
 
 // Config tunes one Server. Zero fields take the documented defaults.
@@ -52,6 +54,18 @@ type Config struct {
 	// from; per-request knobs (fold_case) overlay it and Observability
 	// is always enabled so /metrics?set= and /trace?set= have data.
 	Engine bitgen.Options
+	// SnapshotDir, when set, enables engine persistence: compiled engines
+	// are saved there write-behind, the cache warm-starts from it at boot,
+	// and /v1/snapshot serves its contents to cluster peers. Empty
+	// disables persistence entirely.
+	SnapshotDir string
+	// SnapshotScrubInterval paces the background integrity scrubber over
+	// SnapshotDir (default 1m when persistence is on; negative disables
+	// the scrubber, ScrubNow still works).
+	SnapshotScrubInterval time.Duration
+	// Inject arms deterministic persistence faults on the snapshot store
+	// (tests and bitgend -selftest).
+	Inject *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +120,9 @@ type Server struct {
 	inFlight   *obs.Gauge
 	queueDepth *obs.Gauge
 
+	// snap is the engine persistence store; nil when SnapshotDir is unset.
+	snap *snapshot.Store
+
 	// cluster, when non-nil, routes pattern-set keys across replicas;
 	// ctrace records the cluster layer's per-forward spans.
 	cluster *cluster.Router
@@ -118,7 +135,9 @@ type Server struct {
 
 // New builds a Server. The returned server owns a background context for
 // batch loops and singleflight compiles; Drain (or Close) releases it.
-func New(cfg Config) *Server {
+// New fails only when SnapshotDir is set but unusable — a server that
+// cannot honor its persistence contract should not boot.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -130,7 +149,7 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
 		idle:    make(chan struct{}),
 	}
-	s.cache = newRegistry(cfg.MaxCachedEngines, s.reg, s.compileEngine)
+	s.cache = newRegistry(cfg.MaxCachedEngines, s.reg, s.buildEngine)
 
 	// Register every serve family eagerly so a scrape before the first
 	// request still exposes the full schema.
@@ -148,15 +167,43 @@ func New(cfg Config) *Server {
 	s.reg.Counter(obs.MServeBatches, obs.HServeBatches)
 	s.reg.Counter(obs.MServeBatchedRequests, obs.HServeBatchedRequests)
 	s.reg.Counter(obs.MServeDrains, obs.HServeDrains)
+	s.reg.Counter(obs.MSnapLoads, obs.HSnapLoads)
+	s.reg.Counter(obs.MSnapWarmStarts, obs.HSnapWarmStarts)
+	s.reg.Counter(obs.MSnapPeerFetches, obs.HSnapPeerFetches)
+	s.reg.Counter(obs.MSnapPeerFetchErrors, obs.HSnapPeerFetchErrors)
+	for _, reason := range []string{
+		snapshot.ReasonCorrupt, snapshot.ReasonTruncate, snapshot.ReasonVersion,
+		snapshot.ReasonOptions, snapshot.ReasonKey, snapshot.ReasonStoreIO,
+	} {
+		s.reg.Counter(obs.MSnapVerifyFailures, obs.HSnapVerifyFailures, obs.L("reason", reason))
+	}
+
+	if cfg.SnapshotDir != "" {
+		store, err := snapshot.NewStore(cfg.SnapshotDir, s.reg, cfg.Inject)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.snap = store
+		s.warmStart()
+		if cfg.SnapshotScrubInterval >= 0 {
+			interval := cfg.SnapshotScrubInterval
+			if interval == 0 {
+				interval = time.Minute
+			}
+			go s.scrubLoop(interval)
+		}
+	}
 
 	s.mux.HandleFunc("/v1/match", s.handleMatch)
 	s.mux.HandleFunc("/v1/scan", s.handleScan)
 	s.mux.HandleFunc("/v1/sets", s.handleSets)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/trace", s.handleTrace)
-	return s
+	return s, nil
 }
 
 // EnableCluster wires consistent-hash routing across the configured
@@ -182,11 +229,6 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the serve-layer registry (for tests and expvar export).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
-
-func (s *Server) compileEngine(ctx context.Context, patterns []string, foldCase bool) (*bitgen.Engine, error) {
-	o := s.engineOptions(foldCase)
-	return bitgen.CompileContext(ctx, patterns, &o)
-}
 
 func (s *Server) engineOptions(foldCase bool) bitgen.Options {
 	o := s.cfg.Engine

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"bitgen"
+	"bitgen/internal/obs"
+	"bitgen/internal/snapshot"
+)
+
+// This file is the server's persistence layer: buildEngine is the cache's
+// miss path (local snapshot, then peer snapshot, then compile with
+// write-behind), warmStart pre-populates the cache at boot, and the scrub
+// loop re-verifies resting snapshots so silent corruption is quarantined
+// before a restart trips over it.
+
+// buildEngine produces the engine for one cache miss. The ladder is
+// cheapest-first: a verified local snapshot, a verified snapshot fetched
+// from the key's ring owner, and only then a compile — whose result is
+// persisted write-behind so the next boot (or peer) skips the work. Every
+// rung that fails falls through; a request never fails because a snapshot
+// was bad, only because the compile itself did.
+func (s *Server) buildEngine(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error) {
+	opts := s.engineOptions(foldCase)
+	if eng, n, ok := s.loadLocalSnapshot(key, &opts); ok {
+		return eng, n, nil
+	}
+	if eng, n, ok := s.fetchPeerSnapshot(ctx, key, &opts); ok {
+		return eng, n, nil
+	}
+	s.reg.Counter(obs.MServeCompiles, obs.HServeCompiles).Inc()
+	eng, err := bitgen.CompileContext(ctx, patterns, &opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	data := bitgen.EncodeEngine(eng)
+	if s.snap != nil {
+		// Write-behind: a failed save is counted by the store and the
+		// request proceeds on the compiled engine regardless.
+		_ = s.snap.Save(key, data)
+	}
+	return eng, int64(len(data)), nil
+}
+
+// loadLocalSnapshot tries the on-disk snapshot for key. A snapshot that
+// fails verification for a file-condemning reason is quarantined; a
+// negotiation refusal (options or key mismatch) leaves the file in place
+// for whoever it does fit.
+func (s *Server) loadLocalSnapshot(key string, opts *bitgen.Options) (*bitgen.Engine, int64, bool) {
+	if s.snap == nil {
+		return nil, 0, false
+	}
+	data, err := s.snap.Load(key)
+	if err != nil {
+		return nil, 0, false // missing or unreadable: fall through to compile
+	}
+	eng, err := s.decodeSnapshot(key, data, opts)
+	if err != nil {
+		if s.noteVerifyFailure(err) {
+			s.snap.Quarantine(key)
+		}
+		return nil, 0, false
+	}
+	s.reg.Counter(obs.MSnapLoads, obs.HSnapLoads).Inc()
+	return eng, int64(len(data)), true
+}
+
+// fetchPeerSnapshot asks the cluster for the key's snapshot and, on a
+// verified hit, persists it locally so the next restart warm-starts
+// without asking again.
+func (s *Server) fetchPeerSnapshot(ctx context.Context, key string, opts *bitgen.Options) (*bitgen.Engine, int64, bool) {
+	if s.cluster == nil {
+		return nil, 0, false
+	}
+	data, from, err := s.cluster.FetchSnapshot(ctx, key)
+	if err != nil {
+		s.reg.Counter(obs.MSnapPeerFetchErrors, obs.HSnapPeerFetchErrors).Inc()
+		return nil, 0, false
+	}
+	if data == nil {
+		return nil, 0, false // no remote candidate had one
+	}
+	eng, err := s.decodeSnapshot(key, data, opts)
+	if err != nil {
+		// A peer shipped bytes we refuse: count both the refusal reason
+		// and the failed fetch, but there is no local file to quarantine.
+		s.noteVerifyFailure(err)
+		s.reg.Counter(obs.MSnapPeerFetchErrors, obs.HSnapPeerFetchErrors).Inc()
+		return nil, 0, false
+	}
+	s.reg.Counter(obs.MSnapPeerFetches, obs.HSnapPeerFetches).Inc()
+	if s.snap != nil {
+		_ = s.snap.Save(key, data)
+	}
+	_ = from
+	return eng, int64(len(data)), true
+}
+
+// decodeSnapshot decodes and fully verifies snapshot bytes for one
+// addressed key: framing and checksums via DecodeEngine, then the
+// content-address check — the decoded pattern set must hash back to the
+// key it was stored under, so a renamed or cross-wired snapshot can never
+// serve the wrong patterns.
+func (s *Server) decodeSnapshot(key string, data []byte, opts *bitgen.Options) (*bitgen.Engine, error) {
+	eng, err := bitgen.DecodeEngine(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	if got := bitgen.PatternSetKey(eng.Patterns(), opts); got != key {
+		return nil, &bitgen.SnapshotError{
+			Reason: snapshot.ReasonKey,
+			Detail: fmt.Sprintf("snapshot content hashes to set %.12s, addressed as %.12s", got, key),
+		}
+	}
+	return eng, nil
+}
+
+// noteVerifyFailure counts one snapshot refusal under its reason label and
+// reports whether the reason condemns the file itself (corrupt, truncated,
+// wrong format version) as opposed to a negotiation refusal that leaves
+// the file valid for a differently-configured loader.
+func (s *Server) noteVerifyFailure(err error) (condemned bool) {
+	reason := snapshot.ReasonStoreIO
+	var se *bitgen.SnapshotError
+	if errors.As(err, &se) {
+		reason = se.Reason
+	}
+	s.reg.Counter(obs.MSnapVerifyFailures, obs.HSnapVerifyFailures, obs.L("reason", reason)).Inc()
+	return reason == snapshot.ReasonCorrupt || reason == snapshot.ReasonTruncate ||
+		reason == snapshot.ReasonVersion
+}
+
+// warmStart pre-populates the engine cache from the snapshot directory at
+// boot, newest-boot-cheapest: a restarted replica serves its working set
+// with zero compiles. Snapshots that no longer decode (or no longer hash
+// to their filename under the current base options) are skipped — and
+// quarantined when the file itself is condemned.
+func (s *Server) warmStart() {
+	keys, err := s.snap.Keys()
+	if err != nil {
+		return
+	}
+	warm := s.reg.Counter(obs.MSnapWarmStarts, obs.HSnapWarmStarts)
+	loaded := 0
+	for _, key := range keys {
+		if loaded >= s.cfg.MaxCachedEngines {
+			break
+		}
+		data, err := s.snap.Load(key)
+		if err != nil {
+			continue
+		}
+		meta, err := snapshot.PeekMeta(data)
+		if err != nil {
+			if s.noteVerifyFailure(err) {
+				s.snap.Quarantine(key)
+			}
+			continue
+		}
+		opts := s.engineOptions(meta.FoldCase)
+		eng, err := s.decodeSnapshot(key, data, &opts)
+		if err != nil {
+			if s.noteVerifyFailure(err) {
+				s.snap.Quarantine(key)
+			}
+			continue
+		}
+		if s.cache.insertReady(key, eng.Patterns(), meta.FoldCase, eng, int64(len(data))) {
+			warm.Inc()
+			loaded++
+		}
+	}
+}
+
+// scrubLoop periodically re-verifies every resting snapshot until the
+// server context ends. Scrub results are visible as the
+// bitgen_snapshot_scrub_runs / quarantines counters.
+func (s *Server) scrubLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			_, _ = s.snap.Scrub()
+		}
+	}
+}
+
+// ScrubNow runs one integrity scrub synchronously — the background
+// scrubber's unit of work, exposed for bitgend's selftest and operators
+// who want an on-demand pass. A server without a snapshot store scrubs
+// nothing.
+func (s *Server) ScrubNow() (snapshot.ScrubResult, error) {
+	if s.snap == nil {
+		return snapshot.ScrubResult{}, nil
+	}
+	return s.snap.Scrub()
+}
+
+// SnapshotStore exposes the store (nil when persistence is off) for
+// bitgend's selftest.
+func (s *Server) SnapshotStore() *snapshot.Store { return s.snap }
+
+// handleSnapshot serves a pattern set's snapshot bytes to cluster peers
+// (GET /v1/snapshot?set=<key>). A cached engine is the authority and is
+// re-encoded fresh; otherwise verified on-disk bytes are served. Disk
+// bytes that fail verification are quarantined and reported as absent —
+// a peer is never handed a snapshot this replica would itself refuse.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required", Class: "bad_request"})
+		return
+	}
+	key := r.URL.Query().Get("set")
+	if err := snapshot.KeyPattern(key); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Class: "bad_request"})
+		return
+	}
+	if e := s.cache.lookup(key); e != nil {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(bitgen.EncodeEngine(e.eng))
+		return
+	}
+	if s.snap != nil {
+		if data, err := s.snap.Load(key); err == nil {
+			if verr := snapshot.Verify(data); verr == nil {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				_, _ = w.Write(data)
+				return
+			} else if s.noteVerifyFailure(verr) {
+				s.snap.Quarantine(key)
+			}
+		}
+	}
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: "no snapshot for set " + key, Class: "not_found"})
+}

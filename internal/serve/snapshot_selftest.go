@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bitgen/internal/faultinject"
+	"bitgen/internal/snapshot"
+)
+
+// SnapshotSelfTest is the persistence acceptance smoke behind
+// `bitgend -snapshot-selftest` and `make snapshot-smoke`. It walks the
+// crash-safety contract end to end against a real snapshot directory:
+// write-behind persistence, warm start with zero compiles, and the full
+// injected fault matrix — a flipped byte, a torn write (crash before
+// rename), a stale format version, and a short read. Every fault must be
+// detected at load, quarantined when the file is condemned, and hidden
+// from clients: the request always succeeds via recompile.
+func SnapshotSelfTest(ctx context.Context, out io.Writer) error {
+	dir, err := os.MkdirTemp("", "bitgen-snapshot-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	type node struct {
+		srv  *Server
+		base string
+		stop func()
+	}
+	boot := func(inj *faultinject.Injector) (*node, error) {
+		srv, err := New(Config{SnapshotDir: dir, SnapshotScrubInterval: -1, Inject: inj})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return &node{
+			srv:  srv,
+			base: "http://" + ln.Addr().String(),
+			stop: func() { hs.Close(); srv.Close() },
+		}, nil
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	match := func(n *node, pats []string, input string) (*matchResponse, error) {
+		b, _ := json.Marshal(matchRequest{Patterns: pats, Input: input})
+		resp, err := client.Post(n.base+"/v1/match", "application/json", strings.NewReader(string(b)))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		}
+		var mr matchResponse
+		if err := json.Unmarshal(raw, &mr); err != nil {
+			return nil, err
+		}
+		return &mr, nil
+	}
+	counter := func(n *node, name string) float64 {
+		return n.srv.Metrics().Snapshot().Counter(name)
+	}
+	reasonCounter := func(n *node, reason string) float64 {
+		return counter(n, fmt.Sprintf("bitgen_snapshot_verify_failures_total{reason=%q}", reason))
+	}
+	sameMatches := func(got, want []jsonMatch) error {
+		if len(got) != len(want) {
+			return fmt.Errorf("%d matches, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("match %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+
+	pats := []string{"snapsmoke+", "qq?"}
+	input := "xsnapsmokexx qq snapsmokee"
+
+	// Phase 1: a cold compile persists its snapshot write-behind.
+	a, err := boot(nil)
+	if err != nil {
+		return err
+	}
+	want, err := match(a, pats, input)
+	if err != nil {
+		a.stop()
+		return fmt.Errorf("phase 1 (cold compile): %w", err)
+	}
+	key := want.Set
+	path := filepath.Join(dir, key+snapshot.Ext)
+	if _, err := os.Stat(path); err != nil {
+		a.stop()
+		return fmt.Errorf("phase 1: no snapshot persisted at %s: %w", path, err)
+	}
+	if got := counter(a, "bitgen_snapshot_saves_total"); got != 1 {
+		a.stop()
+		return fmt.Errorf("phase 1: saves = %v, want 1", got)
+	}
+	a.stop()
+	fmt.Fprintf(out, "persist ok: compile wrote %s\n", key[:12]+snapshot.Ext)
+
+	// Phase 2: flip one byte. The restarted server must detect it (warm
+	// start or first load), quarantine the file, and serve the request by
+	// recompiling — the client never sees the corruption.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return err
+	}
+	b, err := boot(nil)
+	if err != nil {
+		return err
+	}
+	got, err := match(b, pats, input)
+	if err != nil {
+		b.stop()
+		return fmt.Errorf("phase 2 (corrupted snapshot): request failed, corruption leaked: %w", err)
+	}
+	if err := sameMatches(got.Matches, want.Matches); err != nil {
+		b.stop()
+		return fmt.Errorf("phase 2: recompiled result differs: %w", err)
+	}
+	if n := reasonCounter(b, snapshot.ReasonCorrupt); n < 1 {
+		b.stop()
+		return fmt.Errorf("phase 2: verify_failures{corrupt} = %v, want >= 1", n)
+	}
+	if n := counter(b, "bitgen_snapshot_quarantines_total"); n < 1 {
+		b.stop()
+		return fmt.Errorf("phase 2: quarantines = %v, want >= 1", n)
+	}
+	if _, err := os.Stat(path + snapshot.BadExt); err != nil {
+		b.stop()
+		return fmt.Errorf("phase 2: quarantine sidecar missing: %w", err)
+	}
+	if got := counter(b, "bitgen_serve_engine_compiles_total"); got != 1 {
+		b.stop()
+		return fmt.Errorf("phase 2: compiles = %v, want 1 (recompile fallback)", got)
+	}
+	b.stop()
+	fmt.Fprintln(out, "corruption ok: flipped byte detected, quarantined, served via recompile")
+
+	// Phase 3: warm start. The recompile above re-persisted the snapshot;
+	// a fresh server must answer from it with zero compiles.
+	c, err := boot(nil)
+	if err != nil {
+		return err
+	}
+	got, err = match(c, pats, input)
+	if err != nil {
+		c.stop()
+		return fmt.Errorf("phase 3 (warm start): %w", err)
+	}
+	if err := sameMatches(got.Matches, want.Matches); err != nil {
+		c.stop()
+		return fmt.Errorf("phase 3: warm-started result differs: %w", err)
+	}
+	if got.Cache != "hit" {
+		c.stop()
+		return fmt.Errorf("phase 3: cache = %q, want hit", got.Cache)
+	}
+	if n := counter(c, "bitgen_snapshot_warm_starts_total"); n < 1 {
+		c.stop()
+		return fmt.Errorf("phase 3: warm_starts = %v, want >= 1", n)
+	}
+	if n := counter(c, "bitgen_serve_engine_compiles_total"); n != 0 {
+		c.stop()
+		return fmt.Errorf("phase 3: compiles = %v, want 0", n)
+	}
+	c.stop()
+	fmt.Fprintln(out, "warm start ok: restart answered from snapshot, zero compiles")
+
+	// Phase 4: torn write — the save "crashes" before rename. No file may
+	// land at the final path and the request is unaffected (the compiled
+	// engine serves it).
+	injTorn := faultinject.New(1)
+	injTorn.ArmNth(faultinject.SnapTornWrite, 1)
+	d, err := boot(injTorn)
+	if err != nil {
+		return err
+	}
+	tornPats := []string{"tornwrite[0-9]"}
+	tornRes, err := match(d, tornPats, "a tornwrite7 b")
+	if err != nil {
+		d.stop()
+		return fmt.Errorf("phase 4 (torn write): %w", err)
+	}
+	if n := counter(d, "bitgen_snapshot_save_errors_total"); n != 1 {
+		d.stop()
+		return fmt.Errorf("phase 4: save_errors = %v, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tornRes.Set+snapshot.Ext)); err == nil {
+		d.stop()
+		return fmt.Errorf("phase 4: torn write left a file at the final path")
+	}
+	d.stop()
+	fmt.Fprintln(out, "torn write ok: crash-before-rename left no file, request served")
+
+	// Phase 5: stale version — a snapshot stamped with a future format
+	// version is saved cleanly but must be refused (version-mismatch, not
+	// corrupt) and quarantined on the next boot.
+	injVer := faultinject.New(2)
+	injVer.ArmNth(faultinject.SnapStaleVersion, 1)
+	e, err := boot(injVer)
+	if err != nil {
+		return err
+	}
+	verPats := []string{"stalever(sion)?"}
+	if _, err := match(e, verPats, "stalever stalversion"); err != nil {
+		e.stop()
+		return fmt.Errorf("phase 5 (stale version): %w", err)
+	}
+	e.stop()
+	f, err := boot(nil)
+	if err != nil {
+		return err
+	}
+	if n := reasonCounter(f, snapshot.ReasonVersion); n != 1 {
+		f.stop()
+		return fmt.Errorf("phase 5: verify_failures{version-mismatch} = %v, want 1", n)
+	}
+	if _, err := match(f, verPats, "stalever stalversion"); err != nil {
+		f.stop()
+		return fmt.Errorf("phase 5: recompile after version refusal: %w", err)
+	}
+	f.stop()
+	fmt.Fprintln(out, "stale version ok: future-version snapshot refused, quarantined, recompiled")
+
+	// Phase 6: short read — a load that returns half the file must be
+	// refused as truncated and quarantined; the set still serves.
+	injRead := faultinject.New(3)
+	injRead.ArmNth(faultinject.SnapShortRead, 1)
+	g, err := boot(injRead)
+	if err != nil {
+		return err
+	}
+	if n := reasonCounter(g, snapshot.ReasonTruncate); n < 1 {
+		g.stop()
+		return fmt.Errorf("phase 6: verify_failures{truncated} = %v, want >= 1", n)
+	}
+	got, err = match(g, pats, input)
+	if err != nil {
+		g.stop()
+		return fmt.Errorf("phase 6 (short read): %w", err)
+	}
+	if err := sameMatches(got.Matches, want.Matches); err != nil {
+		g.stop()
+		return fmt.Errorf("phase 6: result differs after short read: %w", err)
+	}
+	g.stop()
+	fmt.Fprintln(out, "short read ok: truncated load refused, set still serves correctly")
+
+	// Phase 7: the scrubber. Corrupt a resting snapshot behind the
+	// server's back; one scrub pass must find and quarantine it.
+	h, err := boot(nil)
+	if err != nil {
+		return err
+	}
+	defer h.stop()
+	keys, err := h.srv.SnapshotStore().Keys()
+	if err != nil || len(keys) == 0 {
+		return fmt.Errorf("phase 7: no resting snapshots to scrub (err %v)", err)
+	}
+	victim := h.srv.SnapshotStore().Path(keys[0])
+	raw, err = os.ReadFile(victim)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		return err
+	}
+	res, err := h.srv.ScrubNow()
+	if err != nil {
+		return fmt.Errorf("phase 7: scrub: %w", err)
+	}
+	if res.Checked < 1 || res.Quarantined != 1 {
+		return fmt.Errorf("phase 7: scrub checked %d quarantined %d, want >=1 and 1", res.Checked, res.Quarantined)
+	}
+	fmt.Fprintln(out, "scrub ok: resting corruption found and quarantined")
+	fmt.Fprintln(out, "snapshot selftest passed")
+	return nil
+}

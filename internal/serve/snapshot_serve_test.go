@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bitgen/internal/cluster"
+	"bitgen/internal/snapshot"
+)
+
+// TestSnapshotWarmStart: a server booted on a directory holding another
+// server's snapshots answers from them — first request is a cache hit,
+// zero compiles, warm_starts counted, resident gauge charged.
+func TestSnapshotWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"patterns":["warm+start","wx?"],"input":"warmmstart wx"}`
+
+	s1, hs1 := newTestServer(t, Config{SnapshotDir: dir, SnapshotScrubInterval: -1})
+	code, want, _ := postMatch(t, hs1.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("cold match: status %d", code)
+	}
+	if got := s1.Metrics().Snapshot().Counter("bitgen_snapshot_saves_total"); got != 1 {
+		t.Fatalf("saves = %v, want 1", got)
+	}
+	hs1.Close()
+	s1.Close()
+
+	s2, hs2 := newTestServer(t, Config{SnapshotDir: dir, SnapshotScrubInterval: -1})
+	code, got, _ := postMatch(t, hs2.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("warm match: status %d", code)
+	}
+	if got.Cache != "hit" {
+		t.Errorf("warm-started request cache = %q, want hit", got.Cache)
+	}
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("warm matches = %v, fresh = %v", got.Matches, want.Matches)
+	}
+	for i := range want.Matches {
+		if got.Matches[i] != want.Matches[i] {
+			t.Errorf("warm match %d = %v, want %v", i, got.Matches[i], want.Matches[i])
+		}
+	}
+	snap := s2.Metrics().Snapshot()
+	if n := snap.Counter("bitgen_serve_engine_compiles_total"); n != 0 {
+		t.Errorf("compiles = %v, want 0", n)
+	}
+	if n := snap.Counter("bitgen_snapshot_warm_starts_total"); n != 1 {
+		t.Errorf("warm_starts = %v, want 1", n)
+	}
+	if g := snap.Gauges["bitgen_serve_engine_cache_resident_bytes"]; g <= 0 {
+		t.Errorf("resident bytes = %v, want > 0 after warm start", g)
+	}
+}
+
+// TestSnapshotOptionsMismatchRefusedNotQuarantined: a snapshot written
+// under different base engine options is refused at warm start without
+// condemning the file — it is still valid for its own configuration.
+func TestSnapshotOptionsMismatchRefusedNotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"patterns":["optmis+"],"input":"optmiss"}`
+
+	s1, hs1 := newTestServer(t, Config{SnapshotDir: dir, SnapshotScrubInterval: -1})
+	if code, _, _ := postMatch(t, hs1.URL, body); code != http.StatusOK {
+		t.Fatal("cold match failed")
+	}
+	hs1.Close()
+	s1.Close()
+
+	cfg := Config{SnapshotDir: dir, SnapshotScrubInterval: -1}
+	cfg.Engine.CTAs = 8 // compile-relevant drift
+	s2, hs2 := newTestServer(t, cfg)
+	snap := s2.Metrics().Snapshot()
+	// The options drift changes the pattern-set key too, so warm start
+	// refuses before even decoding: key-mismatch, and nothing quarantined.
+	refusals := 0.0
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, "bitgen_snapshot_verify_failures_total") {
+			refusals += v
+		}
+	}
+	if refusals != 1 {
+		t.Errorf("verify failures = %v, want 1", refusals)
+	}
+	if n := snap.Counter("bitgen_snapshot_quarantines_total"); n != 0 {
+		t.Errorf("quarantines = %v, want 0 (negotiation refusal keeps the file)", n)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == snapshot.BadExt {
+			t.Errorf("quarantine sidecar %s exists, want none", e.Name())
+		}
+	}
+	// The set still serves (recompiled under the new options).
+	if code, _, _ := postMatch(t, hs2.URL, body); code != http.StatusOK {
+		t.Error("match under drifted options failed")
+	}
+}
+
+// TestResidentBytesGauge: the resident-bytes gauge tracks the sum of
+// cached engines' snapshot-encoded sizes and is decremented on eviction.
+func TestResidentBytesGauge(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxCachedEngines: 2})
+	residentOf := func() float64 {
+		return s.Metrics().Snapshot().Gauges["bitgen_serve_engine_cache_resident_bytes"]
+	}
+	cachedBytes := func() int64 {
+		s.cache.mu.Lock()
+		defer s.cache.mu.Unlock()
+		var sum int64
+		for _, e := range s.cache.entries {
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					sum += e.bytes
+				}
+			default:
+			}
+		}
+		return sum
+	}
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"patterns":["res%dident"],"input":"res%didentx"}`, i, i)
+		if code, _, _ := postMatch(t, hs.URL, body); code != http.StatusOK {
+			t.Fatalf("request %d failed", i)
+		}
+		if got, want := residentOf(), float64(cachedBytes()); got != want {
+			t.Fatalf("after request %d: resident gauge = %v, cached bytes = %v", i, got, want)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if n := snap.Counter("bitgen_serve_engine_cache_evictions_total"); n != 2 {
+		t.Fatalf("evictions = %v, want 2", n)
+	}
+	if g := residentOf(); g <= 0 {
+		t.Fatalf("resident bytes = %v, want > 0 with 2 cached engines", g)
+	}
+}
+
+// TestSnapshotPeerFetch: a replica that must build a set it does not own
+// (a received forward) fetches the owner's snapshot over /v1/snapshot
+// instead of compiling, and persists it locally (save-behind).
+func TestSnapshotPeerFetch(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	servers := make([]*Server, 2)
+	urls := make([]string, 2)
+	for i := range servers {
+		servers[i] = mustNew(t, Config{SnapshotDir: dirs[i], SnapshotScrubInterval: -1})
+		hs := httptest.NewServer(servers[i].Handler())
+		urls[i] = hs.URL
+		i := i
+		t.Cleanup(func() { hs.Close(); servers[i].Close() })
+	}
+	for i := range servers {
+		if err := servers[i].EnableCluster(cluster.Config{
+			Self: urls[i], Peers: urls, HedgeDelay: -1, Seed: uint64(31 + i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pats := findPatterns(t, servers[0], urls[0], "")
+	input := "zz" + pats[0] + "yy"
+	body := matchBody(pats, input)
+
+	// Owner compiles and persists.
+	code, want, _ := postMatch(t, urls[0], body)
+	if code != http.StatusOK {
+		t.Fatalf("owner match: status %d", code)
+	}
+
+	// Hit the non-owner as a forwarded request: it must serve locally,
+	// building the engine — via peer snapshot fetch, not compilation.
+	req, err := http.NewRequest(http.MethodPost, urls[1]+"/v1/match", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderForwarded, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded match on non-owner: status %d: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), want.Set) {
+		t.Errorf("non-owner response missing set key: %s", raw)
+	}
+
+	snap := servers[1].Metrics().Snapshot()
+	if n := snap.Counter("bitgen_snapshot_peer_fetches_total"); n != 1 {
+		t.Errorf("peer fetches = %v, want 1", n)
+	}
+	if n := snap.Counter("bitgen_serve_engine_compiles_total"); n != 0 {
+		t.Errorf("non-owner compiles = %v, want 0 (snapshot fetched from owner)", n)
+	}
+	if _, err := os.Stat(filepath.Join(dirs[1], want.Set+snapshot.Ext)); err != nil {
+		t.Errorf("fetched snapshot not persisted locally (save-behind): %v", err)
+	}
+}
+
+// TestSnapshotPeerFetchMissCompiles: when no peer has the snapshot, the
+// build falls through to a local compile — a fetch miss is never an error.
+func TestSnapshotPeerFetchMissCompiles(t *testing.T) {
+	servers, urls, _ := bootCluster(t, 2, nil)
+	pats := findPatterns(t, servers[0], urls[0], "")
+	body := matchBody(pats, pats[0])
+
+	req, err := http.NewRequest(http.MethodPost, urls[1]+"/v1/match", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderForwarded, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded match: status %d", resp.StatusCode)
+	}
+	snap := servers[1].Metrics().Snapshot()
+	if n := snap.Counter("bitgen_serve_engine_compiles_total"); n != 1 {
+		t.Errorf("compiles = %v, want 1 (owner had no snapshot either)", n)
+	}
+	if n := snap.Counter("bitgen_snapshot_peer_fetch_errors_total"); n != 0 {
+		t.Errorf("peer fetch errors = %v, want 0 (a 404 is a clean miss)", n)
+	}
+}
+
+// TestSnapshotEndpointValidation: /v1/snapshot refuses bad keys and
+// methods, 404s unknown sets, and serves verified bytes for cached ones.
+func TestSnapshotEndpointValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	get := func(path string) int {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/v1/snapshot?set=../../etc/passwd"); code != http.StatusBadRequest {
+		t.Errorf("traversal key: status %d, want 400", code)
+	}
+	if code := get("/v1/snapshot?set=" + strings.Repeat("ab", 32)); code != http.StatusNotFound {
+		t.Errorf("unknown key: status %d, want 404", code)
+	}
+
+	code, mr, _ := postMatch(t, hs.URL, `{"patterns":["endpt+"],"input":"endptt"}`)
+	if code != http.StatusOK {
+		t.Fatal("match failed")
+	}
+	resp, err := http.Get(hs.URL + "/v1/snapshot?set=" + mr.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached set snapshot: status %d", resp.StatusCode)
+	}
+	if err := snapshot.Verify(data); err != nil {
+		t.Errorf("served snapshot fails verification: %v", err)
+	}
+}
+
+// TestSnapshotSelfTest runs the full persistence fault-matrix smoke — the
+// same path `bitgend -snapshot-selftest` and `make snapshot-smoke` take.
+func TestSnapshotSelfTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-server persistence smoke")
+	}
+	if err := SnapshotSelfTest(context.Background(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package bitgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"bitgen/internal/bgerr"
+	"bitgen/internal/engine"
+	"bitgen/internal/rx"
+	"bitgen/internal/snapshot"
+)
+
+// optionsHash fingerprints every compile-relevant option: a snapshot may
+// only be loaded under Options that would have compiled the identical
+// engine. Runtime-only options — ScanWorkers, Resilience, Observability —
+// are deliberately excluded: they reconfigure execution, not compilation,
+// so a snapshot saved by a plain process warm-starts a traced or
+// resilience-laddered one.
+func optionsHash(opts *Options) string {
+	h := sha256.New()
+	field := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	field("bitgen-snapshot-options-v1")
+	field(fmt.Sprintf("%t|%s|%d|%d|%t|%t|%d|%d",
+		opts.FoldCase, opts.Device, opts.CTAs, opts.Threads,
+		opts.DisableShiftRebalancing, opts.DisableZeroBlockSkipping,
+		opts.MergeSize, opts.IntervalSize))
+	field(fmt.Sprintf("%d|%d|%d|%d|%d",
+		opts.Limits.MaxInputBytes, opts.Limits.MaxPatterns,
+		opts.Limits.MaxProgramInstructions, opts.Limits.MaxWhileIterations,
+		opts.Limits.MaxDeviceMemoryBytes))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SaveEngine writes a compiled engine's state as a versioned, checksummed
+// snapshot: the lowered, optimized bitstream programs plus the
+// compile-time metadata (duplicate-index fan-out, nullable set, streaming
+// bounds) the public API derives from the pattern list. LoadEngine
+// restores it without recompiling.
+//
+// Runtime-only state — the resilience ladder, observability hooks, scan
+// arenas — is not persisted; LoadEngine rebuilds it from its own Options.
+// Engines compiled with Resilience save fine: only the bitstream rung's
+// compiled form is persisted, and the loader reconstructs the other rungs.
+func SaveEngine(w io.Writer, e *Engine) error {
+	if e == nil || e.inner == nil {
+		return fmt.Errorf("bitgen: SaveEngine: nil engine")
+	}
+	data := EncodeEngine(e)
+	if _, err := w.Write(data); err != nil {
+		return &bgerr.SnapshotError{Reason: snapshot.ReasonStoreIO, Detail: err.Error()}
+	}
+	return nil
+}
+
+// EncodeEngine returns the snapshot bytes SaveEngine would write. Serving
+// layers use it directly to persist through an atomic store.
+func EncodeEngine(e *Engine) []byte {
+	return snapshot.Encode(&snapshot.EngineState{
+		Patterns:    e.patterns,
+		FoldCase:    e.foldCase,
+		OptionsHash: e.optsHash,
+		MaxLen:      e.maxLen,
+		Nullable:    e.nullable,
+		Unbounded:   e.unbounded,
+		Groups:      e.inner.Groups(),
+		PassStats:   e.inner.PassStats,
+	})
+}
+
+// LoadEngine restores an engine from a snapshot written by SaveEngine.
+//
+// Integrity is verified before anything is served: the format version and
+// every section checksum are checked, the decoded programs are re-validated
+// against IR invariants, and the snapshot's options fingerprint must equal
+// the caller's — a snapshot compiled under different compile-relevant
+// Options (syntax flags, device, geometry, optimization toggles, Limits)
+// is refused with a *SnapshotError (reason "options-mismatch") rather than
+// silently served with drifted semantics. Every failure satisfies
+// errors.Is(err, ErrSnapshot); callers fall back to Compile.
+//
+// Runtime-only options (ScanWorkers, Resilience, Observability) need not
+// match the saving process: they take effect on the loaded engine exactly
+// as they would on a fresh compile.
+func LoadEngine(r io.Reader, opts *Options) (*Engine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, &bgerr.SnapshotError{Reason: snapshot.ReasonStoreIO, Detail: err.Error()}
+	}
+	return DecodeEngine(data, opts)
+}
+
+// DecodeEngine is LoadEngine over bytes already in memory.
+func DecodeEngine(data []byte, opts *Options) (*Engine, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	st, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if want := optionsHash(opts); st.OptionsHash != want {
+		return nil, &bgerr.SnapshotError{
+			Reason: snapshot.ReasonOptions,
+			Detail: fmt.Sprintf("snapshot compiled under options %.12s…, loader has %.12s…", st.OptionsHash, want),
+		}
+	}
+	return restoreEngine(st, opts)
+}
+
+// restoreEngine rebuilds a public Engine around decoded snapshot state.
+func restoreEngine(st *snapshot.EngineState, opts *Options) (*Engine, error) {
+	dev, err := resolveDevice(opts)
+	if err != nil {
+		return nil, err
+	}
+	limits := opts.Limits.withDefaults(dev)
+	observer := opts.Observability.observer()
+	cfg := buildEngineConfig(opts, dev, limits, observer)
+	inner, err := engine.Restore(cfg, st.Groups, st.PassStats)
+	if err != nil {
+		return nil, &bgerr.SnapshotError{Reason: snapshot.ReasonCorrupt, Detail: err.Error()}
+	}
+	// The duplicate-index fan-out is derived from the persisted pattern
+	// list, not re-parsed: identical inputs produce identical indexes.
+	var unique []string
+	indexesOf := make(map[string][]int, len(st.Patterns))
+	for i, p := range st.Patterns {
+		if _, seen := indexesOf[p]; !seen {
+			unique = append(unique, p)
+		}
+		indexesOf[p] = append(indexesOf[p], i)
+	}
+	e := &Engine{
+		inner:    inner,
+		patterns: st.Patterns,
+		unique:   unique, indexesOf: indexesOf, nullable: st.Nullable,
+		limits: limits,
+		maxLen: st.MaxLen, unbounded: st.Unbounded,
+		obs:         observer,
+		scanWorkers: opts.ScanWorkers,
+		foldCase:    st.FoldCase,
+		optsHash:    st.OptionsHash,
+	}
+	if opts.Resilience != nil {
+		// The fallback rungs (hybrid, NFA) are runtime constructions over
+		// the pattern ASTs; snapshots persist only the bitstream programs,
+		// so rebuild the ladder by re-parsing — cheap next to lowering.
+		asts := make([]rx.Node, len(unique))
+		for i, p := range unique {
+			ast, err := rx.ParseWith(p, rx.Options{FoldCase: st.FoldCase})
+			if err != nil {
+				return nil, &bgerr.SnapshotError{
+					Reason: snapshot.ReasonCorrupt,
+					Detail: fmt.Sprintf("persisted pattern %q no longer parses: %v", p, err),
+				}
+			}
+			asts[i] = ast
+		}
+		if err := buildLadder(e, asts, opts.Resilience); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,241 @@
+package bitgen
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// snapPatterns exercises the interesting compile paths: duplicates,
+// nullable, star closures, classes, bounded repeats.
+var snapPatterns = []string{"abc", "a?", "abc", "a(bc)*d", "[a-f]+x", "colou?r", "ab{2,3}c"}
+
+var snapInput = []byte("zabcz abbcx deefx abbbc colour abcbcd a")
+
+func compileFresh(t *testing.T, opts *Options) *Engine {
+	t.Helper()
+	eng, err := Compile(snapPatterns, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return eng
+}
+
+func roundTrip(t *testing.T, eng *Engine, opts *Options) *Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng); err != nil {
+		t.Fatalf("SaveEngine: %v", err)
+	}
+	loaded, err := LoadEngine(&buf, opts)
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+	return loaded
+}
+
+// TestSnapshotRoundTripDifferential is the differential guarantee: a
+// loaded engine produces results struct-identical to the fresh engine —
+// matches, Counts, IndexCounts, nullable EOF semantics and modeled stats.
+func TestSnapshotRoundTripDifferential(t *testing.T) {
+	fresh := compileFresh(t, nil)
+	loaded := roundTrip(t, fresh, nil)
+
+	if !reflect.DeepEqual(loaded.Patterns(), fresh.Patterns()) {
+		t.Fatalf("patterns drifted: %v != %v", loaded.Patterns(), fresh.Patterns())
+	}
+	want, err := fresh.Run(snapInput)
+	if err != nil {
+		t.Fatalf("fresh Run: %v", err)
+	}
+	got, err := loaded.Run(snapInput)
+	if err != nil {
+		t.Fatalf("loaded Run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("loaded engine result differs from fresh:\n got %+v\nwant %+v", got, want)
+	}
+	// The nullable pattern a? must still report the EOF empty match.
+	lastEnd := -1
+	for _, m := range got.Matches {
+		if m.Pattern == "a?" && m.End > lastEnd {
+			lastEnd = m.End
+		}
+	}
+	if lastEnd != len(snapInput) {
+		t.Fatalf("nullable EOF match lost in snapshot: last a? end %d, want %d", lastEnd, len(snapInput))
+	}
+}
+
+// TestSnapshotRoundTripBackends loads under resilience and forces each
+// backend rung: the snapshot path must preserve cross-backend agreement.
+func TestSnapshotRoundTripBackends(t *testing.T) {
+	fresh := compileFresh(t, nil)
+	want, err := fresh.Run(snapInput)
+	if err != nil {
+		t.Fatalf("fresh Run: %v", err)
+	}
+	for _, backend := range []string{"bitstream", "hybrid", "nfa"} {
+		opts := &Options{Resilience: &ResilienceOptions{ForceBackend: backend}}
+		loaded := roundTrip(t, fresh, opts)
+		got, err := loaded.Run(snapInput)
+		if err != nil {
+			t.Fatalf("loaded Run via %s: %v", backend, err)
+		}
+		if !reflect.DeepEqual(got.Matches, want.Matches) {
+			t.Fatalf("backend %s: loaded matches differ:\n got %+v\nwant %+v", backend, got.Matches, want.Matches)
+		}
+		if !reflect.DeepEqual(got.IndexCounts, want.IndexCounts) {
+			t.Fatalf("backend %s: IndexCounts differ: %v != %v", backend, got.IndexCounts, want.IndexCounts)
+		}
+	}
+}
+
+// TestSnapshotOptionsMismatch proves negotiation: a snapshot compiled
+// under different compile-relevant options is refused with the typed
+// error, never silently served.
+func TestSnapshotOptionsMismatch(t *testing.T) {
+	eng := compileFresh(t, nil)
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng); err != nil {
+		t.Fatalf("SaveEngine: %v", err)
+	}
+	cases := []*Options{
+		{FoldCase: true},
+		{CTAs: 8},
+		{DisableZeroBlockSkipping: true},
+		{Limits: Limits{MaxWhileIterations: 7}},
+	}
+	for _, opts := range cases {
+		_, err := DecodeEngine(buf.Bytes(), opts)
+		if !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("opts %+v: want ErrSnapshot, got %v", opts, err)
+		}
+		var se *SnapshotError
+		if !errors.As(err, &se) || se.Reason != "options-mismatch" {
+			t.Fatalf("opts %+v: want options-mismatch, got %v", opts, err)
+		}
+	}
+	// Runtime-only options must NOT refuse.
+	for _, opts := range []*Options{{ScanWorkers: 3}, {Observability: &ObservabilityOptions{Metrics: true}}} {
+		if _, err := DecodeEngine(buf.Bytes(), opts); err != nil {
+			t.Fatalf("runtime-only opts %+v refused: %v", opts, err)
+		}
+	}
+}
+
+// TestSnapshotCorruptionDetected flips each byte region of a snapshot and
+// asserts the loader always refuses — never serves — the damaged file.
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	eng := compileFresh(t, nil)
+	data := EncodeEngine(eng)
+	// Flip a byte at several representative offsets: header, early
+	// section, middle, near-end, trailing CRC.
+	offsets := []int{0, 9, 20, len(data) / 3, len(data) / 2, len(data) - 2}
+	for _, off := range offsets {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if _, err := DecodeEngine(bad, nil); !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("flip at %d: want ErrSnapshot, got %v", off, err)
+		}
+	}
+	// Truncations at every framing-sensitive length.
+	for _, n := range []int{0, 4, 15, 16, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeEngine(data[:n], nil); !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("truncate to %d: want ErrSnapshot, got %v", n, err)
+		}
+	}
+}
+
+// FuzzSnapshotRoundTrip asserts, for generated pattern sets and inputs,
+// that load(save(engine)) produces byte-identical match results to the
+// fresh engine across all three backends, and that flipping any single
+// byte of the snapshot always yields a typed refusal, never a served
+// engine with drifted state.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(1), []byte("abcabcddef aabbcc"))
+	f.Add(uint64(7), []byte("jjjjiihhaa gggff"))
+	f.Add(uint64(42), []byte{})
+	f.Add(uint64(99), []byte("a"))
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
+		patterns := fuzzPatterns(seed, 4)
+		if len(patterns) == 0 {
+			t.Skip("generator produced no usable patterns")
+		}
+		patterns = append(patterns, patterns[0]) // duplicate fan-out
+		input := fuzzInput(data)
+
+		fresh, err := Compile(patterns, nil)
+		if errors.Is(err, ErrLimit) || errors.Is(err, ErrUnsupported) {
+			t.Skip(err)
+		}
+		if err != nil {
+			t.Fatalf("compile %v: %v", patterns, err)
+		}
+		want, err := fresh.Run(input)
+		if errors.Is(err, ErrLimit) {
+			t.Skip(err)
+		}
+		if err != nil {
+			t.Fatalf("fresh run: %v", err)
+		}
+		snap := EncodeEngine(fresh)
+
+		for _, backend := range []string{"", BackendBitstream, BackendHybrid, BackendNFA} {
+			opts := &Options{}
+			if backend != "" {
+				opts.Resilience = &ResilienceOptions{ForceBackend: backend}
+			}
+			loaded, err := DecodeEngine(snap, opts)
+			if err != nil {
+				t.Fatalf("load for backend %q: %v", backend, err)
+			}
+			got, err := loaded.Run(input)
+			if err != nil {
+				t.Fatalf("loaded run via %q: %v", backend, err)
+			}
+			if !reflect.DeepEqual(got.Matches, want.Matches) {
+				t.Fatalf("patterns %v backend %q: loaded matches %v, fresh %v", patterns, backend, got.Matches, want.Matches)
+			}
+			if !reflect.DeepEqual(got.IndexCounts, want.IndexCounts) {
+				t.Fatalf("patterns %v backend %q: loaded IndexCounts %v, fresh %v", patterns, backend, got.IndexCounts, want.IndexCounts)
+			}
+		}
+
+		// One deterministic single-byte flip per fuzz case: corrupted
+		// snapshots must always be refused.
+		off := int(seed % uint64(len(snap)))
+		bad := append([]byte(nil), snap...)
+		bad[off] ^= 0x10
+		if eng, err := DecodeEngine(bad, nil); err == nil {
+			// An undetected flip is only acceptable if it is semantically
+			// invisible — and our CRCs make that impossible.
+			_ = eng
+			t.Fatalf("flip at %d of %d went undetected", off, len(snap))
+		} else if !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("flip at %d: want ErrSnapshot, got %v", off, err)
+		}
+	})
+}
+
+// TestSnapshotResilienceSaved saves an engine that was compiled WITH
+// resilience and loads it plain: only compiled state persists.
+func TestSnapshotResilienceSaved(t *testing.T) {
+	fresh := compileFresh(t, &Options{Resilience: &ResilienceOptions{}})
+	loaded := roundTrip(t, fresh, nil)
+	want, err := fresh.Run(snapInput)
+	if err != nil {
+		t.Fatalf("fresh Run: %v", err)
+	}
+	got, err := loaded.Run(snapInput)
+	if err != nil {
+		t.Fatalf("loaded Run: %v", err)
+	}
+	if !reflect.DeepEqual(got.Matches, want.Matches) {
+		t.Fatalf("matches differ after resilience round-trip")
+	}
+	if got.Backend != "" {
+		t.Fatalf("plain loaded engine reports backend %q", got.Backend)
+	}
+}
