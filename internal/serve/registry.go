@@ -8,6 +8,7 @@ package serve
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 
 	"bitgen"
@@ -97,7 +98,26 @@ func (r *registry) get(ctx context.Context, key string, patterns []string, foldC
 	// Build outside the lock — other keys stay servable — and detach
 	// from the caller's context: waiters queued behind this singleflight
 	// get the engine even if the initiating request times out first.
-	e.eng, e.bytes, e.err = r.build(context.WithoutCancel(ctx), key, e.patterns, e.foldCase)
+	// A panicking build (a decoder invariant violation on peer-fetched
+	// bytes, say) must be contained here: if it escaped, e.ready would
+	// never close and the entry never be removed, wedging the key — every
+	// future get blocks until its context expires and the cache slot is
+	// occupied for the process lifetime.
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.eng, e.bytes = nil, 0
+				e.err = &bgerr.InternalError{
+					Op:       "build",
+					Group:    -1,
+					Patterns: e.patterns,
+					Value:    v,
+					Stack:    debug.Stack(),
+				}
+			}
+		}()
+		e.eng, e.bytes, e.err = r.build(context.WithoutCancel(ctx), key, e.patterns, e.foldCase)
+	}()
 	if e.err != nil {
 		r.mu.Lock()
 		if r.entries[key] == e {

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bitgen"
+	"bitgen/internal/bgerr"
+	"bitgen/internal/obs"
+)
+
+// TestRegistryBuildPanicContained: a panicking build (a decoder bug on
+// hostile peer-fetched bytes, say) must surface as a typed error and
+// release the singleflight entry — not leave e.ready open forever,
+// wedging the key and a cache slot for the process lifetime.
+func TestRegistryBuildPanicContained(t *testing.T) {
+	calls := 0
+	r := newRegistry(4, obs.NewRegistry(), func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error) {
+		calls++
+		if calls == 1 {
+			panic("decoder invariant violated")
+		}
+		eng, err := bitgen.Compile(patterns, nil)
+		return eng, 1, err
+	})
+
+	_, _, err := r.get(context.Background(), "k", []string{"abc"}, false)
+	var ie *bgerr.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *bgerr.InternalError from panicking build, got %v", err)
+	}
+	if ie.Op != "build" {
+		t.Fatalf("InternalError.Op = %q, want build", ie.Op)
+	}
+
+	// The failed entry was removed, so the key retries instead of
+	// blocking: this get must finish well before the timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	e, _, err := r.get(ctx, "k", []string{"abc"}, false)
+	if err != nil {
+		t.Fatalf("get after contained panic: %v", err)
+	}
+	if e.eng == nil {
+		t.Fatalf("retry produced no engine")
+	}
+	if calls != 2 {
+		t.Fatalf("build calls = %d, want 2 (panic then retry)", calls)
+	}
+}

@@ -119,7 +119,11 @@ func readSection(data []byte, off int, i uint32) (section, int, error) {
 	off += nameLen
 	payLen := binary.LittleEndian.Uint64(data[off:])
 	off += 8
-	if uint64(len(data)-off) < payLen+4 {
+	// Compare against the remaining bytes by subtraction, never payLen+4:
+	// a crafted payLen near MaxUint64 would wrap the addition, pass the
+	// check, and panic the slice below. The payLen <= rem bound also makes
+	// the int(payLen) conversions safe on 32-bit platforms.
+	if rem := uint64(len(data) - off); payLen > rem || rem-payLen < 4 {
 		return section{}, 0, truncated("section %q: %d payload bytes declared, %d remain", name, payLen, len(data)-off)
 	}
 	payload := data[off : off+int(payLen)]

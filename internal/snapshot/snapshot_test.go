@@ -1,8 +1,10 @@
 package snapshot
 
 import (
+	"encoding/binary"
 	"errors"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -82,6 +84,22 @@ func TestVerifyFramingFaults(t *testing.T) {
 		if err := Verify(bad); !errors.Is(err, bgerr.ErrSnapshot) {
 			t.Fatalf("flip at %d: want ErrSnapshot, got %v", off, err)
 		}
+	}
+}
+
+// TestVerifyOverflowPayLen crafts section payload lengths near MaxUint64:
+// a bounds check written as payLen+4 would wrap for payLen in
+// [MaxUint64-3, MaxUint64], pass, and panic on the slice. Every such
+// length must be refused as truncated instead.
+func TestVerifyOverflowPayLen(t *testing.T) {
+	data := testSnapshot()
+	// First section starts at 16: nameLen uint16, name, then payLen uint64.
+	nameLen := int(binary.LittleEndian.Uint16(data[16:18]))
+	payOff := 18 + nameLen
+	for _, payLen := range []uint64{math.MaxUint64, math.MaxUint64 - 1, math.MaxUint64 - 3, math.MaxUint64 - 4, uint64(len(data))} {
+		bad := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(bad[payOff:], payLen)
+		reason(t, Verify(bad), ReasonTruncate)
 	}
 }
 

@@ -145,6 +145,15 @@ func (s *Store) Save(key string, data []byte) error {
 		os.Remove(tmpName)
 		return s.storeIO(final, err)
 	}
+	// Fsync the directory so the rename itself survives power loss — the
+	// temp-file sync above only makes the contents durable, not the
+	// directory entry. Best-effort: some filesystems refuse to sync
+	// directories, and the fallout of a lost entry is an old snapshot or
+	// a recompile, never corruption.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	s.saves.Inc()
 	return nil
 }
@@ -216,12 +225,25 @@ func (s *Store) Scrub() (ScrubResult, error) {
 	}
 	var res ScrubResult
 	for _, key := range keys {
-		data, err := os.ReadFile(s.Path(key))
+		path := s.Path(key)
+		before, err := os.Stat(path)
 		if err != nil {
 			continue // racing an eviction/replacement; next pass re-checks
 		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
 		res.Checked++
 		if err := Verify(data); err != nil {
+			// A concurrent Save may have renamed a fresh, valid snapshot
+			// into place between our read and this verdict; quarantining
+			// now would discard that work. Only quarantine if the file is
+			// still the one we read — otherwise let the next pass judge it.
+			after, statErr := os.Stat(path)
+			if statErr != nil || !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+				continue
+			}
 			s.Quarantine(key)
 			res.Quarantined++
 		}

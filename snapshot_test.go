@@ -2,7 +2,9 @@ package bitgen
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 )
@@ -201,6 +203,16 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 			if !reflect.DeepEqual(got.IndexCounts, want.IndexCounts) {
 				t.Fatalf("patterns %v backend %q: loaded IndexCounts %v, fresh %v", patterns, backend, got.IndexCounts, want.IndexCounts)
 			}
+		}
+
+		// A crafted section length near MaxUint64 must be refused as a
+		// typed error: an additive bounds check (payLen+4) would wrap,
+		// pass, and panic the decoder on hostile bytes.
+		huge := append([]byte(nil), snap...)
+		nameLen := int(binary.LittleEndian.Uint16(huge[16:18]))
+		binary.LittleEndian.PutUint64(huge[18+nameLen:], math.MaxUint64-seed%5)
+		if _, err := DecodeEngine(huge, nil); !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("overflow payLen: want ErrSnapshot, got %v", err)
 		}
 
 		// One deterministic single-byte flip per fuzz case: corrupted
