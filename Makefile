@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke cluster-smoke snapshot-smoke bench-serve
+.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke cluster-smoke snapshot-smoke obs-cluster-smoke bench-serve
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,20 @@ cluster-smoke:
 snapshot-smoke:
 	$(GO) run ./cmd/bitgend -snapshot-selftest
 
+# obs-cluster-smoke is the distributed-observability acceptance: boot a
+# 3-replica loopback cluster, cut one peer path mid-response, and require
+# (1) a client-supplied trace ID to appear in spans on all three nodes of
+# the stitched /v1/trace view, with the entry node's forward span naming
+# the successor that served the failover; (2) the ensuing breaker-open
+# Warn event to trip the anomaly flight recorder into a sha256-sealed
+# bundle containing that event; (3) /v1/slo to report the served traffic.
+# obscheck then structurally validates both artifacts.
+obs-cluster-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/bitgend -obs-cluster-selftest -obs-out $$tmp && \
+	$(GO) run ./cmd/obscheck -stitched $$tmp/stitched.json -stitch-nodes 3 -bundle $$tmp/bundle.json && \
+	rm -rf $$tmp
+
 # bench-serve regenerates results/BENCH_serve.json: a 1-node baseline vs
 # a 3-node cluster with a mid-run replica kill, reporting p50/p99
 # latency, saturation throughput, and post-kill recovery time.
@@ -98,7 +112,7 @@ bench-serve:
 # installed), build, the full suite under the race detector, the
 # fault-injection suite, and the observability, bench, service and
 # cluster smokes.
-ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke cluster-smoke snapshot-smoke
+ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke cluster-smoke snapshot-smoke obs-cluster-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

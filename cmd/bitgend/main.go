@@ -68,6 +68,15 @@ func main() {
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive peer failures before its breaker opens")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe (jittered)")
 		clusterTest  = flag.Bool("cluster-selftest", false, "boot a 3-replica loopback cluster, inject faults (kill, partition), verify zero failures, exit")
+
+		sloMatchP99 = flag.Duration("slo-match-p99", 250*time.Millisecond, "/v1/match latency objective: slower successes spend error budget (negative disables)")
+		sloScanP99  = flag.Duration("slo-scan-p99", 2*time.Second, "/v1/scan latency objective (negative disables)")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "good-request objective for /v1/match and /v1/scan")
+		bundleDir   = flag.String("bundle-dir", "", "directory for anomaly flight-recorder bundles (created if missing; empty keeps bundles inline-only via /debug/bundle)")
+		stitch      = flag.String("stitch", "", "trace ID to stitch: fetch /v1/trace/<id> from every -peers replica, merge into one Chrome trace, exit")
+		stitchOut   = flag.String("o", "", "output file for -stitch (default stdout)")
+		obsTest     = flag.Bool("obs-cluster-selftest", false, "boot a 3-replica loopback cluster, inject a peer fault, verify stitched tracing + anomaly bundles + SLO reporting, exit")
+		obsOut      = flag.String("obs-out", "", "artifact directory for -obs-cluster-selftest (default a temp dir)")
 	)
 	flag.Parse()
 
@@ -86,6 +95,26 @@ func main() {
 	if *snapTest {
 		if err := serve.SnapshotSelfTest(context.Background(), os.Stdout); err != nil {
 			log.Fatalf("snapshot selftest failed: %v", err)
+		}
+		return
+	}
+	if *obsTest {
+		dir := *obsOut
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "bitgen-obs-selftest-"); err != nil {
+				log.Fatalf("obs cluster selftest: %v", err)
+			}
+		}
+		if err := serve.ObsClusterSelfTest(context.Background(), os.Stdout, dir); err != nil {
+			log.Fatalf("obs cluster selftest failed: %v", err)
+		}
+		return
+	}
+	if *stitch != "" {
+		if err := runStitch(*peers, *stitch, *stitchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bitgend: stitch:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -110,6 +139,10 @@ func main() {
 		Engine:                bitgen.Options{Device: *device},
 		SnapshotDir:           *snapDir,
 		SnapshotScrubInterval: *snapScrub,
+		SLOMatchP99:           *sloMatchP99,
+		SLOScanP99:            *sloScanP99,
+		SLOAvailability:       *sloAvail,
+		BundleDir:             *bundleDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bitgend:", cli.Describe(err))
@@ -172,4 +205,43 @@ func main() {
 		hs.Close()
 	}
 	log.Printf("bitgend stopped")
+}
+
+// runStitch fetches one trace's fragments from every -peers replica and
+// writes the merged Chrome trace to out (stdout when empty). Unreachable
+// replicas are reported but tolerated — stitching exists to debug
+// partially-failed clusters.
+func runStitch(peers, traceID, out string) error {
+	var nodes []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			nodes = append(nodes, p)
+		}
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("-stitch needs -peers with at least one replica URL")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := serve.StitchTrace(ctx, &http.Client{Timeout: 10 * time.Second}, nodes, traceID)
+	if err != nil {
+		return err
+	}
+	for _, e := range st.Errors {
+		fmt.Fprintln(os.Stderr, "bitgend: stitch: unreachable:", e)
+	}
+	chrome, err := st.Chrome()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(append(chrome, '\n'))
+		return err
+	}
+	if err := os.WriteFile(out, chrome, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bitgend: stitched %d spans from %d/%d replicas -> %s\n",
+		st.SpanCount(), len(st.Fragments), len(nodes), out)
+	return nil
 }

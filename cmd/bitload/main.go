@@ -44,6 +44,36 @@ type phaseStats struct {
 	P50MS         float64 `json:"p50_ms"`
 	P99MS         float64 `json:"p99_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	// LatencyHist is the served-request latency histogram (cumulative
+	// counts per upper bound, +Inf last), the same classic-histogram shape
+	// the server's bitgen_slo_latency_seconds family exposes — so a bench
+	// report and a scrape are directly comparable.
+	LatencyHist []latencyBucket `json:"latency_hist,omitempty"`
+	// SLO is the client-observed compliance against the match/scan latency
+	// objectives.
+	SLO *sloCompliance `json:"slo,omitempty"`
+}
+
+// latencyBucket is one cumulative histogram bucket; LEMS 0 marks +Inf.
+type latencyBucket struct {
+	LEMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// latencyBounds are the fixed bucket upper bounds (milliseconds) —
+// obs.SLOLatencyBuckets scaled to ms, so the two histograms line up.
+var latencyBounds = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// sloCompliance is the client-side view of the serve SLO: a request is
+// good when it was served (2xx) within its endpoint's latency objective.
+// Failures are bad; admission rejections (429/503) are policy, not SLO
+// spend, and are excluded from the denominator.
+type sloCompliance struct {
+	MatchObjectiveMS float64 `json:"match_objective_ms"`
+	ScanObjectiveMS  float64 `json:"scan_objective_ms"`
+	Good             int64   `json:"good"`
+	Total            int64   `json:"total"`
+	Compliance       float64 `json:"compliance"`
 }
 
 type killStats struct {
@@ -113,6 +143,51 @@ type sample struct {
 	lat  time.Duration
 	done time.Time
 	kind byte // 's' served, 'r' rejected, 'f' failed
+	scan bool // streaming /v1/scan rather than /v1/match
+}
+
+// attachObs fills a phase's latency histogram and SLO compliance from its
+// raw samples.
+func attachObs(st *phaseStats, samples []sample, matchP99, scanP99 time.Duration) {
+	counts := make([]int64, len(latencyBounds))
+	slo := &sloCompliance{
+		MatchObjectiveMS: float64(matchP99) / float64(time.Millisecond),
+		ScanObjectiveMS:  float64(scanP99) / float64(time.Millisecond),
+	}
+	for _, s := range samples {
+		switch s.kind {
+		case 'r':
+			continue
+		case 'f':
+			slo.Total++
+			continue
+		}
+		ms := float64(s.lat) / float64(time.Millisecond)
+		for i, b := range latencyBounds {
+			if ms <= b {
+				counts[i]++
+				break
+			}
+		}
+		obj := matchP99
+		if s.scan {
+			obj = scanP99
+		}
+		slo.Total++
+		if obj <= 0 || s.lat <= obj {
+			slo.Good++
+		}
+	}
+	var cum int64
+	for i, b := range latencyBounds {
+		cum += counts[i]
+		st.LatencyHist = append(st.LatencyHist, latencyBucket{LEMS: b, Count: cum})
+	}
+	st.LatencyHist = append(st.LatencyHist, latencyBucket{LEMS: 0, Count: st.Served})
+	if slo.Total > 0 {
+		slo.Compliance = float64(slo.Good) / float64(slo.Total)
+	}
+	st.SLO = slo
 }
 
 // run drives clients closed-loop against targets for d. onMid (optional)
@@ -177,7 +252,7 @@ func run(w *workload, targets []string, clients int, d time.Duration, onMid func
 					resp, err = client.Post(target+"/v1/match",
 						"application/json", strings.NewReader(w.matchBodies[set]))
 				}
-				s := sample{lat: time.Since(t0), done: time.Now(), kind: 'f'}
+				s := sample{lat: time.Since(t0), done: time.Now(), kind: 'f', scan: scan}
 				if err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
@@ -247,6 +322,8 @@ func main() {
 		duration    = flag.Duration("duration", 2*time.Second, "duration of each phase")
 		scanFrac    = flag.Float64("scan-frac", 0.15, "fraction of requests that are streaming scans")
 		sets        = flag.Int("sets", 12, "distinct pattern sets in the mix")
+		sloP99      = flag.Duration("slo-p99", 250*time.Millisecond, "/v1/match latency objective for the report's SLO compliance (0 disables)")
+		sloScanP99  = flag.Duration("slo-scan-p99", 2*time.Second, "/v1/scan latency objective (0 disables)")
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -270,7 +347,8 @@ func main() {
 			}
 		}
 		rep.Targets = ts
-		st, _ := run(w, ts, *clients, *duration, nil)
+		st, samples := run(w, ts, *clients, *duration, nil)
+		attachObs(&st, samples, *sloP99, *sloScanP99)
 		rep.External = &st
 		log.Printf("external: %d served, p50 %.2fms p99 %.2fms, %.0f rps, %d failed",
 			st.Served, st.P50MS, st.P99MS, st.ThroughputRPS, st.Failed)
@@ -282,8 +360,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st1, _ := run(w, []string{one[0].URL}, *clients, *duration, nil)
+		st1, samples1 := run(w, []string{one[0].URL}, *clients, *duration, nil)
 		one[0].Kill()
+		attachObs(&st1, samples1, *sloP99, *sloScanP99)
 		rep.OneNode = &st1
 		log.Printf("1-node: %d served, p50 %.2fms p99 %.2fms, %.0f rps, %d failed, %d rejected",
 			st1.Served, st1.P50MS, st1.P99MS, st1.ThroughputRPS, st1.Failed, st1.Rejected)
@@ -302,6 +381,7 @@ func main() {
 			log.Printf("killed replica %s", nodes[2].URL)
 			return nodes[2].URL
 		})
+		attachObs(&st3, samples, *sloP99, *sloScanP99)
 		rep.ThreeNode = &st3
 
 		kt := time.Unix(0, killedAt.Load())

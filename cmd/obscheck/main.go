@@ -1,12 +1,17 @@
 // Command obscheck validates observability artifacts: Chrome trace_event
-// JSON files (as produced by rxgrep -trace / Engine.WriteTrace) and
+// JSON files (as produced by rxgrep -trace / Engine.WriteTrace),
 // Prometheus text-exposition dumps (rxgrep -metrics /
-// Engine.WritePrometheus). It is the checker behind `make obs-smoke`.
+// Engine.WritePrometheus), stitched multi-node cluster traces
+// (bitgend -stitch / serve.StitchTrace), and anomaly flight-recorder
+// bundles (bitgend /debug/bundle). It is the checker behind
+// `make obs-smoke` and `make obs-cluster-smoke`.
 //
 // Usage:
 //
 //	obscheck -trace out.json
 //	obscheck -metrics metrics.txt
+//	obscheck -stitched stitched.json -stitch-nodes 3
+//	obscheck -bundle bundle.json
 //
 // Exit status 0 when every given artifact is well-formed; 1 with a
 // diagnostic otherwise.
@@ -14,9 +19,12 @@ package main
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"regexp"
@@ -28,9 +36,12 @@ import (
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace_event JSON file to validate")
 	metricsPath := flag.String("metrics", "", "Prometheus text-exposition file to validate")
+	stitchedPath := flag.String("stitched", "", "stitched multi-node cluster trace (bitgend -stitch output) to validate")
+	stitchNodes := flag.Int("stitch-nodes", 2, "minimum distinct node lanes a stitched trace must span")
+	bundlePath := flag.String("bundle", "", "anomaly flight-recorder bundle (sha256-sealed JSON) to validate")
 	flag.Parse()
-	if *tracePath == "" && *metricsPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: obscheck [-trace FILE] [-metrics FILE]")
+	if *tracePath == "" && *metricsPath == "" && *stitchedPath == "" && *bundlePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-trace FILE] [-metrics FILE] [-stitched FILE [-stitch-nodes N]] [-bundle FILE]")
 		os.Exit(2)
 	}
 	ok := true
@@ -48,6 +59,22 @@ func main() {
 			ok = false
 		} else {
 			fmt.Printf("obscheck: %s: valid Prometheus exposition\n", *metricsPath)
+		}
+	}
+	if *stitchedPath != "" {
+		if err := checkStitched(*stitchedPath, *stitchNodes); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %s\n", *stitchedPath, err)
+			ok = false
+		} else {
+			fmt.Printf("obscheck: %s: valid stitched cluster trace (>= %d node lanes, one trace ID)\n", *stitchedPath, *stitchNodes)
+		}
+	}
+	if *bundlePath != "" {
+		if err := checkBundle(*bundlePath); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %s\n", *bundlePath, err)
+			ok = false
+		} else {
+			fmt.Printf("obscheck: %s: valid anomaly bundle (sha256 verified)\n", *bundlePath)
 		}
 	}
 	if !ok {
@@ -141,7 +168,10 @@ func checkMetrics(path string) error {
 		return err
 	}
 	defer f.Close()
+	return checkMetricsReader(f)
+}
 
+func checkMetricsReader(f io.Reader) error {
 	typed := map[string]string{} // family → type
 	type histKey struct{ name, labels string }
 	buckets := map[histKey]map[float64]float64{} // series → le → value
@@ -253,6 +283,136 @@ func checkMetrics(path string) error {
 		if c, ok := counts[key]; ok && bs[les[len(les)-1]] != c {
 			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", key.name, bs[les[len(les)-1]], c)
 		}
+	}
+	return nil
+}
+
+// checkStitched validates a stitched multi-node cluster trace: it must
+// be a valid Chrome trace whose complete (ph=X) spans all carry one and
+// the same non-empty args.trace ID, spread across at least minNodes
+// distinct process lanes, each lane named by a process_name metadata
+// record.
+func checkStitched(path string, minNodes int) error {
+	if err := checkTrace(path); err != nil {
+		return err
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return err
+	}
+	named := map[int]string{} // pid → process name
+	spanPids := map[int]int{} // pid → span count
+	traceID := ""
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" || ev.Pid == nil {
+				continue
+			}
+			name, _ := ev.Args["name"].(string)
+			if name == "" {
+				return fmt.Errorf("traceEvents[%d]: process_name metadata without args.name", i)
+			}
+			named[*ev.Pid] = name
+		case "X":
+			id, _ := ev.Args["trace"].(string)
+			if id == "" {
+				return fmt.Errorf("traceEvents[%d] (%q): span missing args.trace", i, ev.Name)
+			}
+			if traceID == "" {
+				traceID = id
+			} else if id != traceID {
+				return fmt.Errorf("traceEvents[%d] (%q): trace %s differs from %s — a stitched view must hold exactly one trace", i, ev.Name, id, traceID)
+			}
+			if ev.Pid != nil {
+				spanPids[*ev.Pid]++
+			}
+		}
+	}
+	if traceID == "" {
+		return fmt.Errorf("no spans carry a trace ID")
+	}
+	if len(spanPids) < minNodes {
+		return fmt.Errorf("spans cover %d node lanes, want >= %d", len(spanPids), minNodes)
+	}
+	for pid := range spanPids {
+		if named[pid] == "" {
+			return fmt.Errorf("pid %d has spans but no process_name metadata", pid)
+		}
+	}
+	return nil
+}
+
+// bundleEnvelope / bundleBody mirror the serve layer's flight-recorder
+// bundle format. Body stays a RawMessage so the checksum is recomputed
+// over exactly the written bytes.
+type bundleEnvelope struct {
+	SHA256 string          `json:"sha256"`
+	Body   json.RawMessage `json:"body"`
+}
+
+type bundleBody struct {
+	Reason             string            `json:"reason"`
+	Node               string            `json:"node"`
+	GeneratedUnixMicro int64             `json:"generated_us"`
+	Spans              []json.RawMessage `json:"spans"`
+	Events             []json.RawMessage `json:"events"`
+	Metrics            string            `json:"metrics"`
+	Goroutines         string            `json:"goroutines"`
+}
+
+// checkBundle validates an anomaly flight-recorder bundle: the envelope
+// checksum must match the body bytes, and the body must carry every
+// diagnostic section — a reason, the recording node, a timestamp, at
+// least one event, a goroutine dump, and a metrics snapshot that is
+// itself valid Prometheus exposition.
+func checkBundle(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env bundleEnvelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return fmt.Errorf("not a sealed bundle: %w", err)
+	}
+	if env.SHA256 == "" {
+		return fmt.Errorf("missing sha256 seal")
+	}
+	sum := sha256.Sum256(env.Body)
+	if got := hex.EncodeToString(sum[:]); got != env.SHA256 {
+		return fmt.Errorf("integrity failure: body hashes to %.12s…, sealed as %.12s…", got, env.SHA256)
+	}
+	var body bundleBody
+	if err := json.Unmarshal(env.Body, &body); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	if body.Reason == "" {
+		return fmt.Errorf("body missing reason")
+	}
+	if body.Node == "" {
+		return fmt.Errorf("body missing node")
+	}
+	if body.GeneratedUnixMicro <= 0 {
+		return fmt.Errorf("body missing generated_us")
+	}
+	if len(body.Events) == 0 {
+		return fmt.Errorf("body has no events — a bundle must capture the event ring")
+	}
+	if body.Spans == nil {
+		return fmt.Errorf("body missing spans section")
+	}
+	if body.Goroutines == "" {
+		return fmt.Errorf("body missing goroutine dump")
+	}
+	if body.Metrics == "" {
+		return fmt.Errorf("body missing metrics snapshot")
+	}
+	if err := checkMetricsReader(strings.NewReader(body.Metrics)); err != nil {
+		return fmt.Errorf("embedded metrics snapshot: %w", err)
 	}
 	return nil
 }

@@ -174,11 +174,20 @@ func New(cfg Config, ob *obs.Observer) (*Router, error) {
 			Threshold:  cfg.BreakerThreshold,
 			Cooldown:   cfg.BreakerCooldown,
 			JitterSeed: cfg.Seed ^ hashKey(n),
-			OnState: func(from, to resilience.State) {
+			OnState: func(from, to resilience.State, reason string) {
 				ob.Instant("cluster", "breaker:"+host, 0,
-					obs.A("from", from.String()), obs.A("to", to.String()))
+					obs.A("from", from.String()), obs.A("to", to.String()),
+					obs.A("reason", reason))
 				reg.Counter(obs.MClusterPeerFlips, obs.HClusterPeerFlips,
 					obs.L("peer", host), obs.L("to", to.String())).Inc()
+				level := obs.LevelInfo
+				if to == resilience.Open {
+					level = obs.LevelWarn
+				}
+				ob.Event(level, "breaker", obs.TraceID{},
+					obs.FStr("layer", "cluster"), obs.FStr("peer", host),
+					obs.FStr("from", from.String()), obs.FStr("to", to.String()),
+					obs.FStr("reason", reason))
 			},
 		})
 		r.peers[n] = p
@@ -272,17 +281,43 @@ func (e *errPeerStatus) Error() string {
 // otherwise) — graceful degradation is the contract, so Forward never
 // returns an error.
 func (r *Router) Forward(ctx context.Context, route Route, path, contentType string, body []byte, stream bool) (res *ForwardResult, ok bool) {
+	tc, _ := obs.TraceContextFrom(ctx)
+	start := r.now()
 	span := r.ob.Span("cluster", "forward", 0).
-		Arg("key", short(route.Key)).Arg("owner", route.Owner).Arg("path", path)
+		Arg("key", short(route.Key)).Arg("owner", route.Owner).Arg("path", path).
+		Arg("trace", tc.Trace.String())
 	defer func() {
+		outcome := "degraded-local"
 		if res != nil {
 			span.Arg("served_by", res.Peer).Arg("status", res.Status)
+			outcome = "served"
 		} else if route.SelfStandby {
-			span.Arg("outcome", "standby-local")
-		} else {
-			span.Arg("outcome", "degraded-local")
+			outcome = "standby-local"
+		}
+		if res == nil {
+			span.Arg("outcome", outcome)
 		}
 		span.End()
+		sp := obs.ReqSpan{
+			Trace:          tc.Trace.String(),
+			Span:           obs.NewSpanID().String(),
+			Parent:         tc.Span.String(),
+			Name:           "forward",
+			Node:           r.cfg.Self,
+			StartUnixMicro: start.UnixMicro(),
+			DurMicro:       r.now().Sub(start).Microseconds(),
+			Attrs: map[string]string{
+				"key":     short(route.Key),
+				"owner":   route.Owner,
+				"path":    path,
+				"outcome": outcome,
+			},
+		}
+		if res != nil {
+			sp.Status = res.Status
+			sp.Attrs["served_by"] = res.Peer
+		}
+		r.ob.RecordSpan(sp)
 	}()
 
 	var candidates []*peer
@@ -293,14 +328,18 @@ func (r *Router) Forward(ctx context.Context, route Route, path, contentType str
 		candidates = append(candidates, p)
 	}
 
-	if res := r.race(ctx, candidates, path, contentType, body, stream); res != nil {
+	if res := r.race(ctx, tc.Trace, candidates, path, contentType, body, stream); res != nil {
 		return res, true
 	}
 	if route.SelfStandby {
 		r.standby.Inc()
+		r.ob.Event(obs.LevelInfo, "standby-serve", tc.Trace,
+			obs.FStr("key", short(route.Key)))
 	} else {
 		r.degraded.Inc()
 		r.ob.Instant("cluster", "degraded-serve", 0, obs.A("key", short(route.Key)))
+		r.ob.Event(obs.LevelWarn, "degraded-serve", tc.Trace,
+			obs.FStr("key", short(route.Key)), obs.FStr("owner", route.Owner))
 	}
 	return nil, false
 }
@@ -308,7 +347,7 @@ func (r *Router) Forward(ctx context.Context, route Route, path, contentType str
 // race runs the candidate attempts: the first candidate launches
 // immediately, the next after HedgeDelay (or as soon as the previous
 // attempt fails). First relayable response wins; losers are canceled.
-func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType string, body []byte, stream bool) *ForwardResult {
+func (r *Router) race(ctx context.Context, trace obs.TraceID, candidates []*peer, path, contentType string, body []byte, stream bool) *ForwardResult {
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -316,11 +355,13 @@ func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType
 		res    *ForwardResult
 		err    error
 		p      *peer
+		hedged bool
 		cancel context.CancelFunc
 	}
 	resc := make(chan outcome, len(candidates))
 	inflight := 0
 	next := 0
+	launched := 0
 	pending := make(map[*peer]context.CancelFunc, len(candidates))
 	launch := func(hedged bool) {
 		for next < len(candidates) {
@@ -333,8 +374,11 @@ func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType
 			if hedged {
 				r.hedges.Inc()
 				r.ob.Instant("cluster", "hedge", 0, obs.A("to", p.host))
+				r.ob.Event(obs.LevelInfo, "hedge", trace,
+					obs.FStr("to", p.host), obs.FStr("path", path))
 			}
 			p.fwd.Inc()
+			launched++
 			actx, cancel := context.WithCancel(ctx)
 			if !stream {
 				actx, cancel = context.WithTimeout(ctx, r.cfg.ForwardTimeout)
@@ -343,7 +387,7 @@ func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType
 			inflight++
 			go func() {
 				res, err := r.attempt(actx, p, path, contentType, body, stream)
-				resc <- outcome{res: res, err: err, p: p, cancel: cancel}
+				resc <- outcome{res: res, err: err, p: p, hedged: hedged, cancel: cancel}
 			}()
 			return
 		}
@@ -376,6 +420,9 @@ func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType
 					o.p.br.Failure(r.now(), o.err)
 					r.ob.Instant("cluster", "forward-error", 0,
 						obs.A("peer", o.p.host), obs.A("error", o.err.Error()))
+					r.ob.Event(obs.LevelWarn, "forward-error", trace,
+						obs.FStr("peer", o.p.host), obs.FStr("error", o.err.Error()),
+						obs.FBool("hedged", o.hedged))
 				}
 				o.cancel()
 				launch(false) // immediate failover if a candidate remains
@@ -384,6 +431,12 @@ func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType
 			// Winner: cancel the losers and drain their outcomes
 			// off-thread so a slow loser never delays the response.
 			o.p.br.Success()
+			if launched > 1 {
+				// More than one attempt ran: record who won the race (the
+				// hedged duplicate or the failover retry, vs the owner).
+				r.ob.Event(obs.LevelInfo, "hedge-win", trace,
+					obs.FStr("peer", o.p.host), obs.FBool("hedged", o.hedged))
+			}
 			for _, cancel := range pending {
 				cancel()
 			}
@@ -400,6 +453,8 @@ func (r *Router) race(ctx context.Context, candidates []*peer, path, contentType
 								lo.res.Stream.Close()
 							}
 						}
+						r.ob.Event(obs.LevelDebug, "hedge-loss", trace,
+							obs.FStr("peer", lo.p.host), obs.FBool("hedged", lo.hedged))
 						lo.cancel()
 					}
 				}()
@@ -430,9 +485,26 @@ const maxSnapshotFetchBytes = 64 << 20
 // that is worth a metric. The returned bytes are NOT verified here: the
 // serve layer decodes and checksums them before trusting anything.
 func (r *Router) FetchSnapshot(ctx context.Context, key string) (data []byte, from string, err error) {
-	span := r.ob.Span("cluster", "snapshot-fetch", 0).Arg("key", short(key))
+	tc, _ := obs.TraceContextFrom(ctx)
+	start := r.now()
+	span := r.ob.Span("cluster", "snapshot-fetch", 0).Arg("key", short(key)).
+		Arg("trace", tc.Trace.String())
 	defer func() {
 		span.Arg("from", from).End()
+		attrs := map[string]string{"key": short(key), "from": from}
+		if err != nil {
+			attrs["error"] = err.Error()
+		}
+		r.ob.RecordSpan(obs.ReqSpan{
+			Trace:          tc.Trace.String(),
+			Span:           obs.NewSpanID().String(),
+			Parent:         tc.Span.String(),
+			Name:           "snapshot-fetch",
+			Node:           r.cfg.Self,
+			StartUnixMicro: start.UnixMicro(),
+			DurMicro:       r.now().Sub(start).Microseconds(),
+			Attrs:          attrs,
+		})
 	}()
 	route := r.Route(key)
 	var candidates []*peer
@@ -458,6 +530,8 @@ func (r *Router) FetchSnapshot(ctx context.Context, key string) (data []byte, fr
 			p.br.Failure(r.now(), aerr)
 			r.ob.Instant("cluster", "snapshot-fetch-error", 0,
 				obs.A("peer", p.host), obs.A("error", aerr.Error()))
+			r.ob.Event(obs.LevelWarn, "snapshot-fetch-error", tc.Trace,
+				obs.FStr("peer", p.host), obs.FStr("error", aerr.Error()))
 			lastErr = aerr
 			continue
 		}
@@ -481,6 +555,9 @@ func (r *Router) fetchSnapshotFrom(ctx context.Context, p *peer, key string) ([]
 		return nil, 0, err
 	}
 	req.Header.Set(HeaderForwarded, "1")
+	if tc, ok := obs.TraceContextFrom(actx); ok {
+		req.Header.Set(obs.TraceHeader, tc.Header())
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -512,6 +589,9 @@ func (r *Router) attempt(ctx context.Context, p *peer, path, contentType string,
 		return nil, err
 	}
 	req.Header.Set(HeaderForwarded, "1")
+	if tc, ok := obs.TraceContextFrom(ctx); ok {
+		req.Header.Set(obs.TraceHeader, tc.Header())
+	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}

@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The structured event log records the decision points the metrics only
+// count and the tracer only times: breaker state transitions, hedge
+// winners and losers, degraded/standby serves, snapshot quarantines and
+// scrub verdicts, cache evictions. Events are leveled, ring-buffered
+// (newest overwrite oldest), rate-limited below Warn, tagged with the
+// distributed trace ID, and rendered as JSON only at export time. Like
+// every obs hook, a nil *EventLog is inert: Emit on nil is a no-op with
+// zero allocations, so disabled observability stays free.
+
+// Level is the event severity.
+type Level uint8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+type fieldKind uint8
+
+const (
+	fieldString fieldKind = iota
+	fieldInt
+	fieldFloat
+	fieldBool
+)
+
+// Field is one typed key/value attribute on an event. Values are held
+// unboxed (no interface) so copying a Field into the ring never
+// allocates and the disabled path keeps the caller's variadic slice on
+// the stack.
+type Field struct {
+	Key  string
+	str  string
+	num  int64
+	f    float64
+	b    bool
+	kind fieldKind
+}
+
+// FStr builds a string field.
+func FStr(key, val string) Field { return Field{Key: key, str: val, kind: fieldString} }
+
+// FInt builds an integer field.
+func FInt(key string, val int64) Field { return Field{Key: key, num: val, kind: fieldInt} }
+
+// FFloat builds a float field.
+func FFloat(key string, val float64) Field { return Field{Key: key, f: val, kind: fieldFloat} }
+
+// FBool builds a boolean field.
+func FBool(key string, val bool) Field { return Field{Key: key, b: val, kind: fieldBool} }
+
+// Value returns the field's value boxed (export-time only).
+func (f Field) Value() any {
+	switch f.kind {
+	case fieldInt:
+		return f.num
+	case fieldFloat:
+		return f.f
+	case fieldBool:
+		return f.b
+	default:
+		return f.str
+	}
+}
+
+// StringValue renders the field's value as a string (anomaly matching
+// and tests).
+func (f Field) StringValue() string {
+	switch f.kind {
+	case fieldInt:
+		return strconv.FormatInt(f.num, 10)
+	case fieldFloat:
+		return strconv.FormatFloat(f.f, 'g', -1, 64)
+	case fieldBool:
+		return strconv.FormatBool(f.b)
+	default:
+		return f.str
+	}
+}
+
+// MaxEventFields caps the attributes stored per event; extra fields are
+// dropped (the count is preserved in the event itself, not metrics —
+// callers control their own arity).
+const MaxEventFields = 8
+
+// LogEvent is one recorded event. Fields is a fixed array so ring slots
+// are flat and writes copy values instead of retaining caller slices.
+type LogEvent struct {
+	TimeUnixMicro int64
+	Level         Level
+	Type          string
+	Trace         TraceID
+	NFields       uint8
+	Fields        [MaxEventFields]Field
+}
+
+// Field returns the string rendering of the named attribute.
+func (e LogEvent) Field(key string) (string, bool) {
+	for i := 0; i < int(e.NFields); i++ {
+		if e.Fields[i].Key == key {
+			return e.Fields[i].StringValue(), true
+		}
+	}
+	return "", false
+}
+
+// MarshalJSON renders the event as a flat JSON object:
+// {"t_us":..., "level":"warn", "type":"breaker", "trace":"<32hex>",
+// "fields":{...}}. encoding/json sorts map keys, so the rendering is
+// deterministic.
+func (e LogEvent) MarshalJSON() ([]byte, error) {
+	fields := make(map[string]any, e.NFields)
+	for i := 0; i < int(e.NFields); i++ {
+		fields[e.Fields[i].Key] = e.Fields[i].Value()
+	}
+	v := struct {
+		TimeUnixMicro int64          `json:"t_us"`
+		Level         string         `json:"level"`
+		Type          string         `json:"type"`
+		Trace         string         `json:"trace,omitempty"`
+		Fields        map[string]any `json:"fields,omitempty"`
+	}{e.TimeUnixMicro, e.Level.String(), e.Type, e.Trace.String(), fields}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON parses the MarshalJSON rendering back into a LogEvent —
+// the stitcher decodes other nodes' trace fragments with it. JSON
+// numbers decode as float64; integral values are restored to int fields
+// so round-tripped events render identically.
+func (e *LogEvent) UnmarshalJSON(data []byte) error {
+	var v struct {
+		TimeUnixMicro int64          `json:"t_us"`
+		Level         string         `json:"level"`
+		Type          string         `json:"type"`
+		Trace         string         `json:"trace"`
+		Fields        map[string]any `json:"fields"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*e = LogEvent{TimeUnixMicro: v.TimeUnixMicro, Type: v.Type}
+	switch v.Level {
+	case "debug":
+		e.Level = LevelDebug
+	case "info":
+		e.Level = LevelInfo
+	case "warn":
+		e.Level = LevelWarn
+	default:
+		e.Level = LevelError
+	}
+	if t, ok := ParseTraceID(v.Trace); ok {
+		e.Trace = t
+	}
+	// Map iteration is unordered; sort keys so the field order is stable.
+	keys := make([]string, 0, len(v.Fields))
+	for k := range v.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if int(e.NFields) == MaxEventFields {
+			break
+		}
+		var f Field
+		switch val := v.Fields[k].(type) {
+		case bool:
+			f = FBool(k, val)
+		case float64:
+			if val == math.Trunc(val) && math.Abs(val) < 1<<53 {
+				f = FInt(k, int64(val))
+			} else {
+				f = FFloat(k, val)
+			}
+		case string:
+			f = FStr(k, val)
+		default:
+			b, _ := json.Marshal(val)
+			f = FStr(k, string(b))
+		}
+		e.Fields[e.NFields] = f
+		e.NFields++
+	}
+	return nil
+}
+
+// DefaultEventCapacity is the event ring size when the config leaves it
+// zero.
+const DefaultEventCapacity = 4096
+
+// DefaultEventRate is the sustained events/second admitted below Warn
+// when the config leaves it zero.
+const DefaultEventRate = 500
+
+// EventLogConfig configures NewEventLog. The zero value is usable.
+type EventLogConfig struct {
+	// Capacity is the ring size (DefaultEventCapacity if zero).
+	Capacity int
+	// MinLevel drops events below it at the Emit call.
+	MinLevel Level
+	// RatePerSec token-bucket-limits Debug/Info events
+	// (DefaultEventRate if zero, negative disables limiting). Warn and
+	// Error always bypass the limiter: anomalies must not be shed.
+	RatePerSec float64
+	// Burst is the token bucket depth (2×rate if zero).
+	Burst float64
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// Metrics, when set, registers bitgen_obs_events_total{level} and
+	// bitgen_obs_events_dropped_total.
+	Metrics *Registry
+	// OnEvent, when set, is invoked synchronously (outside the ring
+	// lock) for every admitted event at Warn or above — the anomaly
+	// flight-recorder trigger. It must not call back into the log.
+	OnEvent func(LogEvent)
+}
+
+// EventLog is the ring-buffered structured event log. All methods are
+// safe on a nil receiver and for concurrent use.
+type EventLog struct {
+	now      func() time.Time
+	minLevel Level
+	onEvent  func(LogEvent)
+	emitted  [4]*Counter
+	droppedC *Counter
+
+	mu      sync.Mutex
+	ring    []LogEvent
+	total   uint64 // events ever admitted
+	dropped uint64 // rate-limited drops
+	tokens  float64
+	rate    float64
+	burst   float64
+	last    time.Time
+}
+
+// NewEventLog builds an event log; see EventLogConfig.
+func NewEventLog(cfg EventLogConfig) *EventLog {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	rate := cfg.RatePerSec
+	if rate == 0 {
+		rate = DefaultEventRate
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 2 * rate
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	l := &EventLog{
+		now:      now,
+		minLevel: cfg.MinLevel,
+		onEvent:  cfg.OnEvent,
+		ring:     make([]LogEvent, 0, capacity),
+		rate:     rate,
+		burst:    burst,
+		tokens:   burst,
+		last:     now(),
+	}
+	if cfg.Metrics != nil {
+		for lv := LevelDebug; lv <= LevelError; lv++ {
+			l.emitted[lv] = cfg.Metrics.Counter(MObsEvents, HObsEvents, L("level", lv.String()))
+		}
+		l.droppedC = cfg.Metrics.Counter(MObsEventsDropped, HObsEventsDropped)
+	}
+	return l
+}
+
+// Emit records one event. Nil receivers and sub-MinLevel events return
+// immediately; Debug/Info events beyond the rate limit are counted as
+// dropped. The variadic fields never escape on the disabled path.
+func (l *EventLog) Emit(level Level, typ string, trace TraceID, fields ...Field) {
+	if l == nil || level < l.minLevel {
+		return
+	}
+	var ev LogEvent
+	ev.Level = level
+	ev.Type = typ
+	ev.Trace = trace
+	n := copy(ev.Fields[:], fields)
+	ev.NFields = uint8(n)
+
+	now := l.now()
+	ev.TimeUnixMicro = now.UnixMicro()
+
+	l.mu.Lock()
+	if l.rate > 0 && level < LevelWarn {
+		dt := now.Sub(l.last).Seconds()
+		if dt > 0 {
+			l.tokens += dt * l.rate
+			if l.tokens > l.burst {
+				l.tokens = l.burst
+			}
+			l.last = now
+		}
+		if l.tokens < 1 {
+			l.dropped++
+			l.mu.Unlock()
+			l.droppedC.Inc()
+			return
+		}
+		l.tokens--
+	}
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.total%uint64(cap(l.ring))] = ev
+	}
+	l.total++
+	l.mu.Unlock()
+
+	if c := l.emitted[level]; c != nil {
+		c.Inc()
+	}
+	if l.onEvent != nil && level >= LevelWarn {
+		l.onEvent(ev)
+	}
+}
+
+// Events returns the buffered events, oldest first.
+func (l *EventLog) Events() []LogEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LogEvent, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) || l.total <= uint64(len(l.ring)) {
+		out = append(out, l.ring...)
+		return out
+	}
+	head := int(l.total % uint64(cap(l.ring)))
+	out = append(out, l.ring[head:]...)
+	out = append(out, l.ring[:head]...)
+	return out
+}
+
+// ByTrace returns the buffered events carrying the given trace ID,
+// oldest first.
+func (l *EventLog) ByTrace(t TraceID) []LogEvent {
+	if l == nil || t.IsZero() {
+		return nil
+	}
+	all := l.Events()
+	out := all[:0]
+	for _, e := range all {
+		if e.Trace == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dropped returns the number of rate-limited events.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Total returns the number of events ever admitted to the ring.
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// WriteJSON writes the buffered events as one JSON array, oldest first.
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	evs := l.Events()
+	if evs == nil {
+		evs = []LogEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}

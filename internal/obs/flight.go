@@ -1,0 +1,107 @@
+package obs
+
+import "sync"
+
+// The flight recorder's core: a ring of recently completed request
+// spans. The serve layer records one ReqSpan per finished HTTP request
+// (and the cluster router one per forward / snapshot fetch), each
+// carrying the distributed trace ID. The same ring backs both
+// GET /v1/trace/{traceID} fragments (filter by trace) and the anomaly
+// diagnostic bundle (dump the whole ring).
+
+// ReqSpan is one completed request-scoped span. Times are wall-clock
+// (unix microseconds) rather than process-monotonic so spans from
+// different nodes can be merged onto one timeline.
+type ReqSpan struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	// Name is the span kind: "match", "scan", "snapshot", "forward",
+	// "snapshot-fetch".
+	Name string `json:"name"`
+	// Node is the recording node's advertised URL ("local" standalone).
+	Node           string            `json:"node"`
+	StartUnixMicro int64             `json:"start_us"`
+	DurMicro       int64             `json:"dur_us"`
+	Status         int               `json:"status,omitempty"`
+	Attrs          map[string]string `json:"attrs,omitempty"`
+}
+
+// DefaultSpanCapacity is the flight-recorder ring size when the
+// constructor gets zero.
+const DefaultSpanCapacity = 2048
+
+// SpanStore is the concurrency-safe request-span ring. A nil store is
+// inert.
+type SpanStore struct {
+	mu    sync.Mutex
+	ring  []ReqSpan
+	total uint64
+}
+
+// NewSpanStore builds a ring holding the last capacity spans
+// (DefaultSpanCapacity if capacity <= 0).
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanStore{ring: make([]ReqSpan, 0, capacity)}
+}
+
+// Add records one completed span.
+func (s *SpanStore) Add(sp ReqSpan) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, sp)
+	} else {
+		s.ring[s.total%uint64(cap(s.ring))] = sp
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Spans returns the buffered spans, oldest first.
+func (s *SpanStore) Spans() []ReqSpan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ReqSpan, 0, len(s.ring))
+	if len(s.ring) < cap(s.ring) {
+		out = append(out, s.ring...)
+		return out
+	}
+	head := int(s.total % uint64(cap(s.ring)))
+	out = append(out, s.ring[head:]...)
+	out = append(out, s.ring[:head]...)
+	return out
+}
+
+// ByTrace returns the buffered spans for one trace ID, oldest first.
+func (s *SpanStore) ByTrace(trace string) []ReqSpan {
+	if s == nil || trace == "" {
+		return nil
+	}
+	all := s.Spans()
+	out := all[:0]
+	for _, sp := range all {
+		if sp.Trace == trace {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Len returns the number of buffered spans.
+func (s *SpanStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}

@@ -166,12 +166,50 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the cumulative
+// buckets by linear interpolation within the containing bucket — the
+// same estimate Prometheus's histogram_quantile makes. The last finite
+// upper bound is returned for samples in the +Inf bucket; 0 on empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var prevCum uint64
+	prevBound := 0.0
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= target {
+			if math.IsInf(b.UpperBound, 1) {
+				return prevBound
+			}
+			in := b.Count - prevCum
+			if in == 0 {
+				return b.UpperBound
+			}
+			frac := (target - float64(prevCum)) / float64(in)
+			return prevBound + (b.UpperBound-prevBound)*frac
+		}
+		prevCum = b.Count
+		if !math.IsInf(b.UpperBound, 1) {
+			prevBound = b.UpperBound
+		}
+	}
+	return prevBound
+}
+
 // series is one (family, labelset) instrument.
 type series struct {
 	labels string // rendered `{k="v",...}` or ""
-	ctr    *Counter
-	gauge  *Gauge
-	hist   *Histogram
+	// labelList is the sorted label set the rendering came from, kept so
+	// histogram exposition can re-render with the `le` label merged in
+	// canonical sorted position instead of appended last.
+	labelList []Label
+	ctr       *Counter
+	gauge     *Gauge
+	hist      *Histogram
 }
 
 // family groups series sharing a metric name.
@@ -196,12 +234,18 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// sortLabels returns a sorted copy of the label set.
+func sortLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
-	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	ls := sortLabels(labels)
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, l := range ls {
@@ -228,7 +272,7 @@ func (r *Registry) get(name, help string, kind metricKind, labels []Label) *seri
 	key := renderLabels(labels)
 	s, ok := f.series[key]
 	if !ok {
-		s = &series{labels: key}
+		s = &series{labels: key, labelList: sortLabels(labels)}
 		switch kind {
 		case kindCounter:
 			s.ctr = &Counter{}
@@ -266,7 +310,23 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s.hist == nil {
-		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		// Sort and dedupe the bounds defensively: Observe and the
+		// cumulative exposition both assume strictly increasing upper
+		// bounds, and an unsorted caller would otherwise produce
+		// nondeterministic-looking (and wrong) bucket counts. A finite
+		// +Inf sentinel is dropped — the exposition adds it implicitly.
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h := &Histogram{}
+		for _, b := range bs {
+			if math.IsInf(b, 1) || math.IsNaN(b) {
+				continue
+			}
+			if n := len(h.bounds); n > 0 && h.bounds[n-1] == b {
+				continue
+			}
+			h.bounds = append(h.bounds, b)
+		}
 		h.counts = make([]atomic.Uint64, len(h.bounds))
 		s.hist = h
 	}
@@ -343,7 +403,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func writeHistogram(w io.Writer, name string, s *series) error {
 	snap := s.hist.snapshot()
 	for _, b := range snap.Buckets {
-		labels := mergeLabel(s.labels, "le", formatFloat(b.UpperBound))
+		labels := renderLabels(append(append([]Label(nil), s.labelList...),
+			L("le", formatFloat(b.UpperBound))))
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, b.Count); err != nil {
 			return err
 		}
@@ -353,15 +414,6 @@ func writeHistogram(w io.Writer, name string, s *series) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, snap.Count)
 	return err
-}
-
-// mergeLabel appends one label to an already-rendered label set.
-func mergeLabel(rendered, key, val string) string {
-	extra := fmt.Sprintf("%s=%q", key, val)
-	if rendered == "" {
-		return "{" + extra + "}"
-	}
-	return rendered[:len(rendered)-1] + "," + extra + "}"
 }
 
 // Snapshot is a point-in-time copy of every series, keyed by

@@ -76,6 +76,23 @@ const (
 	MClusterPeerSkips        = "bitgen_cluster_peer_skips_total"
 	MClusterPeerFlips        = "bitgen_cluster_peer_breaker_transitions_total"
 
+	// Distributed observability (registered by internal/serve; absent
+	// from library-only expositions).
+	MObsEvents        = "bitgen_obs_events_total"
+	MObsEventsDropped = "bitgen_obs_events_dropped_total"
+	MObsBundleWrites  = "bitgen_obs_bundle_writes_total"
+	MObsBundleErrors  = "bitgen_obs_bundle_errors_total"
+	MObsBundleBytes   = "bitgen_obs_bundle_last_bytes"
+
+	// SLO layer (registered by internal/serve per endpoint).
+	MSLORequests = "bitgen_slo_requests_total"
+	MSLOGood     = "bitgen_slo_good_total"
+	MSLOBreaches = "bitgen_slo_breaches_total"
+	MSLOLatency  = "bitgen_slo_request_seconds"
+	MSLOBurnFast = "bitgen_slo_burn_rate_fast"
+	MSLOBurnSlow = "bitgen_slo_burn_rate_slow"
+	MSLOBudget   = "bitgen_slo_error_budget_remaining"
+
 	// Resilience ladder (mirrors internal/resilience counters).
 	MLadderCalls       = "bitgen_ladder_calls_total"
 	MLadderFallbacks   = "bitgen_ladder_fallbacks_total"
@@ -148,6 +165,20 @@ const (
 	HClusterReceivedForwards = "Forwarded requests received from peers (served locally, never re-forwarded)."
 	HClusterPeerSkips        = "Forward attempts skipped by an open peer breaker, per peer."
 	HClusterPeerFlips        = "Peer breaker state transitions, per peer and destination state."
+
+	HObsEvents        = "Structured events admitted to the event ring, per level."
+	HObsEventsDropped = "Structured events shed by the Debug/Info rate limiter."
+	HObsBundleWrites  = "Diagnostic flight-recorder bundles written, per trigger."
+	HObsBundleErrors  = "Diagnostic bundle writes that failed."
+	HObsBundleBytes   = "Size in bytes of the most recently written diagnostic bundle."
+
+	HSLORequests = "Requests observed by the SLO tracker, per endpoint."
+	HSLOGood     = "Requests within the endpoint's latency objective and non-erroring."
+	HSLOBreaches = "Requests outside the endpoint's objective (error or too slow)."
+	HSLOLatency  = "End-to-end request latency seconds, per endpoint."
+	HSLOBurnFast = "Error-budget burn rate over the fast (short) window, per endpoint."
+	HSLOBurnSlow = "Error-budget burn rate over the slow (long) window, per endpoint."
+	HSLOBudget   = "Fraction of the error budget remaining since process start, per endpoint."
 
 	HLadderCalls       = "Resilience ladder invocations."
 	HLadderFallbacks   = "Calls served by a rung other than the first."

@@ -12,17 +12,38 @@
 // obs imports only the standard library.
 package obs
 
-// Observer bundles the two observability sinks threaded through the
-// pipeline. Either field may be nil to enable only tracing or only
-// metrics; a nil *Observer disables both.
+// Observer bundles the observability sinks threaded through the
+// pipeline: tracer and metrics (the original pair), plus the serving
+// layer's structured event log and request-span store. Any field may be
+// nil to enable a subset; a nil *Observer disables everything.
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Events  *EventLog
+	Spans   *SpanStore
 }
 
 // Enabled reports whether any sink is attached.
 func (o *Observer) Enabled() bool {
-	return o != nil && (o.Tracer != nil || o.Metrics != nil)
+	return o != nil && (o.Tracer != nil || o.Metrics != nil || o.Events != nil || o.Spans != nil)
+}
+
+// Event records a structured event on the observer's event log;
+// nil-safe and free when the log is absent.
+func (o *Observer) Event(level Level, typ string, trace TraceID, fields ...Field) {
+	if o == nil || o.Events == nil {
+		return
+	}
+	o.Events.Emit(level, typ, trace, fields...)
+}
+
+// RecordSpan adds a completed request span to the flight-recorder ring;
+// nil-safe.
+func (o *Observer) RecordSpan(sp ReqSpan) {
+	if o == nil || o.Spans == nil {
+		return
+	}
+	o.Spans.Add(sp)
 }
 
 // Span starts a span on the observer's tracer; nil-safe (returns a nil

@@ -52,10 +52,12 @@ type breaker struct {
 	// match set. Only an explicit Reset clears it — a backend caught
 	// lying must not silently rejoin the ladder.
 	quarantined bool
-	// onState, when non-nil, observes every state transition. It is
+	// onState, when non-nil, observes every state transition together
+	// with the reason that triggered it (the failing error's text, or a
+	// lifecycle word like "success", "cooldown-elapsed", "reset"). It is
 	// invoked outside the breaker's lock (observability sinks must never
 	// nest under it) and must itself be safe for concurrent use.
-	onState func(from, to State)
+	onState func(from, to State, reason string)
 
 	consecFails int
 	attempts    uint64
@@ -66,10 +68,11 @@ type breaker struct {
 	lastFailure string
 }
 
-// notify reports a state change to the observer hook, outside the lock.
-func (b *breaker) notify(from, to State) {
+// notify reports a state change to the observer hook, outside the lock,
+// carrying the transition's triggering reason.
+func (b *breaker) notify(from, to State, reason string) {
 	if from != to && b.onState != nil {
-		b.onState(from, to)
+		b.onState(from, to, reason)
 	}
 }
 
@@ -95,7 +98,7 @@ func (b *breaker) allow(now time.Time) bool {
 			b.probing = true
 			b.attempts++
 			b.mu.Unlock()
-			b.notify(from, HalfOpen)
+			b.notify(from, HalfOpen, "cooldown-elapsed")
 			return true
 		}
 	case HalfOpen:
@@ -121,7 +124,7 @@ func (b *breaker) success() {
 	b.state = Closed
 	b.probing = false
 	b.mu.Unlock()
-	b.notify(from, Closed)
+	b.notify(from, Closed, "success")
 }
 
 // failure records a failover-class failure; the breaker opens when the
@@ -131,6 +134,7 @@ func (b *breaker) failure(now time.Time, err error) {
 	b.failures++
 	b.consecFails++
 	b.lastFailure = err.Error()
+	reason := b.lastFailure
 	from := b.state
 	wasProbe := b.state == HalfOpen
 	b.probing = false
@@ -143,7 +147,7 @@ func (b *breaker) failure(now time.Time, err error) {
 	}
 	b.mu.Unlock()
 	if opened {
-		b.notify(from, Open)
+		b.notify(from, Open, reason)
 	}
 }
 
@@ -158,7 +162,7 @@ func (b *breaker) abandon() {
 	b.probing = false
 	to := b.state
 	b.mu.Unlock()
-	b.notify(from, to)
+	b.notify(from, to, "probe-abandoned")
 }
 
 // quarantine pins the breaker open until reset.
@@ -172,7 +176,7 @@ func (b *breaker) quarantine(now time.Time, reason string) {
 	b.probing = false
 	b.lastFailure = reason
 	b.mu.Unlock()
-	b.notify(from, Open)
+	b.notify(from, Open, reason)
 }
 
 // reset closes the breaker and clears quarantine and the failure streak.
@@ -184,7 +188,7 @@ func (b *breaker) reset() {
 	b.probing = false
 	b.consecFails = 0
 	b.mu.Unlock()
-	b.notify(from, Closed)
+	b.notify(from, Closed, "reset")
 }
 
 // setCooldownLocked picks the effective cooldown for an open that just

@@ -17,10 +17,12 @@ type BreakerConfig struct {
 	// a partitioned cluster node — jitter spreads their half-open probes
 	// instead of synchronizing a probe storm.
 	JitterSeed uint64
-	// OnState, when non-nil, observes every state transition. It is
-	// invoked outside the breaker's lock and must be safe for concurrent
-	// use.
-	OnState func(from, to State)
+	// OnState, when non-nil, observes every state transition together
+	// with the reason that triggered it: the failing error's text for
+	// failure-driven opens, or a lifecycle word ("success",
+	// "cooldown-elapsed", "probe-abandoned", "reset"). It is invoked
+	// outside the breaker's lock and must be safe for concurrent use.
+	OnState func(from, to State, reason string)
 }
 
 // Breaker is the ladder's circuit breaker exported for reuse outside the

@@ -9,12 +9,13 @@ import (
 // TestExportedBreakerLifecycle walks the exported Breaker through
 // closed → open → half-open → closed with a controlled clock.
 func TestExportedBreakerLifecycle(t *testing.T) {
-	var flips []string
+	var flips, reasons []string
 	br := NewBreaker(BreakerConfig{
 		Threshold: 2,
 		Cooldown:  time.Second,
-		OnState: func(from, to State) {
+		OnState: func(from, to State, reason string) {
 			flips = append(flips, from.String()+">"+to.String())
+			reasons = append(reasons, reason)
 		},
 	})
 	now := time.Unix(1000, 0)
@@ -58,6 +59,14 @@ func TestExportedBreakerLifecycle(t *testing.T) {
 	for i := range want {
 		if flips[i] != want[i] {
 			t.Fatalf("flips = %v, want %v", flips, want)
+		}
+	}
+	// The transition reasons carry why each flip happened: the error that
+	// opened the breaker, then the lifecycle words.
+	wantReasons := []string{"boom", "cooldown-elapsed", "success"}
+	for i := range wantReasons {
+		if reasons[i] != wantReasons[i] {
+			t.Fatalf("reasons = %v, want %v", reasons, wantReasons)
 		}
 	}
 }

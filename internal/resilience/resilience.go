@@ -265,11 +265,20 @@ func New(backends []Backend, cfg Config) (*Ladder, error) {
 		}
 		if cfg.Obs.Enabled() {
 			o := cfg.Obs
-			br.onState = func(from, to State) {
+			br.onState = func(from, to State, reason string) {
 				o.Instant("resilience", "breaker:"+name, 0,
-					obs.A("from", from.String()), obs.A("to", to.String()))
+					obs.A("from", from.String()), obs.A("to", to.String()),
+					obs.A("reason", reason))
 				o.Reg().Counter(obs.MBreakerFlips, obs.HBreakerFlips,
 					obs.L("backend", name), obs.L("to", to.String())).Inc()
+				level := obs.LevelInfo
+				if to == Open {
+					level = obs.LevelWarn
+				}
+				o.Event(level, "breaker", obs.TraceID{},
+					obs.FStr("layer", "ladder"), obs.FStr("backend", name),
+					obs.FStr("from", from.String()), obs.FStr("to", to.String()),
+					obs.FStr("reason", reason))
 			}
 		}
 		l.breakers = append(l.breakers, br)

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"bitgen/internal/obs"
+)
+
+// The anomaly flight recorder's dump side: when something notable
+// happens — a peer breaker opens, a snapshot is quarantined, a request
+// is served degraded, an SLO endpoint enters fast burn — the server
+// writes a diagnostic bundle capturing the moments before the anomaly:
+// the recent request spans, the structured event ring, the SLO report,
+// a metrics snapshot and a full goroutine dump. The bundle is one JSON
+// file wrapped with a sha256 of its body so tooling (cmd/obscheck) can
+// prove it wasn't truncated or edited.
+
+// Bundle triggers (the MObsBundleWrites label values).
+const (
+	triggerManual      = "manual"
+	triggerBreakerOpen = "breaker-open"
+	triggerQuarantine  = "snapshot-quarantine"
+	triggerDegraded    = "degraded-serve"
+	triggerFastBurn    = "slo-fast-burn"
+)
+
+// bundleBody is the diagnostic payload. Metrics are embedded as the
+// Prometheus exposition text rather than structured JSON: the exposition
+// is already deterministic, and histogram +Inf bounds have no JSON
+// rendering.
+type bundleBody struct {
+	Reason             string         `json:"reason"`
+	Trace              string         `json:"trace,omitempty"`
+	Node               string         `json:"node"`
+	GeneratedUnixMicro int64          `json:"generated_us"`
+	Spans              []obs.ReqSpan  `json:"spans"`
+	Events             []obs.LogEvent `json:"events"`
+	SLO                obs.SLOReport  `json:"slo"`
+	Metrics            string         `json:"metrics"`
+	Goroutines         string         `json:"goroutines"`
+}
+
+// bundleEnvelope wraps the body with its integrity checksum. Body is a
+// RawMessage so the checked bytes are exactly the written bytes.
+type bundleEnvelope struct {
+	SHA256 string          `json:"sha256"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// buildBundle assembles and seals a bundle. trace, when non-zero, names
+// the distributed request that tripped the anomaly.
+func (s *Server) buildBundle(reason string, trace obs.TraceID) ([]byte, error) {
+	var metrics bytes.Buffer
+	_ = s.reg.WritePrometheus(&metrics)
+	stack := make([]byte, 1<<20)
+	stack = stack[:runtime.Stack(stack, true)]
+	body := bundleBody{
+		Reason:             reason,
+		Trace:              trace.String(),
+		Node:               s.nodeName(),
+		GeneratedUnixMicro: time.Now().UnixMicro(),
+		Spans:              s.flight.Spans(),
+		Events:             s.events.Events(),
+		SLO:                s.slo.Report(),
+		Metrics:            metrics.String(),
+		Goroutines:         string(stack),
+	}
+	if body.Spans == nil {
+		body.Spans = []obs.ReqSpan{}
+	}
+	if body.Events == nil {
+		body.Events = []obs.LogEvent{}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(raw)
+	return json.Marshal(bundleEnvelope{SHA256: hex.EncodeToString(sum[:]), Body: raw})
+}
+
+// writeBundle seals a bundle and writes it to BundleDir, returning the
+// file path. Filenames embed the trigger, a wall-clock stamp and a
+// process-unique ID so replicas sharing one directory never collide.
+func (s *Server) writeBundle(reason string, trace obs.TraceID) (string, error) {
+	data, err := s.buildBundle(reason, trace)
+	if err == nil && s.cfg.BundleDir == "" {
+		err = fmt.Errorf("no bundle directory configured")
+	}
+	var path string
+	if err == nil {
+		name := fmt.Sprintf("bitgen-bundle-%s-%d-%s.json",
+			reason, time.Now().UnixNano(), obs.NewSpanID().String())
+		path = filepath.Join(s.cfg.BundleDir, name)
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		s.reg.Counter(obs.MObsBundleErrors, obs.HObsBundleErrors).Inc()
+		return "", err
+	}
+	s.reg.Counter(obs.MObsBundleWrites, obs.HObsBundleWrites, obs.L("trigger", reason)).Inc()
+	s.reg.Gauge(obs.MObsBundleBytes, obs.HObsBundleBytes).Set(float64(len(data)))
+	s.events.Emit(obs.LevelInfo, "bundle-written", trace,
+		obs.FStr("trigger", reason), obs.FStr("path", path), obs.FInt("bytes", int64(len(data))))
+	return path, nil
+}
+
+// onAnomalyEvent is the event log's Warn+ hook: events that indicate an
+// anomaly trip an asynchronous, rate-limited bundle dump. It runs
+// synchronously inside Emit, so it must only classify and hand off.
+func (s *Server) onAnomalyEvent(ev obs.LogEvent) {
+	var trigger string
+	switch ev.Type {
+	case "breaker":
+		if to, _ := ev.Field("to"); to == "open" {
+			trigger = triggerBreakerOpen
+		}
+	case "snapshot-quarantine":
+		trigger = triggerQuarantine
+	case "degraded-serve":
+		trigger = triggerDegraded
+	case "slo-fast-burn":
+		trigger = triggerFastBurn
+	}
+	if trigger == "" {
+		return
+	}
+	s.noteAnomaly(trigger, ev.Trace)
+}
+
+// noteAnomaly schedules one bundle dump for an anomaly, dropping
+// triggers that arrive inside BundleMinInterval of the last dump or
+// while a dump is already writing.
+func (s *Server) noteAnomaly(trigger string, trace obs.TraceID) {
+	if s.cfg.BundleDir == "" || s.cfg.BundleMinInterval < 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := atomic.LoadInt64(&s.lastBundleUnixNano)
+	if last != 0 && now-last < int64(s.cfg.BundleMinInterval) {
+		return
+	}
+	if !atomic.CompareAndSwapInt64(&s.lastBundleUnixNano, last, now) {
+		return // another trigger won the slot
+	}
+	if !atomic.CompareAndSwapInt32(&s.bundleBusy, 0, 1) {
+		return // a dump is already in flight
+	}
+	go func() {
+		defer atomic.StoreInt32(&s.bundleBusy, 0)
+		_, _ = s.writeBundle(trigger, trace)
+	}()
+}
+
+// handleBundle serves GET /debug/bundle: a freshly sealed diagnostic
+// bundle, returned inline and — when BundleDir is configured — also
+// written to disk (trigger "manual", exempt from the anomaly rate
+// limit).
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	tc, _ := obs.TraceContextFrom(r.Context())
+	data, err := s.buildBundle(triggerManual, tc.Trace)
+	if err != nil {
+		s.reg.Counter(obs.MObsBundleErrors, obs.HObsBundleErrors).Inc()
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Class: "internal"})
+		return
+	}
+	if s.cfg.BundleDir != "" {
+		if _, werr := s.writeBundle(triggerManual, tc.Trace); werr != nil {
+			// Disk trouble must not hide the inline bundle; the error
+			// counter already recorded it.
+			_ = werr
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bitgen"
+	"bitgen/internal/cluster"
+	"bitgen/internal/faultinject"
+	"bitgen/internal/obs"
+)
+
+// ObsClusterSelfTest is the observability acceptance smoke behind
+// `bitgend -obs-cluster-selftest` and `make obs-cluster-smoke`. It boots
+// three replicas, injects a mid-response connection drop on the entry
+// node's path to a key's owner, and proves the observability plane end
+// to end:
+//
+//   - one client-supplied trace ID propagates across the failover — the
+//     stitched /v1/trace view contains spans from all three nodes under
+//     that single ID, including the entry node's forward span naming the
+//     successor that actually served;
+//   - continuing the fault opens the entry node's breaker for the owner,
+//     whose Warn event trips the anomaly flight recorder into writing an
+//     integrity-checksummed diagnostic bundle that contains the
+//     correlated breaker-open event;
+//   - /v1/slo reports per-endpoint compliance for the traffic served.
+//
+// Artifacts land in artifactDir: stitched.json (the merged Chrome trace)
+// and bundle.json (the anomaly bundle), which cmd/obscheck then
+// validates structurally.
+func ObsClusterSelfTest(ctx context.Context, out io.Writer, artifactDir string) error {
+	const (
+		breakerThreshold = 2
+		breakerCooldown  = 300 * time.Millisecond
+	)
+	if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+		return err
+	}
+	injs := make([]*faultinject.Injector, 3)
+	nodes, err := BootCluster(3, Config{
+		MaxBatch:          4,
+		BundleDir:         artifactDir,
+		BundleMinInterval: time.Millisecond,
+	}, func(i int, cc *cluster.Config) {
+		injs[i] = faultinject.New(uint64(42 + i))
+		cc.Inject = injs[i]
+		cc.BreakerThreshold = breakerThreshold
+		cc.BreakerCooldown = breakerCooldown
+		cc.HedgeDelay = -1 // sequential failover: deterministic span order
+		cc.DropAfter = 8   // cut the owner's response almost immediately
+		cc.Seed = uint64(7 * (i + 1))
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Kill()
+		}
+	}()
+	urlIdx := map[string]int{}
+	for i, nd := range nodes {
+		urlIdx[nd.URL] = i
+	}
+	host := func(url string) string { return strings.TrimPrefix(url, "http://") }
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Pick a key whose owner and successor are two different replicas, and
+	// enter through the third: the failover path then touches every node.
+	router := nodes[0].Server.Cluster()
+	opts := nodes[0].Server.engineOptions(false)
+	var pats []string
+	var owner, successor, entry int
+	for i := 0; ; i++ {
+		p := []string{fmt.Sprintf("obs%dpat", i)}
+		rt := router.Route(bitgen.PatternSetKey(p, &opts))
+		if rt.Owner == rt.Successor {
+			continue
+		}
+		oi, si := urlIdx[rt.Owner], urlIdx[rt.Successor]
+		entry = 3 - oi - si
+		if entry == oi || entry == si {
+			continue
+		}
+		pats, owner, successor = p, oi, si
+		break
+	}
+	body, _ := json.Marshal(matchRequest{Patterns: pats, Input: "x" + pats[0] + "y" + pats[0]})
+	fmt.Fprintf(out, "key owner=%s successor=%s entry=%s\n",
+		nodes[owner].URL, nodes[successor].URL, nodes[entry].URL)
+
+	post := func(url string, hdr map[string]string) (*http.Response, []byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/match", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp, b, err
+	}
+
+	// Warm every replica's engine for the key (the forwarded header makes
+	// each serve locally) so the faulted runs measure routing, not
+	// compilation.
+	for _, nd := range nodes {
+		if resp, msg, err := post(nd.URL, map[string]string{cluster.HeaderForwarded: "1"}); err != nil {
+			return fmt.Errorf("warm via %s: %w", nd.URL, err)
+		} else if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("warm via %s: status %d: %s", nd.URL, resp.StatusCode, msg)
+		}
+	}
+
+	// Phase 1: cut the owner's responses to the entry node mid-body, then
+	// send one request with a known trace ID. The owner serves fully (and
+	// records its span), the entry node's read of the reply fails, and
+	// sequential failover reruns the request on the successor — so one
+	// trace crosses all three nodes.
+	dropPoint := faultinject.PeerDrop.For(host(nodes[owner].URL))
+	injs[entry].Arm(dropPoint, faultinject.Spec{Nth: 1, Repeat: true})
+	tc := obs.NewTraceContext()
+	resp, msg, err := post(nodes[entry].URL, map[string]string{obs.TraceHeader: tc.Header()})
+	if err != nil {
+		return fmt.Errorf("faulted request: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("faulted request: status %d: %s (failover should have hidden the drop)", resp.StatusCode, msg)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); !strings.HasPrefix(got, tc.Trace.String()+"-") {
+		return fmt.Errorf("response trace header %q does not continue trace %s", got, tc.Trace.String())
+	}
+
+	// Spans are recorded just after each response completes; poll the
+	// stitcher until all three nodes' fragments carry the trace.
+	urls := []string{nodes[0].URL, nodes[1].URL, nodes[2].URL}
+	var st *StitchedTrace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err = StitchTrace(ctx, client, urls, tc.Trace.String())
+		if err == nil && len(st.NodesWithSpans()) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			n := 0
+			if st != nil {
+				n = len(st.NodesWithSpans())
+			}
+			return fmt.Errorf("stitched trace covers %d/3 nodes (err %v)", n, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var forwardSpan *obs.ReqSpan
+	for _, f := range st.Fragments {
+		for i := range f.Spans {
+			sp := f.Spans[i]
+			if sp.Trace != tc.Trace.String() {
+				return fmt.Errorf("span %s/%s carries trace %s, want %s", sp.Node, sp.Name, sp.Trace, tc.Trace.String())
+			}
+			if sp.Name == "forward" && sp.Node == nodes[entry].URL {
+				forwardSpan = &f.Spans[i]
+			}
+		}
+	}
+	if forwardSpan == nil {
+		return fmt.Errorf("no forward span recorded on the entry node")
+	}
+	if got := forwardSpan.Attrs["served_by"]; got != nodes[successor].URL {
+		return fmt.Errorf("forward span served_by = %q, want the successor %s (failover)", got, nodes[successor].URL)
+	}
+	chrome, err := st.Chrome()
+	if err != nil {
+		return err
+	}
+	stitchedPath := filepath.Join(artifactDir, "stitched.json")
+	if err := os.WriteFile(stitchedPath, chrome, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace propagation ok: trace %s spans all 3 nodes, failover served by %s (%d spans -> %s)\n",
+		tc.Trace.String(), nodes[successor].URL, st.SpanCount(), stitchedPath)
+
+	// Phase 2: keep the drop armed and push the owner's failure streak
+	// past the breaker threshold. The breaker-open Warn event must trip
+	// the flight recorder into writing a bundle.
+	for i := 0; i < breakerThreshold+1; i++ {
+		resp, msg, err := post(nodes[entry].URL, nil)
+		if err != nil {
+			return fmt.Errorf("breaker phase: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("breaker phase: status %d: %s", resp.StatusCode, msg)
+		}
+	}
+	var bundlePath string
+	deadline = time.Now().Add(5 * time.Second)
+	for bundlePath == "" {
+		matches, _ := filepath.Glob(filepath.Join(artifactDir, "bitgen-bundle-"+triggerBreakerOpen+"-*.json"))
+		if len(matches) > 0 {
+			bundlePath = matches[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no breaker-open bundle appeared in %s", artifactDir)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	raw, err := os.ReadFile(bundlePath)
+	if err != nil {
+		return err
+	}
+	var env bundleEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("bundle %s: %w", bundlePath, err)
+	}
+	sum := sha256.Sum256(env.Body)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return fmt.Errorf("bundle %s: sha256 mismatch", bundlePath)
+	}
+	var bb bundleBody
+	if err := json.Unmarshal(env.Body, &bb); err != nil {
+		return err
+	}
+	if bb.Node != nodes[entry].URL {
+		return fmt.Errorf("bundle node = %q, want the entry node %s", bb.Node, nodes[entry].URL)
+	}
+	foundOpen := false
+	for _, ev := range bb.Events {
+		if ev.Type != "breaker" {
+			continue
+		}
+		if to, _ := ev.Field("to"); to != "open" {
+			continue
+		}
+		if peer, _ := ev.Field("peer"); peer == host(nodes[owner].URL) || peer == nodes[owner].URL {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		return fmt.Errorf("bundle has no breaker-open event for the owner peer")
+	}
+	finalPath := filepath.Join(artifactDir, "bundle.json")
+	if err := os.WriteFile(finalPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "flight recorder ok: breaker-open bundle %s verified (%d events, %d spans) -> %s\n",
+		filepath.Base(bundlePath), len(bb.Events), len(bb.Spans), finalPath)
+
+	// Phase 3: the SLO endpoint reports the traffic we just served.
+	sloResp, err := client.Get(nodes[entry].URL + "/v1/slo")
+	if err != nil {
+		return err
+	}
+	defer sloResp.Body.Close()
+	var rep obs.SLOReport
+	if err := json.NewDecoder(sloResp.Body).Decode(&rep); err != nil {
+		return err
+	}
+	matchSeen := false
+	for _, ep := range rep.Endpoints {
+		if ep.Endpoint == "match" && ep.Total > 0 {
+			matchSeen = true
+		}
+	}
+	if !matchSeen {
+		return fmt.Errorf("/v1/slo reports no match traffic: %+v", rep.Endpoints)
+	}
+	fmt.Fprintln(out, "slo ok: /v1/slo reports match-endpoint compliance")
+
+	injs[entry].Disarm(dropPoint)
+	fmt.Fprintln(out, "obs cluster selftest passed")
+	return nil
+}

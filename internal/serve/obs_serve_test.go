@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bitgen"
+	"bitgen/internal/obs"
+)
+
+// TestTraceHeaderMintedAndEchoed: a request without X-Bitgen-Trace gets a
+// fresh trace minted and echoed; a request carrying one keeps its trace
+// ID with a child span; a malformed value is replaced, not failed.
+func TestTraceHeaderMintedAndEchoed(t *testing.T) {
+	s := mustNew(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	post := func(traceHeader string) (*http.Response, string) {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/match",
+			strings.NewReader(`{"patterns":["foo"],"input":"xfoox"}`))
+		if traceHeader != "" {
+			req.Header.Set(obs.TraceHeader, traceHeader)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, resp.Header.Get(obs.TraceHeader)
+	}
+
+	_, minted := post("")
+	if _, ok := obs.ParseTraceHeader(minted); !ok {
+		t.Fatalf("minted trace header %q is malformed", minted)
+	}
+
+	tc := obs.NewTraceContext()
+	_, echoed := post(tc.Header())
+	back, ok := obs.ParseTraceHeader(echoed)
+	if !ok || back.Trace != tc.Trace {
+		t.Fatalf("echoed header %q does not continue trace %s", echoed, tc.Trace)
+	}
+	if back.Span == tc.Span {
+		t.Fatal("server must answer with its own span, not parrot the client's")
+	}
+
+	_, replaced := post("not-a-trace")
+	if rc, ok := obs.ParseTraceHeader(replaced); !ok || rc.Trace == tc.Trace {
+		t.Fatalf("malformed inbound header should mint a fresh trace, got %q", replaced)
+	}
+
+	// The flight recorder kept the spans, retrievable by trace.
+	spans := s.Flight().ByTrace(tc.Trace.String())
+	if len(spans) != 1 || spans[0].Name != "match" {
+		t.Fatalf("flight spans for trace = %+v, want one match span", spans)
+	}
+	if spans[0].Parent != tc.Span.String() {
+		t.Fatalf("span parent = %q, want the client's span %s", spans[0].Parent, tc.Span)
+	}
+}
+
+// TestTracePropagation3Nodes is the -race satellite for the tentpole: one
+// client-supplied trace ID must cross a cluster forward — the entry
+// node's match + forward spans and the owner's serve span all carry it,
+// and StitchTrace merges them into one multi-node view.
+func TestTracePropagation3Nodes(t *testing.T) {
+	servers, urls, _ := bootCluster(t, 3, nil)
+	pats := findPatterns(t, servers[0], urls[1], urls[2])
+	tc := obs.NewTraceContext()
+	req, _ := http.NewRequest(http.MethodPost, urls[0]+"/v1/match",
+		strings.NewReader(matchBody(pats, "a"+pats[0]+"b")))
+	req.Header.Set(obs.TraceHeader, tc.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); !strings.HasPrefix(got, tc.Trace.String()+"-") {
+		t.Fatalf("response header %q does not continue the trace", got)
+	}
+
+	// Spans are recorded as each node's handler returns; the owner's span
+	// lands before the entry's response, but poll to be safe.
+	trace := tc.Trace.String()
+	deadline := time.Now().Add(5 * time.Second)
+	var st *StitchedTrace
+	for {
+		st, err = StitchTrace(context.Background(), http.DefaultClient, urls, trace)
+		if err == nil && len(st.NodesWithSpans()) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stitched trace never covered entry+owner: %v (err %v)", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	byNode := map[string][]string{}
+	for _, f := range st.Fragments {
+		for _, sp := range f.Spans {
+			if sp.Trace != trace {
+				t.Fatalf("span %s/%s carries trace %q, want %q", sp.Node, sp.Name, sp.Trace, trace)
+			}
+			byNode[sp.Node] = append(byNode[sp.Node], sp.Name)
+		}
+	}
+	hasSpan := func(node, name string) bool {
+		for _, n := range byNode[node] {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasSpan(urls[0], "match") || !hasSpan(urls[0], "forward") {
+		t.Fatalf("entry node spans = %v, want match+forward", byNode[urls[0]])
+	}
+	if !hasSpan(urls[1], "match") {
+		t.Fatalf("owner spans = %v, want a match span", byNode[urls[1]])
+	}
+	chrome, err := st.Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("stitched Chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 3 {
+		t.Fatalf("Chrome trace has %d events, want >= 3", len(doc.TraceEvents))
+	}
+}
+
+// TestDebugBundleEndpoint: /debug/bundle returns a sha256-sealed envelope
+// whose body carries the node's spans, events, SLO report, metrics
+// exposition and a goroutine dump.
+func TestDebugBundleEndpoint(t *testing.T) {
+	s := mustNew(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/match", "application/json",
+		strings.NewReader(`{"patterns":["foo"],"input":"xfoox"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	bresp, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	var env bundleEnvelope
+	if err := json.NewDecoder(bresp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(env.Body)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		t.Fatal("bundle sha256 does not cover the body bytes")
+	}
+	var bb bundleBody
+	if err := json.Unmarshal(env.Body, &bb); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Reason != triggerManual {
+		t.Fatalf("reason = %q, want %q", bb.Reason, triggerManual)
+	}
+	if len(bb.Spans) == 0 {
+		t.Fatal("bundle has no spans despite served traffic")
+	}
+	if !strings.Contains(bb.Goroutines, "goroutine") {
+		t.Fatal("bundle goroutine dump missing")
+	}
+	if !strings.Contains(bb.Metrics, "# TYPE") {
+		t.Fatal("bundle metrics exposition missing")
+	}
+	found := false
+	for _, ep := range bb.SLO.Endpoints {
+		if ep.Endpoint == "match" && ep.Total > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bundle SLO report missing match traffic: %+v", bb.SLO.Endpoints)
+	}
+}
+
+// TestAnomalyBundleOnQuarantine: a snapshot quarantine (a Warn event)
+// trips the flight recorder into writing a sealed bundle to BundleDir,
+// and the eviction that forced the reload lands in the event log.
+func TestAnomalyBundleOnQuarantine(t *testing.T) {
+	snapDir, bundleDir := t.TempDir(), t.TempDir()
+	s := mustNew(t, Config{
+		MaxCachedEngines:      1,
+		SnapshotDir:           snapDir,
+		SnapshotScrubInterval: -1,
+		BundleDir:             bundleDir,
+		BundleMinInterval:     time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	post := func(pattern string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/match", "application/json",
+			strings.NewReader(`{"patterns":["`+pattern+`"],"input":"x`+pattern+`x"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match %q: status %d", pattern, resp.StatusCode)
+		}
+	}
+	post("foo") // compiles and persists write-behind
+	opts := s.engineOptions(false)
+	key := bitgen.PatternSetKey([]string{"foo"}, &opts)
+	path := s.snap.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no persisted snapshot to corrupt: %v", err)
+	}
+	data[len(data)/2] ^= 0xff // silent at-rest corruption
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	post("bar") // capacity 1: evicts foo's engine
+	post("foo") // reload hits the corrupt snapshot → quarantine → compile
+
+	sawQuarantine, sawEvict := false, false
+	for _, ev := range s.Events().Events() {
+		switch ev.Type {
+		case "snapshot-quarantine":
+			sawQuarantine = true
+			if k, _ := ev.Field("key"); k != key {
+				t.Fatalf("quarantine event key = %q, want %q", k, key)
+			}
+		case "cache-evict":
+			sawEvict = true
+		}
+	}
+	if !sawQuarantine {
+		t.Fatal("no snapshot-quarantine event recorded")
+	}
+	if !sawEvict {
+		t.Fatal("no cache-evict event recorded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		paths, _ := filepath.Glob(filepath.Join(bundleDir, "bitgen-bundle-"+triggerQuarantine+"-*.json"))
+		if len(paths) > 0 {
+			raw, err := os.ReadFile(paths[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env bundleEnvelope
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(env.Body)
+			if hex.EncodeToString(sum[:]) != env.SHA256 {
+				t.Fatal("quarantine bundle failed integrity check")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no quarantine bundle written")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSLOEndpointServesReport: /v1/slo reflects served traffic, including
+// latency-objective breaches configured through the test seam.
+func TestSLOEndpointServesReport(t *testing.T) {
+	s := mustNew(t, Config{
+		SLOMatchP99: time.Nanosecond, // everything breaches
+		tuneSLO: func(c *obs.SLOConfig) {
+			c.MinWindowRequests = 1
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/match", "application/json",
+			strings.NewReader(`{"patterns":["foo"],"input":"xfoox"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep obs.SLOReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	var match *obs.SLOEndpointReport
+	for i := range rep.Endpoints {
+		if rep.Endpoints[i].Endpoint == "match" {
+			match = &rep.Endpoints[i]
+		}
+	}
+	if match == nil || match.Total != 3 {
+		t.Fatalf("slo report = %+v, want 3 match requests", rep.Endpoints)
+	}
+	if match.Good != 0 {
+		t.Fatalf("1ns objective should breach every request: %+v", match)
+	}
+	if match.ErrorBudgetRemaining != 0 {
+		t.Fatalf("budget should be exhausted: %+v", match)
+	}
+	// The fast-burn anomaly landed in the event log.
+	sawBurn := false
+	for _, ev := range s.Events().Events() {
+		if ev.Type == "slo-fast-burn" {
+			sawBurn = true
+		}
+	}
+	if !sawBurn {
+		t.Fatal("no slo-fast-burn event despite total breach")
+	}
+}
+
+// TestScanStreamingSurvivesObsMiddleware: the middleware's status
+// recorder must preserve http.Flusher, or NDJSON scan streaming would
+// silently buffer.
+func TestScanStreamingSurvivesObsMiddleware(t *testing.T) {
+	s := mustNew(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/scan?pattern=foo&chunk=8", "application/octet-stream",
+		strings.NewReader("xxfooyyfoozz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"match"`) && !strings.Contains(buf.String(), "foo") {
+		t.Fatalf("scan stream looks wrong: %q", buf.String())
+	}
+	spans := s.Flight().Spans()
+	sawScan := false
+	for _, sp := range spans {
+		if sp.Name == "scan" {
+			sawScan = true
+		}
+	}
+	if !sawScan {
+		t.Fatal("no scan span recorded")
+	}
+}

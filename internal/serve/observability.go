@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"bitgen/internal/cluster"
+	"bitgen/internal/obs"
+)
+
+// This file is the serve layer's half of the distributed observability
+// plane: the per-request middleware that parses or mints the trace
+// context, records completed requests into the flight recorder and the
+// SLO tracker, and the /v1/trace/{id} and /v1/slo endpoints the
+// cross-node stitcher and dashboards read.
+
+// nodeName is this replica's identity on spans and bundles: the cluster
+// advertised URL, or "local" standalone.
+func (s *Server) nodeName() string {
+	if s.cluster != nil {
+		return s.cluster.Self()
+	}
+	return "local"
+}
+
+// sloEndpointOf maps a request path to its SLO endpoint name ("" for
+// paths without an objective).
+func sloEndpointOf(path string) string {
+	switch path {
+	case "/v1/match":
+		return "match"
+	case "/v1/scan":
+		return "scan"
+	}
+	return ""
+}
+
+// spanNameOf maps a request path to its flight-recorder span name (""
+// for paths not recorded — metrics scrapes and health probes would
+// drown the ring).
+func spanNameOf(path string) string {
+	switch path {
+	case "/v1/match":
+		return "match"
+	case "/v1/scan":
+		return "scan"
+	case "/v1/snapshot":
+		return "snapshot"
+	}
+	return ""
+}
+
+// statusWriter captures the response status for span/SLO recording.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// flushWriter adds Flush passthrough when the underlying writer supports
+// it — /v1/scan streams NDJSON and must keep flushing through the
+// middleware.
+type flushWriter struct {
+	*statusWriter
+	f http.Flusher
+}
+
+func (w *flushWriter) Flush() { w.f.Flush() }
+
+// withObs wraps the mux: every request gets a trace context (continued
+// from X-Bitgen-Trace when a peer or client supplied one, minted
+// otherwise) injected into the request context, the response echoes the
+// trace ID, and completed match/scan/snapshot requests land in the
+// flight recorder — match and scan also in the SLO tracker.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		parent, hadParent := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		var tc obs.TraceContext
+		if hadParent {
+			tc = parent.Child()
+		} else {
+			tc = obs.NewTraceContext()
+		}
+		r = r.WithContext(obs.WithTraceContext(r.Context(), tc))
+		w.Header().Set(obs.TraceHeader, tc.Header())
+
+		sw := &statusWriter{ResponseWriter: w}
+		var out http.ResponseWriter = sw
+		if f, ok := w.(http.Flusher); ok {
+			out = &flushWriter{statusWriter: sw, f: f}
+		}
+
+		start := time.Now()
+		next.ServeHTTP(out, r)
+		dur := time.Since(start)
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if ep := sloEndpointOf(r.URL.Path); ep != "" {
+			s.slo.Observe(ep, dur, status >= 500)
+		}
+		if name := spanNameOf(r.URL.Path); name != "" {
+			sp := obs.ReqSpan{
+				Trace:          tc.Trace.String(),
+				Span:           tc.Span.String(),
+				Name:           name,
+				Node:           s.nodeName(),
+				StartUnixMicro: start.UnixMicro(),
+				DurMicro:       dur.Microseconds(),
+				Status:         status,
+				Attrs:          map[string]string{"path": r.URL.Path},
+			}
+			if hadParent {
+				sp.Parent = parent.Span.String()
+			}
+			if r.Header.Get(cluster.HeaderForwarded) == "1" {
+				sp.Attrs["forwarded"] = "1"
+			}
+			s.flight.Add(sp)
+		}
+	})
+}
+
+// handleTraceFragment serves GET /v1/trace/{traceID}: this node's
+// fragment of one distributed trace — its flight-recorder spans and
+// event-ring entries for that trace ID. The stitcher (bitgend -stitch,
+// StitchTrace) merges fragments from every ring peer into one timeline.
+func (s *Server) handleTraceFragment(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	tid, ok := obs.ParseTraceID(id)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "trace ID must be 32 hex digits", Class: "bad_request",
+		})
+		return
+	}
+	frag := TraceFragment{
+		Node:    s.nodeName(),
+		TraceID: tid.String(),
+		Spans:   s.flight.ByTrace(tid.String()),
+		Events:  s.events.ByTrace(tid),
+	}
+	if frag.Spans == nil {
+		frag.Spans = []obs.ReqSpan{}
+	}
+	if frag.Events == nil {
+		frag.Events = []obs.LogEvent{}
+	}
+	writeJSON(w, http.StatusOK, frag)
+}
+
+// handleSLO serves GET /v1/slo: per-endpoint objectives, compliance,
+// rolling burn rates and remaining error budget.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Report())
+}
+
+// onFastBurn is the SLO tracker's anomaly hook: an endpoint entering
+// fast burn lands in the event log as a Warn event, which in turn trips
+// the flight recorder's bundle dump via onAnomalyEvent.
+func (s *Server) onFastBurn(endpoint string, burn float64) {
+	s.events.Emit(obs.LevelWarn, "slo-fast-burn", obs.TraceID{},
+		obs.FStr("endpoint", endpoint), obs.FFloat("burn_rate", burn))
+}

@@ -30,6 +30,9 @@ type registry struct {
 	// resident-bytes accounting unit.
 	build func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error)
 	reg   *obs.Registry
+	// events, when non-nil, records cache evictions in the structured
+	// event log (set by the server after construction).
+	events *obs.EventLog
 	// resident tracks the snapshot-encoded bytes of completed cached
 	// engines, decremented on evict — the memory-pressure gauge.
 	resident *obs.Gauge
@@ -170,6 +173,8 @@ func (r *registry) evictLocked() {
 			r.resident.Add(-float64(victim.bytes))
 		}
 		r.reg.Counter(obs.MServeCacheEvictions, obs.HServeCacheEvictions).Inc()
+		r.events.Emit(obs.LevelInfo, "cache-evict", obs.TraceID{},
+			obs.FStr("key", victim.key), obs.FInt("bytes", victim.bytes))
 	}
 }
 

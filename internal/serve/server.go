@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -66,6 +67,38 @@ type Config struct {
 	// Inject arms deterministic persistence faults on the snapshot store
 	// (tests and bitgend -selftest).
 	Inject *faultinject.Injector
+	// BundleDir, when set, enables the anomaly flight recorder's disk
+	// dumps: on a breaker open, snapshot quarantine, degraded serve or
+	// SLO fast burn (and on GET /debug/bundle), a diagnostic bundle —
+	// recent request spans, the event ring, a metrics snapshot, the SLO
+	// report and a goroutine dump — is written there as a single
+	// integrity-checksummed JSON file. Empty disables disk dumps; the
+	// /debug/bundle endpoint still serves bundles inline.
+	BundleDir string
+	// BundleMinInterval rate-limits anomaly-triggered bundle dumps
+	// (default 30s; negative disables anomaly dumps, manual /debug/bundle
+	// dumps still work).
+	BundleMinInterval time.Duration
+	// SLOMatchP99 / SLOScanP99 are the per-endpoint latency objectives: a
+	// request slower than its endpoint's objective spends error budget
+	// even when it succeeds (defaults 250ms / 2s; negative disables the
+	// latency criterion for that endpoint).
+	SLOMatchP99 time.Duration
+	SLOScanP99  time.Duration
+	// SLOAvailability is the good-request objective shared by both
+	// endpoints (default 0.999 — an error budget of 0.1%).
+	SLOAvailability float64
+	// SLOFastBurnThreshold is the fast-window burn rate that flags an
+	// anomaly (default 14.4).
+	SLOFastBurnThreshold float64
+	// EventCapacity / FlightCapacity size the structured-event ring and
+	// the request-span flight-recorder ring (defaults
+	// obs.DefaultEventCapacity / obs.DefaultSpanCapacity).
+	EventCapacity  int
+	FlightCapacity int
+	// tuneSLO, when set (tests), adjusts the SLO tracker's window
+	// configuration before construction.
+	tuneSLO func(*obs.SLOConfig)
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +125,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScanForwardBytes <= 0 {
 		c.MaxScanForwardBytes = 1 << 20
+	}
+	if c.BundleMinInterval == 0 {
+		c.BundleMinInterval = 30 * time.Second
+	}
+	if c.SLOMatchP99 == 0 {
+		c.SLOMatchP99 = 250 * time.Millisecond
+	}
+	if c.SLOScanP99 == 0 {
+		c.SLOScanP99 = 2 * time.Second
+	}
+	if c.SLOAvailability <= 0 || c.SLOAvailability >= 1 {
+		c.SLOAvailability = obs.DefaultAvailability
+	}
+	if c.SLOFastBurnThreshold <= 0 {
+		c.SLOFastBurnThreshold = obs.DefaultFastBurnThreshold
+	}
+	if c.EventCapacity <= 0 {
+		c.EventCapacity = obs.DefaultEventCapacity
+	}
+	if c.FlightCapacity <= 0 {
+		c.FlightCapacity = obs.DefaultSpanCapacity
 	}
 	return c
 }
@@ -128,6 +182,19 @@ type Server struct {
 	cluster *cluster.Router
 	ctrace  *obs.Tracer
 
+	// Observability plane: the structured event log, the request-span
+	// flight recorder, and the SLO tracker. All three are always on —
+	// they are rings, not I/O — and feed /v1/trace/{id}, /v1/slo and the
+	// anomaly bundle dumps.
+	events *obs.EventLog
+	flight *obs.SpanStore
+	slo    *obs.SLO
+
+	// Anomaly bundle state: lastBundleUnixNano rate-limits triggered
+	// dumps, bundleBusy collapses concurrent triggers into one writer.
+	lastBundleUnixNano int64 // atomic
+	bundleBusy         int32 // atomic
+
 	// batchRun, when non-nil, replaces an engine's RunMultiContext as the
 	// batch executor — a test seam for deterministic coalescing.
 	batchRun func(eng *bitgen.Engine) func(ctx context.Context, inputs [][]byte) (*bitgen.MultiResult, error)
@@ -149,7 +216,27 @@ func New(cfg Config) (*Server, error) {
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
 		idle:    make(chan struct{}),
 	}
+	s.flight = obs.NewSpanStore(cfg.FlightCapacity)
+	s.events = obs.NewEventLog(obs.EventLogConfig{
+		Capacity: cfg.EventCapacity,
+		Metrics:  s.reg,
+		OnEvent:  s.onAnomalyEvent,
+	})
+	sloCfg := obs.SLOConfig{
+		Objectives: map[string]obs.SLOObjective{
+			"match": {LatencyP99: cfg.SLOMatchP99, Availability: cfg.SLOAvailability},
+			"scan":  {LatencyP99: cfg.SLOScanP99, Availability: cfg.SLOAvailability},
+		},
+		FastBurnThreshold: cfg.SLOFastBurnThreshold,
+		Metrics:           s.reg,
+		OnFastBurn:        s.onFastBurn,
+	}
+	if cfg.tuneSLO != nil {
+		cfg.tuneSLO(&sloCfg)
+	}
+	s.slo = obs.NewSLO(sloCfg)
 	s.cache = newRegistry(cfg.MaxCachedEngines, s.reg, s.buildEngine)
+	s.cache.events = s.events
 
 	// Register every serve family eagerly so a scrape before the first
 	// request still exposes the full schema.
@@ -177,6 +264,20 @@ func New(cfg Config) (*Server, error) {
 	} {
 		s.reg.Counter(obs.MSnapVerifyFailures, obs.HSnapVerifyFailures, obs.L("reason", reason))
 	}
+	for _, trigger := range []string{
+		triggerManual, triggerBreakerOpen, triggerQuarantine, triggerDegraded, triggerFastBurn,
+	} {
+		s.reg.Counter(obs.MObsBundleWrites, obs.HObsBundleWrites, obs.L("trigger", trigger))
+	}
+	s.reg.Counter(obs.MObsBundleErrors, obs.HObsBundleErrors)
+	s.reg.Gauge(obs.MObsBundleBytes, obs.HObsBundleBytes)
+
+	if cfg.BundleDir != "" {
+		if err := os.MkdirAll(cfg.BundleDir, 0o755); err != nil {
+			cancel()
+			return nil, fmt.Errorf("bundle dir: %w", err)
+		}
+	}
 
 	if cfg.SnapshotDir != "" {
 		store, err := snapshot.NewStore(cfg.SnapshotDir, s.reg, cfg.Inject)
@@ -203,6 +304,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/v1/trace/", s.handleTraceFragment)
+	s.mux.HandleFunc("/v1/slo", s.handleSLO)
+	s.mux.HandleFunc("/debug/bundle", s.handleBundle)
 	return s, nil
 }
 
@@ -212,7 +316,7 @@ func New(cfg Config) (*Server, error) {
 // spans on a dedicated tracer (exported via /trace?cluster=1).
 func (s *Server) EnableCluster(cc cluster.Config) error {
 	s.ctrace = obs.NewTracer(obs.TracerConfig{})
-	r, err := cluster.New(cc, &obs.Observer{Tracer: s.ctrace, Metrics: s.reg})
+	r, err := cluster.New(cc, &obs.Observer{Tracer: s.ctrace, Metrics: s.reg, Events: s.events, Spans: s.flight})
 	if err != nil {
 		s.ctrace = nil
 		return err
@@ -224,8 +328,17 @@ func (s *Server) EnableCluster(cc cluster.Config) error {
 // Cluster returns the router, or nil when cluster mode is off.
 func (s *Server) Cluster() *cluster.Router { return s.cluster }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler, wrapped in the
+// observability middleware: every request gets a trace context (parsed
+// from X-Bitgen-Trace or minted), a flight-recorder span, and — for the
+// match/scan endpoints — an SLO observation.
+func (s *Server) Handler() http.Handler { return s.withObs(s.mux) }
+
+// Events returns the structured event log (tests and bundle dumps).
+func (s *Server) Events() *obs.EventLog { return s.events }
+
+// Flight returns the request-span flight recorder.
+func (s *Server) Flight() *obs.SpanStore { return s.flight }
 
 // Metrics returns the serve-layer registry (for tests and expvar export).
 func (s *Server) Metrics() *obs.Registry { return s.reg }

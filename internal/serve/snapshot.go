@@ -62,6 +62,7 @@ func (s *Server) loadLocalSnapshot(key string, opts *bitgen.Options) (*bitgen.En
 	if err != nil {
 		if s.noteVerifyFailure(err) {
 			s.snap.Quarantine(key)
+			s.noteQuarantine(key, err)
 		}
 		return nil, 0, false
 	}
@@ -134,6 +135,18 @@ func (s *Server) noteVerifyFailure(err error) (condemned bool) {
 		reason == snapshot.ReasonVersion
 }
 
+// noteQuarantine records a condemned snapshot in the event log; the
+// Warn level routes it through the anomaly flight recorder.
+func (s *Server) noteQuarantine(key string, err error) {
+	reason := snapshot.ReasonStoreIO
+	var se *bitgen.SnapshotError
+	if errors.As(err, &se) {
+		reason = se.Reason
+	}
+	s.events.Emit(obs.LevelWarn, "snapshot-quarantine", obs.TraceID{},
+		obs.FStr("key", key), obs.FStr("reason", reason), obs.FStr("error", err.Error()))
+}
+
 // warmStart pre-populates the engine cache from the snapshot directory at
 // boot, newest-boot-cheapest: a restarted replica serves its working set
 // with zero compiles. Snapshots that no longer decode (or no longer hash
@@ -158,6 +171,7 @@ func (s *Server) warmStart() {
 		if err != nil {
 			if s.noteVerifyFailure(err) {
 				s.snap.Quarantine(key)
+				s.noteQuarantine(key, err)
 			}
 			continue
 		}
@@ -166,6 +180,7 @@ func (s *Server) warmStart() {
 		if err != nil {
 			if s.noteVerifyFailure(err) {
 				s.snap.Quarantine(key)
+				s.noteQuarantine(key, err)
 			}
 			continue
 		}
@@ -187,7 +202,8 @@ func (s *Server) scrubLoop(interval time.Duration) {
 		case <-s.baseCtx.Done():
 			return
 		case <-t.C:
-			_, _ = s.snap.Scrub()
+			res, err := s.snap.Scrub()
+			s.noteScrub(res, err)
 		}
 	}
 }
@@ -200,7 +216,27 @@ func (s *Server) ScrubNow() (snapshot.ScrubResult, error) {
 	if s.snap == nil {
 		return snapshot.ScrubResult{}, nil
 	}
-	return s.snap.Scrub()
+	res, err := s.snap.Scrub()
+	s.noteScrub(res, err)
+	return res, err
+}
+
+// noteScrub records a scrub verdict: Info when the pass was clean, Warn
+// when it condemned snapshots (resting corruption is an anomaly worth a
+// look even though serving already routed around it).
+func (s *Server) noteScrub(res snapshot.ScrubResult, err error) {
+	level := obs.LevelInfo
+	if res.Quarantined > 0 || err != nil {
+		level = obs.LevelWarn
+	}
+	fields := []obs.Field{
+		obs.FInt("checked", int64(res.Checked)),
+		obs.FInt("quarantined", int64(res.Quarantined)),
+	}
+	if err != nil {
+		fields = append(fields, obs.FStr("error", err.Error()))
+	}
+	s.events.Emit(level, "snapshot-scrub", obs.TraceID{}, fields...)
 }
 
 // SnapshotStore exposes the store (nil when persistence is off) for
@@ -235,6 +271,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 				return
 			} else if s.noteVerifyFailure(verr) {
 				s.snap.Quarantine(key)
+				s.noteQuarantine(key, verr)
 			}
 		}
 	}

@@ -236,11 +236,34 @@ func TestHealthUnderConcurrentScans(t *testing.T) {
 	}
 }
 
+// prometheusSchema reduces an exposition to its stable shape: every
+// `# HELP` and `# TYPE` line verbatim plus every sample line's series key
+// (metric name and sorted label set, value stripped). The order is part
+// of the shape — WritePrometheus guarantees families, label sets, and
+// histogram `le` buckets render sorted, so two runs of the same workload
+// reduce to identical schemas.
+func prometheusSchema(exposition string) string {
+	var schema []string
+	for _, line := range strings.Split(exposition, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# "):
+			schema = append(schema, line)
+		default:
+			if i := strings.LastIndexByte(line, ' '); i >= 0 {
+				schema = append(schema, line[:i])
+			}
+		}
+	}
+	return strings.Join(schema, "\n") + "\n"
+}
+
 // TestPrometheusGoldenMetricNames renders the full exposition of an
-// engine with metrics and resilience enabled and compares the `# TYPE`
-// schema lines against the checked-in golden list. Adding or renaming a
-// metric must update testdata/metrics.golden deliberately (run with
-// -update-golden).
+// engine with metrics and resilience enabled and compares its schema —
+// help text, type lines, and every series key including histogram bucket
+// bounds and label order — against the checked-in golden. Adding or
+// renaming a metric, changing help text, or reordering labels must update
+// testdata/metrics.golden deliberately (run with -update-golden).
 func TestPrometheusGoldenMetricNames(t *testing.T) {
 	eng, err := Compile(ladderPatterns, &Options{
 		Observability: &ObservabilityOptions{Metrics: true},
@@ -256,13 +279,7 @@ func TestPrometheusGoldenMetricNames(t *testing.T) {
 	if err := eng.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var schema []string
-	for _, line := range strings.Split(buf.String(), "\n") {
-		if strings.HasPrefix(line, "# TYPE ") {
-			schema = append(schema, line)
-		}
-	}
-	got := strings.Join(schema, "\n") + "\n"
+	got := prometheusSchema(buf.String())
 	const golden = "testdata/metrics.golden"
 	if *updateGolden {
 		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
@@ -275,6 +292,73 @@ func TestPrometheusGoldenMetricNames(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("metric schema drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestPrometheusDeterministicRender locks the exposition's ordering
+// guarantees: rendering the same engine twice is byte-identical, and the
+// output is independent of registration order — two registries built with
+// the same instruments registered in opposite orders (and labels given in
+// opposite orders) render the same bytes, with the histogram `le` label
+// merged into its sorted position rather than appended last.
+func TestPrometheusDeterministicRender(t *testing.T) {
+	eng, err := Compile(ladderPatterns, &Options{
+		Observability: &ObservabilityOptions{Metrics: true},
+		Resilience:    &ResilienceOptions{CrossCheckFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run([]byte(ladderInput)); err != nil {
+		t.Fatal(err)
+	}
+	var first, second bytes.Buffer
+	if err := eng.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("two renders of an idle engine differ byte-for-byte")
+	}
+
+	build := func(reverse bool) string {
+		reg := obs.NewRegistry()
+		register := []func(){
+			func() { reg.Counter("zz_total", "last family", obs.L("q", "1")).Add(3) },
+			func() {
+				h := reg.Histogram("mm_seconds", "middle family", []float64{0.5, 2},
+					obs.L("a", "1"), obs.L("z", "2"))
+				h.Observe(0.1)
+				h.Observe(1)
+			},
+			func() { reg.Gauge("aa_depth", "first family").Set(7) },
+		}
+		if reverse {
+			for i := len(register) - 1; i >= 0; i-- {
+				register[i]()
+			}
+		} else {
+			for _, f := range register {
+				f()
+			}
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	fwd, rev := build(false), build(true)
+	if fwd != rev {
+		t.Fatalf("registration order leaked into the exposition:\n--- forward ---\n%s--- reverse ---\n%s", fwd, rev)
+	}
+	if !strings.Contains(fwd, `mm_seconds_bucket{a="1",le="0.5",z="2"}`) {
+		t.Fatalf("histogram le label not merged in sorted label position:\n%s", fwd)
+	}
+	if idx := strings.Index(fwd, "aa_depth"); idx < 0 || strings.Index(fwd, "mm_seconds") < idx {
+		t.Fatalf("families not sorted by name:\n%s", fwd)
 	}
 }
 
