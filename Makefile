@@ -119,12 +119,17 @@ bench:
 
 # bench-smoke is the fast perf gate: short runs of the streaming-scan and
 # bitstream hot-path benchmarks (catching gross regressions and alloc
-# creep in the pipelined scanner), then a real pipelined streaming scan
-# with tracing on, its trace validated by obscheck (the pipeline stage
-# lanes ride the same schema the whole-input scan does).
+# creep in the pipelined scanner), a short-mode run of the bitbench
+# matrix (single-core, batched, and GOMAXPROCS x workers multicore rows)
+# with a hard throughput floor — 54.1 MB/s is the pipelined scanner's
+# pre-superblock seed baseline, so any regression back to it fails the
+# build — then a real pipelined streaming scan with tracing on, its
+# trace validated by obscheck (the pipeline stage lanes ride the same
+# schema the whole-input scan does).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ScanReader|TransposeInto|IntoOps|NextSetBitSweep|Positions' \
 		-benchtime 100ms . ./internal/bitstream ./internal/transpose
+	$(GO) run ./cmd/bitbench -exp bench -bench-time 200ms -min-scan-mbs 54.1
 	@tmp=$$(mktemp -d) && \
 	i=0; while [ $$i -lt 2000 ]; do echo "error: timeout after 30ms on line $$i; retry ok"; i=$$((i+1)); done > $$tmp/input.txt && \
 	$(GO) run ./cmd/rxgrep -q -stream 4096 -trace $$tmp/trace.json 'error|fatal' $$tmp/input.txt && \

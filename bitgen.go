@@ -94,6 +94,16 @@ type Options struct {
 	// the reader stays a chunk ahead of execution. Ignored when
 	// Resilience is set (ladder scans run chunk-at-a-time).
 	ScanWorkers int
+	// ScanBatch lets each pipeline worker drain up to this many queued
+	// chunks and execute them through one batched kernel launch per CTA
+	// group (single plan traversal for the whole batch). 0 or 1 disables
+	// batching. Batching is opportunistic — a worker never waits for a
+	// batch to fill, so latency is unchanged when the pipeline is not
+	// backlogged. Like ScanWorkers this is a runtime execution knob, not a
+	// compile-time option: it is deliberately excluded from the snapshot
+	// options fingerprint so existing snapshots keep loading when it
+	// changes.
+	ScanBatch int
 }
 
 // Default resource limits, applied when the corresponding Limits field is
@@ -219,6 +229,10 @@ type Engine struct {
 	// indexesOf maps each unique pattern string to its public indexes in
 	// patterns, ascending.
 	indexesOf map[string][]int
+	// rankIndexes is indexesOf keyed by the inner engine's match rank
+	// instead of the pattern string — the pipelined scanner's emit stage
+	// fans out on the integer, skipping a map lookup per match.
+	rankIndexes [][]int
 	// nullable lists the unique patterns that match the empty string;
 	// ScanReader refuses them (an empty match "ends" at every stream
 	// offset, which has no useful streaming semantics).
@@ -237,6 +251,8 @@ type Engine struct {
 	obs *obs.Observer
 	// scanWorkers is Options.ScanWorkers; <=0 means GOMAXPROCS.
 	scanWorkers int
+	// scanBatch is Options.ScanBatch; <=1 means no batching.
+	scanBatch int
 	// scanArena overrides the pipelined scanner's buffer pool; nil selects
 	// arena.Default. Tests set it to assert get/put balance.
 	scanArena *arena.Arena
@@ -330,9 +346,11 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 		maxLen: maxLen, unbounded: unbounded,
 		obs:         observer,
 		scanWorkers: opts.ScanWorkers,
+		scanBatch:   opts.ScanBatch,
 		foldCase:    opts.FoldCase,
 		optsHash:    optionsHash(opts),
 	}
+	e.initRankIndexes()
 	if opts.Resilience != nil {
 		asts := make([]rx.Node, len(regexes))
 		for i := range regexes {
@@ -343,6 +361,17 @@ func CompileContext(ctx context.Context, patterns []string, opts *Options) (*Eng
 		}
 	}
 	return e, nil
+}
+
+// initRankIndexes aligns the duplicate-index fan-out with the inner
+// engine's rank order so the streaming emit stage can index a slice
+// instead of hashing pattern strings.
+func (e *Engine) initRankIndexes() {
+	names := e.inner.MatchNames()
+	e.rankIndexes = make([][]int, len(names))
+	for rank, name := range names {
+		e.rankIndexes[rank] = e.indexesOf[name]
+	}
 }
 
 // resolveDevice maps Options.Device to a simulator profile.

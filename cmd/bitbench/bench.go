@@ -10,7 +10,6 @@ import (
 	"testing"
 
 	"bitgen"
-	"bitgen/internal/experiments"
 	"bitgen/internal/transpose"
 )
 
@@ -79,11 +78,15 @@ func (r *chunkSource) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-func runBench(*experiments.Suite) (renderable, error) {
+func runBench(benchTime string, minScanMBs float64) (renderable, error) {
 	// Long enough runs that per-call setup (sessions, channels) amortizes to
-	// zero and allocs/op reports the steady-state loop.
+	// zero and allocs/op reports the steady-state loop. CI smoke runs pass a
+	// short -bench-time; the default favors stable numbers.
 	testing.Init()
-	if err := flag.Set("test.benchtime", "3s"); err != nil {
+	if benchTime == "" {
+		benchTime = "3s"
+	}
+	if err := flag.Set("test.benchtime", benchTime); err != nil {
 		return nil, err
 	}
 	input := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog 0123456789 ", 2000))
@@ -137,6 +140,62 @@ func runBench(*experiments.Suite) (renderable, error) {
 				b.Fatal(err)
 			}
 		}))
+
+	// Batched launches at one core: workers drain queued chunks into
+	// multi-stream kernel launches (Options.ScanBatch), amortizing plan
+	// traversal without any extra parallelism.
+	beng, err := bitgen.Compile(benchPatterns, &bitgen.Options{CTAs: 4, ScanWorkers: 1, ScanBatch: 4})
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row("scanreader_batched", "streaming scan, batched launches (batch=4, 1 worker)",
+		chunk, func(b *testing.B) {
+			src := &chunkSource{data: input, limit: int64(b.N) * chunk}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := beng.ScanReader(src, chunk, func(bitgen.Match) {}); err != nil {
+				b.Fatal(err)
+			}
+		}))
+
+	// Multicore matrix: GOMAXPROCS x pipeline workers. Scaling beyond the
+	// host's real core count is necessarily flat — each row's note records
+	// the host cores so artifacts from narrow CI hosts read honestly.
+	cores := runtime.NumCPU()
+	prev := runtime.GOMAXPROCS(0)
+	for _, g := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(g)
+		for _, w := range []int{1, 2, 4} {
+			weng, err := bitgen.Compile(benchPatterns, &bitgen.Options{CTAs: 4, ScanWorkers: w})
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, row(
+				fmt.Sprintf("scan_g%d_w%d", g, w),
+				fmt.Sprintf("pipelined scan, GOMAXPROCS=%d workers=%d (host cores=%d)", g, w, cores),
+				chunk, func(b *testing.B) {
+					src := &chunkSource{data: input, limit: int64(b.N) * chunk}
+					b.ReportAllocs()
+					b.ResetTimer()
+					if err := weng.ScanReader(src, chunk, func(bitgen.Match) {}); err != nil {
+						b.Fatal(err)
+					}
+				}))
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	// Throughput regression gate (make bench-smoke): the pipelined scanner
+	// must not fall back under the recorded baseline.
+	if minScanMBs > 0 {
+		for _, r := range rep.Rows {
+			if r.Name == "scanreader_pipelined" && r.MBs < minScanMBs {
+				return nil, fmt.Errorf("scanreader_pipelined %.2f MB/s is below the %.2f MB/s floor",
+					r.MBs, minScanMBs)
+			}
+		}
+	}
 	return rep, nil
 }
 

@@ -74,6 +74,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to also write CSV files into")
 	jsonDir := flag.String("json", "", "directory to also write JSON artifacts into (artifacts that support it)")
 	backend := flag.String("backend", "", cli.BackendUsage)
+	benchTime := flag.String("bench-time", "3s", "per-benchmark measuring time for -exp bench (e.g. 200ms for CI smoke)")
+	minScanMBs := flag.Float64("min-scan-mbs", 0, "fail -exp bench when the pipelined scan falls below this MB/s (0 = no gate)")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -100,7 +102,9 @@ func main() {
 		{name: "profile", run: func(s *experiments.Suite) (renderable, error) {
 			return runProfile(s)
 		}},
-		{name: "bench", run: runBench, file: "BENCH_scan"},
+		{name: "bench", run: func(*experiments.Suite) (renderable, error) {
+			return runBench(*benchTime, *minScanMBs)
+		}, file: "BENCH_scan"},
 	}
 	var selected []artifact
 	if name == "all" {

@@ -1,6 +1,7 @@
 package bitgen
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -109,6 +110,31 @@ func FuzzBackendsAgree(f *testing.F) {
 			if !reflect.DeepEqual(got.indexCounts, ref.indexCounts) {
 				t.Fatalf("patterns %v: %s IndexCounts %v, nfa reference %v",
 					patterns, backend, got.indexCounts, ref.indexCounts)
+			}
+		}
+
+		// Streaming leg: when the pattern set is streamable, the batched
+		// pipelined scanner — over chunk sizes hugging the overlap boundary,
+		// where carried prefixes are nearly whole chunks — must emit exactly
+		// the NFA-verified whole-input match sequence, order included.
+		se, err := Compile(patterns, &Options{ScanWorkers: 2, ScanBatch: 3})
+		if err != nil || len(se.unbounded) > 0 || len(se.nullable) > 0 || se.maxLen == 0 || len(input) == 0 {
+			return
+		}
+		for _, cs := range []int{se.maxLen + 1, 2 * se.maxLen} {
+			var got []Match
+			if err := se.ScanReader(bytes.NewReader(input), cs, func(m Match) { got = append(got, m) }); err != nil {
+				t.Fatalf("patterns %v chunk %d: batched ScanReader: %v", patterns, cs, err)
+			}
+			if len(got) != len(ref.matches) {
+				t.Fatalf("patterns %v chunk %d: batched stream emitted %d matches, nfa reference %d\nstream: %v\nnfa: %v",
+					patterns, cs, len(got), len(ref.matches), got, ref.matches)
+			}
+			for i := range got {
+				if got[i] != ref.matches[i] {
+					t.Fatalf("patterns %v chunk %d: stream match %d = %+v, nfa reference %+v",
+						patterns, cs, i, got[i], ref.matches[i])
+				}
 			}
 		}
 	})

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"bitgen/internal/arena"
 	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
 	"bitgen/internal/faultinject"
@@ -127,9 +128,49 @@ type Group struct {
 type Engine struct {
 	cfg    Config
 	groups []Group
+	// matchNames lists every output name across groups in ascending order;
+	// a name's index is its rank, the integer stand-in for byte-wise string
+	// comparison on the streaming hot path.
+	matchNames []string
+	// outRanks maps [group][output index] to the output's rank.
+	outRanks [][]int32
 	// PassStats aggregates what the optimization passes did.
 	PassStats PassStats
+	// runPool recycles one-shot Run state (transpose basis + per-group
+	// kernel sessions) across calls; runArena backs those sessions so
+	// their retained buffers never imbalance arena.Default. See runner.go.
+	runPool  *sync.Pool
+	runArena *arena.Arena
 }
+
+// initMatchRanks precomputes the rank tables ScanSession's match merge
+// uses. Output names are unique across groups (the public layer dedups
+// patterns before compiling), so rank order is exactly (End, Pattern)
+// string order without any per-match string comparison.
+func (e *Engine) initMatchRanks() {
+	for _, g := range e.groups {
+		for _, o := range g.Program.Outputs {
+			e.matchNames = append(e.matchNames, o.Name)
+		}
+	}
+	sort.Strings(e.matchNames)
+	rankOf := make(map[string]int32, len(e.matchNames))
+	for i, n := range e.matchNames {
+		rankOf[n] = int32(i)
+	}
+	e.outRanks = make([][]int32, len(e.groups))
+	for gi, g := range e.groups {
+		ranks := make([]int32, len(g.Program.Outputs))
+		for oi, o := range g.Program.Outputs {
+			ranks[oi] = rankOf[o.Name]
+		}
+		e.outRanks[gi] = ranks
+	}
+}
+
+// MatchNames returns every output name in rank order: ScanMatch.Rank
+// indexes this slice. Callers must not mutate it.
+func (e *Engine) MatchNames() []string { return e.matchNames }
 
 // PassStats aggregates compile-time pass effects across groups.
 type PassStats struct {
@@ -202,6 +243,8 @@ func CompileContext(ctx context.Context, regexes []lower.Regex, cfg Config) (*En
 		}
 		e.groups = append(e.groups, Group{Program: prog, Names: names, Chars: part.chars})
 	}
+	e.initMatchRanks()
+	e.initRunPool()
 	return e, nil
 }
 
@@ -226,7 +269,10 @@ func Restore(cfg Config, groups []Group, ps PassStats) (*Engine, error) {
 			return nil, fmt.Errorf("engine: restored group %d invalid: %w", i, err)
 		}
 	}
-	return &Engine{cfg: cfg, groups: groups, PassStats: ps}, nil
+	e := &Engine{cfg: cfg, groups: groups, PassStats: ps}
+	e.initMatchRanks()
+	e.initRunPool()
+	return e, nil
 }
 
 // compileGroup lowers and optimizes one CTA group's regexes, converting
@@ -302,6 +348,9 @@ func (e *Engine) Groups() []Group { return e.groups }
 func (e *Engine) WithInjector(inj *faultinject.Injector) *Engine {
 	ne := *e
 	ne.cfg.Inject = inj
+	// Pooled runners capture the injector inside their kernel sessions; the
+	// copy must build its own, not share armed-or-not state with e.
+	ne.initRunPool()
 	return &ne
 }
 
@@ -370,9 +419,14 @@ func (e *Engine) RunCounts(ctx context.Context, input []byte) (*Result, error) {
 }
 
 func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Result, error) {
+	rn, err := e.getRunner()
+	if err != nil {
+		return nil, err
+	}
 	tspan := e.cfg.Obs.Span("scan", "transpose", 0).Arg("input_bytes", len(input))
-	basis := transpose.Transpose(input)
+	transpose.TransposeInto(rn.basis, input)
 	tspan.End()
+	basis := rn.basis
 	share := e.cfg.TransposeShare
 	if share == 0 {
 		share = 1
@@ -388,17 +442,11 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 	if keepOutputs {
 		res.Outputs = make(map[string]*bitstream.Stream)
 	}
-	kcfg := kernel.Config{
-		Grid:               e.cfg.Grid,
-		Mode:               e.cfg.Mode,
-		HonorGuards:        e.cfg.ZeroBlockSkipping,
-		SharedInputCTAs:    len(e.groups),
-		MaxWhileIterations: e.cfg.MaxWhileIterations,
-		Inject:             e.cfg.Inject,
-	}
 	type groupOut struct {
-		run *kernel.RunResult
-		err error
+		outs      []*bitstream.Stream
+		stats     gpusim.CTAStats
+		fallbacks int
+		err       error
 	}
 	outs := make([]groupOut, len(e.groups))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -413,7 +461,7 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 			// concurrent runs on this Engine) survive.
 			defer func() {
 				if r := recover(); r != nil {
-					outs[gi] = groupOut{nil, &bgerr.InternalError{
+					outs[gi] = groupOut{err: &bgerr.InternalError{
 						Op: "run", Group: gi, Patterns: e.groups[gi].Names,
 						Value: r, Stack: debug.Stack(),
 					}}
@@ -423,7 +471,7 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 				select {
 				case sem <- struct{}{}:
 				case <-ctx.Done():
-					outs[gi] = groupOut{nil, bgerr.Canceled(ctx.Err())}
+					outs[gi] = groupOut{err: bgerr.Canceled(ctx.Err())}
 					return
 				}
 			} else {
@@ -431,7 +479,7 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 			}
 			defer func() { <-sem }()
 			if err := gpusim.CheckLaunch(e.cfg.Inject, gi); err != nil {
-				outs[gi] = groupOut{nil, fmt.Errorf("engine: group %d: %w", gi, err)}
+				outs[gi] = groupOut{err: fmt.Errorf("engine: group %d: %w", gi, err)}
 				return
 			}
 			// One trace lane per CTA group: concurrent launches render as
@@ -440,21 +488,18 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 			e.cfg.Obs.NameLane(lane, fmt.Sprintf("kernel/group-%d", gi))
 			lspan := e.cfg.Obs.Span("scan", "kernel-launch", lane).
 				Arg("group", gi).Arg("patterns", len(e.groups[gi].Names))
-			gcfg := kcfg
-			gcfg.Obs = e.cfg.Obs
-			gcfg.TraceLane = lane
-			run, err := kernel.RunContext(ctx, e.groups[gi].Program, basis, gcfg)
+			gouts, stats, err := rn.sess[gi].Run(ctx, basis)
 			if err != nil {
 				err = fmt.Errorf("engine: group %d: %w", gi, err)
 				lspan.Arg("error", err.Error())
 			} else {
-				lspan.Arg("windows", run.Stats.Windows).
-					Arg("dram_bytes", run.Stats.DRAMReadBytes+run.Stats.DRAMWriteBytes).
-					Arg("barriers", run.Stats.Barriers).
-					Arg("guard_skips", run.Stats.GuardSkips)
+				lspan.Arg("windows", stats.Windows).
+					Arg("dram_bytes", stats.DRAMReadBytes+stats.DRAMWriteBytes).
+					Arg("barriers", stats.Barriers).
+					Arg("guard_skips", stats.GuardSkips)
 			}
 			lspan.End()
-			outs[gi] = groupOut{run, err}
+			outs[gi] = groupOut{gouts, stats, rn.sess[gi].Fallbacks(), err}
 		}(gi)
 	}
 	wg.Wait()
@@ -471,17 +516,19 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 		}
 	}
 	if firstErr != nil {
+		// The runner is deliberately not pooled: a session that errored or
+		// contained a panic may hold inconsistent retained state.
 		return nil, firstErr
 	}
 	for gi, out := range outs {
-		res.Stats.PerCTA[gi] = out.run.Stats
-		res.Fallbacks += out.run.FallbackSegments
-		// Walk the program's output table rather than the kernel's result
-		// map: the table carries the Nullable flag, and nullable regexes own
-		// one extra match — the empty match at the end-of-input offset,
-		// which sits one position past the kernel's input-length streams.
-		for _, o := range e.groups[gi].Program.Outputs {
-			s := out.run.Outputs[o.Name]
+		res.Stats.PerCTA[gi] = out.stats
+		res.Fallbacks += out.fallbacks
+		// Walk the program's output table: it carries the Nullable flag, and
+		// nullable regexes own one extra match — the empty match at the
+		// end-of-input offset, which sits one position past the kernel's
+		// input-length streams. The session's streams align with this table.
+		for oi, o := range e.groups[gi].Program.Outputs {
+			s := out.outs[oi]
 			if s == nil {
 				continue
 			}
@@ -498,11 +545,18 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 					ext := s.Extend(1)
 					ext.Set(ext.Len() - 1)
 					s = ext
+				} else {
+					// The session owns (and will overwrite) its stream
+					// buffers; retained outputs must not alias them.
+					s = s.Clone()
 				}
 				res.Outputs[o.Name] = s
 			}
 		}
 	}
+	// Every session-owned stream has been counted or copied: the runner can
+	// serve the next Run (unless a fallback made it non-fresh; see putRunner).
+	e.putRunner(rn)
 	espan := e.cfg.Obs.Span("scan", "estimate", 0)
 	res.Time = gpusim.EstimateTime(e.cfg.Device, e.cfg.Grid, &res.Stats)
 	res.ThroughputMBs = gpusim.ThroughputMBs(res.Stats.InputBytes, res.Time.TotalSec)

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bitgen/internal/arena"
+	"bitgen/internal/faultinject"
+)
+
+// batchCorpus builds a match-dense input and splits it into pipeline-shaped
+// chunks: each chunk carries `overlap` bytes of the previous one, with
+// NewFrom marking the first not-yet-reported offset — exactly the geometry
+// scanPipelined feeds ScanBatch.
+func batchCorpus(t *testing.T, rng *rand.Rand, size, chunkSize, overlap int) ([]byte, []*ScanChunk) {
+	t.Helper()
+	words := []string{"cat", "doggy", "bird", "fishsh", "dog", "xx", " ", "birrd"}
+	var sb strings.Builder
+	for sb.Len() < size {
+		sb.WriteString(words[rng.Intn(len(words))])
+	}
+	input := []byte(sb.String())
+	var chunks []*ScanChunk
+	pos := 0
+	for pos < len(input) {
+		lo := pos - overlap
+		if lo < 0 {
+			lo = 0
+		}
+		hi := pos + chunkSize
+		if hi > len(input) {
+			hi = len(input)
+		}
+		chunks = append(chunks, &ScanChunk{
+			Data: input[lo:hi], Base: int64(lo), NewFrom: int64(pos),
+		})
+		pos = hi
+	}
+	return input, chunks
+}
+
+// TestScanBatchMatchesScan is ScanBatch's differential oracle: over batches
+// of every size the pipeline can form, the batched path must fill each
+// chunk with exactly the matches (order included) the per-chunk Scan path
+// produces.
+func TestScanBatchMatchesScan(t *testing.T) {
+	regexes := mustRegexes(t, "cat", "dog(gy)?", "b[ir]rd", "fi(sh)+")
+	cfg := BitGenDefault()
+	cfg.Grid = smallGrid
+	e, err := Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const chunkSize, overlap = 256, 8
+	_, chunks := batchCorpus(t, rng, 4096, chunkSize, overlap)
+
+	a := &arena.Arena{}
+	oracle, err := e.NewScanSession(chunkSize+overlap, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	batched, err := e.NewScanSession(chunkSize+overlap, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	ctx := context.Background()
+	total := 0
+	for _, k := range []int{1, 2, 3, 4} {
+		for lo := 0; lo+k <= len(chunks); lo += k {
+			batch := chunks[lo : lo+k]
+			batched.ScanBatch(ctx, batch)
+			for _, c := range batch {
+				if c.Err != nil {
+					t.Fatalf("k=%d chunk base %d: %v", k, c.Base, c.Err)
+				}
+				want, err := oracle.Scan(ctx, c.Data, c.Base, c.NewFrom, nil)
+				if err != nil {
+					t.Fatalf("oracle chunk base %d: %v", c.Base, err)
+				}
+				if len(c.Matches) != len(want) {
+					t.Fatalf("k=%d chunk base %d: batched found %d matches, Scan found %d",
+						k, c.Base, len(c.Matches), len(want))
+				}
+				for i := range want {
+					if c.Matches[i] != want[i] {
+						t.Fatalf("k=%d chunk base %d: match %d = %+v, Scan produced %+v",
+							k, c.Base, i, c.Matches[i], want[i])
+					}
+				}
+				total += len(want)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("degenerate corpus: no matches")
+	}
+}
+
+// TestScanBatchFallsBackOnInjectedPanic arms a kernel panic under a batched
+// scan: the batch must roll back to the sequential per-chunk path, which
+// contains the (re-armed or spent) fault per chunk — so every chunk ends up
+// with either a clean result identical to Scan's or Scan's own typed error,
+// and the session stays usable afterwards.
+func TestScanBatchFallsBackOnInjectedPanic(t *testing.T) {
+	regexes := mustRegexes(t, "cat", "dog(gy)?")
+	cfg := BitGenDefault()
+	cfg.Grid = smallGrid
+	// Fire exactly once: the batched launch panics, the sequential replay
+	// runs clean, so the caller sees a successful scan.
+	cfg.Inject = faultinject.New(1).ArmNth(faultinject.KernelPanic, 1)
+	e, err := Compile(regexes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const chunkSize, overlap = 256, 8
+	_, chunks := batchCorpus(t, rng, 2048, chunkSize, overlap)
+	if len(chunks) < 3 {
+		t.Fatalf("corpus split into %d chunks, need >= 3", len(chunks))
+	}
+
+	a := &arena.Arena{}
+	ss, err := e.NewScanSession(chunkSize+overlap, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+
+	clean := BitGenDefault()
+	clean.Grid = smallGrid
+	oe, err := Compile(mustRegexes(t, "cat", "dog(gy)?"), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := oe.NewScanSession(chunkSize+overlap, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+
+	ctx := context.Background()
+	batch := chunks[:3]
+	ss.ScanBatch(ctx, batch)
+	total := 0
+	for _, c := range batch {
+		if c.Err != nil {
+			t.Fatalf("chunk base %d: sequential replay should have absorbed the one-shot panic: %v", c.Base, c.Err)
+		}
+		want, err := oracle.Scan(ctx, c.Data, c.Base, c.NewFrom, nil)
+		if err != nil {
+			t.Fatalf("oracle chunk base %d: %v", c.Base, err)
+		}
+		if len(c.Matches) != len(want) {
+			t.Fatalf("chunk base %d: fallback path found %d matches, want %d",
+				c.Base, len(c.Matches), len(want))
+		}
+		for i := range want {
+			if c.Matches[i] != want[i] {
+				t.Fatalf("chunk base %d: match %d = %+v, want %+v", c.Base, i, c.Matches[i], want[i])
+			}
+		}
+		total += len(want)
+	}
+	if total == 0 {
+		t.Fatal("degenerate corpus: no matches")
+	}
+}

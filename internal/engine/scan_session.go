@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
-	"slices"
-	"strings"
 
 	"bitgen/internal/arena"
 	"bitgen/internal/bgerr"
@@ -16,10 +14,13 @@ import (
 )
 
 // ScanMatch is one match found by a ScanSession: Pattern matched ending at
-// absolute stream offset End (inclusive).
+// absolute stream offset End (inclusive). Rank is Pattern's index in the
+// engine's MatchNames table — callers on the hot path dispatch on the
+// integer instead of hashing the string.
 type ScanMatch struct {
 	Pattern string
 	End     int64
+	Rank    int32
 }
 
 // ScanSession is a reusable chunk executor for streaming scans: it owns a
@@ -37,8 +38,30 @@ type ScanSession struct {
 	e     *Engine
 	basis *transpose.Basis
 	sess  []*kernel.Session
+	outs  [][]*bitstream.Stream // per-group output streams of the last run
+	heap  []scanCursor          // merge heap scratch, reused across chunks
 	tr    *arena.Tracker
 	lane  int
+
+	// Batched-scan state (ScanBatch): one transpose basis per in-flight
+	// chunk plus per-lane parked outputs, created on first use. bases[0]
+	// is the session's own basis. maxChunkBytes sizes lazily added bases.
+	maxChunkBytes int
+	bases         []*transpose.Basis
+	louts         [][][]*bitstream.Stream // [lane][group][output]
+	footprints    []int64
+}
+
+// scanCursor walks one output stream during the match merge. end is the
+// absolute offset of the cursor's current set bit; the heap orders by
+// (end, rank), which is exactly (End, Pattern) order because ranks are
+// assigned in ascending name order.
+type scanCursor struct {
+	end  int64
+	pos  int // current bit position within the stream
+	rank int32
+	gi   int32
+	oi   int32
 }
 
 // NewScanSession builds a session for chunks up to maxChunkBytes (larger
@@ -47,10 +70,11 @@ type ScanSession struct {
 // trace lane the session's kernel spans land on.
 func (e *Engine) NewScanSession(maxChunkBytes int, a *arena.Arena, lane int) (*ScanSession, error) {
 	ss := &ScanSession{
-		e:     e,
-		basis: &transpose.Basis{},
-		tr:    arena.NewTracker(a),
-		lane:  lane,
+		e:             e,
+		basis:         &transpose.Basis{},
+		tr:            arena.NewTracker(a),
+		lane:          lane,
+		maxChunkBytes: maxChunkBytes,
 	}
 	// Basis backing from the arena: one bit per input byte, eight planes.
 	nw := bitstream.WordsFor(maxChunkBytes)
@@ -77,6 +101,7 @@ func (e *Engine) NewScanSession(maxChunkBytes int, a *arena.Arena, lane int) (*S
 		}
 		ss.sess = append(ss.sess, ks)
 	}
+	ss.outs = make([][]*bitstream.Stream, len(ss.sess))
 	return ss, nil
 }
 
@@ -99,35 +124,30 @@ func (ss *ScanSession) Scan(ctx context.Context, chunk []byte, base, newFrom int
 	start := len(dst)
 	var footprint int64
 	for gi := range ss.sess {
-		stats, err := ss.scanGroup(ctx, gi, base, newFrom, &dst)
+		stats, err := ss.scanGroup(ctx, gi)
 		if err != nil {
+			ss.clearOuts()
 			return dst[:start], err
 		}
 		footprint += gpusim.IntermediateFootprintBytes(stats.IntermediateStreams, int64(len(chunk)))
 	}
 	if e.cfg.MemoryBudgetBytes > 0 && footprint > e.cfg.MemoryBudgetBytes {
+		ss.clearOuts()
 		return dst[:start], &bgerr.LimitError{
 			Limit: "device-memory-bytes",
 			Value: footprint, Max: e.cfg.MemoryBudgetBytes,
 		}
 	}
-	added := dst[start:]
-	slices.SortFunc(added, func(a, b ScanMatch) int {
-		if a.End != b.End {
-			if a.End < b.End {
-				return -1
-			}
-			return 1
-		}
-		return strings.Compare(a.Pattern, b.Pattern)
-	})
+	dst = ss.mergeMatches(ss.outs, base, newFrom, dst)
+	ss.clearOuts()
 	return dst, nil
 }
 
-// scanGroup executes one CTA group over the current basis, appending its
-// filtered matches. A panic inside the kernel is contained as a typed
-// internal error, mirroring Engine.Run's per-group containment.
-func (ss *ScanSession) scanGroup(ctx context.Context, gi int, base, newFrom int64, dst *[]ScanMatch) (st gpusim.CTAStats, err error) {
+// scanGroup executes one CTA group over the current basis, parking its
+// output streams in ss.outs[gi] for the merge. A panic inside the kernel is
+// contained as a typed internal error, mirroring Engine.Run's per-group
+// containment.
+func (ss *ScanSession) scanGroup(ctx context.Context, gi int) (st gpusim.CTAStats, err error) {
 	e := ss.e
 	defer func() {
 		if r := recover(); r != nil {
@@ -144,20 +164,216 @@ func (ss *ScanSession) scanGroup(ctx context.Context, gi int, base, newFrom int6
 	if err != nil {
 		return st, fmt.Errorf("engine: group %d: %w", gi, err)
 	}
-	prog := e.groups[gi].Program
-	for i, s := range outs {
-		name := prog.Outputs[i].Name
-		for p := s.NextSetBit(0); p >= 0; p = s.NextSetBit(p + 1) {
-			abs := base + int64(p)
-			// Positions inside the carried-over overlap were already
-			// reported by the previous chunk.
-			if abs < newFrom {
+	// The streams stay valid until this group's session runs again — i.e.
+	// across the remaining groups of this chunk and the merge that follows.
+	ss.outs[gi] = outs
+	return stats, nil
+}
+
+// mergeMatches k-way-merges the per-output match runs into dst. Each
+// stream's set bits are already ascending, so a binary min-heap keyed by
+// (end, rank) yields matches in exactly the (End, Pattern) order the
+// sequential path's sort produced — on integer comparisons, without the
+// per-chunk O(n log n) string sort that used to dominate the scan profile.
+func (ss *ScanSession) mergeMatches(gouts [][]*bitstream.Stream, base, newFrom int64, dst []ScanMatch) []ScanMatch {
+	startBit := 0
+	if newFrom > base {
+		// Positions inside the carried-over overlap were already reported
+		// by the previous chunk.
+		startBit = int(newFrom - base)
+	}
+	h := ss.heap[:0]
+	for gi, outs := range gouts {
+		ranks := ss.e.outRanks[gi]
+		for oi, s := range outs {
+			p := s.NextSetBit(startBit)
+			if p < 0 {
 				continue
 			}
-			*dst = append(*dst, ScanMatch{Pattern: name, End: abs})
+			h = append(h, scanCursor{
+				end: base + int64(p), pos: p,
+				rank: ranks[oi], gi: int32(gi), oi: int32(oi),
+			})
+			siftUp(h, len(h)-1)
 		}
 	}
-	return stats, nil
+	names := ss.e.matchNames
+	for len(h) > 0 {
+		c := h[0]
+		dst = append(dst, ScanMatch{Pattern: names[c.rank], End: c.end, Rank: c.rank})
+		p := gouts[c.gi][c.oi].NextSetBit(c.pos + 1)
+		if p < 0 {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		} else {
+			c.pos, c.end = p, base+int64(p)
+			h[0] = c
+		}
+		siftDown(h, 0)
+	}
+	ss.heap = h[:0]
+	return dst
+}
+
+func cursorLess(a, b scanCursor) bool {
+	if a.end != b.end {
+		return a.end < b.end
+	}
+	return a.rank < b.rank
+}
+
+func siftUp(h []scanCursor, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cursorLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []scanCursor, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && cursorLess(h[r], h[l]) {
+			m = r
+		}
+		if !cursorLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// clearOuts drops the parked stream references so a failed or finished
+// chunk cannot alias buffers the next Run will overwrite.
+func (ss *ScanSession) clearOuts() {
+	for gi := range ss.outs {
+		ss.outs[gi] = nil
+	}
+}
+
+// ScanChunk is one chunk of a batched scan: Data at absolute offset Base,
+// with matches before NewFrom suppressed (carried-over overlap). Matches
+// and Err are outputs — Matches reuses its own backing array across calls.
+type ScanChunk struct {
+	Data          []byte
+	Base, NewFrom int64
+	Matches       []ScanMatch
+	Err           error
+}
+
+// ScanBatch scans K chunks through one batched kernel launch per CTA
+// group: every group's plan is traversed once for all K transposed inputs
+// (kernel.Session.RunBatch) instead of once per chunk. Each chunk's
+// Matches and Err are exactly what Scan would have produced for it.
+//
+// Fallback and resilience semantics are unchanged: if the batched launch
+// fails for any reason, every chunk is replayed through the sequential
+// per-chunk path, which reproduces per-chunk error attribution (and panic
+// containment) bit-for-bit.
+func (ss *ScanSession) ScanBatch(ctx context.Context, chunks []*ScanChunk) {
+	if len(chunks) == 1 {
+		c := chunks[0]
+		c.Matches, c.Err = ss.Scan(ctx, c.Data, c.Base, c.NewFrom, c.Matches)
+		return
+	}
+	if len(chunks) == 0 {
+		return
+	}
+	if !ss.scanBatched(ctx, chunks) {
+		for _, c := range chunks {
+			c.Matches, c.Err = ss.Scan(ctx, c.Data, c.Base, c.NewFrom, c.Matches)
+		}
+	}
+}
+
+// scanBatched attempts the batched path, reporting whether it completed.
+// Any failure — kernel error, budget overflow, contained panic — rolls the
+// whole batch back to the sequential path.
+func (ss *ScanSession) scanBatched(ctx context.Context, chunks []*ScanChunk) (done bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ss.clearBatchOuts(len(chunks))
+			done = false
+		}
+	}()
+	e := ss.e
+	k := len(chunks)
+	ss.growLanes(k)
+	for i, c := range chunks {
+		transpose.TransposeInto(ss.bases[i], c.Data)
+		ss.footprints[i] = 0
+	}
+	for gi := range ss.sess {
+		if err := gpusim.CheckLaunch(e.cfg.Inject, gi); err != nil {
+			ss.clearBatchOuts(k)
+			return false
+		}
+		outs, stats, err := ss.sess[gi].RunBatch(ctx, ss.bases[:k])
+		if err != nil {
+			ss.clearBatchOuts(k)
+			return false
+		}
+		for lane := 0; lane < k; lane++ {
+			ss.louts[lane][gi] = outs[lane]
+			ss.footprints[lane] += gpusim.IntermediateFootprintBytes(
+				stats[lane].IntermediateStreams, int64(len(chunks[lane].Data)))
+		}
+	}
+	if e.cfg.MemoryBudgetBytes > 0 {
+		for lane := 0; lane < k; lane++ {
+			if ss.footprints[lane] > e.cfg.MemoryBudgetBytes {
+				ss.clearBatchOuts(k)
+				return false
+			}
+		}
+	}
+	for lane, c := range chunks {
+		c.Matches = ss.mergeMatches(ss.louts[lane], c.Base, c.NewFrom, c.Matches[:0])
+		c.Err = nil
+	}
+	ss.clearBatchOuts(k)
+	return true
+}
+
+// growLanes ensures batch state exists for k lanes. Lane 0 aliases the
+// session's own basis, so single-chunk and batched scans share buffers.
+func (ss *ScanSession) growLanes(k int) {
+	if len(ss.bases) == 0 {
+		ss.bases = append(ss.bases, ss.basis)
+	}
+	for len(ss.bases) < k {
+		b := &transpose.Basis{}
+		if nw := bitstream.WordsFor(ss.maxChunkBytes); nw > 0 {
+			for j := 0; j < transpose.NumBasis; j++ {
+				b.SetWords(j, ss.tr.Words(nw))
+			}
+		}
+		ss.bases = append(ss.bases, b)
+	}
+	for len(ss.louts) < k {
+		ss.louts = append(ss.louts, make([][]*bitstream.Stream, len(ss.sess)))
+	}
+	for len(ss.footprints) < k {
+		ss.footprints = append(ss.footprints, 0)
+	}
+}
+
+// clearBatchOuts drops parked batch stream references (mirrors clearOuts).
+func (ss *ScanSession) clearBatchOuts(k int) {
+	for lane := 0; lane < k && lane < len(ss.louts); lane++ {
+		for gi := range ss.louts[lane] {
+			ss.louts[lane][gi] = nil
+		}
+	}
 }
 
 // Close releases every pooled buffer the session borrowed. The session must

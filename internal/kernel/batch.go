@@ -1,0 +1,134 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+
+	"bitgen/internal/bitstream"
+	"bitgen/internal/faultinject"
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/obs"
+	"bitgen/internal/transpose"
+)
+
+// RunBatch executes the program over K independent inputs through a single
+// traversal of the compiled plan — the session-level analog of launching
+// one kernel over K concurrent streams. Each input gets its own executor
+// lane (registers, globals, stats); the plan, liveness, barrier schedule
+// and compiled superblocks are shared, so per-instruction planning work is
+// paid once per batch instead of once per input.
+//
+// Lane i's outputs and stats are exactly what Run(ctx, bases[i]) would
+// produce: lanes never exchange data, only dispatch. An overlap overflow in
+// any lane pushes the culprit onto the shared materialize set and reruns
+// the whole batch (the rebuilt plan applies to every lane, matching the
+// sequential fallback semantics).
+//
+// The returned outs[i] align with the program's Outputs and are owned by
+// the session: valid, read-only, until the next Run/RunBatch or Close.
+// Steady-state batches of stable size and chunk geometry allocate nothing.
+func (s *Session) RunBatch(ctx context.Context, bases []*transpose.Basis) ([][]*bitstream.Stream, []gpusim.CTAStats, error) {
+	k := len(bases)
+	if k == 0 {
+		return nil, nil, nil
+	}
+	s.growBatch(k)
+	for attempt := 0; ; attempt++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		span := s.base.Obs.Span("kernel", "kernel-attempt", s.base.TraceLane).
+			Arg("attempt", attempt).Arg("batch", k)
+		err := s.runBatchOnce(ctx, bases)
+		span.End()
+		if err != nil {
+			var ovf *overflowError
+			fusedMode := s.base.Mode == ModeDTM || s.base.Mode == ModeDTMStatic
+			if errors.As(err, &ovf) && fusedMode && ovf.stmt != nil && !s.materialize[ovf.stmt] && attempt < 1+len(s.prog.Stmts) {
+				if s.materialize == nil {
+					s.materialize = make(map[ir.Stmt]bool)
+				}
+				s.materialize[ovf.stmt] = true
+				s.rebuild()
+				s.base.Obs.Instant("kernel", "overlap-fallback", s.base.TraceLane, obs.A("need_bits", ovf.need))
+				s.base.Obs.Reg().Counter(obs.MOverlapFallback, obs.HOverlapFallback).Inc()
+				continue
+			}
+			return nil, nil, err
+		}
+		return s.batchOuts[:k], s.batchStats[:k], nil
+	}
+}
+
+// growBatch ensures at least k executor lanes exist. Lane 0 is the
+// session's own executor, so single-shot Run and batched RunBatch share
+// its retained buffers.
+func (s *Session) growBatch(k int) {
+	if s.lanes == nil {
+		s.lanes = append(s.lanes, s.ex)
+	}
+	for len(s.lanes) < k {
+		ex := newExec(s.prog, s.base)
+		ex.alloc = s.tr.Words
+		s.lanes = append(s.lanes, ex)
+	}
+	for len(s.batchOuts) < k {
+		s.batchOuts = append(s.batchOuts, make([]*bitstream.Stream, len(s.prog.Outputs)))
+	}
+	for len(s.batchStats) < k {
+		s.batchStats = append(s.batchStats, gpusim.CTAStats{})
+	}
+}
+
+// runBatchOnce resets every lane and walks the top-level plan once,
+// executing each node across all lanes before advancing to the next node.
+// Data-dependent control (ctl conditions, window fixpoints, while loops)
+// still runs per lane — lanes only share the traversal, never results.
+func (s *Session) runBatchOnce(ctx context.Context, bases []*transpose.Basis) error {
+	if s.base.Inject.Fire(faultinject.KernelPanic) {
+		panic("faultinject: injected kernel panic")
+	}
+	k := len(bases)
+	for i := 0; i < k; i++ {
+		ex := s.lanes[i]
+		ex.reset(ctx, bases[i], s.base.withDefaults(bases[i].N))
+		ex.isMat = s.isMat
+		ex.stats.Loops = int64(s.loops)
+		ex.stats.IntermediateStreams = int64(s.intermediates)
+		ex.stats.StaticDelta = s.staticDelta
+	}
+	for _, node := range s.pl.nodes {
+		for i := 0; i < k; i++ {
+			ex := s.lanes[i]
+			switch x := node.(type) {
+			case *fusedSeg:
+				if err := ex.execFused(x); err != nil {
+					return err
+				}
+			case *streamSeg:
+				ex.execStream(x.assign)
+			case *ctlSeg:
+				if err := ex.execCtl(x); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		ex := s.lanes[i]
+		outs := s.batchOuts[i]
+		for oi, o := range s.prog.Outputs {
+			str := ex.globals[o.Var]
+			if str == nil {
+				str = ex.zero
+			}
+			outs[oi] = str
+			if !ex.cfg.FullOutputWrites {
+				ex.stats.DRAMWriteBytes += 4 * int64(str.Popcount())
+			}
+		}
+		s.batchStats[i] = ex.stats
+	}
+	return nil
+}

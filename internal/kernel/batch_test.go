@@ -1,0 +1,163 @@
+package kernel
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bitgen/internal/arena"
+	"bitgen/internal/lower"
+	"bitgen/internal/transpose"
+)
+
+// TestRunBatchMatchesSequentialRuns pins batched launches to the one-shot
+// oracle: RunBatch over K inputs must produce, per lane, exactly the
+// outputs and modeled stats a fresh session's Run would produce for that
+// input alone — across modes, varying batch sizes, and inputs of unequal
+// length sharing one traversal.
+func TestRunBatchMatchesSequentialRuns(t *testing.T) {
+	cases := []struct {
+		pattern string
+		inputs  []string
+	}{
+		{"cat|dog", []string{
+			strings.Repeat("the cat sat on the dog ", 12),
+			strings.Repeat("no animals in this one. ", 12),
+			strings.Repeat("catdogcat ", 25),
+			"cat",
+		}},
+		{"a(bc)*d", []string{
+			"ad " + strings.Repeat("abcbcd ", 15),
+			strings.Repeat("abcd", 40),
+			strings.Repeat("x", 97),
+		}},
+		{"x.?y", []string{
+			strings.Repeat("xy xay xaby ", 10),
+			strings.Repeat("zzz", 40) + "xy",
+		}},
+	}
+	ctx := context.Background()
+	for _, mode := range allModes {
+		for _, c := range cases {
+			p := lower.MustSingle("re", c.pattern)
+			cfg := Config{Grid: tinyGrid, Mode: mode, HonorGuards: true}
+			a := &arena.Arena{}
+			batched, err := NewSession(p, cfg, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := NewSession(p, cfg, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bases := make([]*transpose.Basis, len(c.inputs))
+			for i, in := range c.inputs {
+				bases[i] = transpose.Transpose([]byte(in))
+			}
+			// Varying batch sizes over the same session exercise lane
+			// growth and reuse; k=1 pins the degenerate case.
+			for _, k := range []int{len(c.inputs), 1, 2, len(c.inputs)} {
+				if k > len(c.inputs) {
+					k = len(c.inputs)
+				}
+				outs, stats, err := batched.RunBatch(ctx, bases[:k])
+				if err != nil {
+					t.Fatalf("%v %q k=%d: RunBatch: %v", mode, c.pattern, k, err)
+				}
+				for lane := 0; lane < k; lane++ {
+					wantOuts, wantStats, err := oracle.Run(ctx, bases[lane])
+					if err != nil {
+						t.Fatalf("%v %q lane %d: oracle: %v", mode, c.pattern, lane, err)
+					}
+					for oi := range p.Outputs {
+						if !outs[lane][oi].Equal(wantOuts[oi]) {
+							t.Fatalf("%v %q k=%d lane %d: output %s diverges from sequential Run",
+								mode, c.pattern, k, lane, p.Outputs[oi].Name)
+						}
+					}
+					if stats[lane] != wantStats {
+						t.Errorf("%v %q k=%d lane %d: batched stats %+v != sequential %+v",
+							mode, c.pattern, k, lane, stats[lane], wantStats)
+					}
+				}
+			}
+			batched.Close()
+			oracle.Close()
+			if err := a.CheckBalanced(); err != nil {
+				t.Fatalf("%v %q: %v", mode, c.pattern, err)
+			}
+		}
+	}
+}
+
+// TestRunBatchOverflowFallbackExact puts a carry chain past the overlap cap
+// into one lane of a batch: the whole batch must take the materialization
+// fallback, stay exact in every lane, and keep the fallback on later
+// batches — the same semantics the sequential session exhibits.
+func TestRunBatchOverflowFallbackExact(t *testing.T) {
+	p := lower.MustSingle("re", "ab*c")
+	cfg := Config{Grid: tinyGrid, Mode: ModeDTM}
+	sess, err := NewSession(p, cfg, &arena.Arena{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	inputs := []string{
+		"abc abbbc " + strings.Repeat("x", 300),
+		"a" + strings.Repeat("b", 2000) + "c", // forces the overlap overflow
+		"a" + strings.Repeat("b", 1500) + "c",
+	}
+	bases := make([]*transpose.Basis, len(inputs))
+	for i, in := range inputs {
+		bases[i] = transpose.Transpose([]byte(in))
+	}
+	for round := 0; round < 2; round++ {
+		outs, _, err := sess.RunBatch(context.Background(), bases)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for lane := range inputs {
+			want := interpRef(t, p, bases[lane])["re"]
+			if !outs[lane][0].Equal(want) {
+				t.Fatalf("round %d lane %d: batched output diverges after fallback", round, lane)
+			}
+		}
+	}
+	if sess.Fallbacks() == 0 {
+		t.Fatal("expected a materialized fallback segment")
+	}
+}
+
+// TestRunBatchSteadyStateZeroAllocs is the arena contract extended to
+// batches: once lanes are warmed, a batched run over same-sized chunks
+// allocates nothing.
+func TestRunBatchSteadyStateZeroAllocs(t *testing.T) {
+	p := lower.MustSingle("re", "cat|dog")
+	cfg := Config{Grid: tinyGrid, Mode: ModeDTM, HonorGuards: true}
+	sess, err := NewSession(p, cfg, &arena.Arena{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	inputs := []string{
+		strings.Repeat("the cat sat on the dog ", 40),
+		strings.Repeat("dogs and cats, cats and dogs ", 31),
+		strings.Repeat("no animals here at all..... ", 32),
+	}
+	bases := make([]*transpose.Basis, len(inputs))
+	for i, in := range inputs {
+		bases[i] = transpose.Transpose([]byte(in))
+	}
+	ctx := context.Background()
+	if _, _, err := sess.RunBatch(ctx, bases); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := sess.RunBatch(ctx, bases); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state RunBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -38,6 +38,11 @@ type Config struct {
 	// Hitting the cap returns an error satisfying errors.Is(err,
 	// bgerr.ErrLimit) — never silent truncation.
 	MaxWhileIterations int
+	// DisableSuperblocks falls back to the statement-at-a-time windowed
+	// interpreter instead of compiled superblock µops. Outputs and CTAStats
+	// are bit-identical either way (superblock_test.go enforces it); the
+	// toggle exists for differential testing and debugging.
+	DisableSuperblocks bool
 	// Inject is an optional fault injector (tests only). Nil never fires.
 	Inject *faultinject.Injector
 	// Obs, when non-nil, records one span per execution attempt and an
@@ -513,9 +518,28 @@ func (ex *ctaExec) execFused(seg *fusedSeg) error {
 	}
 	liveOut := seg.liveOut
 
+	// Compile the segment to superblock µops on first execution (the
+	// compiler needs the resolved analysis for loop growth and the
+	// executor's materialization/barrier state, both fixed by now).
+	if seg.sprog == nil && !ex.cfg.DisableSuperblocks {
+		seg.sprog = ex.compileSeg(seg.stmts, an)
+	}
+
 	if ex.n == 0 {
 		return nil
 	}
+	// Fused superblocks collapse per-instruction dispatch, so the segment
+	// reports one span carrying the op counts instead of relying on
+	// statement-level accounting.
+	var sbSpan *obs.Span
+	startWindows := ex.stats.Windows
+	if seg.sprog != nil {
+		sbSpan = ex.cfg.Obs.Span("kernel", "superblock", ex.cfg.TraceLane).
+			Arg("ops", seg.sprog.nOps).Arg("fused", seg.sprog.nFused)
+	}
+	defer func() {
+		sbSpan.Arg("windows", ex.stats.Windows-startWindows).End()
+	}()
 	dl := baseDL
 	for cs := 0; cs < ex.n; cs += blockBits {
 		if err := ctxErr(ex.ctx); err != nil {
@@ -831,6 +855,9 @@ func (ex *ctaExec) execWindowOnce(seg *fusedSeg, cs, ce, dl, dr int, saturate, c
 	ex.ensureScratch(ex.ww)
 	ex.tmpT = ex.tmpT[:ex.ww]
 	ex.tmpS = ex.tmpS[:ex.ww]
+	if seg.sprog != nil {
+		return ex.execSBProg(seg.sprog, charge)
+	}
 	return ex.execStmtsWindowed(seg.stmts, charge)
 }
 

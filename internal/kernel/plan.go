@@ -66,6 +66,10 @@ type fusedSeg struct {
 	an         *dfg.Analysis
 	liveOut    []ir.VarID
 	liveOutSet bool
+	// sprog is the segment's compiled superblock program (see superblock.go),
+	// built lazily on first execution and reused across windows and chunks.
+	// Nil when superblock compilation is disabled.
+	sprog *sbProgram
 }
 
 // ctlSeg is an if or while whose condition is evaluated globally (on a

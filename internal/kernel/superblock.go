@@ -1,0 +1,769 @@
+package kernel
+
+// Superblock compilation of fused segments.
+//
+// The windowed executor's inner loop used to walk the IR statement list per
+// window: one interface type switch, one operand resolution and one charge
+// computation per instruction per window. A superblock is the compiled form
+// of that walk: runs of straight-line assignments between guards and
+// control statements become flat µop arrays with integer opcodes, resolved
+// operand slots and precomputed barrier-merge charge descriptors, executed
+// word-block-at-a-time over the window register file.
+//
+// On top of the flat encoding, the compiler fuses single-def single-use
+// temporaries (found by dfg.CountUseDef) into their consumer: an
+// advance-then-mask pair like T = S >> k; M = T & CC — the hot step of
+// bitstream regex matching — becomes one µop whose intermediate lives in a
+// register tile inside the fused loop and never touches a window buffer,
+// halving that pair's memory traffic. Fused µops charge the cost model
+// exactly what the two source instructions would have charged, so modeled
+// kernel time is invariant under fusion (the differential tests in
+// superblock_test.go compare CTAStats field-by-field against the
+// interpreter path).
+
+import (
+	"bitgen/internal/bitstream"
+	"bitgen/internal/dfg"
+	"bitgen/internal/ir"
+)
+
+type sbOpCode uint8
+
+const (
+	sbZero sbOpCode = iota
+	sbOnes
+	sbCopy
+	sbNot
+	sbAnd
+	sbOr
+	sbXor
+	sbAndNot
+	sbShift
+	sbAdd
+	sbStarThru
+	sbMatchBasis
+	// Fused shift+bitwise pairs: dst = op(shift(a,k), c). The shifted
+	// intermediate exists only in registers inside the loop.
+	sbShiftAnd    // dst = shift(a,k) & c
+	sbShiftOr     // dst = shift(a,k) | c
+	sbShiftXor    // dst = shift(a,k) ^ c
+	sbShiftAndNot // dst = shift(a,k) &^ c
+	sbShiftUnderAndNot
+	// sbShiftUnderAndNot is dst = c &^ shift(a,k).
+	// sbFuse2 is the generic fused bitwise pair dst = outer(inner(a,b), c)
+	// (or outer(c, inner) when swap is set), executed tile-at-a-time with
+	// the inner result held in a small register tile.
+	sbFuse2
+)
+
+// sbTileWords is the register-tile size of the generic fused executor:
+// the inner result of a fused pair is staged through a [sbTileWords]uint64
+// local, the host analog of keeping the intermediate in the thread's
+// registers for one W-bit unit block.
+const sbTileWords = 8
+
+// sbOp is one compiled µop.
+type sbOp struct {
+	code  sbOpCode
+	inner sbOpCode // sbFuse2: inner bitwise op (sbAnd..sbAndNot)
+	outer sbOpCode // sbFuse2: outer bitwise op
+	swap  bool     // sbFuse2: outer operands are (c, inner) not (inner, c)
+
+	dst, a, b, c ir.VarID
+	k            int32 // shift distance, or basis bit for sbMatchBasis
+
+	// Precomputed barrier-merge charge descriptor for shift µops: gid < 0
+	// means unscheduled (each shift pays its own barrier pair), otherwise
+	// the group is charged once per window with nsrcs distinct sources.
+	gid   int32
+	nsrcs int32
+
+	// nStmts counts the source assignments folded into this µop (2 for a
+	// fused pair); a taken guard charges one zeroing pass per source
+	// statement, exactly as the interpreter does.
+	nStmts int32
+
+	// stmt is the originating assignment, kept for carry-boundary and
+	// overlap-fallback attribution (the materialize set is keyed by it).
+	stmt *ir.Assign
+}
+
+type sbNodeKind uint8
+
+const (
+	sbRunNode sbNodeKind = iota
+	sbGuardNode
+	sbIfNode
+	sbWhileNode
+)
+
+// sbNode is one schedulable element of a compiled segment: a superblock run
+// of µops, or a guard/if/while control point between runs.
+type sbNode struct {
+	kind   sbNodeKind
+	lo, hi int32     // ops[lo:hi] for sbRunNode
+	cond   ir.VarID  // guard/if/while condition
+	skip   int32     // guard: following nodes covered by the skip range
+	skipN  int32     // guard: skipped top-level statement count (SkippedStmts)
+	growth int       // while: marker growth per iteration (from dfg analysis)
+	body   *sbProgram
+	while  *ir.While // while: overflow culprit
+
+	// zeroDsts/zeroCharge implement guard zeroing for this node when a
+	// preceding guard skips it: every destination that later code may read
+	// is zeroed, and one unit pass is charged per source assignment. Fused
+	// temporaries are dead past their consumer by construction, so they
+	// need no zeroing.
+	zeroDsts   []ir.VarID
+	zeroCharge int32
+}
+
+// sbProgram is the compiled form of one fused segment's statement list.
+type sbProgram struct {
+	ops   []sbOp
+	nodes []sbNode
+	// nOps and nFused total the µops and fused pairs across nested bodies
+	// (the superblock span's attributes).
+	nOps   int
+	nFused int
+}
+
+// ---------- compilation ----------
+
+type sbCompiler struct {
+	ex *ctaExec
+	ud dfg.UseDef
+	an *dfg.Analysis
+}
+
+// compileSeg compiles a fused segment's statements into a superblock
+// program. an must be the segment's dataflow analysis (loop growth is baked
+// into while nodes).
+func (ex *ctaExec) compileSeg(stmts []ir.Stmt, an *dfg.Analysis) *sbProgram {
+	c := &sbCompiler{
+		ex: ex,
+		ud: dfg.CountUseDef(stmts, ex.prog.NumVars),
+		an: an,
+	}
+	return c.compile(stmts)
+}
+
+func (c *sbCompiler) compile(stmts []ir.Stmt) *sbProgram {
+	p := &sbProgram{}
+	// Superblocks must not straddle a guard's skip range: cut at every
+	// control statement and at every guard-range end so a firing guard
+	// covers whole nodes.
+	cut := make([]bool, len(stmts)+1)
+	for i, s := range stmts {
+		switch x := s.(type) {
+		case *ir.Guard:
+			cut[i], cut[i+1] = true, true
+			end := i + 1 + x.Skip
+			if end > len(stmts) {
+				end = len(stmts)
+			}
+			cut[end] = true
+		case *ir.If, *ir.While:
+			cut[i], cut[i+1] = true, true
+		}
+	}
+	// stmtLo/stmtHi record each node's statement range for resolving guard
+	// skip counts into node counts afterwards.
+	var stmtLo, stmtHi []int
+	emit := func(n sbNode, lo, hi int) {
+		p.nodes = append(p.nodes, n)
+		stmtLo = append(stmtLo, lo)
+		stmtHi = append(stmtHi, hi)
+	}
+	i := 0
+	for i < len(stmts) {
+		switch x := stmts[i].(type) {
+		case *ir.Guard:
+			emit(sbNode{kind: sbGuardNode, cond: x.Cond, skipN: int32(x.Skip)}, i, i+1)
+			i++
+		case *ir.If:
+			body := c.compile(x.Body)
+			p.nOps += body.nOps
+			p.nFused += body.nFused
+			dsts, charge := zeroInfoStmts(x.Body)
+			emit(sbNode{kind: sbIfNode, cond: x.Cond, body: body,
+				zeroDsts: dsts, zeroCharge: charge}, i, i+1)
+			i++
+		case *ir.While:
+			body := c.compile(x.Body)
+			p.nOps += body.nOps
+			p.nFused += body.nFused
+			dsts, charge := zeroInfoStmts(x.Body)
+			emit(sbNode{kind: sbWhileNode, cond: x.Cond, body: body,
+				growth: c.an.LoopGrowth[x], while: x,
+				zeroDsts: dsts, zeroCharge: charge}, i, i+1)
+			i++
+		default:
+			// Maximal straight-line run up to the next cut point.
+			j := i + 1
+			for j < len(stmts) && !cut[j] {
+				j++
+			}
+			lo := int32(len(p.ops))
+			c.compileRun(p, stmts[i:j])
+			hi := int32(len(p.ops))
+			nd := sbNode{kind: sbRunNode, lo: lo, hi: hi}
+			for oi := lo; oi < hi; oi++ {
+				op := &p.ops[oi]
+				nd.zeroDsts = append(nd.zeroDsts, op.dst)
+				nd.zeroCharge += op.nStmts
+			}
+			emit(nd, i, j)
+			i = j
+		}
+	}
+	// Resolve guard skips: a guard at statement g covers statements
+	// [g+1, g+1+Skip); the cut points guarantee following nodes nest whole
+	// inside that range.
+	for ni := range p.nodes {
+		nd := &p.nodes[ni]
+		if nd.kind != sbGuardNode {
+			continue
+		}
+		end := stmtHi[ni] + int(nd.skipN)
+		if end > len(stmts) {
+			end = len(stmts)
+		}
+		k := ni + 1
+		for k < len(p.nodes) && stmtHi[k] <= end {
+			k++
+		}
+		nd.skip = int32(k - ni - 1)
+	}
+	p.nOps += len(p.ops)
+	for oi := range p.ops {
+		if p.ops[oi].nStmts > 1 {
+			p.nFused++
+		}
+	}
+	return p
+}
+
+// zeroInfoStmts collects the assignment destinations (recursively) and the
+// assignment count of a statement list — what a taken guard must zero and
+// charge when its range covers a nested if/while.
+func zeroInfoStmts(stmts []ir.Stmt) (dsts []ir.VarID, charge int32) {
+	ir.WalkStmts(stmts, func(s ir.Stmt) {
+		if a, ok := s.(*ir.Assign); ok {
+			dsts = append(dsts, a.Dst)
+			charge++
+		}
+	})
+	return dsts, charge
+}
+
+// compileRun translates a straight-line assignment run into µops, fusing
+// single-use temporaries into their immediately-following consumer.
+// runStart bounds fusion to this run: folding a statement into a µop of an
+// earlier node would move it across a guard or control boundary and corrupt
+// the skip/zero bookkeeping.
+func (c *sbCompiler) compileRun(p *sbProgram, stmts []ir.Stmt) {
+	runStart := len(p.ops)
+	for _, s := range stmts {
+		a := s.(*ir.Assign)
+		if len(p.ops) > runStart && c.tryFuse(p, a) {
+			continue
+		}
+		p.ops = append(p.ops, c.baseOp(a))
+	}
+}
+
+// baseOp translates one assignment to its unfused µop.
+func (c *sbCompiler) baseOp(a *ir.Assign) sbOp {
+	op := sbOp{dst: a.Dst, gid: -1, nStmts: 1, stmt: a}
+	switch e := a.Expr.(type) {
+	case ir.Zero:
+		op.code = sbZero
+	case ir.Ones:
+		op.code = sbOnes
+	case ir.Copy:
+		op.code, op.a = sbCopy, e.Src
+	case ir.Not:
+		op.code, op.a = sbNot, e.Src
+	case ir.Bin:
+		op.a, op.b = e.X, e.Y
+		switch e.Op {
+		case ir.OpAnd:
+			op.code = sbAnd
+		case ir.OpOr:
+			op.code = sbOr
+		case ir.OpXor:
+			op.code = sbXor
+		case ir.OpAndNot:
+			op.code = sbAndNot
+		}
+	case ir.Shift:
+		op.code, op.a, op.k = sbShift, e.Src, int32(e.K)
+		if gid, ok := c.ex.groupOf[a]; ok {
+			op.gid = int32(gid)
+			op.nsrcs = int32(len(c.ex.groupSrcs[gid]))
+		}
+	case ir.Add:
+		op.code, op.a, op.b = sbAdd, e.X, e.Y
+	case ir.StarThru:
+		op.code, op.a, op.b = sbStarThru, e.M, e.C
+	case ir.MatchBasis:
+		op.code, op.k = sbMatchBasis, int32(e.Bit)
+	}
+	return op
+}
+
+// tryFuse attempts to fold a into the previously emitted µop: the previous
+// op must define a single-def single-use temporary that a consumes as one
+// operand of a bitwise op, and the temporary must not be live out of the
+// segment (materialized or an output). The caller guarantees the previous
+// µop belongs to the same run as a. On success the previous µop is replaced
+// in place by the fused form.
+func (c *sbCompiler) tryFuse(p *sbProgram, a *ir.Assign) bool {
+	prev := &p.ops[len(p.ops)-1]
+	if prev.nStmts != 1 {
+		return false // pairs only; no chains
+	}
+	t := prev.dst
+	if !c.ud.SingleUseTemp(t) || c.ex.isMat[t] || c.ex.isOut[t] {
+		return false
+	}
+	bin, ok := a.Expr.(ir.Bin)
+	if !ok {
+		return false
+	}
+	var other ir.VarID
+	var tIsX bool
+	switch {
+	case bin.X == t && bin.Y != t:
+		other, tIsX = bin.Y, true
+	case bin.Y == t && bin.X != t:
+		other, tIsX = bin.X, false
+	default:
+		return false
+	}
+	switch prev.code {
+	case sbShift:
+		k := int(prev.k)
+		if k == 0 || k > 63 || k < -63 {
+			return false // word-offset shifts stay standalone
+		}
+		fused := sbOp{
+			dst: a.Dst, a: prev.a, c: other, k: prev.k,
+			gid: prev.gid, nsrcs: prev.nsrcs, nStmts: 2, stmt: prev.stmt,
+		}
+		switch bin.Op {
+		case ir.OpAnd:
+			fused.code = sbShiftAnd
+		case ir.OpOr:
+			fused.code = sbShiftOr
+		case ir.OpXor:
+			fused.code = sbShiftXor
+		case ir.OpAndNot:
+			if tIsX {
+				fused.code = sbShiftAndNot
+			} else {
+				fused.code = sbShiftUnderAndNot
+			}
+		}
+		*prev = fused
+		return true
+	case sbAnd, sbOr, sbXor, sbAndNot:
+		fused := sbOp{
+			code: sbFuse2, inner: prev.code,
+			dst: a.Dst, a: prev.a, b: prev.b, c: other,
+			gid: -1, nStmts: 2, stmt: prev.stmt,
+		}
+		switch bin.Op {
+		case ir.OpAnd:
+			fused.outer = sbAnd
+		case ir.OpOr:
+			fused.outer = sbOr
+		case ir.OpXor:
+			fused.outer = sbXor
+		case ir.OpAndNot:
+			fused.outer = sbAndNot
+			fused.swap = !tIsX // dst = c &^ inner
+		}
+		*prev = fused
+		return true
+	}
+	return false
+}
+
+// ---------- execution ----------
+
+// execSBProg runs a compiled segment program over the current window,
+// mirroring execStmtsWindowed exactly — outputs and CTAStats charges are
+// bit-identical; only the dispatch is compiled.
+func (ex *ctaExec) execSBProg(p *sbProgram, charge bool) error {
+	nodes := p.nodes
+	for i := 0; i < len(nodes); i++ {
+		nd := &nodes[i]
+		switch nd.kind {
+		case sbRunNode:
+			if err := ex.execSBRun(p, nd.lo, nd.hi, charge); err != nil {
+				return err
+			}
+		case sbGuardNode:
+			cond := ex.readWindowed(nd.cond, charge)
+			if charge {
+				// The guard's zero test piggybacks on the producing
+				// instruction's atomicOr flag (Section 6): it costs a
+				// block-wide reduction but no extra barrier.
+				ex.stats.UnitOps += ex.windowUnits()
+				ex.stats.SMemWriteBytes += int64(ex.cfg.Grid.Threads) * 4
+				ex.stats.GuardChecks++
+			}
+			if ex.cfg.HonorGuards && !anyWords(cond) {
+				for k := i + 1; k <= i+int(nd.skip); k++ {
+					ex.zeroSBNode(&nodes[k], charge)
+				}
+				if charge {
+					ex.stats.GuardSkips++
+					ex.stats.SkippedStmts += int64(nd.skipN)
+				}
+				i += int(nd.skip)
+			}
+		case sbIfNode:
+			cond := ex.readWindowed(nd.cond, charge)
+			if charge {
+				ex.stats.UnitOps += ex.windowUnits()
+				ex.stats.Barriers++
+			}
+			if anyWords(cond) {
+				if err := ex.execSBProg(nd.body, charge); err != nil {
+					return err
+				}
+			}
+		case sbWhileNode:
+			if err := ex.execSBWhile(nd, charge); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// execSBWhile mirrors execWhileWindowed over a compiled body.
+func (ex *ctaExec) execSBWhile(nd *sbNode, charge bool) error {
+	iters := 0
+	maxIters := ex.weBits - ex.ws + 16
+	for {
+		cond := ex.readWindowed(nd.cond, charge)
+		if ex.saturate && iters == 0 {
+			// Probe pass: flood the margins of the loop condition so any
+			// possible cross-boundary propagation is triggered.
+			ex.saturateMargins(cond)
+		}
+		if charge {
+			ex.stats.UnitOps += ex.windowUnits()
+			ex.stats.Barriers++
+		}
+		if !anyWords(cond) {
+			return nil
+		}
+		if iters++; iters > maxIters {
+			ex.culprit = nd.while
+			return &overflowError{stmt: nd.while, need: ex.cfg.MaxOverlapBits + 1}
+		}
+		ex.loopRan = true
+		if charge {
+			ex.stats.WhileIterations++
+		}
+		if nd.growth > 0 {
+			ex.needBits += nd.growth
+			if ex.culprit == nil {
+				ex.culprit = nd.while
+			}
+		}
+		if err := ex.execSBProg(nd.body, charge); err != nil {
+			return err
+		}
+	}
+}
+
+// zeroSBNode applies a taken guard to one covered node: zero every
+// destination later code may read and charge one unit pass per source
+// assignment, as the interpreter's zeroDefsWindowed does. Fused
+// temporaries are dead past their (also skipped) consumer and get no
+// buffer at all.
+func (ex *ctaExec) zeroSBNode(nd *sbNode, charge bool) {
+	for _, v := range nd.zeroDsts {
+		ex.regs.zero(v)
+	}
+	if charge {
+		ex.stats.UnitOps += int64(nd.zeroCharge) * ex.windowUnits()
+	}
+}
+
+// execSBRun executes one superblock's µops over the current window.
+func (ex *ctaExec) execSBRun(p *sbProgram, lo, hi int32, charge bool) error {
+	units := ex.windowUnits()
+	for oi := lo; oi < hi; oi++ {
+		op := &p.ops[oi]
+		switch op.code {
+		case sbZero:
+			ex.regs.zero(op.dst)
+			if charge {
+				ex.stats.UnitOps += units
+			}
+		case sbOnes:
+			dst := ex.regs.buf(op.dst)
+			for i := range dst {
+				dst[i] = ^uint64(0)
+			}
+			ex.maskWindowTail(dst)
+			if charge {
+				ex.stats.UnitOps += units
+			}
+		case sbCopy:
+			src := ex.readWindowed(op.a, charge)
+			copyWords(ex.regs.buf(op.dst), src)
+			if charge {
+				ex.stats.UnitOps += units
+			}
+		case sbNot:
+			src := ex.readWindowed(op.a, charge)
+			dst := ex.regs.buf(op.dst)
+			notWords(dst, src)
+			ex.maskWindowTail(dst)
+			if charge {
+				ex.stats.UnitOps += units
+			}
+		case sbAnd, sbOr, sbXor, sbAndNot:
+			x := ex.readWindowed(op.a, charge)
+			y := ex.readWindowed(op.b, charge)
+			dst := ex.regs.buf(op.dst)
+			switch op.code {
+			case sbAnd:
+				andWords(dst, x, y)
+			case sbOr:
+				orWords(dst, x, y)
+			case sbXor:
+				xorWords(dst, x, y)
+			case sbAndNot:
+				andNotWords(dst, x, y)
+			}
+			if charge {
+				ex.stats.UnitOps += units
+			}
+		case sbShift:
+			src := ex.readWindowed(op.a, charge)
+			dst := ex.regs.buf(op.dst)
+			bitstream.ShiftWords(dst, src, int(op.k))
+			ex.maskWindowTail(dst)
+			if charge {
+				ex.chargeShiftSB(op, units)
+			}
+		case sbAdd:
+			x := ex.readWindowed(op.a, charge)
+			y := ex.readWindowed(op.b, charge)
+			dst := ex.regs.buf(op.dst)
+			bitstream.AddWords(dst, x, y)
+			ex.maskWindowTail(dst)
+			ex.checkCarryBoundary(op.stmt, x, y)
+			if charge {
+				ex.stats.UnitOps += 3 * units
+				ex.stats.Barriers++ // carry exchange across threads
+				ex.stats.SMemWriteBytes += int64(ex.cfg.Grid.Threads) * 8
+			}
+		case sbStarThru:
+			m := ex.readWindowed(op.a, charge)
+			cc := ex.readWindowed(op.b, charge)
+			dst := ex.regs.buf(op.dst)
+			starThruWords(dst, m, cc, ex.tmpT, ex.tmpS)
+			ex.maskWindowTail(dst)
+			ex.checkCarryBoundary(op.stmt, cc, nil)
+			if charge {
+				ex.stats.UnitOps += 7 * units
+				ex.stats.Barriers += 2 // marker-shift neighborhood + carry exchange
+				ex.stats.ShiftBarriers++
+				ex.stats.SMemWriteBytes += ex.windowBytes() + int64(ex.cfg.Grid.Threads)*8
+				ex.stats.SMemReadBytes += ex.windowBytes()
+			}
+		case sbMatchBasis:
+			dst := ex.regs.buf(op.dst)
+			loadWindow(dst, ex.basis.Bit(int(op.k)), ex.ws/64)
+			if charge {
+				ex.stats.DRAMReadBytes += ex.windowBytes() / int64(ex.cfg.SharedInputCTAs)
+			}
+		case sbShiftAnd, sbShiftOr, sbShiftXor, sbShiftAndNot, sbShiftUnderAndNot:
+			a := ex.readWindowed(op.a, charge)
+			cw := ex.readWindowed(op.c, charge)
+			dst := ex.regs.buf(op.dst)
+			fusedShiftBin(op.code, dst, a, cw, int(op.k))
+			ex.maskWindowTail(dst)
+			if charge {
+				// The shift's charges (incl. barrier-merge) plus the
+				// bitwise op's unit pass: identical to the unfused pair.
+				ex.chargeShiftSB(op, units)
+				ex.stats.UnitOps += units
+			}
+		case sbFuse2:
+			a := ex.readWindowed(op.a, charge)
+			b := ex.readWindowed(op.b, charge)
+			cw := ex.readWindowed(op.c, charge)
+			dst := ex.regs.buf(op.dst)
+			fused2(op, dst, a, b, cw)
+			ex.maskWindowTail(dst)
+			if charge {
+				ex.stats.UnitOps += 2 * units
+			}
+		}
+	}
+	return nil
+}
+
+// chargeShiftSB is chargeShift with the merge-group descriptor resolved at
+// compile time instead of through the per-assign maps.
+func (ex *ctaExec) chargeShiftSB(op *sbOp, units int64) {
+	ex.stats.UnitOps += 2 * units
+	if op.gid < 0 {
+		ex.stats.Barriers += 2
+		ex.stats.ShiftBarriers += 2
+		ex.stats.SMemWriteBytes += ex.windowBytes()
+		ex.stats.SMemReadBytes += ex.windowBytes()
+		ex.trackSMemPeak(1)
+		return
+	}
+	gid := int(op.gid)
+	if ex.wgChargedAt[gid] != ex.wgGen {
+		ex.wgChargedAt[gid] = ex.wgGen
+		ex.stats.Barriers += 2
+		ex.stats.ShiftBarriers += 2
+		// One shared-memory store per distinct source in the group
+		// (redundant-copy elimination, Section 5.3).
+		ex.stats.SMemWriteBytes += int64(op.nsrcs) * ex.windowBytes()
+		ex.trackSMemPeak(int(op.nsrcs))
+	}
+	ex.stats.SMemReadBytes += ex.windowBytes()
+}
+
+// fusedShiftBin computes dst = op(shift(a, k), c) in one pass, |k| in
+// 1..63. Iteration order follows AdvanceWords/LookbackWords (downward for
+// advances, upward for lookbacks) so dst may alias a or c.
+func fusedShiftBin(code sbOpCode, dst, a, c []uint64, k int) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	if k > 0 {
+		s := uint(k)
+		r := 64 - s
+		switch code {
+		case sbShiftAnd:
+			for i := n - 1; i >= 1; i-- {
+				dst[i] = ((a[i] << s) | (a[i-1] >> r)) & c[i]
+			}
+			dst[0] = (a[0] << s) & c[0]
+		case sbShiftOr:
+			for i := n - 1; i >= 1; i-- {
+				dst[i] = ((a[i] << s) | (a[i-1] >> r)) | c[i]
+			}
+			dst[0] = (a[0] << s) | c[0]
+		case sbShiftXor:
+			for i := n - 1; i >= 1; i-- {
+				dst[i] = ((a[i] << s) | (a[i-1] >> r)) ^ c[i]
+			}
+			dst[0] = (a[0] << s) ^ c[0]
+		case sbShiftAndNot:
+			for i := n - 1; i >= 1; i-- {
+				dst[i] = ((a[i] << s) | (a[i-1] >> r)) &^ c[i]
+			}
+			dst[0] = (a[0] << s) &^ c[0]
+		case sbShiftUnderAndNot:
+			for i := n - 1; i >= 1; i-- {
+				dst[i] = c[i] &^ ((a[i] << s) | (a[i-1] >> r))
+			}
+			dst[0] = c[0] &^ (a[0] << s)
+		}
+		return
+	}
+	s := uint(-k)
+	r := 64 - s
+	switch code {
+	case sbShiftAnd:
+		for i := 0; i < n-1; i++ {
+			dst[i] = ((a[i] >> s) | (a[i+1] << r)) & c[i]
+		}
+		dst[n-1] = (a[n-1] >> s) & c[n-1]
+	case sbShiftOr:
+		for i := 0; i < n-1; i++ {
+			dst[i] = ((a[i] >> s) | (a[i+1] << r)) | c[i]
+		}
+		dst[n-1] = (a[n-1] >> s) | c[n-1]
+	case sbShiftXor:
+		for i := 0; i < n-1; i++ {
+			dst[i] = ((a[i] >> s) | (a[i+1] << r)) ^ c[i]
+		}
+		dst[n-1] = (a[n-1] >> s) ^ c[n-1]
+	case sbShiftAndNot:
+		for i := 0; i < n-1; i++ {
+			dst[i] = ((a[i] >> s) | (a[i+1] << r)) &^ c[i]
+		}
+		dst[n-1] = (a[n-1] >> s) &^ c[n-1]
+	case sbShiftUnderAndNot:
+		for i := 0; i < n-1; i++ {
+			dst[i] = c[i] &^ ((a[i] >> s) | (a[i+1] << r))
+		}
+		dst[n-1] = c[n-1] &^ (a[n-1] >> s)
+	}
+}
+
+// fused2 computes dst = outer(inner(a,b), c) (or outer(c, inner) when swap)
+// tile-at-a-time: the inner result is staged through a register tile, never
+// a window buffer. Pure elementwise, so aliasing dst with any operand is
+// safe within a tile.
+func fused2(op *sbOp, dst, a, b, c []uint64) {
+	var t [sbTileWords]uint64
+	n := len(dst)
+	for base := 0; base < n; base += sbTileWords {
+		m := n - base
+		if m > sbTileWords {
+			m = sbTileWords
+		}
+		switch op.inner {
+		case sbAnd:
+			for i := 0; i < m; i++ {
+				t[i] = a[base+i] & b[base+i]
+			}
+		case sbOr:
+			for i := 0; i < m; i++ {
+				t[i] = a[base+i] | b[base+i]
+			}
+		case sbXor:
+			for i := 0; i < m; i++ {
+				t[i] = a[base+i] ^ b[base+i]
+			}
+		case sbAndNot:
+			for i := 0; i < m; i++ {
+				t[i] = a[base+i] &^ b[base+i]
+			}
+		}
+		switch op.outer {
+		case sbAnd:
+			for i := 0; i < m; i++ {
+				dst[base+i] = t[i] & c[base+i]
+			}
+		case sbOr:
+			for i := 0; i < m; i++ {
+				dst[base+i] = t[i] | c[base+i]
+			}
+		case sbXor:
+			for i := 0; i < m; i++ {
+				dst[base+i] = t[i] ^ c[base+i]
+			}
+		case sbAndNot:
+			if op.swap {
+				for i := 0; i < m; i++ {
+					dst[base+i] = c[base+i] &^ t[i]
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					dst[base+i] = t[i] &^ c[base+i]
+				}
+			}
+		}
+	}
+}

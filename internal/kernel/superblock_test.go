@@ -1,0 +1,125 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bitgen/internal/gpusim"
+	"bitgen/internal/ir"
+	"bitgen/internal/lower"
+	"bitgen/internal/passes"
+	"bitgen/internal/rx"
+	"bitgen/internal/transpose"
+)
+
+// runBoth executes p in the given mode with and without superblock
+// compilation and asserts bit-identical outputs and field-identical
+// CTAStats — the modeled-time invariance contract of the superblock layer.
+func runBoth(t *testing.T, label string, p *ir.Program, input []byte, cfg Config) {
+	t.Helper()
+	basis := transpose.Transpose(input)
+	sb, sbErr := Run(p, basis, cfg)
+	cfg.DisableSuperblocks = true
+	ref, refErr := Run(p, basis, cfg)
+	if (sbErr == nil) != (refErr == nil) {
+		t.Fatalf("%s: error divergence: superblocks=%v interpreter=%v", label, sbErr, refErr)
+	}
+	if sbErr != nil {
+		return // both failed identically (e.g. while cap)
+	}
+	for name, want := range ref.Outputs {
+		got := sb.Outputs[name]
+		if got.String() != want.String() {
+			t.Fatalf("%s: output %s diverges:\n sb  %s\n ref %s", label, name, got, want)
+		}
+	}
+	if !reflect.DeepEqual(sb.Stats, ref.Stats) {
+		t.Fatalf("%s: CTAStats diverge (superblocks must charge identically):\n sb  %+v\n ref %+v",
+			label, sb.Stats, ref.Stats)
+	}
+	if sb.FallbackSegments != ref.FallbackSegments {
+		t.Fatalf("%s: fallback segments diverge: sb=%d ref=%d", label, sb.FallbackSegments, ref.FallbackSegments)
+	}
+}
+
+// TestSuperblocksMatchInterpreter covers handpicked pattern shapes: fused
+// shift+bitwise pairs, bin-pair register tiles, carries, loops, and guard
+// skip ranges that end between a def and its use (a fusion-boundary trap).
+func TestSuperblocksMatchInterpreter(t *testing.T) {
+	cases := []struct {
+		pattern string
+		input   string
+	}{
+		{"fox", "the quick brown fox jumps over the lazy dog fox"},
+		{"fox|dog", "fox and dog and fox and dog over and over fox"},
+		{"qu[a-z]{2,6}k", "quack quark quik quk quandongk quiiiiik"},
+		{"l.zy", "lazy lizy lzzy llzy lazy"},
+		{"0\\d{3}", "dial 0123 or 0999 not 012 maybe 04567"},
+		{"a[ab]*b", "aababababbbaabb abab aaa bbb ab"},
+		{"(c{2}(a|b)){1,3}", "acbacbadcbdbcdcacbbccaccbccaccbdbccab"},
+		{"x+y+z+", "xyz xxyyzz xxxyyyzzz xy yz xz xyzzz"},
+		{"[0-9]+\\.[0-9]+", "pi is 3.14159 and e is 2.71828 not 42"},
+	}
+	for _, mode := range []Mode{ModeBase, ModeDTMStatic, ModeDTM} {
+		for _, tc := range cases {
+			p := lower.MustSingle("re", tc.pattern)
+			passes.Rebalance(p, passes.RebalanceOptions{})
+			passes.MergeBarriers(p, passes.MergeOptions{MergeSize: 4})
+			passes.InsertGuards(p, passes.ZBSOptions{Interval: 3})
+			cfg := Config{Grid: tinyGrid, Mode: mode, HonorGuards: true}
+			runBoth(t, mode.String()+"/"+tc.pattern, p, []byte(tc.input), cfg)
+		}
+	}
+}
+
+// TestSuperblocksDifferentialRandom fuzzes generated regexes through the
+// full pass pipeline on tiny blocks, so windows, guards, merged barrier
+// groups, loops and overlap growth all hit the compiled path.
+func TestSuperblocksDifferentialRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized differential")
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	alphabet := []byte("abcd")
+	for trial := 0; trial < 120; trial++ {
+		ast := rx.Generate(rng, rx.GenOptions{MaxDepth: 3, Alphabet: alphabet, MaxRepeat: 3})
+		p, err := lower.Group([]lower.Regex{{Name: "re", AST: ast}}, lower.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		passes.Rebalance(p, passes.RebalanceOptions{})
+		passes.MergeBarriers(p, passes.MergeOptions{MergeSize: 4})
+		passes.InsertGuards(p, passes.ZBSOptions{Interval: 3})
+		n := 40 + rng.Intn(160)
+		input := make([]byte, n)
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		cfg := Config{Grid: tinyGrid, Mode: ModeDTM, HonorGuards: true}
+		runBoth(t, ast.String(), p, input, cfg)
+	}
+}
+
+// TestSuperblocksFuseAcrossGridSizes checks invariance holds on realistic
+// geometry too (large windows, shared-input amortization, full output
+// writes).
+func TestSuperblocksFuseAcrossGridSizes(t *testing.T) {
+	p := lower.MustSingle("re", "qu[a-z]{2,6}k")
+	passes.Rebalance(p, passes.RebalanceOptions{})
+	passes.MergeBarriers(p, passes.MergeOptions{MergeSize: 4})
+	input := make([]byte, 8192)
+	for i := range input {
+		input[i] = "quack and quark "[i%16]
+	}
+	grids := []gpusim.Grid{
+		tinyGrid,
+		{CTAs: 4, Threads: 64, UnitBits: 32, UnitsPerThread: 1},
+		gpusim.DefaultGrid(),
+	}
+	for _, g := range grids {
+		cfg := Config{Grid: g, Mode: ModeDTM, SharedInputCTAs: 4, FullOutputWrites: true}
+		runBoth(t, fmt.Sprintf("grid-%dx%d", g.CTAs, g.Threads), p, input, cfg)
+	}
+}

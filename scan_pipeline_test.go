@@ -94,6 +94,86 @@ func (r *trickleReader) Read(p []byte) (int, error) {
 // while the reader still has endless input: the scan must return
 // ErrCanceled promptly and hand back every pooled buffer (run under -race
 // this also shakes out reader/worker/emit data races).
+// TestScanBatchedPipelineMatchesSequential is the batched pipeline's
+// differential oracle: with Options.ScanBatch enabled, workers drain queued
+// chunks into multi-stream launches — and must still emit a byte-identical
+// match sequence to the sequential chunk-at-a-time path, over chunk sizes
+// straddling the overlap boundary, while returning every pooled buffer.
+// Run under -race with workers > 1, it also pins that concurrent batched
+// sessions share no state.
+func TestScanBatchedPipelineMatchesSequential(t *testing.T) {
+	patterns := []string{"fox|dog", "qu[a-z]{2,6}k", "l.zy", "0\\d{3}"}
+	eng := MustCompile(patterns, &Options{CTAs: 2, Threads: 64})
+	maxLen := eng.maxLen
+
+	rng := rand.New(rand.NewSource(43))
+	words := []string{"fox", "dog", "quik", "quxyzk", "lazy", "l zy", "0123", "0999", "xx", " ", "quak"}
+	var sb strings.Builder
+	for sb.Len() < 30_000 {
+		sb.WriteString(words[rng.Intn(len(words))])
+	}
+	input := []byte(sb.String())
+
+	chunkSizes := []int{maxLen + 1, 2 * maxLen, 97, 1024}
+	for _, cs := range chunkSizes {
+		var want []Match
+		err := eng.scanSequential(context.Background(), bytes.NewReader(input), cs, maxLen,
+			func(m Match) { want = append(want, m) })
+		if err != nil {
+			t.Fatalf("chunk %d: sequential: %v", cs, err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("chunk %d: degenerate corpus, no matches", cs)
+		}
+		for _, workers := range []int{1, 3} {
+			for _, batch := range []int{2, 4} {
+				a := &arena.Arena{}
+				eng.scanArena, eng.scanWorkers, eng.scanBatch = a, workers, batch
+				var got []Match
+				err := eng.ScanReader(bytes.NewReader(input), cs, func(m Match) { got = append(got, m) })
+				eng.scanArena, eng.scanWorkers, eng.scanBatch = nil, 0, 0
+				if err != nil {
+					t.Fatalf("chunk %d workers %d batch %d: batched: %v", cs, workers, batch, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("chunk %d workers %d batch %d: batched emitted %d matches, sequential %d",
+						cs, workers, batch, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("chunk %d workers %d batch %d: match %d = %+v, sequential emitted %+v",
+							cs, workers, batch, i, got[i], want[i])
+					}
+				}
+				if err := a.CheckBalanced(); err != nil {
+					t.Fatalf("chunk %d workers %d batch %d: %v", cs, workers, batch, err)
+				}
+			}
+		}
+	}
+}
+
+// TestScanBatchOption pins that Options.ScanBatch reaches the scanner and
+// survives a snapshot round-trip (it is runtime-only: excluded from the
+// options fingerprint, applied by the loading process's own Options).
+func TestScanBatchOption(t *testing.T) {
+	eng := MustCompile([]string{"cat|dog"}, &Options{CTAs: 1, Threads: 32, ScanBatch: 4})
+	if eng.scanBatch != 4 {
+		t.Fatalf("scanBatch = %d, want 4", eng.scanBatch)
+	}
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEngine(&buf, &Options{CTAs: 1, Threads: 32, ScanBatch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.scanBatch != 7 {
+		t.Fatalf("restored scanBatch = %d, want the loader's 7", restored.scanBatch)
+	}
+}
+
 func TestScanPipelinedCancellation(t *testing.T) {
 	eng := MustCompile([]string{"cat"}, &Options{CTAs: 1, Threads: 32})
 	for _, workers := range []int{1, 4} {

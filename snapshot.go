@@ -15,10 +15,10 @@ import (
 
 // optionsHash fingerprints every compile-relevant option: a snapshot may
 // only be loaded under Options that would have compiled the identical
-// engine. Runtime-only options — ScanWorkers, Resilience, Observability —
-// are deliberately excluded: they reconfigure execution, not compilation,
-// so a snapshot saved by a plain process warm-starts a traced or
-// resilience-laddered one.
+// engine. Runtime-only options — ScanWorkers, ScanBatch, Resilience,
+// Observability — are deliberately excluded: they reconfigure execution,
+// not compilation, so a snapshot saved by a plain process warm-starts a
+// traced, batched or resilience-laddered one.
 func optionsHash(opts *Options) string {
 	h := sha256.New()
 	field := func(s string) {
@@ -146,9 +146,11 @@ func restoreEngine(st *snapshot.EngineState, opts *Options) (*Engine, error) {
 		maxLen: st.MaxLen, unbounded: st.Unbounded,
 		obs:         observer,
 		scanWorkers: opts.ScanWorkers,
+		scanBatch:   opts.ScanBatch,
 		foldCase:    st.FoldCase,
 		optsHash:    st.OptionsHash,
 	}
+	e.initRankIndexes()
 	if opts.Resilience != nil {
 		// The fallback rungs (hybrid, NFA) are runtime constructions over
 		// the pattern ASTs; snapshots persist only the bitstream programs,
