@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke cluster-smoke snapshot-smoke obs-cluster-smoke bench-serve
+.PHONY: build test race vet lint vuln fault fuzz ci bench bench-smoke obs-smoke serve-smoke cluster-smoke snapshot-smoke obs-cluster-smoke megaset-smoke bench-serve
 
 build:
 	$(GO) build ./...
@@ -102,6 +102,16 @@ obs-cluster-smoke:
 	$(GO) run ./cmd/obscheck -stitched $$tmp/stitched.json -stitch-nodes 3 -bundle $$tmp/bundle.json && \
 	rm -rf $$tmp
 
+# megaset-smoke is the compiled-state residency gate: compile the
+# deterministic ClamAV-style signature megaset at 1k/10k/100k patterns,
+# both uncompressed (boxed IR) and compressed (packed + shared basis),
+# and require the 100k compressed engine to (1) undercut the baseline by
+# at least 2x, (2) stay under a 160 MiB resident ceiling, and (3) compile
+# within a 180s budget (measured 71.2 MiB / 42s; the headroom absorbs
+# slower CI hosts). Writes results/BENCH_mem.json.
+megaset-smoke:
+	$(GO) run ./cmd/bitbench -exp mem -mem-min-ratio 2 -mem-ceiling-mb 160 -mem-budget 180s -json results
+
 # bench-serve regenerates results/BENCH_serve.json: a 1-node baseline vs
 # a 3-node cluster with a mid-run replica kill, reporting p50/p99
 # latency, saturation throughput, and post-kill recovery time.
@@ -112,7 +122,7 @@ bench-serve:
 # installed), build, the full suite under the race detector, the
 # fault-injection suite, and the observability, bench, service and
 # cluster smokes.
-ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke cluster-smoke snapshot-smoke obs-cluster-smoke
+ci: vet lint vuln build race fault obs-smoke bench-smoke serve-smoke cluster-smoke snapshot-smoke obs-cluster-smoke megaset-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -71,6 +71,14 @@ type Options struct {
 	MergeSize int
 	// IntervalSize is the zero-block-skipping guard spacing (default 8).
 	IntervalSize int
+	// DisableStateCompression turns off compiled-state compression: group
+	// programs stay as boxed pointer IR instead of packed byte blobs, and
+	// character classes used by multiple CTA groups are compiled per group
+	// instead of once into a shared extended-basis program. Matching
+	// behavior is identical either way; the flag exists for baseline
+	// memory measurements and debugging. It is compile-relevant, so it is
+	// folded into the snapshot options fingerprint and PatternSetKey.
+	DisableStateCompression bool
 	// Limits bounds resource use; the zero value applies the documented
 	// defaults (see Limits). Violations return errors satisfying
 	// errors.Is(err, ErrLimit).
@@ -413,6 +421,7 @@ func buildEngineConfig(opts *Options, dev gpusim.Device, limits Limits, observer
 	if opts.IntervalSize > 0 {
 		cfg.IntervalSize = opts.IntervalSize
 	}
+	cfg.NoStateCompression = opts.DisableStateCompression
 	if limits.MaxProgramInstructions > 0 {
 		cfg.MaxProgramInstructions = limits.MaxProgramInstructions
 	}
@@ -455,10 +464,11 @@ func PatternSetKey(patterns []string, opts *Options) string {
 	for _, p := range uniq {
 		field(p)
 	}
-	field(fmt.Sprintf("%t|%s|%d|%d|%t|%t|%d|%d|%d",
+	field(fmt.Sprintf("%t|%s|%d|%d|%t|%t|%d|%d|%d|%t",
 		opts.FoldCase, opts.Device, opts.CTAs, opts.Threads,
 		opts.DisableShiftRebalancing, opts.DisableZeroBlockSkipping,
-		opts.MergeSize, opts.IntervalSize, opts.ScanWorkers))
+		opts.MergeSize, opts.IntervalSize, opts.ScanWorkers,
+		opts.DisableStateCompression))
 	field(fmt.Sprintf("%d|%d|%d|%d|%d",
 		opts.Limits.MaxInputBytes, opts.Limits.MaxPatterns,
 		opts.Limits.MaxProgramInstructions, opts.Limits.MaxWhileIterations,
@@ -475,8 +485,37 @@ func MustCompile(patterns []string, opts *Options) *Engine {
 	return e
 }
 
-// Patterns returns the compiled pattern sources.
-func (e *Engine) Patterns() []string { return e.patterns }
+// Patterns returns the compiled pattern sources. The slice is a copy:
+// mutating it cannot corrupt the engine's duplicate-index fan-out.
+func (e *Engine) Patterns() []string { return append([]string(nil), e.patterns...) }
+
+// ResidentBytes reports the measured bytes of durable compiled state this
+// engine keeps resident: packed (or boxed) group programs, output tables,
+// the shared character-class program, and — with Resilience enabled — the
+// fallback rungs' compacted NFA/DFA tables. Transient per-scan buffers are
+// excluded. This is the value the serve layer's refcount-aware cache
+// accounting starts from.
+func (e *Engine) ResidentBytes() int64 {
+	n := e.inner.ResidentBytes()
+	if e.ladder != nil {
+		n += e.ladder.ResidentBytes()
+	}
+	return n
+}
+
+// PackedBlocks exposes the engine's packed compiled-state blobs (one per
+// CTA group, plus the shared class program when present) for
+// content-addressed deduplication by serving layers. The returned slices
+// alias the engine's resident state and must be treated as immutable.
+func (e *Engine) PackedBlocks() [][]byte { return e.inner.PackedBlocks() }
+
+// RebindPackedBlocks replaces each packed block with the canonical slice
+// canon returns for it, letting a content-addressed store share one copy
+// of identical compiled state across engines. canon must return a slice
+// with identical contents (typically its interned copy).
+func (e *Engine) RebindPackedBlocks(canon func([]byte) []byte) {
+	e.inner.RebindPackedBlocks(canon)
+}
 
 // Explain returns a human-readable compilation report: per-CTA-group
 // instruction mixes, overlap distances, barrier schedules and guard

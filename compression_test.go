@@ -1,0 +1,202 @@
+package bitgen
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bitgen/internal/workload"
+)
+
+// sharedClassPatterns lean heavily on a handful of character classes so
+// the compressed compile promotes them to the shared extended basis:
+// every group references [a-f] and/or [0-9] and the interned streams must
+// bind back into each group's transpose view without changing semantics.
+var sharedClassPatterns = []string{
+	"[a-f]+x",
+	"[a-f]*y",
+	"ab[a-f]c",
+	"[0-9][0-9][a-f]",
+	"x[a-f]?z",
+	"[a-f][0-9]",
+	"q[0-9]+",
+}
+
+// duplicateHeavyPatterns repeat entries so charclass interning, packed
+// program dedup and the per-index match fan-out all face the worst case.
+var duplicateHeavyPatterns = []string{
+	"abc", "abc", "abc",
+	"a(bc)*d", "a(bc)*d",
+	"[a-f]+", "abc", "[a-f]+",
+	"colou?r",
+}
+
+var compressionInputs = [][]byte{
+	[]byte("abcdefx 42a qa9z abc colour xffy"),
+	[]byte(strings.Repeat("abcabcd 99f xaz color colour ", 40)),
+	{},
+	[]byte("fffffx000aq123"),
+}
+
+// TestStateCompressionDifferential proves the tentpole's safety claim:
+// interned/shared-basis engines (the default) are match- and
+// count-identical to the uncompressed baseline (DisableStateCompression)
+// on every resilience backend. Modeled kernel Stats legitimately differ —
+// the compressed compile computes shared classes once instead of per
+// group — so the oracle compares match semantics, not instruction counts.
+func TestStateCompressionDifferential(t *testing.T) {
+	sets := map[string][]string{
+		"shared-class":    sharedClassPatterns,
+		"duplicate-heavy": duplicateHeavyPatterns,
+	}
+	backends := []string{"", BackendBitstream, BackendHybrid, BackendNFA}
+	for name, patterns := range sets {
+		for _, backend := range backends {
+			label := name + "/default"
+			if backend != "" {
+				label = name + "/" + backend
+			}
+			t.Run(label, func(t *testing.T) {
+				var opts, base Options
+				if backend != "" {
+					opts.Resilience = &ResilienceOptions{ForceBackend: backend}
+					base.Resilience = &ResilienceOptions{ForceBackend: backend}
+				}
+				base.DisableStateCompression = true
+				compressed, err := Compile(patterns, &opts)
+				if err != nil {
+					t.Fatalf("compressed compile: %v", err)
+				}
+				baseline, err := Compile(patterns, &base)
+				if err != nil {
+					t.Fatalf("baseline compile: %v", err)
+				}
+				for _, input := range compressionInputs {
+					got, err := compressed.Run(input)
+					if err != nil {
+						t.Fatalf("compressed run: %v", err)
+					}
+					want, err := baseline.Run(input)
+					if err != nil {
+						t.Fatalf("baseline run: %v", err)
+					}
+					if !reflect.DeepEqual(got.Matches, want.Matches) {
+						t.Fatalf("input %q: compressed matches %v, baseline %v",
+							input, got.Matches, want.Matches)
+					}
+					if !reflect.DeepEqual(got.Counts, want.Counts) {
+						t.Fatalf("input %q: compressed counts %v, baseline %v",
+							input, got.Counts, want.Counts)
+					}
+					if !reflect.DeepEqual(got.IndexCounts, want.IndexCounts) {
+						t.Fatalf("input %q: compressed index counts %v, baseline %v",
+							input, got.IndexCounts, want.IndexCounts)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStateCompressionResidency checks the tentpole's size claim on a
+// mid-size megaset slice: the compressed engine's measured resident bytes
+// must undercut the boxed baseline by at least 2x (the smoke gate's
+// floor; the full trajectory is gated by make megaset-smoke).
+func TestStateCompressionResidency(t *testing.T) {
+	app, err := workload.Megaset(600, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limits := Limits{MaxPatterns: -1}
+	compressed, err := Compile(app.Patterns, &Options{Limits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Compile(app.Patterns, &Options{Limits: limits, DisableStateCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, bb := compressed.ResidentBytes(), baseline.ResidentBytes()
+	if cb <= 0 || bb <= 0 {
+		t.Fatalf("resident bytes must be measured, got compressed=%d baseline=%d", cb, bb)
+	}
+	if bb < 2*cb {
+		t.Fatalf("compression ratio %.2fx below the 2x floor (compressed=%d baseline=%d)",
+			float64(bb)/float64(cb), cb, bb)
+	}
+}
+
+// TestSnapshotByteIdentity: snapshots of shared-state engines are stable
+// under a load/save cycle — EncodeEngine(DecodeEngine(data)) reproduces
+// data byte for byte, because the packed group blocks are stored verbatim
+// and re-emitted verbatim. This is what lets a warm-started server
+// content-address snapshot blocks against live engines.
+func TestSnapshotByteIdentity(t *testing.T) {
+	for name, opts := range map[string]*Options{
+		"compressed": nil,
+		"baseline":   {DisableStateCompression: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			e, err := Compile(sharedClassPatterns, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := EncodeEngine(e)
+			loaded, err := DecodeEngine(data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again := EncodeEngine(loaded)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("snapshot not byte-stable: first %d bytes, reencoded %d bytes", len(data), len(again))
+			}
+		})
+	}
+}
+
+// TestPatternsAccessorCloned guards against the Groups()-style live-slice
+// leak at the public API layer: mutating the slice returned by Patterns()
+// must not corrupt the engine's own pattern table.
+func TestPatternsAccessorCloned(t *testing.T) {
+	e, err := Compile([]string{"abc", "def"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Patterns()
+	got[0] = "corrupted"
+	if again := e.Patterns(); again[0] != "abc" {
+		t.Fatalf("Patterns() leaked a live slice: engine now reports %v", again)
+	}
+	res, err := e.Run([]byte("abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["abc"] != 1 || res.Counts["def"] != 1 {
+		t.Fatalf("engine corrupted after accessor mutation: %v", res.Counts)
+	}
+}
+
+// TestNullableRefusalDeduped: ScanReader's typed refusal of
+// empty-matchable patterns lists each offending pattern once, however
+// many duplicate entries the set carries (the per-index fan-out keeps
+// duplicates distinguishable elsewhere; the error message should not).
+func TestNullableRefusalDeduped(t *testing.T) {
+	e, err := Compile([]string{"a?", "abc", "a?", "b?c?", "a?"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.ScanReader(strings.NewReader("aaa"), 0, func(Match) {})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnsupportedError, got %T", err)
+	}
+	want := []string{"a?", "b?c?"}
+	if !reflect.DeepEqual(ue.Patterns, want) {
+		t.Fatalf("refusal pattern list = %v, want deduplicated %v", ue.Patterns, want)
+	}
+}

@@ -59,6 +59,11 @@ func FuzzBackendsAgree(f *testing.F) {
 	// positions, empty inputs, and — via the appended duplicate below —
 	// duplicate-pattern index fan-out.
 	f.Add(uint64(99), []byte("a"))
+	// Duplicate-heavy and shared-charclass seeds: odd seeds amplify the
+	// set below, so these drive the compressed compile's interning and
+	// shared extended basis through the same oracle.
+	f.Add(uint64(101), []byte("abcfgj afgj aafjgg"))
+	f.Add(uint64(203), []byte("ffgjffgj aaa jgfa"))
 	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
 		patterns := fuzzPatterns(seed, 4)
 		if len(patterns) == 0 {
@@ -67,6 +72,12 @@ func FuzzBackendsAgree(f *testing.F) {
 		// Every fuzz set carries a duplicate entry so index fan-out is
 		// differentially checked on all backends.
 		patterns = append(patterns, patterns[0])
+		// Odd seeds additionally stress the compressed compile: two
+		// class-heavy entries shared verbatim across the set (promoted to
+		// the shared extended basis) plus a second duplicate round.
+		if seed%2 == 1 {
+			patterns = append(patterns, "[a-f][g-j]", "[a-f][g-j]", patterns[len(patterns)/2])
+		}
 		input := fuzzInput(data)
 
 		type outcome struct {

@@ -127,6 +127,23 @@ func (cl Class) Size() int {
 	return n
 }
 
+// Key returns a compact content address of the class: the 32 membership
+// bytes hex-packed into a fixed-width string. Classes are equal exactly when
+// their keys are equal, so the key orders and deduplicates shared
+// character-class streams deterministically across engines.
+func (cl Class) Key() string {
+	var b [64]byte
+	const hex = "0123456789abcdef"
+	for i, w := range cl.bits {
+		for j := 0; j < 8; j++ {
+			v := byte(w >> (8 * j))
+			b[i*16+j*2] = hex[v>>4]
+			b[i*16+j*2+1] = hex[v&0xf]
+		}
+	}
+	return string(b[:])
+}
+
 // FoldCase returns the class closed under ASCII case folding: if it contains
 // a letter it also contains the other case.
 func (cl Class) FoldCase() Class {

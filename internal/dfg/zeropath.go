@@ -1,6 +1,10 @@
 package dfg
 
-import "bitgen/internal/ir"
+import (
+	"sort"
+
+	"bitgen/internal/ir"
+)
 
 // ZeroPreservingUse reports whether expression e yields all-zero whenever
 // variable v (one of its operands) is all-zero. AND (either side), the
@@ -40,18 +44,70 @@ type ZeroPath struct {
 	Stmts []int
 }
 
+// occIndex is a CSR index over one run: for each variable, the ordered run
+// positions of the statements that read or define it. Chain-following
+// steps through a variable's occurrence list directly instead of scanning
+// the whole run per head, which kept ZeroPaths quadratic in run length —
+// ruinous on ClamAV-class group programs of 10^5 statements.
+type occIndex struct {
+	off  []int32
+	fill []int32
+	dat  []int32
+}
+
+func buildOccIndex(run []*ir.Assign, numVars int) *occIndex {
+	ix := &occIndex{
+		off:  make([]int32, numVars+1),
+		fill: make([]int32, numVars),
+	}
+	counts := make([]int32, numVars)
+	var buf [2]ir.VarID
+	for _, a := range run {
+		for _, v := range ir.OperandsInto(a.Expr, &buf) {
+			counts[v]++
+		}
+		counts[a.Dst]++
+	}
+	for i := 0; i < numVars; i++ {
+		ix.off[i+1] = ix.off[i] + counts[i]
+	}
+	ix.dat = make([]int32, ix.off[numVars])
+	add := func(v ir.VarID, j int32) {
+		// One entry per (statement, variable) even when the statement
+		// mentions the variable twice (AND(v,v), or dst == operand): the
+		// chain walk must visit each statement once, like a linear scan.
+		if ix.fill[v] > 0 && ix.dat[ix.off[v]+ix.fill[v]-1] == j {
+			return
+		}
+		ix.dat[ix.off[v]+ix.fill[v]] = j
+		ix.fill[v]++
+	}
+	for j, a := range run {
+		for _, v := range ir.OperandsInto(a.Expr, &buf) {
+			add(v, int32(j))
+		}
+		add(a.Dst, int32(j))
+	}
+	return ix
+}
+
+// occurrences returns the ordered run positions mentioning v.
+func (ix *occIndex) occurrences(v ir.VarID) []int32 {
+	return ix.dat[ix.off[v] : ix.off[v]+ix.fill[v]]
+}
+
 // ZeroPaths discovers maximal zero paths in a straight-line run of
 // assignments. Paths shorter than two on-path statements are discarded:
 // guarding a single instruction cannot pay for the branch.
 func ZeroPaths(run []*ir.Assign, numVars int) []ZeroPath {
-	// lastDef[v] = run index of the latest definition of v seen so far.
+	ix := buildOccIndex(run, numVars)
 	onPath := make([]bool, len(run))
 	var paths []ZeroPath
 	for head := 0; head < len(run); head++ {
 		if onPath[head] {
 			continue // already the interior of a longer path
 		}
-		chain := followChain(run, head)
+		chain := followChain(run, head, ix)
 		if len(chain) < 2 {
 			continue
 		}
@@ -70,20 +126,33 @@ func ZeroPaths(run []*ir.Assign, numVars int) []ZeroPath {
 // followChain greedily extends a zero path from the definition at run
 // index head: at each step it takes the next statement that consumes the
 // current value zero-preservingly (and whose result is therefore also
-// guaranteed zero), honoring redefinitions of the tracked variable.
-func followChain(run []*ir.Assign, head int) []int {
+// guaranteed zero), honoring redefinitions of the tracked variable. Only
+// statements mentioning the tracked variable are visited, via the
+// occurrence index.
+func followChain(run []*ir.Assign, head int, ix *occIndex) []int {
 	cur := run[head].Dst
 	var chain []int
-	for j := head + 1; j < len(run); j++ {
-		a := run[j]
-		if ZeroPreservingUse(a.Expr, cur) {
-			chain = append(chain, j)
-			cur = a.Dst
-			continue
+	j := head
+	for {
+		list := ix.occurrences(cur)
+		k := sort.Search(len(list), func(i int) bool { return int(list[i]) > j })
+		advanced := false
+		for ; k < len(list); k++ {
+			q := int(list[k])
+			a := run[q]
+			if ZeroPreservingUse(a.Expr, cur) {
+				chain = append(chain, q)
+				cur = a.Dst
+				j = q
+				advanced = true
+				break
+			}
+			if a.Dst == cur {
+				return chain // tracked value redefined by an unrelated computation
+			}
 		}
-		if a.Dst == cur {
-			break // tracked value redefined by an unrelated computation
+		if !advanced {
+			return chain
 		}
 	}
-	return chain
 }

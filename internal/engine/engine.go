@@ -13,10 +13,12 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"bitgen/internal/arena"
 	"bitgen/internal/bgerr"
 	"bitgen/internal/bitstream"
+	"bitgen/internal/charclass"
 	"bitgen/internal/faultinject"
 	"bitgen/internal/gpusim"
 	"bitgen/internal/ir"
@@ -74,6 +76,12 @@ type Config struct {
 	// bitstreams exceed this budget — the enforceable form of
 	// Result.ExceedsDeviceMemory (0 = report-only, no enforcement).
 	MemoryBudgetBytes int64
+	// NoStateCompression keeps compiled groups in boxed pointer-IR form and
+	// disables cross-group character-class sharing — the uncompressed
+	// baseline. By default groups are stored packed (a few bytes per
+	// instruction) and classes used by several CTA groups are computed once
+	// per scan as shared extended basis streams.
+	NoStateCompression bool
 	// Inject is an optional fault injector (tests only). Nil never fires.
 	Inject *faultinject.Injector
 	// Obs, when non-nil, records compile and launch spans, aggregates
@@ -114,20 +122,87 @@ func BitGenDefault() Config {
 	}
 }
 
-// Group is one CTA's compiled workload.
+// Group is one CTA's compiled workload. Exactly one of Program and Packed
+// is set: Program is the boxed pointer-IR form (the uncompressed baseline),
+// Packed the compact byte form (the default; ~10× smaller resident). Use
+// Prog to materialize and EncodedProgram for the canonical bytes.
 type Group struct {
-	// Program is the transformed bitstream program.
+	// Program is the transformed bitstream program; nil in packed mode.
 	Program *ir.Program
+	// Packed is the program's packed byte form; nil in boxed mode.
+	Packed []byte
+	// Outputs mirrors the program's output table so match fan-out and rank
+	// tables never pay a decode.
+	Outputs []ir.Output
 	// Names lists the regexes assigned to this group.
 	Names []string
 	// Chars is the total pattern character length (the balancing key).
 	Chars int
 }
 
+// Prog returns the group's program, decoding the packed form on demand.
+// Each call in packed mode materializes a fresh program, so callers own the
+// result; decode cannot fail for bytes the engine packed itself.
+func (g *Group) Prog() *ir.Program {
+	if g.Program != nil {
+		return g.Program
+	}
+	return ir.MustDecodeProgram(g.Packed)
+}
+
+// EncodedProgram returns the canonical packed bytes of the group's program
+// (the content unit snapshots persist and the serve layer interns).
+func (g *Group) EncodedProgram() []byte {
+	if g.Packed != nil {
+		return g.Packed
+	}
+	return ir.EncodeProgram(g.Program)
+}
+
+// SizeBytes measures the group's resident state: the stored program form
+// plus names and the output table.
+func (g *Group) SizeBytes() int64 {
+	var sz int64
+	if g.Packed != nil {
+		sz += int64(len(g.Packed)) + 24
+	}
+	if g.Program != nil {
+		sz += ir.ProgramSizeBytes(g.Program)
+	}
+	for _, n := range g.Names {
+		sz += 16 + int64(len(n))
+	}
+	for _, o := range g.Outputs {
+		sz += 32 + int64(len(o.Name))
+	}
+	return sz
+}
+
+// Clone deep-copies the group so callers can hold it without aliasing the
+// engine's internal state.
+func (g *Group) Clone() Group {
+	ng := Group{
+		Names:   append([]string(nil), g.Names...),
+		Outputs: append([]ir.Output(nil), g.Outputs...),
+		Chars:   g.Chars,
+	}
+	if g.Packed != nil {
+		ng.Packed = append([]byte(nil), g.Packed...)
+	}
+	if g.Program != nil {
+		ng.Program = g.Program.Clone()
+	}
+	return ng
+}
+
 // Engine is a compiled multi-regex matcher.
 type Engine struct {
 	cfg    Config
 	groups []Group
+	// shared, when non-nil, computes the match streams of character classes
+	// used by several CTA groups; runs interpret it once per scan chunk
+	// over the raw basis and bind its outputs as extended basis streams.
+	shared *ir.Program
 	// matchNames lists every output name across groups in ascending order;
 	// a name's index is its rank, the integer stand-in for byte-wise string
 	// comparison on the streaming hot path.
@@ -149,7 +224,7 @@ type Engine struct {
 // string order without any per-match string comparison.
 func (e *Engine) initMatchRanks() {
 	for _, g := range e.groups {
-		for _, o := range g.Program.Outputs {
+		for _, o := range g.Outputs {
 			e.matchNames = append(e.matchNames, o.Name)
 		}
 	}
@@ -160,8 +235,8 @@ func (e *Engine) initMatchRanks() {
 	}
 	e.outRanks = make([][]int32, len(e.groups))
 	for gi, g := range e.groups {
-		ranks := make([]int32, len(g.Program.Outputs))
-		for oi, o := range g.Program.Outputs {
+		ranks := make([]int32, len(g.Outputs))
+		for oi, o := range g.Outputs {
 			ranks[oi] = rankOf[o.Name]
 		}
 		e.outRanks[gi] = ranks
@@ -170,7 +245,7 @@ func (e *Engine) initMatchRanks() {
 
 // MatchNames returns every output name in rank order: ScanMatch.Rank
 // indexes this slice. Callers must not mutate it.
-func (e *Engine) MatchNames() []string { return e.matchNames }
+func (e *Engine) MatchNames() []string { return append([]string(nil), e.matchNames...) }
 
 // PassStats aggregates compile-time pass effects across groups.
 type PassStats struct {
@@ -226,8 +301,14 @@ func CompileContext(ctx context.Context, regexes []lower.Regex, cfg Config) (*En
 	if len(regexes) == 0 {
 		return nil, fmt.Errorf("engine: no regexes")
 	}
+	start := time.Now()
 	e := &Engine{cfg: cfg}
-	for gi, part := range partition(regexes, cfg.Grid.CTAs) {
+	parts := partition(regexes, cfg.Grid.CTAs)
+	sharedCC, err := e.initShared(parts)
+	if err != nil {
+		return nil, err
+	}
+	for gi, part := range parts {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, bgerr.Canceled(err)
@@ -237,23 +318,173 @@ func CompileContext(ctx context.Context, regexes []lower.Regex, cfg Config) (*En
 		for i, r := range part.regexes {
 			names[i] = r.Name
 		}
-		prog, err := compileGroup(part.regexes, names, gi, cfg, &e.PassStats)
+		prog, err := compileGroup(part.regexes, names, gi, cfg, &e.PassStats, sharedCC, e.extBits())
 		if err != nil {
 			return nil, err
 		}
-		e.groups = append(e.groups, Group{Program: prog, Names: names, Chars: part.chars})
+		g := Group{Names: names, Chars: part.chars, Outputs: prog.Outputs}
+		if cfg.NoStateCompression {
+			g.Program = prog
+		} else {
+			// Packed mode: the compact byte form is the resident state; the
+			// boxed program becomes garbage once sessions decode their own.
+			g.Packed = ir.EncodeProgram(prog)
+		}
+		e.groups = append(e.groups, g)
 	}
 	e.initMatchRanks()
 	e.initRunPool()
+	if cfg.Obs.Enabled() {
+		reg := cfg.Obs.Reg()
+		reg.Histogram(obs.MCompileSeconds, obs.HCompileSeconds, obs.CompileSecondsBuckets).
+			Observe(time.Since(start).Seconds())
+		reg.Histogram(obs.MEngineResidentBytes, obs.HEngineResidentBytes, obs.ResidentBytesBuckets).
+			Observe(float64(e.ResidentBytes()))
+	}
 	return e, nil
+}
+
+// maxSharedClasses caps the extended basis streams per engine: each shared
+// class costs one materialized bitstream per scan chunk, so sharing is
+// bounded to the classes that repay it most.
+const maxSharedClasses = 256
+
+// initShared selects the character classes worth computing once per scan —
+// those expanded by at least two CTA groups — in deterministic first-use
+// order, and builds the shared program producing their match streams.
+// Single-group engines and the uncompressed baseline share nothing.
+func (e *Engine) initShared(parts []part) (map[charclass.Class]int, error) {
+	if e.cfg.NoStateCompression || len(parts) < 2 {
+		return nil, nil
+	}
+	counts := make(map[charclass.Class]int)
+	var order []charclass.Class
+	for _, p := range parts {
+		for _, cl := range lower.Classes(p.regexes) {
+			if counts[cl] == 0 {
+				order = append(order, cl)
+			}
+			counts[cl]++
+		}
+	}
+	var classes []charclass.Class
+	for _, cl := range order {
+		if counts[cl] >= 2 {
+			classes = append(classes, cl)
+			if len(classes) == maxSharedClasses {
+				break
+			}
+		}
+	}
+	if len(classes) == 0 {
+		return nil, nil
+	}
+	prog, err := lower.SharedProgram(classes)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e.shared = prog
+	slots := make(map[charclass.Class]int, len(classes))
+	for i, cl := range classes {
+		slots[cl] = i
+	}
+	return slots, nil
+}
+
+// extBits is the number of extended basis streams the engine binds per scan.
+func (e *Engine) extBits() int {
+	if e.shared == nil {
+		return 0
+	}
+	return len(e.shared.Outputs)
+}
+
+// bindShared interprets the shared-class program over the freshly transposed
+// raw basis and binds its outputs as extended basis streams. No-op without
+// shared classes.
+func (e *Engine) bindShared(basis *transpose.Basis) error {
+	if e.shared == nil {
+		return nil
+	}
+	res, err := ir.Interpret(e.shared, basis, ir.InterpOptions{})
+	if err != nil {
+		return fmt.Errorf("engine: shared-class streams: %w", err)
+	}
+	n := len(e.shared.Outputs)
+	if cap(basis.Ext) < n {
+		basis.Ext = make([]*bitstream.Stream, n)
+	}
+	basis.Ext = basis.Ext[:n]
+	for i, o := range e.shared.Outputs {
+		basis.Ext[i] = res.Outputs[o.Name]
+	}
+	return nil
+}
+
+// Shared returns a copy of the shared-class program, or nil when the engine
+// shares no classes (snapshots persist it; the copy keeps internal state
+// unaliased).
+func (e *Engine) Shared() *ir.Program {
+	if e.shared == nil {
+		return nil
+	}
+	return e.shared.Clone()
+}
+
+// ResidentBytes measures the engine's durable compiled state: every group's
+// stored program form, names and output tables, the shared-class program,
+// and the rank tables. Transient scan state (kernel sessions, pooled
+// runners, arenas) is excluded — it exists only while scans run.
+func (e *Engine) ResidentBytes() int64 {
+	var sz int64 = 128
+	for i := range e.groups {
+		sz += e.groups[i].SizeBytes()
+	}
+	sz += ir.ProgramSizeBytes(e.shared)
+	for _, n := range e.matchNames {
+		sz += 16 + int64(len(n))
+	}
+	for _, r := range e.outRanks {
+		sz += 24 + 4*int64(len(r))
+	}
+	return sz
+}
+
+// PackedBlocks returns the packed program bytes of every compressed group,
+// the content units a cross-engine store deduplicates. Boxed-mode groups
+// contribute nothing (their state is not content-addressed).
+func (e *Engine) PackedBlocks() [][]byte {
+	var out [][]byte
+	for i := range e.groups {
+		if e.groups[i].Packed != nil {
+			out = append(out, e.groups[i].Packed)
+		}
+	}
+	return out
+}
+
+// RebindPackedBlocks replaces each compressed group's packed bytes with the
+// canonical slice canon returns for it, letting engines with identical
+// compiled groups share one backing array. canon must return bytes equal to
+// its argument; it is called once per packed group in order. The serve
+// layer calls this before publishing a newly built engine.
+func (e *Engine) RebindPackedBlocks(canon func([]byte) []byte) {
+	for i := range e.groups {
+		if e.groups[i].Packed != nil {
+			e.groups[i].Packed = canon(e.groups[i].Packed)
+		}
+	}
 }
 
 // Restore reconstructs an Engine from previously compiled groups — the
 // snapshot-load path. No lowering or passes run; the groups carry their
-// already-transformed programs. Every program is re-validated so a decoded
-// snapshot that passed checksums but violates IR invariants is still
-// refused before it can execute.
-func Restore(cfg Config, groups []Group, ps PassStats) (*Engine, error) {
+// already-transformed programs (boxed or packed). Every program is
+// re-validated so a decoded snapshot that passed checksums but violates IR
+// invariants is still refused before it can execute, and each group is
+// normalized to the configuration's storage mode. shared, when non-nil, is
+// the engine's shared-class program; groups whose programs read extended
+// basis bits require it.
+func Restore(cfg Config, groups []Group, shared *ir.Program, ps PassStats) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Grid.Validate(); err != nil {
 		return nil, err
@@ -261,15 +492,45 @@ func Restore(cfg Config, groups []Group, ps PassStats) (*Engine, error) {
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("engine: no groups")
 	}
-	for i, g := range groups {
-		if g.Program == nil {
+	sharedOutputs := 0
+	if shared != nil {
+		if err := ir.Validate(shared); err != nil {
+			return nil, fmt.Errorf("engine: restored shared program invalid: %w", err)
+		}
+		sharedOutputs = len(shared.Outputs)
+	}
+	for i := range groups {
+		g := &groups[i]
+		if g.Program == nil && g.Packed == nil {
 			return nil, fmt.Errorf("engine: group %d has no program", i)
 		}
-		if err := ir.Validate(g.Program); err != nil {
+		prog := g.Program
+		if prog == nil {
+			p, err := ir.DecodeProgram(g.Packed)
+			if err != nil {
+				return nil, fmt.Errorf("engine: restored group %d: %w", i, err)
+			}
+			prog = p
+		}
+		if err := ir.Validate(prog); err != nil {
 			return nil, fmt.Errorf("engine: restored group %d invalid: %w", i, err)
 		}
+		if prog.ExtBits > sharedOutputs {
+			return nil, fmt.Errorf("engine: restored group %d reads %d shared streams, shared program provides %d",
+				i, prog.ExtBits, sharedOutputs)
+		}
+		g.Outputs = prog.Outputs
+		// Normalize to the configured storage mode regardless of how the
+		// snapshot shipped the group.
+		if cfg.NoStateCompression {
+			g.Program, g.Packed = prog, nil
+		} else if g.Packed == nil {
+			g.Program, g.Packed = nil, ir.EncodeProgram(prog)
+		} else {
+			g.Program = nil
+		}
 	}
-	e := &Engine{cfg: cfg, groups: groups, PassStats: ps}
+	e := &Engine{cfg: cfg, groups: groups, shared: shared, PassStats: ps}
 	e.initMatchRanks()
 	e.initRunPool()
 	return e, nil
@@ -277,7 +538,8 @@ func Restore(cfg Config, groups []Group, ps PassStats) (*Engine, error) {
 
 // compileGroup lowers and optimizes one CTA group's regexes, converting
 // any panic in the pipeline into a typed internal error.
-func compileGroup(regexes []lower.Regex, names []string, gi int, cfg Config, ps *PassStats) (prog *ir.Program, err error) {
+func compileGroup(regexes []lower.Regex, names []string, gi int, cfg Config, ps *PassStats,
+	sharedCC map[charclass.Class]int, extBits int) (prog *ir.Program, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			prog = nil
@@ -290,7 +552,7 @@ func compileGroup(regexes []lower.Regex, names []string, gi int, cfg Config, ps 
 	gspan := cfg.Obs.Span("compile", "compile-group", 0).
 		Arg("group", gi).Arg("patterns", len(names))
 	defer gspan.End()
-	prog, err = lower.Group(regexes, lower.Options{Obs: cfg.Obs})
+	prog, err = lower.Group(regexes, lower.Options{Obs: cfg.Obs, SharedCC: sharedCC, SharedExtBits: extBits})
 	if err != nil {
 		return nil, err
 	}
@@ -338,8 +600,16 @@ func clampMergeSize(cfg Config) int {
 	return cfg.MergeSize
 }
 
-// Groups exposes the compiled groups (experiments inspect them).
-func (e *Engine) Groups() []Group { return e.groups }
+// Groups returns a deep copy of the compiled groups (experiments inspect
+// them; snapshots persist them). Mutating the result never touches the
+// engine's internal state or in-flight sessions.
+func (e *Engine) Groups() []Group {
+	out := make([]Group, len(e.groups))
+	for i := range e.groups {
+		out[i] = e.groups[i].Clone()
+	}
+	return out
+}
 
 // WithInjector returns a shallow copy of the engine whose runs consult the
 // given fault injector (the compiled groups are shared; a compiled Engine
@@ -426,6 +696,9 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 	tspan := e.cfg.Obs.Span("scan", "transpose", 0).Arg("input_bytes", len(input))
 	transpose.TransposeInto(rn.basis, input)
 	tspan.End()
+	if err := e.bindShared(rn.basis); err != nil {
+		return nil, err
+	}
 	basis := rn.basis
 	share := e.cfg.TransposeShare
 	if share == 0 {
@@ -527,7 +800,7 @@ func (e *Engine) run(ctx context.Context, input []byte, keepOutputs bool) (*Resu
 		// nullable regexes own one extra match — the empty match at the
 		// end-of-input offset, which sits one position past the kernel's
 		// input-length streams. The session's streams align with this table.
-		for oi, o := range e.groups[gi].Program.Outputs {
+		for oi, o := range e.groups[gi].Outputs {
 			s := out.outs[oi]
 			if s == nil {
 				continue

@@ -42,21 +42,23 @@ type Report struct {
 // `bitgen -explain` prints.
 func (e *Engine) Explain() *Report {
 	rep := &Report{}
-	for gi, g := range e.groups {
+	for gi := range e.groups {
+		g := &e.groups[gi]
+		prog := g.Prog()
 		gr := GroupReport{
 			Index:   gi,
 			Regexes: len(g.Names),
 			Chars:   g.Chars,
-			Stats:   ir.CollectStats(g.Program),
+			Stats:   ir.CollectStats(prog),
 		}
-		an := dfg.Analyze(g.Program)
+		an := dfg.Analyze(prog)
 		gr.StaticDelta = an.StaticDelta
 		gr.Dynamic = an.HasDynamic || an.HasCarry
-		if g.Program.Barriers != nil {
-			gr.BarrierGroups = len(g.Program.Barriers.Groups)
-			gr.DedupedCopies = g.Program.Barriers.DedupedCopies
+		if prog.Barriers != nil {
+			gr.BarrierGroups = len(prog.Barriers.Groups)
+			gr.DedupedCopies = prog.Barriers.DedupedCopies
 		}
-		ir.WalkStmts(g.Program.Stmts, func(s ir.Stmt) {
+		ir.WalkStmts(prog.Stmts, func(s ir.Stmt) {
 			if _, ok := s.(*ir.Guard); ok {
 				gr.Guards++
 			}

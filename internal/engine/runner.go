@@ -57,7 +57,7 @@ func (e *Engine) getRunner() (*runner, error) {
 			// parallel tracks in the trace viewer.
 			TraceLane: 1 + gi,
 		}
-		ks, err := kernel.NewSession(e.groups[gi].Program, kcfg, e.runArena)
+		ks, err := kernel.NewSession(e.groups[gi].Prog(), kcfg, e.runArena)
 		if err != nil {
 			return nil, fmt.Errorf("engine: group %d: %w", gi, err)
 		}

@@ -94,7 +94,7 @@ func (e *Engine) NewScanSession(maxChunkBytes int, a *arena.Arena, lane int) (*S
 		TraceLane:          lane,
 	}
 	for gi := range e.groups {
-		ks, err := kernel.NewSession(e.groups[gi].Program, kcfg, a)
+		ks, err := kernel.NewSession(e.groups[gi].Prog(), kcfg, a)
 		if err != nil {
 			ss.Close()
 			return nil, fmt.Errorf("engine: group %d: %w", gi, err)
@@ -122,6 +122,9 @@ func (ss *ScanSession) Scan(ctx context.Context, chunk []byte, base, newFrom int
 		transpose.TransposeInto(ss.basis, chunk)
 	}
 	start := len(dst)
+	if err := e.bindShared(ss.basis); err != nil {
+		return dst[:start], err
+	}
 	var footprint int64
 	for gi := range ss.sess {
 		stats, err := ss.scanGroup(ctx, gi)
@@ -310,6 +313,10 @@ func (ss *ScanSession) scanBatched(ctx context.Context, chunks []*ScanChunk) (do
 	ss.growLanes(k)
 	for i, c := range chunks {
 		transpose.TransposeInto(ss.bases[i], c.Data)
+		if err := e.bindShared(ss.bases[i]); err != nil {
+			ss.clearBatchOuts(k)
+			return false
+		}
 		ss.footprints[i] = 0
 	}
 	for gi := range ss.sess {

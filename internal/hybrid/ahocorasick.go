@@ -19,6 +19,19 @@ type AhoCorasick struct {
 	patterns [][]byte
 }
 
+// SizeBytes reports the automaton's resident memory: the dense per-node
+// transition rows, output lists and the stored patterns.
+func (ac *AhoCorasick) SizeBytes() int64 {
+	var size int64
+	for i := range ac.nodes {
+		size += 4*256 + 24 + 4*int64(len(ac.nodes[i].out))
+	}
+	for _, p := range ac.patterns {
+		size += 24 + int64(len(p))
+	}
+	return size
+}
+
 // NewAhoCorasick builds the automaton for the given byte patterns.
 // Empty patterns are ignored.
 func NewAhoCorasick(patterns [][]byte) *AhoCorasick {

@@ -95,6 +95,27 @@ type prefiltEntry struct {
 
 type region struct{ lo, hi int }
 
+// SizeBytes reports the engine's durable compiled state: each shard's
+// Aho-Corasick prefilter, confirmation NFAs and general-path NFA. Scan
+// scratch is excluded.
+func (e *Engine) SizeBytes() int64 {
+	var size int64
+	for _, sh := range e.shards {
+		if sh.ac != nil {
+			size += sh.ac.SizeBytes()
+		}
+		if sh.general != nil {
+			size += sh.general.SizeBytes()
+		}
+		for i := range sh.prefilt {
+			if sh.prefilt[i].nfa != nil {
+				size += sh.prefilt[i].nfa.SizeBytes()
+			}
+		}
+	}
+	return size
+}
+
 // Compile builds the engine for a set of regexes.
 func Compile(names []string, asts []rx.Node, opts Options) (*Engine, error) {
 	if len(names) != len(asts) {

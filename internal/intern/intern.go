@@ -1,0 +1,107 @@
+// Package intern is a refcounted content-addressed byte-block store: the
+// serve layer's mechanism for deduplicating identical compiled state
+// across cached engines. Two engines whose pattern sets lower to the same
+// packed CTA-group program (or the same shared character-class program)
+// hold one canonical copy of those bytes, and the cache's resident-bytes
+// gauge charges each distinct block exactly once regardless of how many
+// engines reference it.
+//
+// The store never copies block contents: Acquire of a novel block adopts
+// the caller's slice as the canonical copy, and every later Acquire of
+// equal bytes returns that same slice. Callers must therefore treat
+// acquired blocks as immutable — which the engine's packed-program blobs
+// already are.
+package intern
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// Key is a block's content address.
+type Key [sha256.Size]byte
+
+// Store is a thread-safe refcounted content-addressed block store. The
+// zero value is ready to use.
+type Store struct {
+	mu     sync.Mutex
+	blocks map[Key]*block
+	shared int64
+}
+
+type block struct {
+	data []byte
+	refs int
+}
+
+// KeyOf returns the content address Acquire would file data under.
+func KeyOf(data []byte) Key { return sha256.Sum256(data) }
+
+// Acquire interns data and takes one reference on it. It returns the
+// canonical byte slice (the first acquirer's slice, shared by every later
+// equal acquire), the block's key for the matching Release, and the bytes
+// newly charged to the store — len(data) on the 0→1 transition, 0 when
+// the block was already resident. Callers must not mutate data after
+// acquiring it.
+func (s *Store) Acquire(data []byte) (canonical []byte, key Key, charged int64) {
+	key = KeyOf(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.blocks[key]; ok {
+		b.refs++
+		return b.data, key, 0
+	}
+	if s.blocks == nil {
+		s.blocks = make(map[Key]*block)
+	}
+	s.blocks[key] = &block{data: data, refs: 1}
+	s.shared += int64(len(data))
+	return data, key, int64(len(data))
+}
+
+// Release drops one reference on key, returning the bytes uncharged from
+// the store — the block's length on the 1→0 transition (the block is
+// freed), 0 otherwise. Releasing an unknown key is a no-op returning 0,
+// so callers may release unconditionally on teardown paths.
+func (s *Store) Release(key Key) (uncharged int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[key]
+	if !ok {
+		return 0
+	}
+	b.refs--
+	if b.refs > 0 {
+		return 0
+	}
+	delete(s.blocks, key)
+	n := int64(len(b.data))
+	s.shared -= n
+	return n
+}
+
+// SharedBytes reports the total bytes of distinct resident blocks — each
+// counted once, however many references exist.
+func (s *Store) SharedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shared
+}
+
+// Blocks reports how many distinct blocks are resident.
+func (s *Store) Blocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
+
+// Refs reports the reference count of key (0 if absent). Intended for
+// tests and diagnostics.
+func (s *Store) Refs(key Key) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.blocks[key]; ok {
+		return b.refs
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package intern
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestAcquireAdoptsAndShares(t *testing.T) {
+	var s Store
+	first := []byte("packed-group-program")
+	canon, key, charged := s.Acquire(first)
+	if &canon[0] != &first[0] {
+		t.Fatal("first acquire must adopt the caller's slice as canonical")
+	}
+	if charged != int64(len(first)) {
+		t.Fatalf("first acquire charged %d, want %d", charged, len(first))
+	}
+	if key != KeyOf(first) {
+		t.Fatal("key mismatch")
+	}
+
+	second := append([]byte(nil), first...) // equal bytes, distinct backing
+	canon2, key2, charged2 := s.Acquire(second)
+	if &canon2[0] != &first[0] {
+		t.Fatal("equal acquire must return the canonical slice, not the caller's")
+	}
+	if key2 != key {
+		t.Fatal("equal bytes must share one key")
+	}
+	if charged2 != 0 {
+		t.Fatalf("duplicate acquire charged %d, want 0", charged2)
+	}
+	if got := s.Refs(key); got != 2 {
+		t.Fatalf("refs = %d, want 2", got)
+	}
+	if got := s.SharedBytes(); got != int64(len(first)) {
+		t.Fatalf("shared bytes = %d, want %d (each block counted once)", got, len(first))
+	}
+	if got := s.Blocks(); got != 1 {
+		t.Fatalf("blocks = %d, want 1", got)
+	}
+}
+
+func TestReleaseFreesOnLastRef(t *testing.T) {
+	var s Store
+	data := []byte("block")
+	_, key, _ := s.Acquire(data)
+	s.Acquire(append([]byte(nil), data...))
+
+	if un := s.Release(key); un != 0 {
+		t.Fatalf("first release uncharged %d, want 0 (a reference remains)", un)
+	}
+	if got := s.Refs(key); got != 1 {
+		t.Fatalf("refs after first release = %d, want 1", got)
+	}
+	if un := s.Release(key); un != int64(len(data)) {
+		t.Fatalf("last release uncharged %d, want %d", un, len(data))
+	}
+	if s.Blocks() != 0 || s.SharedBytes() != 0 {
+		t.Fatalf("store not empty after last release: blocks=%d shared=%d", s.Blocks(), s.SharedBytes())
+	}
+	// Releasing an unknown key is a tolerated no-op for teardown paths.
+	if un := s.Release(key); un != 0 {
+		t.Fatalf("release of absent key uncharged %d, want 0", un)
+	}
+}
+
+func TestDistinctBlocksChargedSeparately(t *testing.T) {
+	var s Store
+	a, b := []byte("aaaa"), []byte("bbbbbb")
+	_, ka, _ := s.Acquire(a)
+	_, kb, _ := s.Acquire(b)
+	if ka == kb {
+		t.Fatal("distinct contents must get distinct keys")
+	}
+	if got, want := s.SharedBytes(), int64(len(a)+len(b)); got != want {
+		t.Fatalf("shared bytes = %d, want %d", got, want)
+	}
+	s.Release(ka)
+	if got, want := s.SharedBytes(), int64(len(b)); got != want {
+		t.Fatalf("shared bytes after releasing a = %d, want %d", got, want)
+	}
+	canon, _, _ := s.Acquire(append([]byte(nil), b...))
+	if !bytes.Equal(canon, b) {
+		t.Fatal("canonical bytes corrupted")
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	var s Store
+	data := []byte("contended-block")
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_, key, _ := s.Acquire(append([]byte(nil), data...))
+				s.Release(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Blocks() != 0 || s.SharedBytes() != 0 {
+		t.Fatalf("store leaked after churn: blocks=%d shared=%d", s.Blocks(), s.SharedBytes())
+	}
+}

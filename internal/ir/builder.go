@@ -16,6 +16,12 @@ type Builder struct {
 	ccCache map[charclass.Class]VarID
 	// basisCache shares MatchBasis reads.
 	basisCache [8]VarID
+	// extCache shares extended-basis (shared character-class) reads.
+	extCache map[int]VarID
+	// shared maps classes whose match streams the engine computes once per
+	// scan to their extended-basis slot; MatchClass reads MatchBasis{8+slot}
+	// for them instead of expanding the class inline.
+	shared map[charclass.Class]int
 	// CCs records every distinct class expanded, for diagnostics.
 	CCs []CCRef
 }
@@ -105,10 +111,21 @@ func (b *Builder) Basis(j int) VarID {
 	return v
 }
 
+// SetShared registers the engine's shared character classes: MatchClass
+// reads slot i of the map via MatchBasis{8+i} instead of expanding the
+// class, and the built program declares extBits extended basis streams
+// (extBits may exceed the map's size when the engine shares more classes
+// than this group uses).
+func (b *Builder) SetShared(shared map[charclass.Class]int, extBits int) {
+	b.shared = shared
+	b.prog.ExtBits = extBits
+}
+
 // MatchClass expands a character class into bitwise instructions over the
 // basis bitstreams (Figure 2 (a)) and returns the match-stream variable.
-// Repeated classes are cached. Only valid at top level (outside control
-// flow), which is where lowering emits all class matches.
+// Repeated classes are cached, and classes registered via SetShared read
+// their precomputed extended-basis stream instead. Only valid at top level
+// (outside control flow), which is where lowering emits all class matches.
 func (b *Builder) MatchClass(cl charclass.Class) VarID {
 	if v, ok := b.ccCache[cl]; ok {
 		return v
@@ -116,9 +133,28 @@ func (b *Builder) MatchClass(cl charclass.Class) VarID {
 	if len(b.stack) != 1 {
 		panic("ir: MatchClass inside control flow")
 	}
-	v := b.matchExpr(charclass.Compile(cl))
+	var v VarID
+	if slot, ok := b.shared[cl]; ok {
+		v = b.extBasis(8 + slot)
+	} else {
+		v = b.matchExpr(charclass.Compile(cl))
+	}
 	b.ccCache[cl] = v
 	b.CCs = append(b.CCs, CCRef{Class: cl, Var: v})
+	return v
+}
+
+// extBasis returns the variable holding extended basis stream j (j >= 8),
+// emitting the read on first use.
+func (b *Builder) extBasis(j int) VarID {
+	if v, ok := b.extCache[j]; ok {
+		return v
+	}
+	v := b.Emit(MatchBasis{j})
+	if b.extCache == nil {
+		b.extCache = make(map[int]VarID)
+	}
+	b.extCache[j] = v
 	return v
 }
 

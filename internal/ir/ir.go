@@ -174,6 +174,11 @@ type Program struct {
 	// Barriers, when non-nil, annotates the synchronization schedule
 	// produced by the Shift Rebalancing pass (see package passes).
 	Barriers *BarrierSchedule
+	// ExtBits is the number of extended basis streams the program may read
+	// beyond the eight raw transposed streams: MatchBasis bits in
+	// [8, 8+ExtBits) address shared character-class streams computed once
+	// per engine scan (see package lower's shared-CC support).
+	ExtBits int
 }
 
 // BarrierSchedule records which shift statements share a synchronization
@@ -197,11 +202,39 @@ func (p *Program) NewVar() VarID {
 	return v
 }
 
-// Clone returns a deep copy of the program (statements are copied; the
-// barrier schedule is dropped since statement identity changes).
+// Clone returns a deep copy of the program. The barrier schedule is carried
+// over by remapping its statement identities onto the cloned assignments
+// (matched by pre-order position, which cloning preserves).
 func (p *Program) Clone() *Program {
-	out := &Program{NumVars: p.NumVars, Outputs: append([]Output(nil), p.Outputs...)}
+	out := &Program{NumVars: p.NumVars, ExtBits: p.ExtBits, Outputs: append([]Output(nil), p.Outputs...)}
 	out.Stmts = cloneStmts(p.Stmts)
+	if p.Barriers != nil {
+		oldIdx := make(map[*Assign]int)
+		WalkStmts(p.Stmts, func(s Stmt) {
+			if a, ok := s.(*Assign); ok {
+				oldIdx[a] = len(oldIdx)
+			}
+		})
+		var newAssigns []*Assign
+		WalkStmts(out.Stmts, func(s Stmt) {
+			if a, ok := s.(*Assign); ok {
+				newAssigns = append(newAssigns, a)
+			}
+		})
+		sched := &BarrierSchedule{
+			MergeSize:     p.Barriers.MergeSize,
+			DedupedCopies: p.Barriers.DedupedCopies,
+			Groups:        make([][]*Assign, len(p.Barriers.Groups)),
+		}
+		for gi, g := range p.Barriers.Groups {
+			ng := make([]*Assign, len(g))
+			for i, a := range g {
+				ng[i] = newAssigns[oldIdx[a]]
+			}
+			sched.Groups[gi] = ng
+		}
+		out.Barriers = sched
+	}
 	return out
 }
 
@@ -243,6 +276,33 @@ func Operands(e Expr) []VarID {
 		return []VarID{x.M, x.C}
 	}
 	return nil
+}
+
+// OperandsInto is Operands without the per-call allocation: it writes the
+// operand VarIDs into buf and returns the filled prefix. Compiler passes
+// that walk whole programs per fixpoint round use this on their hot path.
+func OperandsInto(e Expr, buf *[2]VarID) []VarID {
+	switch x := e.(type) {
+	case Copy:
+		buf[0] = x.Src
+		return buf[:1]
+	case Not:
+		buf[0] = x.Src
+		return buf[:1]
+	case Bin:
+		buf[0], buf[1] = x.X, x.Y
+		return buf[:2]
+	case Shift:
+		buf[0] = x.Src
+		return buf[:1]
+	case Add:
+		buf[0], buf[1] = x.X, x.Y
+		return buf[:2]
+	case StarThru:
+		buf[0], buf[1] = x.M, x.C
+		return buf[:2]
+	}
+	return buf[:0]
 }
 
 // WalkStmts visits every statement (pre-order, recursing into bodies).

@@ -38,8 +38,8 @@ func validateBody(p *Program, body []Stmt, defined []bool) error {
 				}
 			}
 			if mb, ok := x.Expr.(MatchBasis); ok {
-				if mb.Bit < 0 || mb.Bit > 7 {
-					return fmt.Errorf("ir: basis bit %d out of range", mb.Bit)
+				if mb.Bit < 0 || mb.Bit > 7+p.ExtBits {
+					return fmt.Errorf("ir: basis bit %d out of range (8 raw + %d shared)", mb.Bit, p.ExtBits)
 				}
 			}
 			if x.Dst < 0 || int(x.Dst) >= p.NumVars {

@@ -35,6 +35,12 @@ type Options struct {
 	MaxUnroll int
 	// Obs, when non-nil, records a span per lowered group. Nil is free.
 	Obs *obs.Observer
+	// SharedCC maps character classes the engine computes once per scan to
+	// their extended-basis slot; groups read MatchBasis{8+slot} for them
+	// instead of expanding the class inline. SharedExtBits is the engine's
+	// total extended-stream count (>= every slot + 1).
+	SharedCC      map[charclass.Class]int
+	SharedExtBits int
 }
 
 const defaultMaxUnroll = 4096
@@ -50,6 +56,9 @@ func Group(regexes []Regex, opts Options) (*ir.Program, error) {
 	span := opts.Obs.Span("compile", "lower-group", 0).Arg("regexes", len(regexes))
 	defer span.End()
 	b := ir.NewBuilder()
+	if opts.SharedCC != nil || opts.SharedExtBits > 0 {
+		b.SetShared(opts.SharedCC, opts.SharedExtBits)
+	}
 	// Normalize ASTs first: alternations of classes merge into single
 	// classes, degenerate repetitions collapse — smaller programs, same
 	// language (rx.Simplify is property-tested for equivalence).
@@ -88,6 +97,41 @@ func Group(regexes []Regex, opts Options) (*ir.Program, error) {
 		return nil, fmt.Errorf("lower: generated invalid program: %w", err)
 	}
 	span.Arg("instructions", ir.CollectStats(p).Total())
+	return p, nil
+}
+
+// Classes returns the distinct character classes a set of regexes expands
+// during lowering, in deterministic first-use order over the simplified
+// ASTs. The engine uses it to decide which classes appear in several
+// partition groups and are worth computing once per scan.
+func Classes(regexes []Regex) []charclass.Class {
+	var out []charclass.Class
+	seen := make(map[charclass.Class]bool)
+	for _, re := range regexes {
+		rx.Walk(rx.Simplify(re.AST), func(n rx.Node) {
+			if cc, ok := n.(rx.CC); ok && !seen[cc.Class] {
+				seen[cc.Class] = true
+				out = append(out, cc.Class)
+			}
+		})
+	}
+	return out
+}
+
+// SharedProgram lowers a list of character classes into one bitstream
+// program with an output per class, named by the class content key and in
+// slot order. The engine interprets it once per scan chunk over the raw
+// basis and binds the outputs as extended basis streams 8..8+n-1, so every
+// group that references a shared class reads the same precomputed stream.
+func SharedProgram(classes []charclass.Class) (*ir.Program, error) {
+	b := ir.NewBuilder()
+	for _, cl := range classes {
+		b.Output(cl.Key(), b.MatchClass(cl))
+	}
+	p := b.Program()
+	if err := ir.Validate(p); err != nil {
+		return nil, fmt.Errorf("lower: shared-class program invalid: %w", err)
+	}
 	return p, nil
 }
 

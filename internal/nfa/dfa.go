@@ -31,8 +31,11 @@ type DFA struct {
 type dfaState struct {
 	// set is the sorted NFA state subset.
 	set []int32
-	// next is filled lazily per byte; -1 = not yet computed.
-	next [256]int32
+	// next is the transition row, allocated only once the state takes its
+	// first transition and filled lazily per byte; -1 = not yet computed.
+	// States that are interned but never stepped from (common in sparse
+	// scans over large pattern sets) stay row-less, saving 1 KiB each.
+	next []int32
 	// accepts lists regex ids accepting in this subset.
 	accepts []int32
 }
@@ -65,12 +68,9 @@ func (d *DFA) intern(set []int32) int32 {
 		return idx
 	}
 	st := &dfaState{set: set}
-	for i := range st.next {
-		st.next[i] = -1
-	}
 	seen := make(map[int32]bool)
 	for _, s := range set {
-		for _, r := range d.nfa.AcceptOf[s] {
+		for _, r := range d.nfa.Accepts(s) {
 			if !seen[r] {
 				seen[r] = true
 				st.accepts = append(st.accepts, r)
@@ -87,8 +87,10 @@ func (d *DFA) intern(set []int32) int32 {
 // step computes (lazily) the successor of state idx on byte c.
 func (d *DFA) step(idx int32, c byte) (int32, error) {
 	st := d.states[idx]
-	if nxt := st.next[c]; nxt >= 0 {
-		return nxt, nil
+	if st.next != nil {
+		if nxt := st.next[c]; nxt >= 0 {
+			return nxt, nil
+		}
 	}
 	if len(d.states) >= d.MaxStates {
 		d.BailedOut = true
@@ -99,7 +101,7 @@ func (d *DFA) step(idx int32, c byte) (int32, error) {
 	// stays active for unanchored matching).
 	members := make(map[int32]bool)
 	for _, s := range st.set {
-		for _, q := range d.nfa.Follow[s] {
+		for _, q := range d.nfa.FollowOf(s) {
 			if d.nfa.Class[q].Contains(c) {
 				members[q] = true
 			}
@@ -112,8 +114,30 @@ func (d *DFA) step(idx int32, c byte) (int32, error) {
 	}
 	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
 	nxt := d.intern(set)
+	if st.next == nil {
+		st.next = make([]int32, 256)
+		for i := range st.next {
+			st.next[i] = -1
+		}
+	}
 	st.next[c] = nxt
 	return nxt, nil
+}
+
+// SizeBytes reports the memory held by the materialized subset states:
+// subsets, accept lists, and only the transition rows actually allocated.
+// The cache map is counted by key bytes plus fixed per-entry overhead.
+func (d *DFA) SizeBytes() int64 {
+	var size int64
+	for _, st := range d.states {
+		size += 24 + 4*int64(len(st.set))
+		size += 24 + 4*int64(len(st.accepts))
+		if st.next != nil {
+			size += 24 + 4*256
+		}
+		size += int64(4*len(st.set)) + 48 // cache key + map entry overhead
+	}
+	return size
 }
 
 // Run scans the input, marking per-regex match end positions (identical

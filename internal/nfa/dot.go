@@ -15,9 +15,9 @@ func ToDot(n *NFA) string {
 	b.WriteString("  0 [shape=doublecircle, label=\"start\"];\n")
 	for s := 1; s < n.NumStates(); s++ {
 		attrs := fmt.Sprintf("label=\"%d\\n%s\"", s, dotEscape(n.Class[s].String()))
-		if len(n.AcceptOf[s]) > 0 {
-			ids := make([]string, len(n.AcceptOf[s]))
-			for i, r := range n.AcceptOf[s] {
+		if accepts := n.Accepts(int32(s)); len(accepts) > 0 {
+			ids := make([]string, len(accepts))
+			for i, r := range accepts {
 				ids[i] = fmt.Sprint(r)
 			}
 			attrs = fmt.Sprintf("label=\"%d\\n%s\\naccept %s\", style=filled, fillcolor=lightgray",
@@ -26,7 +26,7 @@ func ToDot(n *NFA) string {
 		fmt.Fprintf(&b, "  %d [%s];\n", s, attrs)
 	}
 	for s := 0; s < n.NumStates(); s++ {
-		for _, q := range n.Follow[s] {
+		for _, q := range n.FollowOf(int32(s)) {
 			fmt.Fprintf(&b, "  %d -> %d;\n", s, q)
 		}
 	}

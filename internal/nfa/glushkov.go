@@ -15,14 +15,24 @@ import (
 // is the start state; every other state corresponds to one character-class
 // occurrence in some pattern and is entered by consuming a byte of that
 // class.
+//
+// Follow and accept edges are stored in CSR (compressed sparse row) form:
+// one contiguous data array plus per-state offsets, finalized once at
+// Build. At ClamAV-megaset scale the per-state []int32 boxing this
+// replaces cost 48+ bytes of slice-header and allocator overhead per
+// state on top of the edges themselves; CSR stores exactly
+// 4·(states+1) + 4·edges bytes per table, which is what keeps the
+// resilience ladder's reference rung resident at 100k patterns.
 type NFA struct {
 	// Class[s] is the class consumed when entering state s (undefined for
 	// state 0).
 	Class []charclass.Class
-	// Follow[s] lists the states reachable from s by one byte.
-	Follow [][]int32
-	// AcceptOf[s] lists the regex indices accepting at state s.
-	AcceptOf [][]int32
+	// followOff/followDat: FollowOf(s) = followDat[followOff[s]:followOff[s+1]].
+	followOff []int32
+	followDat []int32
+	// acceptOff/acceptDat: Accepts(s) = acceptDat[acceptOff[s]:acceptOff[s+1]].
+	acceptOff []int32
+	acceptDat []int32
 	// NullableOf[r] reports whether regex r matches the empty string.
 	NullableOf []bool
 	// NumRegex is the number of regexes compiled in.
@@ -34,6 +44,30 @@ type NFA struct {
 // NumStates returns the state count including the start state.
 func (n *NFA) NumStates() int { return len(n.Class) }
 
+// FollowOf lists the states reachable from s by one byte. The returned
+// slice aliases the CSR data array and must not be mutated.
+func (n *NFA) FollowOf(s int32) []int32 {
+	return n.followDat[n.followOff[s]:n.followOff[s+1]]
+}
+
+// Accepts lists the regex indices accepting at state s. The returned
+// slice aliases the CSR data array and must not be mutated.
+func (n *NFA) Accepts(s int32) []int32 {
+	return n.acceptDat[n.acceptOff[s]:n.acceptOff[s+1]]
+}
+
+// SizeBytes reports the automaton's resident memory: the CSR tables, the
+// per-state classes and the metadata arrays.
+func (n *NFA) SizeBytes() int64 {
+	size := int64(len(n.Class)) * 32 // each Class is a 4×uint64 bitset
+	size += 4 * int64(len(n.followOff)+len(n.followDat)+len(n.acceptOff)+len(n.acceptDat))
+	size += int64(len(n.NullableOf))
+	for _, name := range n.Names {
+		size += 16 + int64(len(name))
+	}
+	return size
+}
+
 // glushkovSets holds the classic first/last/nullable sets over positions.
 type glushkovSets struct {
 	nullable bool
@@ -41,8 +75,12 @@ type glushkovSets struct {
 	last     []int32
 }
 
+// builder accumulates follow/accept edges in per-state slices; Build
+// finalizes them into the NFA's CSR arrays.
 type builder struct {
-	nfa *NFA
+	nfa      *NFA
+	follow   [][]int32
+	acceptOf [][]int32
 }
 
 // Build compiles a set of regexes into one combined Glushkov NFA.
@@ -52,24 +90,44 @@ func Build(names []string, asts []rx.Node) (*NFA, error) {
 	}
 	n := &NFA{
 		Class:      make([]charclass.Class, 1), // state 0 = start
-		Follow:     make([][]int32, 1),
-		AcceptOf:   make([][]int32, 1),
 		NumRegex:   len(asts),
 		Names:      append([]string(nil), names...),
 		NullableOf: make([]bool, len(asts)),
 	}
-	b := &builder{nfa: n}
+	b := &builder{
+		nfa:      n,
+		follow:   make([][]int32, 1),
+		acceptOf: make([][]int32, 1),
+	}
 	for r, ast := range asts {
 		sets := b.compile(ast)
 		n.NullableOf[r] = sets.nullable
 		// Unanchored start: first-positions are reachable from the start
 		// state, which stays forever active during simulation.
-		n.Follow[0] = append(n.Follow[0], sets.first...)
+		b.follow[0] = append(b.follow[0], sets.first...)
 		for _, s := range sets.last {
-			n.AcceptOf[s] = append(n.AcceptOf[s], int32(r))
+			b.acceptOf[s] = append(b.acceptOf[s], int32(r))
 		}
 	}
+	n.followOff, n.followDat = compactCSR(b.follow)
+	n.acceptOff, n.acceptDat = compactCSR(b.acceptOf)
 	return n, nil
+}
+
+// compactCSR flattens per-row slices into offset + data arrays.
+func compactCSR(rows [][]int32) (off, dat []int32) {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	off = make([]int32, len(rows)+1)
+	dat = make([]int32, 0, total)
+	for i, r := range rows {
+		off[i] = int32(len(dat))
+		dat = append(dat, r...)
+	}
+	off[len(rows)] = int32(len(dat))
+	return off, dat
 }
 
 // newState allocates a position state for a class occurrence.
@@ -77,15 +135,15 @@ func (b *builder) newState(cl charclass.Class) int32 {
 	n := b.nfa
 	s := int32(len(n.Class))
 	n.Class = append(n.Class, cl)
-	n.Follow = append(n.Follow, nil)
-	n.AcceptOf = append(n.AcceptOf, nil)
+	b.follow = append(b.follow, nil)
+	b.acceptOf = append(b.acceptOf, nil)
 	return s
 }
 
 // link adds follow edges from every state in from to every state in to.
 func (b *builder) link(from, to []int32) {
 	for _, f := range from {
-		b.nfa.Follow[f] = append(b.nfa.Follow[f], to...)
+		b.follow[f] = append(b.follow[f], to...)
 	}
 }
 

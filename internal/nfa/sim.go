@@ -115,7 +115,7 @@ func simulate(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
 	followMask := make([][]uint64, numStates)
 	for s := 0; s < numStates; s++ {
 		m := make([]uint64, words)
-		for _, q := range n.Follow[s] {
+		for _, q := range n.FollowOf(int32(s)) {
 			m[q/64] |= 1 << (uint(q) % 64)
 		}
 		followMask[s] = m
@@ -123,7 +123,7 @@ func simulate(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
 	// Accept mask (any regex) and per-state accept lists for reporting.
 	acceptAny := make([]uint64, words)
 	for s := 0; s < numStates; s++ {
-		if len(n.AcceptOf[s]) > 0 {
+		if len(n.Accepts(int32(s))) > 0 {
 			acceptAny[s/64] |= 1 << (uint(s) % 64)
 		}
 	}
@@ -177,7 +177,7 @@ func simulate(ctx context.Context, n *NFA, input []byte) (*SimResult, error) {
 					b := bits.TrailingZeros64(hits)
 					hits &= hits - 1
 					s := w*64 + b
-					for _, r := range n.AcceptOf[s] {
+					for _, r := range n.Accepts(int32(s)) {
 						if !res.Outputs[r].Test(i) {
 							res.Outputs[r].Set(i)
 							res.Stats.Matches++

@@ -34,6 +34,12 @@ const (
 	MZBSSkipRatio    = "bitgen_zero_block_skip_ratio"
 	MOverlapFallback = "bitgen_overlap_fallbacks_total"
 
+	// Compile-time families (recorded by the engine per compilation):
+	// wall-clock compile latency and measured resident bytes of the durable
+	// compiled state — real measurements, not snapshot-encoding proxies.
+	MCompileSeconds      = "bitgen_compile_seconds"
+	MEngineResidentBytes = "bitgen_engine_resident_bytes"
+
 	// Serving layer (registered by internal/serve, not RegisterBase: the
 	// exposition of a library-only process carries no serve families).
 	MServeRequests        = "bitgen_serve_requests_total"
@@ -131,6 +137,9 @@ const (
 	HZBSSkipRatio    = "Taken/evaluated guard ratio of the most recent scan (why block-skipping was or was not effective)."
 	HOverlapFallback = "Loops or carries that overflowed the overlap limit and were materialized stream-wise."
 
+	HCompileSeconds      = "Wall-clock seconds to compile a pattern set into an engine (lowering, passes, state packing)."
+	HEngineResidentBytes = "Measured resident bytes of durable compiled state per engine (packed or boxed programs, output tables, shared class program)."
+
 	HServeRequests        = "HTTP requests admitted, per endpoint."
 	HServeErrors          = "HTTP requests that returned an error status, per endpoint."
 	HServeRejected        = "Requests rejected at admission (queue full or draining)."
@@ -143,7 +152,7 @@ const (
 	HServeBatches         = "Coalesced same-engine batches executed through RunMulti."
 	HServeBatchedRequests = "Match requests served through a coalesced batch."
 	HServeDrains          = "Graceful drains initiated."
-	HServeResidentBytes   = "Snapshot-encoded bytes of the engines resident in the LRU cache (memory-pressure proxy; decremented on evict)."
+	HServeResidentBytes   = "Measured resident bytes of the engines in the LRU cache: per-engine private state plus each interned shared block counted once (refcount-aware; decremented on evict and release)."
 
 	HSnapSaves           = "Engine snapshots persisted (atomic write-rename)."
 	HSnapSaveErrors      = "Snapshot persistence attempts that failed (I/O or injected fault)."
@@ -197,6 +206,20 @@ var ScanSecondsBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// CompileSecondsBuckets are the histogram bounds for per-compile wall
+// clock: 1ms (tiny sets) to 2 minutes (100k-pattern megasets).
+var CompileSecondsBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// ResidentBytesBuckets are the histogram bounds for per-engine resident
+// state: 4 KiB to 1 GiB in powers of four.
+var ResidentBytesBuckets = []float64{
+	4096, 16384, 65536, 262144, 1048576,
+	4194304, 16777216, 67108864, 268435456, 1073741824,
+}
+
 // RegisterBase eagerly registers every scan-level and modeled-kernel
 // family, so a scrape taken before the first scan (or before the first
 // rare event, like an overlap fallback) still exposes the full schema.
@@ -226,4 +249,6 @@ func RegisterBase(r *Registry) {
 	r.Counter(MTransposeBytes, HTransposeBytes)
 	r.Gauge(MZBSSkipRatio, HZBSSkipRatio)
 	r.Counter(MOverlapFallback, HOverlapFallback)
+	r.Histogram(MCompileSeconds, HCompileSeconds, CompileSecondsBuckets)
+	r.Histogram(MEngineResidentBytes, HEngineResidentBytes, ResidentBytesBuckets)
 }

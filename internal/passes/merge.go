@@ -49,7 +49,7 @@ func mergeBody(p *ir.Program, body *[]ir.Stmt, opts MergeOptions, sched *ir.Barr
 			continue
 		}
 		if i > start {
-			mergeRun(body, start, i, opts, sched)
+			mergeRun(p, body, start, i, opts, sched)
 		}
 		start = i + 1
 	}
@@ -58,7 +58,16 @@ func mergeBody(p *ir.Program, body *[]ir.Stmt, opts MergeOptions, sched *ir.Barr
 // mergeRun schedules the shifts of one straight-line run as early as their
 // operands allow (clustering them with shifts already placed there), then
 // groups consecutive shifts up to the merge size, as in Figure 9.
-func mergeRun(body *[]ir.Stmt, start, end int, opts MergeOptions, sched *ir.BarrierSchedule) {
+//
+// Placement is tracked with monotonically increasing sequence numbers and
+// merged shifts are buffered per group leader, then spliced in one final
+// rebuild. (Physically inserting into the middle of the order and fixing
+// every later position up was quadratic in run length — the dominant
+// compile cost on 10^5-statement ClamAV-class group programs.) The
+// deferred splice is sound because a shift is flushed at its first use:
+// everything already placed after the leader predates that use and so
+// cannot read the shift's value.
+func mergeRun(p *ir.Program, body *[]ir.Stmt, start, end int, opts MergeOptions, sched *ir.BarrierSchedule) {
 	orig := make([]*ir.Assign, 0, end-start)
 	for _, s := range (*body)[start:end] {
 		orig = append(orig, s.(*ir.Assign))
@@ -66,12 +75,12 @@ func mergeRun(body *[]ir.Stmt, start, end int, opts MergeOptions, sched *ir.Barr
 	// Reject runs with variable redefinition: reordering is only safe in
 	// single-assignment runs (the lowering emits SSA-shaped straight-line
 	// code except for loop-carried variables, which live in loop bodies).
-	seen := make(map[ir.VarID]bool)
+	seenDef := make([]bool, p.NumVars)
 	for _, a := range orig {
-		if seen[a.Dst] {
+		if seenDef[a.Dst] {
 			return
 		}
-		seen[a.Dst] = true
+		seenDef[a.Dst] = true
 	}
 
 	// Deferred scheduling: shifts are held back until their first use,
@@ -82,57 +91,69 @@ func mergeRun(body *[]ir.Stmt, start, end int, opts MergeOptions, sched *ir.Barr
 	// consumed by later segments) are NOT deferred: moving them to the
 	// run's end would stretch zero paths across unrelated regexes'
 	// code and poison ZBS validation.
-	usedInRun := make(map[ir.VarID]bool)
+	var buf [2]ir.VarID
+	usedInRun := make([]bool, p.NumVars)
 	for _, a := range orig {
-		for _, v := range ir.Operands(a.Expr) {
+		for _, v := range ir.OperandsInto(a.Expr, &buf) {
 			usedInRun[v] = true
 		}
 	}
 	newOrder := make([]*ir.Assign, 0, len(orig))
-	definedAt := make(map[ir.VarID]int) // index in newOrder
-	pendingShift := make(map[ir.VarID]*ir.Assign)
+	members := make(map[*ir.Assign][]*ir.Assign) // group leader → merged shifts
+	definedSeq := make([]int32, p.NumVars)       // -1 = external or not yet placed
+	for i := range definedSeq {
+		definedSeq[i] = -1
+	}
+	seq := int32(0)
+	place := func(a *ir.Assign) {
+		definedSeq[a.Dst] = seq
+		seq++
+	}
+	pend := make([]*ir.Assign, p.NumVars) // deferred shifts by destination
 	type group struct {
-		leaderPos int
-		lastPos   int
+		leader    *ir.Assign
+		leaderSeq int32
 		size      int
 	}
 	var cur *group
-	insertAt := func(pos int, a *ir.Assign) {
-		newOrder = append(newOrder, nil)
-		copy(newOrder[pos+1:], newOrder[pos:])
-		newOrder[pos] = a
-		for v, idx := range definedAt {
-			if idx >= pos {
-				definedAt[v] = idx + 1
+	// operandsBefore reports whether every operand was placed strictly
+	// before the group leader (external definitions count as before).
+	// Sequence order matches position order relative to any leader:
+	// merged members are placed after their leader both in time and in
+	// the final splice.
+	operandsBefore := func(a *ir.Assign, leaderSeq int32) bool {
+		for _, v := range ir.OperandsInto(a.Expr, &buf) {
+			if definedSeq[v] >= leaderSeq {
+				return false
 			}
 		}
-		definedAt[a.Dst] = pos
+		return true
 	}
 	var flushShift func(a *ir.Assign)
 	flushShift = func(a *ir.Assign) {
-		delete(pendingShift, a.Dst)
-		for _, v := range ir.Operands(a.Expr) {
-			if dep, ok := pendingShift[v]; ok {
+		pend[a.Dst] = nil
+		for _, v := range ir.OperandsInto(a.Expr, &buf) {
+			if dep := pend[v]; dep != nil {
 				flushShift(dep)
 			}
 		}
-		if cur != nil && cur.size < opts.MergeSize && operandsBefore(a, definedAt, cur.leaderPos) {
-			insertAt(cur.lastPos+1, a)
-			cur.lastPos++
+		if cur != nil && cur.size < opts.MergeSize && operandsBefore(a, cur.leaderSeq) {
+			members[cur.leader] = append(members[cur.leader], a)
+			place(a)
 			cur.size++
 			return
 		}
 		newOrder = append(newOrder, a)
-		definedAt[a.Dst] = len(newOrder) - 1
-		cur = &group{leaderPos: len(newOrder) - 1, lastPos: len(newOrder) - 1, size: 1}
+		place(a)
+		cur = &group{leader: a, leaderSeq: definedSeq[a.Dst], size: 1}
 	}
 	for _, a := range orig {
 		if _, isShift := a.Expr.(ir.Shift); isShift && usedInRun[a.Dst] {
-			pendingShift[a.Dst] = a
+			pend[a.Dst] = a
 			continue
 		}
-		for _, v := range ir.Operands(a.Expr) {
-			if dep, ok := pendingShift[v]; ok {
+		for _, v := range ir.OperandsInto(a.Expr, &buf) {
+			if dep := pend[v]; dep != nil {
 				flushShift(dep)
 			}
 		}
@@ -143,34 +164,26 @@ func mergeRun(body *[]ir.Stmt, start, end int, opts MergeOptions, sched *ir.Barr
 			continue
 		}
 		newOrder = append(newOrder, a)
-		definedAt[a.Dst] = len(newOrder) - 1
+		place(a)
 	}
-	if len(pendingShift) > 0 {
-		// Should not happen (every deferred shift has an in-run use), but
-		// flush defensively in original order.
-		for _, a := range orig {
-			if _, still := pendingShift[a.Dst]; still && isShiftAssign(a) {
-				flushShift(a)
-			}
+	// Should not happen (every deferred shift has an in-run use), but
+	// flush defensively in original order.
+	for _, a := range orig {
+		if pend[a.Dst] != nil && isShiftAssign(a) {
+			flushShift(a)
 		}
 	}
 
-	for i, a := range newOrder {
+	final := newOrder[:0:0]
+	for _, a := range newOrder {
+		final = append(final, a)
+		final = append(final, members[a]...)
+	}
+	for i, a := range final {
 		(*body)[start+i] = a
 	}
 
-	groupAdjacent(newOrder, opts, sched)
-}
-
-// operandsBefore reports whether every operand of a is defined strictly
-// before position pos (external definitions count as position -1).
-func operandsBefore(a *ir.Assign, definedAt map[ir.VarID]int, pos int) bool {
-	for _, v := range ir.Operands(a.Expr) {
-		if idx, ok := definedAt[v]; ok && idx >= pos {
-			return false
-		}
-	}
-	return true
+	groupAdjacent(final, opts, sched)
 }
 
 func isShiftAssign(a *ir.Assign) bool {

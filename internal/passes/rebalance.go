@@ -11,7 +11,9 @@ import (
 
 // RebalanceOptions control the Shift Rebalancing pass.
 type RebalanceOptions struct {
-	// MaxIterations bounds the rewrite fixpoint; zero means 16.
+	// MaxIterations bounds the rewrite fixpoint; zero means 4n+64 for an
+	// n-statement program (a safety valve: rounds normally stop long
+	// before via the no-change exit).
 	MaxIterations int
 }
 
@@ -33,21 +35,26 @@ type RebalanceResult struct {
 // operand. The rewrite is applied iteratively until a fixpoint. Only
 // top-level and straight-line-body runs of assignments are transformed;
 // control-flow bodies are processed independently.
+//
+// Each round applies every profitable rewrite found in one forward scan
+// (bookkeeping is updated incrementally), so the round count is bounded
+// by the longest def-use chain — not by the rewrite total. ClamAV-class
+// group programs run to 10^5 statements; the earlier one-rewrite-per-
+// round formulation was quadratic in group size and dominated megaset
+// compiles.
 func Rebalance(p *ir.Program, opts RebalanceOptions) RebalanceResult {
 	if opts.MaxIterations == 0 {
-		// Each round applies at least one rewrite per straight-line run;
-		// long literal chains (ClamAV signatures run to hundreds of
-		// characters) need proportionally many rounds to reach the
-		// balanced Figure-8 form.
 		n := 0
 		ir.WalkStmts(p.Stmts, func(ir.Stmt) { n++ })
 		opts.MaxIterations = 4*n + 64
 	}
+	rb := &rebalancer{p: p}
 	var res RebalanceResult
 	for round := 0; round < opts.MaxIterations; round++ {
 		res.Iterations++
-		changed := rebalanceBody(p, &p.Stmts, &res)
-		if fuseShiftChains(p, &p.Stmts) {
+		rb.prepRound()
+		changed := rb.body(&p.Stmts, &res)
+		if fuseShiftChains(p) {
 			changed = true
 		}
 		if !changed {
@@ -59,51 +66,262 @@ func Rebalance(p *ir.Program, opts RebalanceOptions) RebalanceResult {
 	return res
 }
 
+// rebalancer holds the per-round analysis state, reused across rounds to
+// keep the pass allocation-light. All tables are indexed by VarID (dense)
+// and grown in lockstep with NewVar as rewrites mint fresh variables.
+type rebalancer struct {
+	p *ir.Program
+	// uses counts every read of a variable program-wide: assignment
+	// operands, If/While/Guard conditions, and outputs. A shift value is
+	// rewritable only while uses == 1 (its single use is the AND at hand),
+	// which folds the old run-local count and external-use check into one.
+	uses []int32
+	// defIdx/redef are run-local: the defining statement index within the
+	// current run (-1 outside it) and whether the variable is assigned
+	// more than once. Entries touched by a run are reset when it ends.
+	defIdx []int32
+	redef  []bool
+}
+
+// prepRound recounts global uses and clears the run-local tables for one
+// fixpoint round.
+func (rb *rebalancer) prepRound() {
+	n := rb.p.NumVars
+	rb.uses = resizeInt32(rb.uses, n, 0)
+	for i := range rb.uses {
+		rb.uses[i] = 0
+	}
+	rb.defIdx = resizeInt32(rb.defIdx, n, -1)
+	rb.redef = resizeBool(rb.redef, n)
+	var buf [2]ir.VarID
+	ir.WalkStmts(rb.p.Stmts, func(s ir.Stmt) {
+		switch x := s.(type) {
+		case *ir.Assign:
+			for _, v := range ir.OperandsInto(x.Expr, &buf) {
+				rb.uses[v]++
+			}
+		case *ir.If:
+			rb.uses[x.Cond]++
+		case *ir.While:
+			rb.uses[x.Cond]++
+		case *ir.Guard:
+			rb.uses[x.Cond]++
+		}
+	})
+	for _, o := range rb.p.Outputs {
+		rb.uses[o.Var]++
+	}
+}
+
+// body processes one statement list: nested bodies first, then the maximal
+// runs of assignments. Runs that rewrote are spliced back in one rebuild
+// (no mid-slice insertion), keeping a round linear in body size.
+func (rb *rebalancer) body(body *[]ir.Stmt, res *RebalanceResult) bool {
+	changed := false
+	for _, s := range *body {
+		switch x := s.(type) {
+		case *ir.If:
+			if rb.body(&x.Body, res) {
+				changed = true
+			}
+		case *ir.While:
+			if rb.body(&x.Body, res) {
+				changed = true
+			}
+		}
+	}
+	var out []ir.Stmt // lazily created on the first rewritten run
+	copied := 0       // body prefix already appended to out
+	i := 0
+	for i < len(*body) {
+		if _, ok := (*body)[i].(*ir.Assign); !ok {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(*body) {
+			if _, ok := (*body)[j].(*ir.Assign); !ok {
+				break
+			}
+			j++
+		}
+		if seg := rb.run((*body)[i:j], res); seg != nil {
+			changed = true
+			if out == nil {
+				out = make([]ir.Stmt, 0, len(*body)+len(seg)-(j-i))
+			}
+			out = append(out, (*body)[copied:i]...)
+			out = append(out, seg...)
+			copied = j
+		}
+		i = j
+	}
+	if out != nil {
+		out = append(out, (*body)[copied:]...)
+		*body = out
+	}
+	return changed
+}
+
+// run rewrites one straight-line run of assignments, applying every
+// profitable rewrite in a single forward scan. It returns the replacement
+// statement list (with counter/inner pre-statements spliced in), or nil
+// when nothing changed.
+func (rb *rebalancer) run(stmts []ir.Stmt, res *RebalanceResult) []ir.Stmt {
+	p := rb.p
+	run := make([]*ir.Assign, len(stmts))
+	for i, s := range stmts {
+		run[i] = s.(*ir.Assign)
+	}
+	for idx, a := range run {
+		if rb.defIdx[a.Dst] >= 0 {
+			rb.redef[a.Dst] = true
+		}
+		rb.defIdx[a.Dst] = int32(idx)
+	}
+	depth := dfg.VarDepthsAt(run, p.NumVars)
+
+	var pres [][]ir.Stmt // pre-statements per run index, lazily allocated
+	inserted := 0
+	for idx, a := range run {
+		bin, ok := a.Expr.(ir.Bin)
+		if !ok || bin.Op != ir.OpAnd {
+			continue
+		}
+		// Identify a shift-defined operand within this run. Rewriting is
+		// only safe when the shifted value has exactly one use anywhere in
+		// the program: the AND we are rewriting.
+		tryRewrite := func(shiftVar, other ir.VarID) bool {
+			sIdx := rb.defIdx[shiftVar]
+			if sIdx < 0 || int(sIdx) >= idx || rb.redef[shiftVar] {
+				return false
+			}
+			sh, ok := run[sIdx].Expr.(ir.Shift)
+			if !ok {
+				return false
+			}
+			if rb.uses[shiftVar] != 1 {
+				return false
+			}
+			// The new statements read sh.Src and other at this position;
+			// their values must equal those at their original reads.
+			if rb.redef[other] || rb.redef[sh.Src] {
+				return false
+			}
+			// Profitable when the shift's source is deeper than the other
+			// operand: moving the shift to the shallower side shortens the
+			// critical path (Section 5.2's x > y condition).
+			if depth[sh.Src] <= depth[other] {
+				return false
+			}
+			// Rewrite: D = (A >> k) & B  →
+			//   counter = B << k; inner = A & counter; D = inner >> k.
+			// The old shift becomes dead (single use) and is removed by
+			// dead-code elimination; the barrier-merge pass later hoists
+			// the counter-shift to where B is available.
+			counter := p.NewVar()
+			inner := p.NewVar()
+			a.Expr = ir.Shift{Src: inner, K: sh.K}
+			if pres == nil {
+				pres = make([][]ir.Stmt, len(run))
+			}
+			pres[idx] = []ir.Stmt{
+				&ir.Assign{Dst: counter, Expr: ir.Shift{Src: other, K: -sh.K}},
+				&ir.Assign{Dst: inner, Expr: ir.Bin{Op: ir.OpAnd, X: sh.Src, Y: counter}},
+			}
+			inserted += 2
+			// Incremental bookkeeping so the scan can keep rewriting: the
+			// AND no longer reads shiftVar; inner reads sh.Src and counter;
+			// the rewritten assignment reads inner. The fresh variables are
+			// deliberately left out of defIdx (they become rewrite sources
+			// only on the next round, once positions are rebuilt).
+			rb.uses[shiftVar]--
+			rb.uses = resizeInt32(rb.uses, int(inner)+1, 0)
+			rb.defIdx = resizeInt32(rb.defIdx, int(inner)+1, -1)
+			rb.redef = resizeBool(rb.redef, int(inner)+1)
+			rb.uses[sh.Src]++
+			rb.uses[counter] = 1
+			rb.uses[inner] = 1
+			for len(depth) <= int(inner) {
+				depth = append(depth, 0)
+			}
+			depth[counter] = depth[other] + 1
+			d := depth[sh.Src]
+			if depth[counter] > d {
+				d = depth[counter]
+			}
+			depth[inner] = d + 1
+			depth[a.Dst] = depth[inner] + 1
+			res.Rewrites++
+			return true
+		}
+		if tryRewrite(bin.X, bin.Y) {
+			continue
+		}
+		tryRewrite(bin.Y, bin.X)
+	}
+	// Reset the run-local tables for the next run this round.
+	for _, a := range run {
+		rb.defIdx[a.Dst] = -1
+		rb.redef[a.Dst] = false
+	}
+	if pres == nil {
+		return nil
+	}
+	out := make([]ir.Stmt, 0, len(stmts)+inserted)
+	for idx, s := range stmts {
+		if pres[idx] != nil {
+			out = append(out, pres[idx]...)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// resizeInt32 returns s resized to n entries, filling fresh slots with
+// fill. Existing entries are preserved.
+func resizeInt32(s []int32, n int, fill int32) []int32 {
+	if cap(s) < n {
+		grown := make([]int32, len(s), n+n/2+8)
+		copy(grown, s)
+		s = grown
+	}
+	for len(s) < n {
+		s = append(s, fill)
+	}
+	return s
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		grown := make([]bool, len(s), n+n/2+8)
+		copy(grown, s)
+		s = grown
+	}
+	for len(s) < n {
+		s = append(s, false)
+	}
+	return s
+}
+
 // fuseShiftChains composes same-direction shift pairs: a single-use
 // X = A >> a feeding Y = X >> b becomes Y = A >> (a+b) (and likewise for
 // lookbacks). This is the "merged after the last AND" step of Figure 8's
 // second iteration; it is exact on bounded streams only for same-sign
 // shifts, so mixed directions are left alone.
-func fuseShiftChains(p *ir.Program, body *[]ir.Stmt) bool {
-	changed := false
-	for _, s := range *body {
-		switch x := s.(type) {
-		case *ir.If:
-			if fuseShiftChains(p, &x.Body) {
-				changed = true
-			}
-		case *ir.While:
-			if fuseShiftChains(p, &x.Body) {
-				changed = true
-			}
-		}
-	}
-	// Work over maximal assignment runs.
-	uses := make(map[ir.VarID]int)
-	def := make(map[ir.VarID]*ir.Assign)
-	redef := make(map[ir.VarID]bool)
+func fuseShiftChains(p *ir.Program) bool {
+	def := make([]*ir.Assign, p.NumVars)
+	redef := make([]bool, p.NumVars)
 	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
-		switch x := s.(type) {
-		case *ir.Assign:
-			for _, v := range ir.Operands(x.Expr) {
-				uses[v]++
+		if a, ok := s.(*ir.Assign); ok {
+			if def[a.Dst] != nil {
+				redef[a.Dst] = true
 			}
-			if def[x.Dst] != nil {
-				redef[x.Dst] = true
-			}
-			def[x.Dst] = x
-		case *ir.If:
-			uses[x.Cond]++
-		case *ir.While:
-			uses[x.Cond]++
-		case *ir.Guard:
-			uses[x.Cond]++
+			def[a.Dst] = a
 		}
 	})
-	for _, o := range p.Outputs {
-		uses[o.Var]++
-	}
-	ir.WalkStmts(*body, func(s ir.Stmt) {
+	changed := false
+	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
 		a, ok := s.(*ir.Assign)
 		if !ok {
 			return
@@ -128,246 +346,115 @@ func fuseShiftChains(p *ir.Program, body *[]ir.Stmt) bool {
 		a.Expr = ir.Shift{Src: inner.Src, K: inner.K + outer.K}
 		changed = true
 	})
-	_ = uses
 	return changed
 }
 
 // EliminateDeadCode removes assignments whose results are never read
 // (transitively), keeping outputs, conditions and guard sources alive.
-// It returns the number of statements removed.
+// It returns the number of statements removed. The transitive closure is
+// computed with a worklist over use counts — one pass regardless of dead-
+// chain depth — instead of sweeping to a fixpoint.
 func EliminateDeadCode(p *ir.Program) int {
-	removed := 0
-	for {
-		uses := make(map[ir.VarID]int)
-		ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+	uses := make([]int32, p.NumVars)
+	defs := make([]int32, p.NumVars)
+	defOf := make([]*ir.Assign, p.NumVars)
+	var buf [2]ir.VarID
+	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
+		switch x := s.(type) {
+		case *ir.Assign:
+			for _, v := range ir.OperandsInto(x.Expr, &buf) {
+				uses[v]++
+			}
+			defs[x.Dst]++
+			defOf[x.Dst] = x
+		case *ir.If:
+			uses[x.Cond]++
+		case *ir.While:
+			uses[x.Cond]++
+		case *ir.Guard:
+			uses[x.Cond]++
+		}
+	})
+	for _, o := range p.Outputs {
+		uses[o.Var]++
+	}
+	// Assignments in a body containing guards are pinned: removing them
+	// would desynchronize guard skip counts.
+	pinned := make(map[*ir.Assign]bool)
+	var markPinned func(body []ir.Stmt)
+	markPinned = func(body []ir.Stmt) {
+		hasGuard := false
+		for _, s := range body {
+			if _, ok := s.(*ir.Guard); ok {
+				hasGuard = true
+				break
+			}
+		}
+		for _, s := range body {
 			switch x := s.(type) {
 			case *ir.Assign:
-				for _, v := range ir.Operands(x.Expr) {
-					uses[v]++
+				if hasGuard {
+					pinned[x] = true
 				}
 			case *ir.If:
-				uses[x.Cond]++
+				markPinned(x.Body)
 			case *ir.While:
-				uses[x.Cond]++
-			case *ir.Guard:
-				uses[x.Cond]++
+				markPinned(x.Body)
 			}
-		})
-		for _, o := range p.Outputs {
-			uses[o.Var]++
 		}
-		// A variable assigned more than once (loop-carried) is kept
-		// conservatively: its assignments may feed each other.
-		defs := make(map[ir.VarID]int)
-		ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
-			if a, ok := s.(*ir.Assign); ok {
-				defs[a.Dst]++
-			}
-		})
-		n := removeDead(&p.Stmts, uses, defs)
-		if n == 0 {
-			return removed
-		}
-		removed += n
 	}
+	markPinned(p.Stmts)
+
+	// A variable assigned more than once (loop-carried) is kept
+	// conservatively: its assignments may feed each other.
+	removable := func(v ir.VarID) bool {
+		return uses[v] == 0 && defs[v] == 1 && defOf[v] != nil && !pinned[defOf[v]]
+	}
+	dead := make(map[*ir.Assign]bool)
+	var stack []ir.VarID
+	for v := 0; v < p.NumVars; v++ {
+		if removable(ir.VarID(v)) {
+			stack = append(stack, ir.VarID(v))
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		a := defOf[v]
+		if dead[a] {
+			continue
+		}
+		dead[a] = true
+		for _, u := range ir.OperandsInto(a.Expr, &buf) {
+			uses[u]--
+			if removable(u) {
+				stack = append(stack, u)
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	sweepDead(&p.Stmts, dead)
+	return len(dead)
 }
 
-// removeDead drops dead assignments from a body. Guards whose skip range
-// shrinks are conservatively left intact only when all skipped statements
-// survive; otherwise bodies containing guards are skipped entirely.
-func removeDead(body *[]ir.Stmt, uses map[ir.VarID]int, defs map[ir.VarID]int) int {
-	for _, s := range *body {
-		if _, ok := s.(*ir.Guard); ok {
-			// Removing statements would desynchronize guard skip counts.
-			return removeDeadNested(*body, uses, defs)
-		}
-	}
-	removed := 0
+// sweepDead drops the dead assignments from every body. Pinned (guarded)
+// assignments were never marked, so guard skip counts stay aligned.
+func sweepDead(body *[]ir.Stmt, dead map[*ir.Assign]bool) {
 	kept := (*body)[:0]
 	for _, s := range *body {
-		if a, ok := s.(*ir.Assign); ok {
-			if uses[a.Dst] == 0 && defs[a.Dst] == 1 {
-				removed++
+		switch x := s.(type) {
+		case *ir.Assign:
+			if dead[x] {
 				continue
 			}
+		case *ir.If:
+			sweepDead(&x.Body, dead)
+		case *ir.While:
+			sweepDead(&x.Body, dead)
 		}
 		kept = append(kept, s)
 	}
 	*body = kept
-	for _, s := range *body {
-		switch x := s.(type) {
-		case *ir.If:
-			removed += removeDead(&x.Body, uses, defs)
-		case *ir.While:
-			removed += removeDead(&x.Body, uses, defs)
-		}
-	}
-	return removed
-}
-
-// removeDeadNested only recurses into nested bodies (used when the current
-// body contains guards and must keep its statement count).
-func removeDeadNested(body []ir.Stmt, uses map[ir.VarID]int, defs map[ir.VarID]int) int {
-	removed := 0
-	for _, s := range body {
-		switch x := s.(type) {
-		case *ir.If:
-			removed += removeDead(&x.Body, uses, defs)
-		case *ir.While:
-			removed += removeDead(&x.Body, uses, defs)
-		}
-	}
-	return removed
-}
-
-func rebalanceBody(p *ir.Program, body *[]ir.Stmt, res *RebalanceResult) bool {
-	changed := false
-	// Recurse into nested bodies first.
-	for _, s := range *body {
-		switch x := s.(type) {
-		case *ir.If:
-			if rebalanceBody(p, &x.Body, res) {
-				changed = true
-			}
-		case *ir.While:
-			if rebalanceBody(p, &x.Body, res) {
-				changed = true
-			}
-		}
-	}
-	// Process the maximal runs of assignments in this body.
-	start := 0
-	for i := 0; i <= len(*body); i++ {
-		atEnd := i == len(*body)
-		var isAssign bool
-		if !atEnd {
-			_, isAssign = (*body)[i].(*ir.Assign)
-		}
-		if !atEnd && isAssign {
-			continue
-		}
-		if i > start {
-			if rebalanceRun(p, body, start, i, res) {
-				changed = true
-			}
-		}
-		start = i + 1
-	}
-	return changed
-}
-
-// rebalanceRun rewrites one straight-line run (*body)[start:end).
-func rebalanceRun(p *ir.Program, body *[]ir.Stmt, start, end int, res *RebalanceResult) bool {
-	run := make([]*ir.Assign, 0, end-start)
-	for _, s := range (*body)[start:end] {
-		run = append(run, s.(*ir.Assign))
-	}
-	// Count uses of each variable within the run, and identify the single
-	// defining statement of shift values (rewriting is only safe when the
-	// shifted value has exactly one use: the AND we are rewriting).
-	uses := make(map[ir.VarID]int)
-	defIdx := make(map[ir.VarID]int)
-	redefined := make(map[ir.VarID]bool)
-	for idx, a := range run {
-		for _, v := range ir.Operands(a.Expr) {
-			uses[v]++
-		}
-		if _, dup := defIdx[a.Dst]; dup {
-			redefined[a.Dst] = true
-		}
-		defIdx[a.Dst] = idx
-	}
-	// Variables used outside this run (later program text) must not have
-	// their defining expressions repurposed. Conservatively count output
-	// uses as external.
-	external := externalUses(p, body, start, end)
-
-	varDepth := dfg.VarDepthsAt(run, p.NumVars)
-	changed := false
-	for idx, a := range run {
-		bin, ok := a.Expr.(ir.Bin)
-		if !ok || bin.Op != ir.OpAnd {
-			continue
-		}
-		// Identify a shift-defined operand within this run.
-		tryRewrite := func(shiftVar, other ir.VarID) bool {
-			sIdx, ok := defIdx[shiftVar]
-			if !ok || sIdx >= idx || redefined[shiftVar] {
-				return false
-			}
-			sh, ok := run[sIdx].Expr.(ir.Shift)
-			if !ok {
-				return false
-			}
-			if uses[shiftVar] != 1 || external[shiftVar] || redefined[shiftVar] {
-				return false
-			}
-			// The new statements read sh.Src and other at this position;
-			// their values must equal those at their original reads.
-			if redefined[other] || redefined[sh.Src] {
-				return false
-			}
-			// Profitable when the shift's source is deeper than the other
-			// operand: moving the shift to the shallower side shortens the
-			// critical path (Section 5.2's x > y condition).
-			if varDepth[sh.Src] <= varDepth[other] {
-				return false
-			}
-			// Rewrite: D = (A >> k) & B  →
-			//   counter = B << k; inner = A & counter; D = inner >> k.
-			// The old shift becomes dead (single use) and is removed by
-			// dead-code elimination; the barrier-merge pass later hoists
-			// the counter-shift to where B is available.
-			counter := p.NewVar()
-			inner := p.NewVar()
-			a.Expr = ir.Shift{Src: inner, K: sh.K}
-			pre := []ir.Stmt{
-				&ir.Assign{Dst: counter, Expr: ir.Shift{Src: other, K: -sh.K}},
-				&ir.Assign{Dst: inner, Expr: ir.Bin{Op: ir.OpAnd, X: sh.Src, Y: counter}},
-			}
-			pos := start + idx
-			*body = append(*body, nil, nil)
-			copy((*body)[pos+2:], (*body)[pos:len(*body)-2])
-			(*body)[pos] = pre[0]
-			(*body)[pos+1] = pre[1]
-			res.Rewrites++
-			return true
-		}
-		if tryRewrite(bin.X, bin.Y) || tryRewrite(bin.Y, bin.X) {
-			changed = true
-			break // indices shifted; restart this run next round
-		}
-	}
-	return changed
-}
-
-// externalUses reports variables defined in (*body)[start:end) that are
-// read anywhere outside that range (including outputs and conditions).
-func externalUses(p *ir.Program, body *[]ir.Stmt, start, end int) map[ir.VarID]bool {
-	inRange := make(map[ir.Stmt]bool)
-	for _, s := range (*body)[start:end] {
-		inRange[s] = true
-	}
-	ext := make(map[ir.VarID]bool)
-	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
-		if inRange[s] {
-			return
-		}
-		switch x := s.(type) {
-		case *ir.Assign:
-			for _, v := range ir.Operands(x.Expr) {
-				ext[v] = true
-			}
-		case *ir.If:
-			ext[x.Cond] = true
-		case *ir.While:
-			ext[x.Cond] = true
-		case *ir.Guard:
-			ext[x.Cond] = true
-		}
-	})
-	for _, o := range p.Outputs {
-		ext[o.Var] = true
-	}
-	return ext
 }

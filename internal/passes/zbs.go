@@ -49,13 +49,14 @@ func InsertGuards(p *ir.Program, opts ZBSOptions) ZBSResult {
 
 // globalUses records, per variable, every textual use in the program plus
 // outputs (used to decide whether a skipped definition escapes its range).
-// A nil entry marks an output use.
-func globalUses(p *ir.Program) map[ir.VarID][]ir.Stmt {
-	uses := make(map[ir.VarID][]ir.Stmt)
+// A nil entry marks an output use. Indexed by VarID (dense).
+func globalUses(p *ir.Program) [][]ir.Stmt {
+	uses := make([][]ir.Stmt, p.NumVars)
+	var buf [2]ir.VarID
 	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
 		switch x := s.(type) {
 		case *ir.Assign:
-			for _, v := range ir.Operands(x.Expr) {
+			for _, v := range ir.OperandsInto(x.Expr, &buf) {
 				uses[v] = append(uses[v], s)
 			}
 		case *ir.If:
@@ -80,7 +81,7 @@ type insertion struct {
 	cond  ir.VarID
 }
 
-func guardBody(p *ir.Program, body *[]ir.Stmt, opts ZBSOptions, res *ZBSResult, ext map[ir.VarID][]ir.Stmt) {
+func guardBody(p *ir.Program, body *[]ir.Stmt, opts ZBSOptions, res *ZBSResult, ext [][]ir.Stmt) {
 	for _, s := range *body {
 		switch x := s.(type) {
 		case *ir.If:
@@ -148,17 +149,27 @@ func guardBody(p *ir.Program, body *[]ir.Stmt, opts ZBSOptions, res *ZBSResult, 
 }
 
 // planRunGuards finds valid guard insertions for one straight-line run.
-func planRunGuards(run []*ir.Assign, numVars int, opts ZBSOptions, res *ZBSResult, ext map[ir.VarID][]ir.Stmt) []insertion {
+// The run-position index and the on-path stamps are built once per run /
+// per path so candidate validation never allocates — at ClamAV megaset
+// scale a run holds the whole group program and every AND chain is a path.
+func planRunGuards(run []*ir.Assign, numVars int, opts ZBSOptions, res *ZBSResult, ext [][]ir.Stmt) []insertion {
 	var out []insertion
 	taken := make(map[*ir.Assign]bool)
 	paths := dfg.ZeroPaths(run, numVars)
 	res.PathsFound += len(paths)
-	for _, path := range paths {
+	// idxOf maps a statement to its run position; statements from other
+	// bodies (or outputs, as nil) are absent, i.e. external to any range.
+	idxOf := make(map[ir.Stmt]int32, len(run))
+	for i, a := range run {
+		idxOf[a] = int32(i)
+	}
+	onPath := make([]int32, len(run)) // stamp = path ordinal + 1
+	for pi, path := range paths {
+		stamp := int32(pi + 1)
 		endIdx := path.Stmts[len(path.Stmts)-1]
-		onPath := make(map[int]bool, len(path.Stmts)+1)
-		onPath[path.Head] = true
+		onPath[path.Head] = stamp
 		for _, idx := range path.Stmts {
-			onPath[idx] = true
+			onPath[idx] = stamp
 		}
 		candidates := []int{path.Head}
 		for j := opts.Interval; j < len(path.Stmts); j += opts.Interval {
@@ -167,7 +178,7 @@ func planRunGuards(run []*ir.Assign, numVars int, opts ZBSOptions, res *ZBSResul
 		for _, condPos := range candidates {
 			// Advance past rejections, as the paper's algorithm does.
 			for condPos < endIdx {
-				if validSkipRange(run, condPos+1, endIdx, onPath, ext) {
+				if validSkipRange(run, condPos+1, endIdx, onPath, stamp, ext, idxOf) {
 					break
 				}
 				res.Rejected++
@@ -201,17 +212,17 @@ func planRunGuards(run []*ir.Assign, numVars int, opts ZBSOptions, res *ZBSResul
 // validSkipRange checks the paper's rejection rule: every non-path
 // statement inside the candidate range must not define a variable used
 // outside the range.
-func validSkipRange(run []*ir.Assign, from, to int, onPath map[int]bool, ext map[ir.VarID][]ir.Stmt) bool {
-	inRange := make(map[ir.Stmt]bool, to-from+1)
+func validSkipRange(run []*ir.Assign, from, to int, onPath []int32, stamp int32, ext [][]ir.Stmt, idxOf map[ir.Stmt]int32) bool {
 	for i := from; i <= to; i++ {
-		inRange[run[i]] = true
-	}
-	for i := from; i <= to; i++ {
-		if onPath[i] {
+		if onPath[i] == stamp {
 			continue // on-path values are provably zero when skipped
 		}
 		for _, use := range ext[run[i].Dst] {
-			if use == nil || !inRange[use] {
+			if use == nil {
+				return false // output use escapes any range
+			}
+			idx, ok := idxOf[use]
+			if !ok || int(idx) < from || int(idx) > to {
 				return false
 			}
 		}

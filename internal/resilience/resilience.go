@@ -438,6 +438,26 @@ func (l *Ladder) Health() Health {
 	return h
 }
 
+// Sizer is optionally implemented by backends whose compiled state stays
+// resident for the engine's lifetime (the fallback rungs' automata). The
+// primary bitstream rung deliberately does not implement it: its state is
+// the engine itself, which the caller accounts separately.
+type Sizer interface {
+	ResidentBytes() int64
+}
+
+// ResidentBytes sums the durable compiled state of every rung that
+// reports one.
+func (l *Ladder) ResidentBytes() int64 {
+	var n int64
+	for _, b := range l.backends {
+		if s, ok := b.(Sizer); ok {
+			n += s.ResidentBytes()
+		}
+	}
+	return n
+}
+
 // Reset closes the named backend's breaker and clears its quarantine,
 // reporting whether the name matched a rung.
 func (l *Ladder) Reset(name string) bool {

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"bitgen/internal/intern"
+)
+
+// TestCachedEnginesShareInternedBlocks: two cached engines whose pattern
+// sets overlap hold one canonical copy of the overlapping group's packed
+// program, the resident gauge charges it once, and eviction releases the
+// block only when its last referencing engine leaves the cache.
+func TestCachedEnginesShareInternedBlocks(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxCachedEngines: 2})
+	post := func(patterns string) {
+		t.Helper()
+		body := fmt.Sprintf(`{"patterns":[%s],"input":"abcabcx"}`, patterns)
+		if code, _, er := postMatch(t, hs.URL, body); code != http.StatusOK {
+			t.Fatalf("request %s failed: %d %v", patterns, code, er)
+		}
+	}
+	// keysOf finds the cached entry containing the distinguishing pattern.
+	keysOf := func(distinct string) []intern.Key {
+		s.cache.mu.Lock()
+		defer s.cache.mu.Unlock()
+		for _, e := range s.cache.entries {
+			for _, p := range e.patterns {
+				if p == distinct {
+					return append([]intern.Key(nil), e.blockKeys...)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Disjoint alphabets within each set keep the shared-class basis out
+	// of the picture, so the overlapping pattern "abcabc" lowers to the
+	// same packed group program in both engines.
+	post(`"abcabc","xyzxyz"`)
+	post(`"abcabc","qrsqrs"`)
+	k1 := keysOf("xyzxyz")
+	k2 := keysOf("qrsqrs")
+	if len(k1) == 0 || len(k2) == 0 {
+		t.Fatalf("expected interned blocks on both entries, got %d and %d", len(k1), len(k2))
+	}
+	in2 := make(map[intern.Key]bool, len(k2))
+	for _, k := range k2 {
+		in2[k] = true
+	}
+	var shared []intern.Key
+	for _, k := range k1 {
+		if in2[k] {
+			shared = append(shared, k)
+		}
+	}
+	if len(shared) != 1 {
+		t.Fatalf("engines share %d blocks, want exactly 1 (the abcabc group)", len(shared))
+	}
+	sk := shared[0]
+	if got := s.cache.blocks.Refs(sk); got != 2 {
+		t.Fatalf("shared block refs = %d, want 2", got)
+	}
+	// Four groups total across both engines, three distinct blocks.
+	if got := s.cache.blocks.Blocks(); got != 3 {
+		t.Fatalf("distinct blocks = %d, want 3", got)
+	}
+
+	// Gauge invariant under sharing: private bytes per entry plus each
+	// distinct block once.
+	gauge := s.Metrics().Snapshot().Gauges["bitgen_serve_engine_cache_resident_bytes"]
+	s.cache.mu.Lock()
+	var private int64
+	for _, e := range s.cache.entries {
+		private += e.bytes
+	}
+	invariant := float64(private) + float64(s.cache.blocks.SharedBytes())
+	s.cache.mu.Unlock()
+	if gauge != invariant {
+		t.Fatalf("resident gauge = %v, want private+shared = %v", gauge, invariant)
+	}
+
+	// Evicting the first engine (LRU) drops its references but keeps the
+	// still-shared block resident; evicting the second frees it.
+	post(`"mmmnnn"`)
+	if got := s.cache.blocks.Refs(sk); got != 1 {
+		t.Fatalf("after first evict: shared block refs = %d, want 1", got)
+	}
+	post(`"pppooo"`)
+	if got := s.cache.blocks.Refs(sk); got != 0 {
+		t.Fatalf("after second evict: shared block refs = %d, want 0 (freed)", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"bitgen"
 	"bitgen/internal/bgerr"
+	"bitgen/internal/intern"
 	"bitgen/internal/obs"
 )
 
@@ -22,20 +23,27 @@ import (
 // least-recently-used beyond the capacity. Engines are immutable, so a
 // request holding an engine that gets evicted mid-flight simply finishes
 // on it; eviction only drops the cache reference.
+//
+// Resident-bytes accounting is measured, not proxied: each engine's
+// packed compiled-state blocks are interned in a refcounted
+// content-addressed store at adoption, so identical compiled structures
+// shared by several cached engines are held — and charged to the gauge —
+// exactly once. The gauge is at all times Σ per-engine private bytes +
+// store.SharedBytes().
 type registry struct {
 	cap int
 	// build produces the engine for a key on miss — compile, or a
-	// snapshot load/peer fetch when the server has persistence wired. It
-	// also reports the engine's snapshot-encoded size, the cache's
-	// resident-bytes accounting unit.
-	build func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error)
+	// snapshot load/peer fetch when the server has persistence wired.
+	build func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, error)
 	reg   *obs.Registry
 	// events, when non-nil, records cache evictions in the structured
 	// event log (set by the server after construction).
 	events *obs.EventLog
-	// resident tracks the snapshot-encoded bytes of completed cached
-	// engines, decremented on evict — the memory-pressure gauge.
+	// resident tracks the measured resident bytes of completed cached
+	// engines (private + each shared block once), decremented on evict.
 	resident *obs.Gauge
+	// blocks dedupes identical packed compiled state across engines.
+	blocks intern.Store
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -52,14 +60,19 @@ type entry struct {
 	ready    chan struct{}
 	eng      *bitgen.Engine
 	err      error
-	// bytes is the engine's snapshot-encoded size (resident accounting).
-	bytes   int64
-	lastUse int64
-	batcher *batcher
+	// bytes is the engine's measured private resident size: its
+	// ResidentBytes minus the interned shared blocks, which the block
+	// store accounts once across all referencing engines.
+	bytes int64
+	// blockKeys are the engine's references into the block store,
+	// released on evict.
+	blockKeys []intern.Key
+	lastUse   int64
+	batcher   *batcher
 }
 
 func newRegistry(capacity int, reg *obs.Registry,
-	build func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error)) *registry {
+	build func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, error)) *registry {
 	return &registry{
 		cap:      capacity,
 		build:    build,
@@ -67,6 +80,37 @@ func newRegistry(capacity int, reg *obs.Registry,
 		resident: reg.Gauge(obs.MServeResidentBytes, obs.HServeResidentBytes),
 		entries:  make(map[string]*entry),
 	}
+}
+
+// adopt interns a newly built engine's packed compiled-state blocks,
+// rebinding them to the store's canonical copies, and returns the
+// engine's private resident bytes (its measured footprint minus the
+// shared block contents), the store references taken, and the shared
+// bytes newly charged to the store (nonzero only for blocks no other
+// cached engine holds). Gauge delta for adopting an engine is
+// private + charged.
+func (r *registry) adopt(eng *bitgen.Engine) (private int64, keys []intern.Key, charged int64) {
+	total := eng.ResidentBytes()
+	var sharedLen int64
+	eng.RebindPackedBlocks(func(b []byte) []byte {
+		canonical, key, c := r.blocks.Acquire(b)
+		keys = append(keys, key)
+		charged += c
+		sharedLen += int64(len(b))
+		return canonical
+	})
+	return total - sharedLen, keys, charged
+}
+
+// releaseLocked drops an entry's block references, returning the shared
+// bytes uncharged from the store (nonzero only for blocks no remaining
+// engine holds).
+func (r *registry) releaseLocked(e *entry) (uncharged int64) {
+	for _, k := range e.blockKeys {
+		uncharged += r.blocks.Release(k)
+	}
+	e.blockKeys = nil
+	return uncharged
 }
 
 // get returns the cached entry for key, compiling the unique patterns on
@@ -119,7 +163,7 @@ func (r *registry) get(ctx context.Context, key string, patterns []string, foldC
 				}
 			}
 		}()
-		e.eng, e.bytes, e.err = r.build(context.WithoutCancel(ctx), key, e.patterns, e.foldCase)
+		e.eng, e.err = r.build(context.WithoutCancel(ctx), key, e.patterns, e.foldCase)
 	}()
 	if e.err != nil {
 		r.mu.Lock()
@@ -128,7 +172,9 @@ func (r *registry) get(ctx context.Context, key string, patterns []string, foldC
 		}
 		r.mu.Unlock()
 	} else {
-		r.resident.Add(float64(e.bytes))
+		var charged int64
+		e.bytes, e.blockKeys, charged = r.adopt(e.eng)
+		r.resident.Add(float64(e.bytes + charged))
 	}
 	close(e.ready)
 	if e.err != nil {
@@ -170,25 +216,31 @@ func (r *registry) evictLocked() {
 			victim.batcher.stop()
 		}
 		if victim.err == nil {
-			r.resident.Add(-float64(victim.bytes))
+			uncharged := r.releaseLocked(victim)
+			r.resident.Add(-float64(victim.bytes + uncharged))
+			r.events.Emit(obs.LevelInfo, "cache-evict", obs.TraceID{},
+				obs.FStr("key", victim.key), obs.FInt("bytes", victim.bytes),
+				obs.FInt("shared_freed", uncharged))
+		} else {
+			r.events.Emit(obs.LevelInfo, "cache-evict", obs.TraceID{},
+				obs.FStr("key", victim.key), obs.FInt("bytes", victim.bytes))
 		}
 		r.reg.Counter(obs.MServeCacheEvictions, obs.HServeCacheEvictions).Inc()
-		r.events.Emit(obs.LevelInfo, "cache-evict", obs.TraceID{},
-			obs.FStr("key", victim.key), obs.FInt("bytes", victim.bytes))
 	}
 }
 
 // insertReady installs an already-built engine (snapshot warm start at
 // boot). Existing entries win: a concurrent request may have compiled
-// first, and replacing its entry would orphan the batcher waiters.
-func (r *registry) insertReady(key string, patterns []string, foldCase bool, eng *bitgen.Engine, bytes int64) bool {
+// first, and replacing its entry would orphan the batcher waiters. The
+// engine's blocks are interned only once the entry actually enters the
+// cache, so a losing insert takes no store references.
+func (r *registry) insertReady(key string, patterns []string, foldCase bool, eng *bitgen.Engine) bool {
 	e := &entry{
 		key:      key,
 		patterns: append([]string(nil), patterns...),
 		foldCase: foldCase,
 		ready:    make(chan struct{}),
 		eng:      eng,
-		bytes:    bytes,
 	}
 	close(e.ready)
 	r.mu.Lock()
@@ -199,7 +251,9 @@ func (r *registry) insertReady(key string, patterns []string, foldCase bool, eng
 	r.tick++
 	e.lastUse = r.tick
 	r.entries[key] = e
-	r.resident.Add(float64(bytes))
+	var charged int64
+	e.bytes, e.blockKeys, charged = r.adopt(eng)
+	r.resident.Add(float64(e.bytes + charged))
 	r.evictLocked()
 	return true
 }

@@ -17,13 +17,12 @@ import (
 // wedging the key and a cache slot for the process lifetime.
 func TestRegistryBuildPanicContained(t *testing.T) {
 	calls := 0
-	r := newRegistry(4, obs.NewRegistry(), func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error) {
+	r := newRegistry(4, obs.NewRegistry(), func(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, error) {
 		calls++
 		if calls == 1 {
 			panic("decoder invariant violated")
 		}
-		eng, err := bitgen.Compile(patterns, nil)
-		return eng, 1, err
+		return bitgen.Compile(patterns, nil)
 	})
 
 	_, _, err := r.get(context.Background(), "k", []string{"abc"}, false)

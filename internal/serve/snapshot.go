@@ -24,39 +24,38 @@ import (
 // persisted write-behind so the next boot (or peer) skips the work. Every
 // rung that fails falls through; a request never fails because a snapshot
 // was bad, only because the compile itself did.
-func (s *Server) buildEngine(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, int64, error) {
+func (s *Server) buildEngine(ctx context.Context, key string, patterns []string, foldCase bool) (*bitgen.Engine, error) {
 	opts := s.engineOptions(foldCase)
-	if eng, n, ok := s.loadLocalSnapshot(key, &opts); ok {
-		return eng, n, nil
+	if eng, ok := s.loadLocalSnapshot(key, &opts); ok {
+		return eng, nil
 	}
-	if eng, n, ok := s.fetchPeerSnapshot(ctx, key, &opts); ok {
-		return eng, n, nil
+	if eng, ok := s.fetchPeerSnapshot(ctx, key, &opts); ok {
+		return eng, nil
 	}
 	s.reg.Counter(obs.MServeCompiles, obs.HServeCompiles).Inc()
 	eng, err := bitgen.CompileContext(ctx, patterns, &opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	data := bitgen.EncodeEngine(eng)
 	if s.snap != nil {
 		// Write-behind: a failed save is counted by the store and the
 		// request proceeds on the compiled engine regardless.
-		_ = s.snap.Save(key, data)
+		_ = s.snap.Save(key, bitgen.EncodeEngine(eng))
 	}
-	return eng, int64(len(data)), nil
+	return eng, nil
 }
 
 // loadLocalSnapshot tries the on-disk snapshot for key. A snapshot that
 // fails verification for a file-condemning reason is quarantined; a
 // negotiation refusal (options or key mismatch) leaves the file in place
 // for whoever it does fit.
-func (s *Server) loadLocalSnapshot(key string, opts *bitgen.Options) (*bitgen.Engine, int64, bool) {
+func (s *Server) loadLocalSnapshot(key string, opts *bitgen.Options) (*bitgen.Engine, bool) {
 	if s.snap == nil {
-		return nil, 0, false
+		return nil, false
 	}
 	data, err := s.snap.Load(key)
 	if err != nil {
-		return nil, 0, false // missing or unreadable: fall through to compile
+		return nil, false // missing or unreadable: fall through to compile
 	}
 	eng, err := s.decodeSnapshot(key, data, opts)
 	if err != nil {
@@ -64,26 +63,26 @@ func (s *Server) loadLocalSnapshot(key string, opts *bitgen.Options) (*bitgen.En
 			s.snap.Quarantine(key)
 			s.noteQuarantine(key, err)
 		}
-		return nil, 0, false
+		return nil, false
 	}
 	s.reg.Counter(obs.MSnapLoads, obs.HSnapLoads).Inc()
-	return eng, int64(len(data)), true
+	return eng, true
 }
 
 // fetchPeerSnapshot asks the cluster for the key's snapshot and, on a
 // verified hit, persists it locally so the next restart warm-starts
 // without asking again.
-func (s *Server) fetchPeerSnapshot(ctx context.Context, key string, opts *bitgen.Options) (*bitgen.Engine, int64, bool) {
+func (s *Server) fetchPeerSnapshot(ctx context.Context, key string, opts *bitgen.Options) (*bitgen.Engine, bool) {
 	if s.cluster == nil {
-		return nil, 0, false
+		return nil, false
 	}
 	data, from, err := s.cluster.FetchSnapshot(ctx, key)
 	if err != nil {
 		s.reg.Counter(obs.MSnapPeerFetchErrors, obs.HSnapPeerFetchErrors).Inc()
-		return nil, 0, false
+		return nil, false
 	}
 	if data == nil {
-		return nil, 0, false // no remote candidate had one
+		return nil, false // no remote candidate had one
 	}
 	eng, err := s.decodeSnapshot(key, data, opts)
 	if err != nil {
@@ -91,14 +90,14 @@ func (s *Server) fetchPeerSnapshot(ctx context.Context, key string, opts *bitgen
 		// and the failed fetch, but there is no local file to quarantine.
 		s.noteVerifyFailure(err)
 		s.reg.Counter(obs.MSnapPeerFetchErrors, obs.HSnapPeerFetchErrors).Inc()
-		return nil, 0, false
+		return nil, false
 	}
 	s.reg.Counter(obs.MSnapPeerFetches, obs.HSnapPeerFetches).Inc()
 	if s.snap != nil {
 		_ = s.snap.Save(key, data)
 	}
 	_ = from
-	return eng, int64(len(data)), true
+	return eng, true
 }
 
 // decodeSnapshot decodes and fully verifies snapshot bytes for one
@@ -184,7 +183,7 @@ func (s *Server) warmStart() {
 			}
 			continue
 		}
-		if s.cache.insertReady(key, eng.Patterns(), meta.FoldCase, eng, int64(len(data))) {
+		if s.cache.insertReady(key, eng.Patterns(), meta.FoldCase, eng) {
 			warm.Inc()
 			loaded++
 		}

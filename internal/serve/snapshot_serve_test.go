@@ -108,8 +108,11 @@ func TestSnapshotOptionsMismatchRefusedNotQuarantined(t *testing.T) {
 	}
 }
 
-// TestResidentBytesGauge: the resident-bytes gauge tracks the sum of
-// cached engines' snapshot-encoded sizes and is decremented on eviction.
+// TestResidentBytesGauge: the resident-bytes gauge tracks the measured
+// resident bytes of cached engines — per-engine private state plus each
+// interned shared block counted exactly once — and is decremented on
+// eviction (releasing shared blocks only when their last referencing
+// engine leaves).
 func TestResidentBytesGauge(t *testing.T) {
 	s, hs := newTestServer(t, Config{MaxCachedEngines: 2})
 	residentOf := func() float64 {
@@ -128,7 +131,7 @@ func TestResidentBytesGauge(t *testing.T) {
 			default:
 			}
 		}
-		return sum
+		return sum + s.cache.blocks.SharedBytes()
 	}
 	for i := 0; i < 4; i++ {
 		body := fmt.Sprintf(`{"patterns":["res%dident"],"input":"res%didentx"}`, i, i)

@@ -34,8 +34,10 @@ import (
 
 // FormatVersion is the snapshot format this build writes and reads.
 // Loaders refuse any other version: snapshot compatibility is negotiated,
-// never guessed.
-const FormatVersion = 1
+// never guessed. v2 stores each group's program as its packed byte blob
+// (the same content unit the engine keeps resident and the serve layer
+// interns) and adds the shared character-class program section.
+const FormatVersion = 2
 
 var magic = [8]byte{'B', 'G', 'E', 'N', 'S', 'N', 'A', 'P'}
 
@@ -207,6 +209,11 @@ func (e *enc) strs(ss []string) {
 	}
 }
 
+func (e *enc) blob(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
 func b2u(v bool) byte {
 	if v {
 		return 1
@@ -302,6 +309,20 @@ func (d *dec) str(what string) string {
 	s := string(d.b[:n])
 	d.b = d.b[n:]
 	return s
+}
+
+func (d *dec) blob(what string) []byte {
+	n := d.uvarint(what + " length")
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail(what + " length exceeds payload")
+		return nil
+	}
+	out := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return out
 }
 
 func (d *dec) strs(what string) []string {

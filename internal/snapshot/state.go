@@ -5,12 +5,13 @@ import (
 	"bitgen/internal/ir"
 )
 
-// Section names of the v1 format. Decode requires exactly these three, in
+// Section names of the v2 format. Decode requires exactly these four, in
 // this order; Meta comes first so PeekMeta can stop after one section.
 const (
 	sectionMeta   = "meta"
 	sectionPasses = "passes"
 	sectionGroups = "groups"
+	sectionShared = "shared"
 )
 
 // EngineState is the serializable compiled state of a bitgen.Engine: the
@@ -34,8 +35,17 @@ type EngineState struct {
 	MaxLen    int
 	Nullable  []string
 	Unbounded []string
-	// Groups are the per-CTA compiled programs.
+	// Groups are the per-CTA compiled programs. v2 persists each program as
+	// its packed byte blob — the same content unit the engine keeps resident
+	// and the serve layer interns — so snapshots of compressed engines
+	// round-trip byte-identically. Decode materializes and validates every
+	// blob and leaves both Packed and Program populated; engine.Restore
+	// normalizes to the target storage mode.
 	Groups []engine.Group
+	// Shared is the engine-wide character-class program whose outputs bind
+	// the extended basis bits (MatchBasis ≥ 8) that group programs may read.
+	// Nil when the engine has no cross-group shared classes.
+	Shared *ir.Program
 	// PassStats aggregates what the optimization passes did at compile.
 	PassStats engine.PassStats
 }
@@ -68,28 +78,47 @@ func Encode(st *EngineState) []byte {
 	var groups enc
 	groups.count(len(st.Groups))
 	for i := range st.Groups {
-		encodeGroup(&groups, &st.Groups[i])
+		g := &st.Groups[i]
+		groups.strs(g.Names)
+		groups.varint(int64(g.Chars))
+		// EncodedProgram returns the stored packed bytes verbatim for a
+		// compressed engine, so re-encoding a decoded snapshot reproduces
+		// the group section byte for byte.
+		groups.blob(g.EncodedProgram())
+	}
+
+	var shared enc
+	if st.Shared == nil {
+		shared.boolean(false)
+	} else {
+		shared.boolean(true)
+		shared.blob(ir.EncodeProgram(st.Shared))
 	}
 
 	return container([]section{
 		{name: sectionMeta, payload: meta.b},
 		{name: sectionPasses, payload: passes.b},
 		{name: sectionGroups, payload: groups.b},
+		{name: sectionShared, payload: shared.b},
 	})
 }
 
 // Decode parses and fully validates a snapshot: framing and CRCs first
 // (splitContainer), then semantic decode of every section including
-// ir.Validate over each group's program. Any failure is a typed
-// *bgerr.SnapshotError; a successfully decoded state is safe to execute.
+// ir.Validate over the shared program and each group's program (with its
+// extended-basis bits checked against the shared program's outputs). Any
+// failure is a typed *bgerr.SnapshotError; a successfully decoded state is
+// safe to execute.
 func Decode(data []byte) (*EngineState, error) {
 	sections, err := splitContainer(data)
 	if err != nil {
 		return nil, err
 	}
-	if len(sections) != 3 || sections[0].name != sectionMeta ||
-		sections[1].name != sectionPasses || sections[2].name != sectionGroups {
-		return nil, corrupt("want sections [%s %s %s], got %d sections", sectionMeta, sectionPasses, sectionGroups, len(sections))
+	if len(sections) != 4 || sections[0].name != sectionMeta ||
+		sections[1].name != sectionPasses || sections[2].name != sectionGroups ||
+		sections[3].name != sectionShared {
+		return nil, corrupt("want sections [%s %s %s %s], got %d sections",
+			sectionMeta, sectionPasses, sectionGroups, sectionShared, len(sections))
 	}
 	st := &EngineState{}
 
@@ -121,7 +150,11 @@ func Decode(data []byte) (*EngineState, error) {
 	n := gd.count("group", 4)
 	st.Groups = make([]engine.Group, 0, n)
 	for i := 0; i < n && gd.err == nil; i++ {
-		st.Groups = append(st.Groups, decodeGroup(gd))
+		var g engine.Group
+		g.Names = gd.strs("group name")
+		g.Chars = int(gd.varint("group chars"))
+		g.Packed = gd.blob("group program")
+		st.Groups = append(st.Groups, g)
 	}
 	if err := gd.done(); err != nil {
 		return nil, err
@@ -129,10 +162,45 @@ func Decode(data []byte) (*EngineState, error) {
 	if len(st.Groups) == 0 {
 		return nil, corrupt("section %q: no groups", sectionGroups)
 	}
+
+	sd := &dec{b: sections[3].payload, section: sectionShared}
+	if sd.boolean("shared-program flag") {
+		blob := sd.blob("shared program")
+		if sd.err == nil {
+			p, err := ir.DecodeProgram(blob)
+			if err != nil {
+				return nil, corrupt("shared program undecodable: %v", err)
+			}
+			st.Shared = p
+		}
+	}
+	if err := sd.done(); err != nil {
+		return nil, err
+	}
+	if st.Shared != nil {
+		if err := ir.Validate(st.Shared); err != nil {
+			return nil, corrupt("shared program invalid: %v", err)
+		}
+	}
+
+	sharedOutputs := 0
+	if st.Shared != nil {
+		sharedOutputs = len(st.Shared.Outputs)
+	}
 	for i := range st.Groups {
-		if err := ir.Validate(st.Groups[i].Program); err != nil {
+		p, err := ir.DecodeProgram(st.Groups[i].Packed)
+		if err != nil {
+			return nil, corrupt("group %d program undecodable: %v", i, err)
+		}
+		if err := ir.Validate(p); err != nil {
 			return nil, corrupt("group %d program invalid: %v", i, err)
 		}
+		if p.ExtBits > sharedOutputs {
+			return nil, corrupt("group %d reads %d extended basis bits, shared program provides %d",
+				i, p.ExtBits, sharedOutputs)
+		}
+		st.Groups[i].Program = p
+		st.Groups[i].Outputs = p.Outputs
 	}
 	return st, nil
 }
@@ -158,252 +226,4 @@ func PeekMeta(data []byte) (*Meta, error) {
 		return nil, md.err
 	}
 	return m, nil
-}
-
-// ---- group / program codec ----
-
-func encodeGroup(e *enc, g *engine.Group) {
-	e.strs(g.Names)
-	e.varint(int64(g.Chars))
-	encodeProgram(e, g.Program)
-}
-
-func decodeGroup(d *dec) engine.Group {
-	var g engine.Group
-	g.Names = d.strs("group name")
-	g.Chars = int(d.varint("group chars"))
-	g.Program = decodeProgram(d)
-	return g
-}
-
-// Statement and expression tags. New tags append; existing values are
-// frozen (a format-version bump is required to change them).
-const (
-	tagAssign = 1
-	tagIf     = 2
-	tagWhile  = 3
-	tagGuard  = 4
-
-	tagZero       = 0
-	tagOnes       = 1
-	tagCopy       = 2
-	tagNot        = 3
-	tagBin        = 4
-	tagShift      = 5
-	tagAdd        = 6
-	tagStarThru   = 7
-	tagMatchBasis = 8
-)
-
-func encodeProgram(e *enc, p *ir.Program) {
-	e.varint(int64(p.NumVars))
-	e.count(len(p.Outputs))
-	for _, o := range p.Outputs {
-		e.str(o.Name)
-		e.varint(int64(o.Var))
-		e.boolean(o.Nullable)
-	}
-	encodeStmts(e, p.Stmts)
-	// The barrier schedule references statements by pointer identity;
-	// persist it as indices into the program's pre-order *Assign sequence
-	// and rebuild the pointers at decode.
-	if p.Barriers == nil {
-		e.boolean(false)
-		return
-	}
-	e.boolean(true)
-	index := assignIndexes(p)
-	e.varint(int64(p.Barriers.MergeSize))
-	e.varint(int64(p.Barriers.DedupedCopies))
-	e.count(len(p.Barriers.Groups))
-	for _, grp := range p.Barriers.Groups {
-		e.count(len(grp))
-		for _, a := range grp {
-			e.varint(int64(index[a]))
-		}
-	}
-}
-
-func decodeProgram(d *dec) *ir.Program {
-	p := &ir.Program{}
-	p.NumVars = int(d.varint("num-vars"))
-	no := d.count("output", 3)
-	p.Outputs = make([]ir.Output, no)
-	for i := range p.Outputs {
-		p.Outputs[i].Name = d.str("output name")
-		p.Outputs[i].Var = ir.VarID(d.varint("output var"))
-		p.Outputs[i].Nullable = d.boolean("output nullable")
-	}
-	p.Stmts = decodeStmts(d)
-	if !d.boolean("barrier-schedule flag") {
-		return p
-	}
-	assigns := preorderAssigns(p)
-	bs := &ir.BarrierSchedule{
-		MergeSize:     int(d.varint("merge-size")),
-		DedupedCopies: int(d.varint("deduped-copies")),
-	}
-	ng := d.count("barrier group", 1)
-	bs.Groups = make([][]*ir.Assign, 0, ng)
-	for i := 0; i < ng && d.err == nil; i++ {
-		na := d.count("barrier member", 1)
-		grp := make([]*ir.Assign, 0, na)
-		for j := 0; j < na && d.err == nil; j++ {
-			idx := d.varint("barrier assign index")
-			if idx < 0 || idx >= int64(len(assigns)) {
-				d.fail("barrier assign index out of range")
-				break
-			}
-			grp = append(grp, assigns[idx])
-		}
-		bs.Groups = append(bs.Groups, grp)
-	}
-	p.Barriers = bs
-	return p
-}
-
-// assignIndexes maps each *Assign to its pre-order position among assigns.
-func assignIndexes(p *ir.Program) map[*ir.Assign]int {
-	m := make(map[*ir.Assign]int)
-	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
-		if a, ok := s.(*ir.Assign); ok {
-			m[a] = len(m)
-		}
-	})
-	return m
-}
-
-// preorderAssigns lists a decoded program's assigns in the same pre-order
-// the encoder indexed them in.
-func preorderAssigns(p *ir.Program) []*ir.Assign {
-	var out []*ir.Assign
-	ir.WalkStmts(p.Stmts, func(s ir.Stmt) {
-		if a, ok := s.(*ir.Assign); ok {
-			out = append(out, a)
-		}
-	})
-	return out
-}
-
-func encodeStmts(e *enc, list []ir.Stmt) {
-	e.count(len(list))
-	for _, s := range list {
-		switch x := s.(type) {
-		case *ir.Assign:
-			e.uvarint(tagAssign)
-			e.varint(int64(x.Dst))
-			encodeExpr(e, x.Expr)
-		case *ir.If:
-			e.uvarint(tagIf)
-			e.varint(int64(x.Cond))
-			encodeStmts(e, x.Body)
-		case *ir.While:
-			e.uvarint(tagWhile)
-			e.varint(int64(x.Cond))
-			encodeStmts(e, x.Body)
-		case *ir.Guard:
-			e.uvarint(tagGuard)
-			e.varint(int64(x.Cond))
-			e.varint(int64(x.Skip))
-		default:
-			panic("snapshot: unknown statement type")
-		}
-	}
-}
-
-func decodeStmts(d *dec) []ir.Stmt {
-	n := d.count("statement", 2)
-	out := make([]ir.Stmt, 0, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		switch tag := d.uvarint("statement tag"); tag {
-		case tagAssign:
-			a := &ir.Assign{Dst: ir.VarID(d.varint("assign dst"))}
-			a.Expr = decodeExpr(d)
-			out = append(out, a)
-		case tagIf:
-			s := &ir.If{Cond: ir.VarID(d.varint("if cond"))}
-			s.Body = decodeStmts(d)
-			out = append(out, s)
-		case tagWhile:
-			s := &ir.While{Cond: ir.VarID(d.varint("while cond"))}
-			s.Body = decodeStmts(d)
-			out = append(out, s)
-		case tagGuard:
-			out = append(out, &ir.Guard{
-				Cond: ir.VarID(d.varint("guard cond")),
-				Skip: int(d.varint("guard skip")),
-			})
-		default:
-			d.fail("statement tag")
-		}
-	}
-	return out
-}
-
-func encodeExpr(e *enc, x ir.Expr) {
-	switch v := x.(type) {
-	case ir.Zero:
-		e.uvarint(tagZero)
-	case ir.Ones:
-		e.uvarint(tagOnes)
-	case ir.Copy:
-		e.uvarint(tagCopy)
-		e.varint(int64(v.Src))
-	case ir.Not:
-		e.uvarint(tagNot)
-		e.varint(int64(v.Src))
-	case ir.Bin:
-		e.uvarint(tagBin)
-		e.uvarint(uint64(v.Op))
-		e.varint(int64(v.X))
-		e.varint(int64(v.Y))
-	case ir.Shift:
-		e.uvarint(tagShift)
-		e.varint(int64(v.Src))
-		e.varint(int64(v.K))
-	case ir.Add:
-		e.uvarint(tagAdd)
-		e.varint(int64(v.X))
-		e.varint(int64(v.Y))
-	case ir.StarThru:
-		e.uvarint(tagStarThru)
-		e.varint(int64(v.M))
-		e.varint(int64(v.C))
-	case ir.MatchBasis:
-		e.uvarint(tagMatchBasis)
-		e.varint(int64(v.Bit))
-	default:
-		panic("snapshot: unknown expression type")
-	}
-}
-
-func decodeExpr(d *dec) ir.Expr {
-	switch tag := d.uvarint("expression tag"); tag {
-	case tagZero:
-		return ir.Zero{}
-	case tagOnes:
-		return ir.Ones{}
-	case tagCopy:
-		return ir.Copy{Src: ir.VarID(d.varint("copy src"))}
-	case tagNot:
-		return ir.Not{Src: ir.VarID(d.varint("not src"))}
-	case tagBin:
-		op := ir.BinOp(d.uvarint("bin op"))
-		if op > ir.OpAndNot {
-			d.fail("bin op")
-			return ir.Zero{}
-		}
-		return ir.Bin{Op: op, X: ir.VarID(d.varint("bin x")), Y: ir.VarID(d.varint("bin y"))}
-	case tagShift:
-		return ir.Shift{Src: ir.VarID(d.varint("shift src")), K: int(d.varint("shift k"))}
-	case tagAdd:
-		return ir.Add{X: ir.VarID(d.varint("add x")), Y: ir.VarID(d.varint("add y"))}
-	case tagStarThru:
-		return ir.StarThru{M: ir.VarID(d.varint("starthru m")), C: ir.VarID(d.varint("starthru c"))}
-	case tagMatchBasis:
-		return ir.MatchBasis{Bit: int(d.varint("matchbasis bit"))}
-	default:
-		d.fail("expression tag")
-		return ir.Zero{}
-	}
 }

@@ -34,6 +34,12 @@ type Basis struct {
 	Streams [NumBasis]*bitstream.Stream
 	N       int // input length in bytes == stream length in bits
 
+	// Ext holds extended basis streams beyond the eight raw bit-planes:
+	// shared character-class streams an engine computes once per scan and
+	// binds here so every group's program reads them through Bit(8+i).
+	// TransposeInto leaves Ext alone; the engine rebinds it per chunk.
+	Ext []*bitstream.Stream
+
 	// words are the owned backing buffers the Streams point into; headers
 	// hold the eight Stream values so reuse allocates nothing.
 	words   [NumBasis][]uint64
@@ -153,9 +159,14 @@ func (b *Basis) Inverse() []byte {
 	return out
 }
 
-// Bit returns basis stream j (0 = most significant bit of each byte).
+// Bit returns basis stream j: 0-7 are the raw bit-planes (0 = most
+// significant bit of each byte); j >= 8 indexes the bound extended
+// (shared character-class) streams.
 func (b *Basis) Bit(j int) *bitstream.Stream {
-	return b.Streams[j]
+	if j < NumBasis {
+		return b.Streams[j]
+	}
+	return b.Ext[j-NumBasis]
 }
 
 // BytesMoved returns the number of bytes the transpose kernel reads plus

@@ -210,6 +210,10 @@ type hybridBackend struct{ h *hybrid.Engine }
 
 func (b *hybridBackend) Name() string { return BackendHybrid }
 
+// ResidentBytes implements resilience.Sizer: the hybrid rung's compiled
+// automata stay resident for the engine's lifetime.
+func (b *hybridBackend) ResidentBytes() int64 { return b.h.SizeBytes() }
+
 func (b *hybridBackend) Run(ctx context.Context, input []byte) (pos map[string][]int, aux any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -233,6 +237,10 @@ type nfaBackend struct {
 }
 
 func (b *nfaBackend) Name() string { return BackendNFA }
+
+// ResidentBytes implements resilience.Sizer: the reference automaton's
+// CSR tables stay resident for the engine's lifetime.
+func (b *nfaBackend) ResidentBytes() int64 { return b.n.SizeBytes() }
 
 func (b *nfaBackend) Run(ctx context.Context, input []byte) (pos map[string][]int, aux any, err error) {
 	defer func() {

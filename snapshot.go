@@ -27,11 +27,11 @@ func optionsHash(opts *Options) string {
 		h.Write(n[:])
 		h.Write([]byte(s))
 	}
-	field("bitgen-snapshot-options-v1")
-	field(fmt.Sprintf("%t|%s|%d|%d|%t|%t|%d|%d",
+	field("bitgen-snapshot-options-v2")
+	field(fmt.Sprintf("%t|%s|%d|%d|%t|%t|%d|%d|%t",
 		opts.FoldCase, opts.Device, opts.CTAs, opts.Threads,
 		opts.DisableShiftRebalancing, opts.DisableZeroBlockSkipping,
-		opts.MergeSize, opts.IntervalSize))
+		opts.MergeSize, opts.IntervalSize, opts.DisableStateCompression))
 	field(fmt.Sprintf("%d|%d|%d|%d|%d",
 		opts.Limits.MaxInputBytes, opts.Limits.MaxPatterns,
 		opts.Limits.MaxProgramInstructions, opts.Limits.MaxWhileIterations,
@@ -71,6 +71,7 @@ func EncodeEngine(e *Engine) []byte {
 		Nullable:    e.nullable,
 		Unbounded:   e.unbounded,
 		Groups:      e.inner.Groups(),
+		Shared:      e.inner.Shared(),
 		PassStats:   e.inner.PassStats,
 	})
 }
@@ -124,7 +125,7 @@ func restoreEngine(st *snapshot.EngineState, opts *Options) (*Engine, error) {
 	limits := opts.Limits.withDefaults(dev)
 	observer := opts.Observability.observer()
 	cfg := buildEngineConfig(opts, dev, limits, observer)
-	inner, err := engine.Restore(cfg, st.Groups, st.PassStats)
+	inner, err := engine.Restore(cfg, st.Groups, st.Shared, st.PassStats)
 	if err != nil {
 		return nil, &bgerr.SnapshotError{Reason: snapshot.ReasonCorrupt, Detail: err.Error()}
 	}

@@ -160,12 +160,22 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	f.Add(uint64(7), []byte("jjjjiihhaa gggff"))
 	f.Add(uint64(42), []byte{})
 	f.Add(uint64(99), []byte("a"))
+	// Duplicate-heavy / shared-charclass seeds (odd seeds trigger the
+	// amplification below): snapshots of shared-basis engines must round-
+	// trip exactly like plain ones.
+	f.Add(uint64(101), []byte("abcfgj afgj aafjgg"))
+	f.Add(uint64(203), []byte("ffgjffgj aaa jgfa"))
 	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
 		patterns := fuzzPatterns(seed, 4)
 		if len(patterns) == 0 {
 			t.Skip("generator produced no usable patterns")
 		}
 		patterns = append(patterns, patterns[0]) // duplicate fan-out
+		if seed%2 == 1 {
+			// Shared-charclass pressure: identical class-heavy entries
+			// promoted to the shared extended basis by the compressed compile.
+			patterns = append(patterns, "[a-f][g-j]", "[a-f][g-j]", patterns[len(patterns)/2])
+		}
 		input := fuzzInput(data)
 
 		fresh, err := Compile(patterns, nil)

@@ -61,7 +61,7 @@ func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize i
 	if len(e.unbounded) > 0 {
 		return &UnsupportedError{
 			Feature:  "streaming patterns with unbounded match length",
-			Patterns: append([]string(nil), e.unbounded...),
+			Patterns: dedupePatterns(e.unbounded),
 		}
 	}
 	if len(e.nullable) > 0 {
@@ -70,7 +70,7 @@ func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize i
 		// semantics. Run handles them; streaming refuses them.
 		return &UnsupportedError{
 			Feature:  "streaming patterns that match the empty string",
-			Patterns: append([]string(nil), e.nullable...),
+			Patterns: dedupePatterns(e.nullable),
 		}
 	}
 	maxLen := e.maxLen
@@ -87,6 +87,24 @@ func (e *Engine) ScanReaderContext(ctx context.Context, r io.Reader, chunkSize i
 		return e.scanPipelined(ctx, r, chunkSize, maxLen, emit)
 	}
 	return e.scanSequential(ctx, r, chunkSize, maxLen, emit)
+}
+
+// dedupePatterns returns the list with duplicates removed, first
+// occurrence order preserved, always as a fresh slice. The refusal errors
+// above name each offending pattern once even when the caller compiled it
+// at several public indexes (the per-index match fan-out is unaffected —
+// only the diagnostic list collapses). Stored engine state keeps the
+// per-index lists verbatim so snapshots round-trip byte-identically.
+func dedupePatterns(ps []string) []string {
+	out := make([]string, 0, len(ps))
+	seen := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // scanSequential is the chunk-at-a-time scanner: read a chunk, run it
